@@ -1,0 +1,160 @@
+//===- bench/BenchCommon.cpp --------------------------------------------------=//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "benchmarks/BinPackingBenchmark.h"
+#include "benchmarks/ClusteringBenchmark.h"
+#include "benchmarks/Helmholtz3DBenchmark.h"
+#include "benchmarks/Poisson2DBenchmark.h"
+#include "benchmarks/SVDBenchmark.h"
+#include "benchmarks/SortBenchmark.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace pbt;
+using namespace pbt::benchharness;
+
+double benchharness::scaleFromEnv() {
+  const char *Env = std::getenv("PBT_BENCH_SCALE");
+  if (!Env)
+    return 1.0;
+  double Scale = std::atof(Env);
+  if (Scale <= 0.0)
+    return 1.0;
+  return std::clamp(Scale, 0.1, 100.0);
+}
+
+/// Shared pipeline defaults; landmark count scales with sqrt of the input
+/// scale so the evidence table stays roughly linear in Scale.
+static core::PipelineOptions pipelineOptions(double Scale,
+                                             support::ThreadPool *Pool,
+                                             uint64_t Seed) {
+  core::PipelineOptions O;
+  O.L1.NumLandmarks = std::max<unsigned>(
+      4, static_cast<unsigned>(12.0 * std::sqrt(Scale)));
+  O.L1.Seed = Seed;
+  O.L1.Tuner.PopulationSize = 14;
+  O.L1.Tuner.Generations = 10;
+  // Tune each landmark against a neighbourhood of its centroid so
+  // variable-accuracy configurations stay safe on unseen cluster members;
+  // this is what makes adaptive classifiers (not just static-best)
+  // clear the satisfaction threshold at reduced scale.
+  O.L1.TuningNeighborhood = 6;
+  O.L1.Pool = Pool;
+  O.L2.CVFolds = 5;
+  O.L2.Seed = Seed ^ 0xABCDEF;
+  // Shallow trees generalise better at laptop-scale training-set sizes,
+  // keeping cross-validated satisfaction honest.
+  O.L2.Tree.MaxDepth = 8;
+  O.L2.Tree.MinSamplesLeaf = 3;
+  O.TrainFraction = 0.5;
+  O.SplitSeed = Seed * 31 + 7;
+  return O;
+}
+
+static size_t scaled(double Scale, size_t Base) {
+  return std::max<size_t>(24, static_cast<size_t>(Base * Scale));
+}
+
+std::vector<SuiteEntry>
+benchharness::makeStandardSuite(double Scale, support::ThreadPool *Pool) {
+  std::vector<SuiteEntry> Suite;
+
+  {
+    bench::SortBenchmark::Options O;
+    O.Data = bench::SortBenchmark::Dataset::RegistryLike;
+    O.NumInputs = scaled(Scale, 160);
+    O.MinSize = 256;
+    O.MaxSize = 2048;
+    O.Seed = 101;
+    Suite.push_back({"sort1", std::make_unique<bench::SortBenchmark>(O),
+                     pipelineOptions(Scale, Pool, 1001)});
+  }
+  {
+    bench::SortBenchmark::Options O;
+    O.Data = bench::SortBenchmark::Dataset::SyntheticMix;
+    O.NumInputs = scaled(Scale, 160);
+    O.MinSize = 256;
+    O.MaxSize = 2048;
+    O.Seed = 102;
+    Suite.push_back({"sort2", std::make_unique<bench::SortBenchmark>(O),
+                     pipelineOptions(Scale, Pool, 1002)});
+  }
+  {
+    bench::ClusteringBenchmark::Options O;
+    O.Data = bench::ClusteringBenchmark::Dataset::LatticeMix;
+    O.NumInputs = scaled(Scale, 160);
+    O.MinPoints = 150;
+    O.MaxPoints = 500;
+    O.Seed = 103;
+    Suite.push_back({"clustering1",
+                     std::make_unique<bench::ClusteringBenchmark>(O),
+                     pipelineOptions(Scale, Pool, 1003)});
+  }
+  {
+    bench::ClusteringBenchmark::Options O;
+    O.Data = bench::ClusteringBenchmark::Dataset::SyntheticMix;
+    O.NumInputs = scaled(Scale, 160);
+    O.MinPoints = 150;
+    O.MaxPoints = 500;
+    O.Seed = 104;
+    Suite.push_back({"clustering2",
+                     std::make_unique<bench::ClusteringBenchmark>(O),
+                     pipelineOptions(Scale, Pool, 1004)});
+  }
+  {
+    bench::BinPackingBenchmark::Options O;
+    O.NumInputs = scaled(Scale, 200);
+    O.MinItems = 64;
+    O.MaxItems = 384;
+    O.Seed = 105;
+    Suite.push_back({"binpacking",
+                     std::make_unique<bench::BinPackingBenchmark>(O),
+                     pipelineOptions(Scale, Pool, 1005)});
+  }
+  {
+    bench::SVDBenchmark::Options O;
+    O.NumInputs = scaled(Scale, 160);
+    O.MinDim = 20;
+    O.MaxDim = 36;
+    O.Seed = 106;
+    Suite.push_back({"svd", std::make_unique<bench::SVDBenchmark>(O),
+                     pipelineOptions(Scale, Pool, 1006)});
+  }
+  {
+    bench::Poisson2DBenchmark::Options O;
+    O.NumInputs = scaled(Scale, 100);
+    O.GridN = 33;
+    O.Seed = 107;
+    Suite.push_back({"poisson2d",
+                     std::make_unique<bench::Poisson2DBenchmark>(O),
+                     pipelineOptions(Scale, Pool, 1007)});
+  }
+  {
+    bench::Helmholtz3DBenchmark::Options O;
+    O.NumInputs = scaled(Scale, 100);
+    O.GridN = 9;
+    O.Seed = 108;
+    Suite.push_back({"helmholtz3d",
+                     std::make_unique<bench::Helmholtz3DBenchmark>(O),
+                     pipelineOptions(Scale, Pool, 1008)});
+  }
+  return Suite;
+}
+
+std::vector<SuiteEntry>
+benchharness::makeSuiteSubset(const std::vector<std::string> &Names,
+                              double Scale, support::ThreadPool *Pool) {
+  std::vector<SuiteEntry> All = makeStandardSuite(Scale, Pool);
+  std::vector<SuiteEntry> Subset;
+  for (SuiteEntry &E : All)
+    for (const std::string &Name : Names)
+      if (E.Name == Name)
+        Subset.push_back(std::move(E));
+  return Subset;
+}

@@ -1,0 +1,53 @@
+//===- bench/BenchCommon.h - Shared harness for the paper's experiments ----==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the paper's eight test instances (sort1, sort2, clustering1,
+/// clustering2, binpacking, svd, poisson2d, helmholtz3d) at a laptop-scale
+/// default, with every count scalable through the PBT_BENCH_SCALE
+/// environment variable (e.g. PBT_BENCH_SCALE=2 doubles input counts and
+/// landmark counts towards the paper's original scale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_BENCH_BENCHCOMMON_H
+#define PBT_BENCH_BENCHCOMMON_H
+
+#include "core/Pipeline.h"
+#include "runtime/TunableProgram.h"
+#include "support/ThreadPool.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace benchharness {
+
+/// One of the paper's eight evaluation rows.
+struct SuiteEntry {
+  std::string Name;
+  std::unique_ptr<runtime::TunableProgram> Program;
+  core::PipelineOptions Options;
+};
+
+/// Reads PBT_BENCH_SCALE (default 1.0, clamped to [0.1, 100]).
+double scaleFromEnv();
+
+/// Builds the full eight-benchmark suite. \p Pool is wired into every
+/// pipeline's Level-1 options (may be null).
+std::vector<SuiteEntry> makeStandardSuite(double Scale,
+                                          support::ThreadPool *Pool);
+
+/// Builds a subset of the suite by name (for the focused ablations).
+std::vector<SuiteEntry> makeSuiteSubset(const std::vector<std::string> &Names,
+                                        double Scale,
+                                        support::ThreadPool *Pool);
+
+} // namespace benchharness
+} // namespace pbt
+
+#endif // PBT_BENCH_BENCHCOMMON_H

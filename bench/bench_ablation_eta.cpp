@@ -1,0 +1,56 @@
+//===- bench/bench_ablation_eta.cpp - Cost-matrix blend factor sweep --------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the in-text tuning of Section 3.2: the cost matrix blends
+/// the accuracy penalty and the performance penalty as
+/// C = eta * Ca * max(Cp) + Cp; the paper "tried different settings for
+/// eta ranging from 0.001 to 1 ... found 0.5 to be the best". This sweep
+/// re-runs Level 2 for each eta on the variable-accuracy benchmarks and
+/// reports the two-level speedup and satisfaction rate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace pbt;
+using namespace pbt::benchharness;
+
+int main() {
+  double Scale = scaleFromEnv();
+  support::ThreadPool Pool;
+  const double Etas[] = {0.001, 0.01, 0.1, 0.5, 1.0};
+
+  for (const std::string &Name :
+       {std::string("binpacking"), std::string("clustering2"),
+        std::string("poisson2d")}) {
+    support::TextTable Table;
+    Table.setHeader({"eta", "two-level (w/ feat.)", "satisfaction",
+                     "selected classifier"});
+    for (double Eta : Etas) {
+      std::vector<SuiteEntry> Suite = makeSuiteSubset({Name}, Scale, &Pool);
+      SuiteEntry &E = Suite.front();
+      E.Options.L2.Eta = Eta;
+      core::TrainedSystem System = core::trainSystem(*E.Program, E.Options);
+      core::EvaluationResult R = core::evaluateSystem(*E.Program, System);
+      Table.addRow({support::formatDouble(Eta, 3),
+                    support::formatSpeedup(R.TwoLevelWithFeat),
+                    support::formatPercent(R.TwoLevelSatisfaction),
+                    System.L2.SelectedName});
+    }
+    std::printf("Ablation E7 (%s): cost-matrix blend factor eta\n\n%s\n",
+                Name.c_str(), Table.format().c_str());
+  }
+  std::printf("Shape check: speedup/satisfaction should be robust in a "
+              "band around eta = 0.5, the paper's setting "
+              "(PBT_BENCH_SCALE=%.2f).\n",
+              Scale);
+  return 0;
+}

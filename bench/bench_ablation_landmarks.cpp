@@ -1,0 +1,70 @@
+//===- bench/bench_ablation_landmarks.cpp - K-means vs random landmarks -----==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the in-text claim of Section 3.1: choosing tuning
+/// representatives by K-means centroids beats choosing them uniformly at
+/// random, especially at small landmark counts ("with 5 configurations,
+/// uniformly picked landmarks result in 41% degradation of performance
+/// than selection with kmeans. As the number of configurations increases,
+/// the gap shrinks.").
+///
+/// For each landmark count we train both variants and compare the dynamic
+/// oracle speedup achievable with the resulting landmarks (isolating
+/// landmark quality from classifier effects).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace pbt;
+using namespace pbt::benchharness;
+
+int main() {
+  double Scale = scaleFromEnv();
+  support::ThreadPool Pool;
+
+  for (const std::string &Name : {std::string("sort2"),
+                                  std::string("clustering2")}) {
+    support::TextTable Table;
+    Table.setHeader({"landmarks", "kmeans-selected", "random-selected",
+                     "degradation"});
+    for (unsigned K : {2u, 5u, 8u, 12u}) {
+      double SpeedKMeans = 0.0, SpeedRandom = 0.0;
+      for (core::LandmarkSelection Sel :
+           {core::LandmarkSelection::KMeansCentroids,
+            core::LandmarkSelection::UniformRandom}) {
+        std::vector<SuiteEntry> Suite = makeSuiteSubset({Name}, Scale, &Pool);
+        SuiteEntry &E = Suite.front();
+        E.Options.L1.NumLandmarks = K;
+        E.Options.L1.Selection = Sel;
+        core::TrainedSystem System = core::trainSystem(*E.Program, E.Options);
+        core::EvaluationResult R = core::evaluateSystem(*E.Program, System);
+        if (Sel == core::LandmarkSelection::KMeansCentroids)
+          SpeedKMeans = R.DynamicOracle;
+        else
+          SpeedRandom = R.DynamicOracle;
+      }
+      double Degradation =
+          SpeedKMeans > 0.0 ? (SpeedKMeans - SpeedRandom) / SpeedKMeans : 0.0;
+      Table.addRow({std::to_string(K), support::formatSpeedup(SpeedKMeans),
+                    support::formatSpeedup(SpeedRandom),
+                    support::formatPercent(Degradation)});
+    }
+    std::printf("Ablation E5 (%s): landmark selection strategy "
+                "(dynamic-oracle speedup over the static oracle)\n\n%s\n",
+                Name.c_str(), Table.format().c_str());
+  }
+  std::printf("Shape check: random selection degrades small landmark "
+              "counts most; the gap shrinks as counts grow "
+              "(PBT_BENCH_SCALE=%.2f).\n",
+              Scale);
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- bench/bench_ablation_twolevel.cpp - Second-level refinement ----------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the in-text evidence of Section 4.2 for the second level of
+/// learning:
+///
+///   * the fraction of training inputs whose performance-based label
+///     differs from their Level-1 feature-space cluster (the paper reports
+///     73.4% moved for kmeans) -- the "mapping disparity" the second level
+///     closes;
+///   * which production classifier the zoo selection picked, and how the
+///     selected two-level classifier compares against the one-level
+///     baseline on the same landmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace pbt;
+using namespace pbt::benchharness;
+
+int main() {
+  double Scale = scaleFromEnv();
+  support::ThreadPool Pool;
+  std::vector<SuiteEntry> Suite = makeStandardSuite(Scale, &Pool);
+
+  support::TextTable Table;
+  Table.setHeader({"Benchmark", "moved", "selected classifier",
+                   "two-level", "one-level", "advantage"});
+
+  for (SuiteEntry &E : Suite) {
+    core::TrainedSystem System = core::trainSystem(*E.Program, E.Options);
+    core::EvaluationResult R = core::evaluateSystem(*E.Program, System);
+    double Advantage = R.OneLevelWithFeat > 0.0
+                           ? R.TwoLevelWithFeat / R.OneLevelWithFeat
+                           : 0.0;
+    Table.addRow({E.Name,
+                  support::formatPercent(System.L2.RefinementMoveFraction),
+                  System.L2.SelectedName,
+                  support::formatSpeedup(R.TwoLevelWithFeat),
+                  support::formatSpeedup(R.OneLevelWithFeat),
+                  support::formatSpeedup(Advantage)});
+    std::fprintf(stderr, "[twolevel] %-12s done\n", E.Name.c_str());
+  }
+
+  std::printf("Ablation E6: second-level cluster refinement and classifier "
+              "selection (speedups over the static oracle, with feature "
+              "extraction time)\n\n%s\n",
+              Table.format().c_str());
+  std::printf("Shape check: large 'moved' fractions show the feature-space "
+              "clusters disagree with the performance-space labels (the "
+              "paper reports 73.4%% for kmeans); 'advantage' is the paper's "
+              "two-level-over-one-level factor (up to 34x in the paper) "
+              "(PBT_BENCH_SCALE=%.2f).\n",
+              Scale);
+  return 0;
+}

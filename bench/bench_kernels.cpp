@@ -1,0 +1,221 @@
+//===- bench/bench_kernels.cpp - Substrate micro-benchmarks -----------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark micro-benchmarks of the substrate kernels: the five
+/// sorting algorithms across input families, the bin packing heuristics,
+/// the SVD methods, the PDE smoothers/solvers, K-means, and classifier
+/// prediction. These measure *wall-clock* time of our implementations
+/// (the pipeline itself uses the deterministic cost model).
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/BinPackingBenchmark.h"
+#include "benchmarks/SortAlgorithms.h"
+#include "benchmarks/SortBenchmark.h"
+#include "linalg/SVD.h"
+#include "ml/DecisionTree.h"
+#include "ml/KMeans.h"
+#include "pde/Poisson2D.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pbt;
+
+//===----------------------------------------------------------------------===//
+// Sorting kernels
+//===----------------------------------------------------------------------===//
+
+static void BM_Sort(benchmark::State &State, bench::SortAlgo Algo,
+                    bench::SortGen Gen) {
+  support::Rng Rng(1);
+  size_t N = static_cast<size_t>(State.range(0));
+  std::vector<double> Input = bench::generateSortInput(Gen, N, Rng);
+  runtime::Selector Always({{UINT64_MAX, static_cast<unsigned>(Algo)}});
+  bench::PolySorter Sorter(Always, 4);
+  double Units = 0.0;
+  for (auto _ : State) {
+    std::vector<double> Work = Input;
+    support::CostCounter Cost;
+    Sorter.sort(Work, Cost);
+    Units = Cost.units();
+    benchmark::DoNotOptimize(Work.data());
+  }
+  State.counters["work_units"] = Units;
+}
+
+BENCHMARK_CAPTURE(BM_Sort, insertion_random, bench::SortAlgo::Insertion,
+                  bench::SortGen::Uniform)
+    ->Arg(256)->Arg(1024);
+BENCHMARK_CAPTURE(BM_Sort, insertion_sorted, bench::SortAlgo::Insertion,
+                  bench::SortGen::Sorted)
+    ->Arg(4096);
+BENCHMARK_CAPTURE(BM_Sort, quick_random, bench::SortAlgo::Quick,
+                  bench::SortGen::Uniform)
+    ->Arg(1024)->Arg(4096);
+BENCHMARK_CAPTURE(BM_Sort, quick_sorted_pathological, bench::SortAlgo::Quick,
+                  bench::SortGen::Sorted)
+    ->Arg(1024);
+BENCHMARK_CAPTURE(BM_Sort, merge_random, bench::SortAlgo::Merge,
+                  bench::SortGen::Uniform)
+    ->Arg(1024)->Arg(4096);
+BENCHMARK_CAPTURE(BM_Sort, radix_random, bench::SortAlgo::Radix,
+                  bench::SortGen::Uniform)
+    ->Arg(1024)->Arg(4096);
+BENCHMARK_CAPTURE(BM_Sort, bitonic_random, bench::SortAlgo::Bitonic,
+                  bench::SortGen::Uniform)
+    ->Arg(1024);
+
+static void BM_PolySortFigure2(benchmark::State &State) {
+  support::Rng Rng(2);
+  std::vector<double> Input =
+      bench::generateSortInput(bench::SortGen::Uniform, 8192, Rng);
+  runtime::Selector Fig2({{600, 0}, {1420, 1}, {UINT64_MAX, 2}});
+  bench::PolySorter Sorter(Fig2, 2);
+  for (auto _ : State) {
+    std::vector<double> Work = Input;
+    support::CostCounter Cost;
+    Sorter.sort(Work, Cost);
+    benchmark::DoNotOptimize(Work.data());
+  }
+}
+BENCHMARK(BM_PolySortFigure2);
+
+//===----------------------------------------------------------------------===//
+// Bin packing kernels
+//===----------------------------------------------------------------------===//
+
+static void BM_Pack(benchmark::State &State, bench::PackAlgo Algo) {
+  support::Rng Rng(3);
+  std::vector<double> Items = bench::generatePackInput(
+      bench::PackGen::WideUniform, static_cast<size_t>(State.range(0)), Rng);
+  double Occupancy = 0.0;
+  for (auto _ : State) {
+    support::CostCounter Cost;
+    bench::PackingResult R = bench::pack(Algo, Items, Cost);
+    Occupancy = R.averageOccupancy();
+    benchmark::DoNotOptimize(R.BinLoads.data());
+  }
+  State.counters["occupancy"] = Occupancy;
+}
+
+BENCHMARK_CAPTURE(BM_Pack, next_fit, bench::PackAlgo::NextFit)->Arg(512);
+BENCHMARK_CAPTURE(BM_Pack, first_fit, bench::PackAlgo::FirstFit)->Arg(512);
+BENCHMARK_CAPTURE(BM_Pack, best_fit_decreasing,
+                  bench::PackAlgo::BestFitDecreasing)
+    ->Arg(512);
+BENCHMARK_CAPTURE(BM_Pack, mffd, bench::PackAlgo::ModifiedFirstFitDecreasing)
+    ->Arg(512);
+
+//===----------------------------------------------------------------------===//
+// SVD kernels
+//===----------------------------------------------------------------------===//
+
+static void BM_SVDJacobi(benchmark::State &State) {
+  support::Rng Rng(4);
+  size_t N = static_cast<size_t>(State.range(0));
+  linalg::Matrix A = linalg::Matrix::gaussian(N, N, Rng);
+  for (auto _ : State) {
+    linalg::SVDResult R = linalg::jacobiSVD(A);
+    benchmark::DoNotOptimize(R.Sigma.data());
+  }
+}
+BENCHMARK(BM_SVDJacobi)->Arg(24)->Arg(48);
+
+static void BM_SVDRandomized(benchmark::State &State) {
+  support::Rng Rng(5);
+  size_t N = static_cast<size_t>(State.range(0));
+  linalg::Matrix A = linalg::Matrix::gaussian(N, N, Rng);
+  for (auto _ : State) {
+    linalg::SVDResult R = linalg::randomizedSVD(A, 4, 6, 1, Rng);
+    benchmark::DoNotOptimize(R.Sigma.data());
+  }
+}
+BENCHMARK(BM_SVDRandomized)->Arg(24)->Arg(48);
+
+//===----------------------------------------------------------------------===//
+// PDE kernels
+//===----------------------------------------------------------------------===//
+
+static pde::Grid2D poissonRHS(size_t N) {
+  pde::Grid2D F(N);
+  for (size_t I = 1; I + 1 < N; ++I)
+    for (size_t J = 1; J + 1 < N; ++J)
+      F.at(I, J) = std::sin(M_PI * I / (N - 1.0)) *
+                   std::sin(M_PI * J / (N - 1.0));
+  return F;
+}
+
+static void BM_PoissonMultigridVCycle(benchmark::State &State) {
+  pde::Grid2D F = poissonRHS(static_cast<size_t>(State.range(0)));
+  pde::MultigridOptions O;
+  O.Cycles = 1;
+  for (auto _ : State) {
+    pde::Grid2D U = pde::multigridSolve(F, O);
+    benchmark::DoNotOptimize(U.data().data());
+  }
+}
+BENCHMARK(BM_PoissonMultigridVCycle)->Arg(33)->Arg(65);
+
+static void BM_PoissonDirect(benchmark::State &State) {
+  pde::Grid2D F = poissonRHS(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    pde::Grid2D U = pde::directSolve(F);
+    benchmark::DoNotOptimize(U.data().data());
+  }
+}
+BENCHMARK(BM_PoissonDirect)->Arg(33)->Arg(65);
+
+static void BM_PoissonSORSweeps(benchmark::State &State) {
+  pde::Grid2D F = poissonRHS(33);
+  for (auto _ : State) {
+    pde::Grid2D U(33);
+    pde::smoothSOR(U, F, 1.8, static_cast<unsigned>(State.range(0)));
+    benchmark::DoNotOptimize(U.data().data());
+  }
+}
+BENCHMARK(BM_PoissonSORSweeps)->Arg(10)->Arg(100);
+
+//===----------------------------------------------------------------------===//
+// ML kernels
+//===----------------------------------------------------------------------===//
+
+static void BM_KMeans(benchmark::State &State) {
+  support::Rng Rng(6);
+  size_t N = static_cast<size_t>(State.range(0));
+  linalg::Matrix P(N, 2);
+  for (double &V : P.data())
+    V = Rng.uniform(0, 100);
+  ml::KMeansOptions O;
+  O.K = 8;
+  O.MaxIterations = 20;
+  for (auto _ : State) {
+    ml::KMeansResult R = ml::kMeans(P, O);
+    benchmark::DoNotOptimize(R.Assignment.data());
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(512)->Arg(2048);
+
+static void BM_DecisionTreePredict(benchmark::State &State) {
+  support::Rng Rng(7);
+  linalg::Matrix X(512, 12);
+  std::vector<unsigned> Y(512);
+  for (size_t I = 0; I != 512; ++I) {
+    for (size_t J = 0; J != 12; ++J)
+      X.at(I, J) = Rng.uniform(0, 1);
+    Y[I] = X.at(I, 0) > 0.5 ? 1 : 0;
+  }
+  ml::DecisionTree T;
+  T.fit(X, Y, 2);
+  std::vector<double> Row(12, 0.3);
+  for (auto _ : State) {
+    unsigned P = T.predict(Row);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_DecisionTreePredict);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+//===- bench/bench_table1.cpp - Reproduces the paper's Table 1 --------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 1: mean speedup over the static oracle for the
+/// dynamic oracle, the two-level method (with and without feature
+/// extraction time) and the one-level baseline (with and without feature
+/// extraction time), plus the one-level accuracy-satisfaction rate, on
+/// all eight test instances.
+///
+/// Absolute numbers differ from the paper (deterministic cost model,
+/// reduced scale); the shape to check: two-level always close to the
+/// dynamic oracle and at/above 1x; one-level collapsing once feature
+/// extraction cost is charged and/or missing accuracy targets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace pbt;
+using namespace pbt::benchharness;
+
+int main() {
+  double Scale = scaleFromEnv();
+  support::ThreadPool Pool;
+  std::vector<SuiteEntry> Suite = makeStandardSuite(Scale, &Pool);
+
+  support::TextTable Table;
+  Table.setHeader({"Benchmark", "Dynamic", "Two-level", "Two-level",
+                   "One-level", "One-level", "One-level", "Two-level"});
+  support::TextTable Units;
+  Table.addRow({"", "Oracle", "(w/o feat.)", "(w/ feat.)", "(w/o feat.)",
+                "(w/ feat.)", "accuracy", "accuracy"});
+
+  support::WallTimer Total;
+  for (SuiteEntry &E : Suite) {
+    support::WallTimer T;
+    core::TrainedSystem System = core::trainSystem(*E.Program, E.Options);
+    core::EvaluationResult R = core::evaluateSystem(*E.Program, System);
+    std::fprintf(stderr, "[table1] %-12s trained+evaluated in %.1fs "
+                         "(K=%zu landmarks, %zu train, %zu test, "
+                         "oracle-sat %.0f%%, static-sat %.0f%%)\n",
+                 E.Name.c_str(), T.elapsedSeconds(),
+                 System.L1.Landmarks.size(), System.TrainRows.size(),
+                 System.TestRows.size(), 100.0 * R.DynamicOracleSatisfaction,
+                 100.0 * R.StaticOracleSatisfaction);
+
+    bool HasAccuracy = E.Program->accuracy().has_value();
+    Table.addRow({E.Name, support::formatSpeedup(R.DynamicOracle),
+                  support::formatSpeedup(R.TwoLevelNoFeat),
+                  support::formatSpeedup(R.TwoLevelWithFeat),
+                  support::formatSpeedup(R.OneLevelNoFeat),
+                  support::formatSpeedup(R.OneLevelWithFeat),
+                  HasAccuracy ? support::formatPercent(R.OneLevelSatisfaction)
+                              : std::string("-"),
+                  HasAccuracy ? support::formatPercent(R.TwoLevelSatisfaction)
+                              : std::string("-")});
+  }
+
+  std::printf("Table 1: mean speedup over the static oracle "
+              "(PBT_BENCH_SCALE=%.2f)\n\n%s\n",
+              Scale, Table.format().c_str());
+  std::printf("Total wall time: %.1fs\n", Total.elapsedSeconds());
+  return 0;
+}

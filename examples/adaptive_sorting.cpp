@@ -1,0 +1,97 @@
+//===- examples/adaptive_sorting.cpp - Input-sensitive sorting deep dive -----==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating scenario in detail: different list shapes favour
+/// radically different sorting strategies. This example
+///
+///   1. measures every pure algorithm on every input family, printing the
+///      winner per family (the "no single best algorithm" motivation);
+///   2. trains the two-level system and shows the per-family speedup of
+///      the adaptive classifier over the best single configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/SortBenchmark.h"
+#include "core/Pipeline.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+int main() {
+  // --- Part 1: who wins on which input family?
+  const size_t N = 2048;
+  support::Rng Rng(7);
+  const char *AlgoNames[] = {"insertion", "quick", "merge", "radix",
+                             "bitonic"};
+  support::TextTable Winners;
+  Winners.setHeader({"input family", "insertion", "quick", "merge", "radix",
+                     "bitonic", "winner"});
+  for (unsigned G = 0; G != NumSortGens; ++G) {
+    std::vector<double> Input =
+        generateSortInput(static_cast<SortGen>(G), N, Rng);
+    std::vector<std::string> Row{sortGenName(static_cast<SortGen>(G))};
+    double Best = 1e300;
+    unsigned BestAlgo = 0;
+    for (unsigned A = 0; A != NumSortAlgos; ++A) {
+      runtime::Selector Always({{UINT64_MAX, A}});
+      PolySorter Sorter(Always, 4);
+      std::vector<double> Work = Input;
+      support::CostCounter Cost;
+      Sorter.sort(Work, Cost);
+      Row.push_back(support::formatDouble(Cost.units() / 1000.0, 0) + "k");
+      if (Cost.units() < Best) {
+        Best = Cost.units();
+        BestAlgo = A;
+      }
+    }
+    Row.push_back(AlgoNames[BestAlgo]);
+    Winners.addRow(Row);
+  }
+  std::printf("Pure-algorithm cost (work units) per input family, n = %zu:\n"
+              "\n%s\n",
+              N, Winners.format().c_str());
+
+  // --- Part 2: the adaptive system exploits exactly this diversity.
+  SortBenchmark::Options ProgOpts;
+  ProgOpts.Data = SortBenchmark::Dataset::SyntheticMix;
+  ProgOpts.NumInputs = 160;
+  ProgOpts.MinSize = 256;
+  ProgOpts.MaxSize = 2048;
+  ProgOpts.Seed = 11;
+  SortBenchmark Sort(ProgOpts);
+
+  core::PipelineOptions Opts;
+  Opts.L1.NumLandmarks = 8;
+  core::TrainedSystem System = core::trainSystem(Sort, Opts);
+  core::EvaluationResult R = core::evaluateSystem(Sort, System);
+
+  // Per-family mean speedup of the classifier over the static oracle.
+  std::map<std::string, std::vector<double>> ByFamily;
+  for (size_t I = 0; I != System.TestRows.size(); ++I)
+    ByFamily[Sort.inputTag(System.TestRows[I])].push_back(
+        R.PerInputSpeedups[I]);
+
+  support::TextTable Table;
+  Table.setHeader({"input family", "inputs", "mean speedup", "max speedup"});
+  for (const auto &[Family, Speedups] : ByFamily)
+    Table.addRow({Family, std::to_string(Speedups.size()),
+                  support::formatSpeedup(support::mean(Speedups)),
+                  support::formatSpeedup(support::maxOf(Speedups))});
+  std::printf("Two-level classifier speedup over the static oracle, by "
+              "input family (overall mean %s):\n\n%s\n",
+              support::formatSpeedup(R.TwoLevelWithFeat).c_str(),
+              Table.format().c_str());
+  std::printf("Note how families the static configuration handles badly "
+              "(e.g. ones where its pivot/cutoff choices degenerate) show "
+              "the largest adaptive gains -- the paper's Figure 6 story.\n");
+  return 0;
+}

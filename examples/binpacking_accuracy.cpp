@@ -1,0 +1,80 @@
+//===- examples/binpacking_accuracy.cpp - Variable accuracy in action -------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Demonstrates the variable-accuracy machinery (paper Sections 2.3/3.3)
+/// on bin packing: algorithms trade packing quality (mean bin occupancy,
+/// the accuracy metric) against execution cost, and the right trade
+/// depends on the input. The two-level system must hit the accuracy
+/// threshold on 95% of inputs while minimising time -- so it learns to
+/// use cheap heuristics on easy inputs and expensive ones (sort-based,
+/// MFFD) only where needed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/BinPackingBenchmark.h"
+#include "core/Pipeline.h"
+#include "support/Statistics.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+int main() {
+  // --- Part 1: the accuracy/cost landscape of the 13 heuristics.
+  support::Rng Rng(3);
+  support::TextTable Landscape;
+  Landscape.setHeader({"algorithm", "easy: occupancy", "easy: cost",
+                       "hard: occupancy", "hard: cost"});
+  std::vector<double> Easy = generatePackInput(PackGen::SmallUniform, 256, Rng);
+  std::vector<double> Hard = generatePackInput(PackGen::Bimodal, 256, Rng);
+  for (unsigned A = 0; A != NumPackAlgos; ++A) {
+    support::CostCounter CE, CH;
+    PackingResult RE = pack(static_cast<PackAlgo>(A), Easy, CE);
+    PackingResult RH = pack(static_cast<PackAlgo>(A), Hard, CH);
+    Landscape.addRow({packAlgoName(static_cast<PackAlgo>(A)),
+                      support::formatPercent(RE.averageOccupancy()),
+                      support::formatDouble(CE.units() / 1000.0, 1) + "k",
+                      support::formatPercent(RH.averageOccupancy()),
+                      support::formatDouble(CH.units() / 1000.0, 1) + "k"});
+  }
+  std::printf("Occupancy (accuracy metric, target 95%%) and cost of every "
+              "heuristic on an easy and a hard input:\n\n%s\n",
+              Landscape.format().c_str());
+
+  // --- Part 2: train the two-level system under the accuracy target.
+  BinPackingBenchmark::Options ProgOpts;
+  ProgOpts.NumInputs = 200;
+  ProgOpts.MinItems = 64;
+  ProgOpts.MaxItems = 384;
+  ProgOpts.Seed = 5;
+  BinPackingBenchmark Pack(ProgOpts);
+
+  core::PipelineOptions Opts;
+  Opts.L1.NumLandmarks = 8;
+  core::TrainedSystem System = core::trainSystem(Pack, Opts);
+  core::EvaluationResult R = core::evaluateSystem(Pack, System);
+
+  std::printf("Trained system (accuracy threshold %.2f, satisfaction "
+              "threshold %.0f%%):\n",
+              Pack.accuracy()->AccuracyThreshold,
+              Pack.accuracy()->SatisfactionThreshold * 100.0);
+  std::printf("  landmark algorithms: ");
+  for (const runtime::Configuration &L : System.L1.Landmarks)
+    std::printf("%s ", packAlgoName(Pack.algoFor(L)));
+  std::printf("\n  selected classifier: %s\n",
+              System.L2.SelectedName.c_str());
+  std::printf("  two-level: %s speedup, %s of inputs meet the target\n",
+              support::formatSpeedup(R.TwoLevelWithFeat).c_str(),
+              support::formatPercent(R.TwoLevelSatisfaction).c_str());
+  std::printf("  one-level: %s speedup, %s satisfaction (accuracy-oblivious"
+              " clustering)\n",
+              support::formatSpeedup(R.OneLevelWithFeat).c_str(),
+              support::formatPercent(R.OneLevelSatisfaction).c_str());
+  return 0;
+}

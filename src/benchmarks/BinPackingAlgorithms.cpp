@@ -1,0 +1,328 @@
+//===- benchmarks/BinPackingAlgorithms.cpp -----------------------------------=//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/BinPackingAlgorithms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+const char *bench::packAlgoName(PackAlgo A) {
+  switch (A) {
+  case PackAlgo::AlmostWorstFit:
+    return "AlmostWorstFit";
+  case PackAlgo::AlmostWorstFitDecreasing:
+    return "AlmostWorstFitDecreasing";
+  case PackAlgo::BestFit:
+    return "BestFit";
+  case PackAlgo::BestFitDecreasing:
+    return "BestFitDecreasing";
+  case PackAlgo::FirstFit:
+    return "FirstFit";
+  case PackAlgo::FirstFitDecreasing:
+    return "FirstFitDecreasing";
+  case PackAlgo::LastFit:
+    return "LastFit";
+  case PackAlgo::LastFitDecreasing:
+    return "LastFitDecreasing";
+  case PackAlgo::ModifiedFirstFitDecreasing:
+    return "ModifiedFirstFitDecreasing";
+  case PackAlgo::NextFit:
+    return "NextFit";
+  case PackAlgo::NextFitDecreasing:
+    return "NextFitDecreasing";
+  case PackAlgo::WorstFit:
+    return "WorstFit";
+  case PackAlgo::WorstFitDecreasing:
+    return "WorstFitDecreasing";
+  }
+  return "unknown";
+}
+
+double PackingResult::averageOccupancy() const {
+  if (BinLoads.empty())
+    return 1.0; // empty packing is vacuously perfect
+  double Sum = 0.0;
+  for (double L : BinLoads)
+    Sum += L;
+  return Sum / static_cast<double>(BinLoads.size());
+}
+
+namespace {
+/// Online bin state shared by all heuristics.
+class Bins {
+public:
+  explicit Bins(support::CostCounter &Cost) : Cost(Cost) {}
+
+  size_t count() const { return Loads.size(); }
+  double load(size_t B) const { return Loads[B]; }
+
+  bool fits(size_t B, double Item) {
+    Cost.addCompares(1.0);
+    return Loads[B] + Item <= 1.0 + 1e-12;
+  }
+
+  void place(size_t B, double Item) {
+    assert(Loads[B] + Item <= 1.0 + 1e-9 && "bin overflow");
+    Loads[B] += Item;
+    Cost.addMoves(1.0);
+  }
+
+  size_t open(double Item) {
+    assert(Item <= 1.0 + 1e-9 && "item larger than a bin");
+    Loads.push_back(Item);
+    Cost.addMoves(1.0);
+    return Loads.size() - 1;
+  }
+
+  std::vector<double> take() { return std::move(Loads); }
+
+private:
+  std::vector<double> Loads;
+  support::CostCounter &Cost;
+};
+} // namespace
+
+/// Places one item according to the non-decreasing family rules.
+static void placeOnline(Bins &B, PackAlgo Base, double Item) {
+  size_t N = B.count();
+  switch (Base) {
+  case PackAlgo::NextFit: {
+    if (N > 0 && B.fits(N - 1, Item)) {
+      B.place(N - 1, Item);
+      return;
+    }
+    B.open(Item);
+    return;
+  }
+  case PackAlgo::FirstFit: {
+    for (size_t I = 0; I != N; ++I)
+      if (B.fits(I, Item)) {
+        B.place(I, Item);
+        return;
+      }
+    B.open(Item);
+    return;
+  }
+  case PackAlgo::LastFit: {
+    for (size_t I = N; I != 0; --I)
+      if (B.fits(I - 1, Item)) {
+        B.place(I - 1, Item);
+        return;
+      }
+    B.open(Item);
+    return;
+  }
+  case PackAlgo::BestFit: {
+    size_t Best = N;
+    double BestResidual = 2.0;
+    for (size_t I = 0; I != N; ++I)
+      if (B.fits(I, Item)) {
+        double Residual = 1.0 - B.load(I) - Item;
+        if (Residual < BestResidual) {
+          BestResidual = Residual;
+          Best = I;
+        }
+      }
+    if (Best != N) {
+      B.place(Best, Item);
+      return;
+    }
+    B.open(Item);
+    return;
+  }
+  case PackAlgo::WorstFit: {
+    size_t Best = N;
+    double BestResidual = -1.0;
+    for (size_t I = 0; I != N; ++I)
+      if (B.fits(I, Item)) {
+        double Residual = 1.0 - B.load(I) - Item;
+        if (Residual > BestResidual) {
+          BestResidual = Residual;
+          Best = I;
+        }
+      }
+    if (Best != N) {
+      B.place(Best, Item);
+      return;
+    }
+    B.open(Item);
+    return;
+  }
+  case PackAlgo::AlmostWorstFit: {
+    // Second-emptiest bin that fits; emptiest if it is the only one.
+    size_t First = N, Second = N;
+    double FirstResidual = -1.0, SecondResidual = -1.0;
+    for (size_t I = 0; I != N; ++I)
+      if (B.fits(I, Item)) {
+        double Residual = 1.0 - B.load(I) - Item;
+        if (Residual > FirstResidual) {
+          Second = First;
+          SecondResidual = FirstResidual;
+          First = I;
+          FirstResidual = Residual;
+        } else if (Residual > SecondResidual) {
+          Second = I;
+          SecondResidual = Residual;
+        }
+      }
+    if (Second != N) {
+      B.place(Second, Item);
+      return;
+    }
+    if (First != N) {
+      B.place(First, Item);
+      return;
+    }
+    B.open(Item);
+    return;
+  }
+  default:
+    assert(false && "not an online placement rule");
+  }
+}
+
+/// Sorts a copy of the items in decreasing order, charging the cost model.
+static std::vector<double> sortedDecreasing(const std::vector<double> &Items,
+                                            support::CostCounter &Cost) {
+  std::vector<double> S = Items;
+  std::sort(S.begin(), S.end(), std::greater<double>());
+  double N = static_cast<double>(S.size());
+  if (N > 1) {
+    Cost.addCompares(N * std::log2(N));
+    Cost.addMoves(N);
+  }
+  return S;
+}
+
+/// Johnson-Garey Modified First Fit Decreasing.
+static PackingResult packMFFD(const std::vector<double> &Items,
+                              support::CostCounter &Cost) {
+  std::vector<double> S = sortedDecreasing(Items, Cost);
+  Bins B(Cost);
+
+  // Phase 1: every item > 1/2 opens its own bin (decreasing order).
+  std::vector<double> Small;
+  for (double Item : S) {
+    Cost.addCompares(1.0);
+    if (Item > 0.5)
+      B.open(Item);
+    else
+      Small.push_back(Item);
+  }
+  size_t LargeBins = B.count();
+
+  // Phase 2: visit large bins from the largest gap (last opened) to the
+  // smallest. If the two smallest remaining small items fit together, place
+  // the smallest, then the largest small item that still fits.
+  // Small is sorted decreasing; treat it as a deque.
+  size_t Head = 0;            // largest remaining small item
+  size_t Tail = Small.size(); // one-past smallest remaining
+  for (size_t BinPlus1 = LargeBins; BinPlus1 != 0 && Tail - Head >= 2;
+       --BinPlus1) {
+    size_t Bin = BinPlus1 - 1;
+    double Gap = 1.0 - B.load(Bin);
+    double Smallest = Small[Tail - 1];
+    double SecondSmallest = Small[Tail - 2];
+    Cost.addCompares(2.0);
+    if (Smallest + SecondSmallest > Gap)
+      continue; // cannot fit two items; leave the bin for phase 3
+    // Place the smallest item...
+    B.place(Bin, Smallest);
+    --Tail;
+    Gap -= Smallest;
+    // ...then the largest remaining small item that fits the residual gap.
+    for (size_t I = Head; I != Tail; ++I) {
+      Cost.addCompares(1.0);
+      if (Small[I] <= Gap + 1e-12) {
+        B.place(Bin, Small[I]);
+        Small.erase(Small.begin() + static_cast<long>(I));
+        --Tail;
+        break;
+      }
+    }
+  }
+
+  // Phase 3: First Fit for everything left.
+  for (size_t I = Head; I != Tail; ++I)
+    placeOnline(B, PackAlgo::FirstFit, Small[I]);
+
+  PackingResult R;
+  R.BinLoads = B.take();
+  return R;
+}
+
+PackingResult bench::pack(PackAlgo Algo, const std::vector<double> &Items,
+                          support::CostCounter &Cost) {
+#ifndef NDEBUG
+  for (double Item : Items)
+    assert(Item > 0.0 && Item <= 1.0 + 1e-12 && "item size out of (0,1]");
+#endif
+
+  if (Algo == PackAlgo::ModifiedFirstFitDecreasing)
+    return packMFFD(Items, Cost);
+
+  // Map the *Decreasing variants onto their base rule.
+  PackAlgo Base = Algo;
+  bool Decreasing = false;
+  switch (Algo) {
+  case PackAlgo::AlmostWorstFitDecreasing:
+    Base = PackAlgo::AlmostWorstFit;
+    Decreasing = true;
+    break;
+  case PackAlgo::BestFitDecreasing:
+    Base = PackAlgo::BestFit;
+    Decreasing = true;
+    break;
+  case PackAlgo::FirstFitDecreasing:
+    Base = PackAlgo::FirstFit;
+    Decreasing = true;
+    break;
+  case PackAlgo::LastFitDecreasing:
+    Base = PackAlgo::LastFit;
+    Decreasing = true;
+    break;
+  case PackAlgo::NextFitDecreasing:
+    Base = PackAlgo::NextFit;
+    Decreasing = true;
+    break;
+  case PackAlgo::WorstFitDecreasing:
+    Base = PackAlgo::WorstFit;
+    Decreasing = true;
+    break;
+  default:
+    break;
+  }
+
+  Bins B(Cost);
+  if (Decreasing) {
+    for (double Item : sortedDecreasing(Items, Cost))
+      placeOnline(B, Base, Item);
+  } else {
+    for (double Item : Items)
+      placeOnline(B, Base, Item);
+  }
+  PackingResult R;
+  R.BinLoads = B.take();
+  return R;
+}
+
+bool bench::packingIsValid(const PackingResult &R,
+                           const std::vector<double> &Items, double Epsilon) {
+  double ItemSum = 0.0;
+  for (double Item : Items)
+    ItemSum += Item;
+  double LoadSum = 0.0;
+  for (double L : R.BinLoads) {
+    if (L > 1.0 + Epsilon)
+      return false; // overfull bin
+    LoadSum += L;
+  }
+  return std::abs(ItemSum - LoadSum) <= Epsilon * (1.0 + ItemSum);
+}

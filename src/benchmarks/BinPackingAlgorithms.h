@@ -1,0 +1,70 @@
+//===- benchmarks/BinPackingAlgorithms.h - 13 packing heuristics -----------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thirteen bin packing approximation algorithms of the paper's
+/// binpacking benchmark: AlmostWorstFit, AlmostWorstFitDecreasing, BestFit,
+/// BestFitDecreasing, FirstFit, FirstFitDecreasing, LastFit,
+/// LastFitDecreasing, ModifiedFirstFitDecreasing, NextFit,
+/// NextFitDecreasing, WorstFit and WorstFitDecreasing. Items are sizes in
+/// (0, 1]; bins have unit capacity. Comparisons and item placements charge
+/// the deterministic cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_BENCHMARKS_BINPACKINGALGORITHMS_H
+#define PBT_BENCHMARKS_BINPACKINGALGORITHMS_H
+
+#include "support/Cost.h"
+
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace bench {
+
+/// The 13 algorithmic choices, in the paper's listing order.
+enum class PackAlgo : unsigned {
+  AlmostWorstFit = 0,
+  AlmostWorstFitDecreasing,
+  BestFit,
+  BestFitDecreasing,
+  FirstFit,
+  FirstFitDecreasing,
+  LastFit,
+  LastFitDecreasing,
+  ModifiedFirstFitDecreasing,
+  NextFit,
+  NextFitDecreasing,
+  WorstFit,
+  WorstFitDecreasing,
+};
+inline constexpr unsigned NumPackAlgos = 13;
+
+const char *packAlgoName(PackAlgo A);
+
+/// Result of packing: the load of every opened bin, in opening order.
+struct PackingResult {
+  std::vector<double> BinLoads;
+
+  size_t numBins() const { return BinLoads.size(); }
+  /// The paper's accuracy metric: mean occupied fraction over bins.
+  double averageOccupancy() const;
+};
+
+/// Packs \p Items (each in (0, 1]) with algorithm \p Algo.
+PackingResult pack(PackAlgo Algo, const std::vector<double> &Items,
+                   support::CostCounter &Cost);
+
+/// Validity check for tests: every item assigned, no bin above capacity.
+/// (pack() itself guarantees this by construction; the test recomputes.)
+bool packingIsValid(const PackingResult &R, const std::vector<double> &Items,
+                    double Epsilon = 1e-9);
+
+} // namespace bench
+} // namespace pbt
+
+#endif // PBT_BENCHMARKS_BINPACKINGALGORITHMS_H

@@ -1,0 +1,200 @@
+//===- benchmarks/BinPackingBenchmark.cpp ------------------------------------=//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/BinPackingBenchmark.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+const char *bench::packGenName(PackGen G) {
+  switch (G) {
+  case PackGen::PerfectSplit:
+    return "perfect-split";
+  case PackGen::SmallUniform:
+    return "small-uniform";
+  case PackGen::WideUniform:
+    return "wide-uniform";
+  case PackGen::Bimodal:
+    return "bimodal";
+  case PackGen::Triplets:
+    return "triplets";
+  case PackGen::SortedAscending:
+    return "sorted-ascending";
+  case PackGen::Skewed:
+    return "skewed";
+  }
+  return "unknown";
+}
+
+std::vector<double> bench::generatePackInput(PackGen G, size_t N,
+                                             support::Rng &Rng) {
+  std::vector<double> V;
+  V.reserve(N);
+  switch (G) {
+  case PackGen::PerfectSplit: {
+    // Split unit bins into 2-4 parts until N items exist, then shuffle.
+    while (V.size() < N) {
+      unsigned Parts = 2 + static_cast<unsigned>(Rng.index(3));
+      double Remaining = 1.0;
+      for (unsigned P = 0; P + 1 < Parts; ++P) {
+        double Mean = Remaining / static_cast<double>(Parts - P);
+        double Part =
+            std::clamp(Rng.uniform(0.4 * Mean, 1.6 * Mean), 0.02, Remaining - 0.02 * (Parts - P - 1));
+        V.push_back(Part);
+        Remaining -= Part;
+      }
+      V.push_back(Remaining);
+    }
+    V.resize(N);
+    Rng.shuffle(V);
+    break;
+  }
+  case PackGen::SmallUniform:
+    for (size_t I = 0; I != N; ++I)
+      V.push_back(Rng.uniform(0.05, 0.35));
+    break;
+  case PackGen::WideUniform:
+    // The 0.5 upper bound keeps instances packable to high occupancy by
+    // good heuristics (mirroring the paper's setup, whose one-level
+    // baseline still reached 97.8% accuracy satisfaction) while spreading
+    // quality across algorithms.
+    for (size_t I = 0; I != N; ++I)
+      V.push_back(Rng.uniform(0.1, 0.5));
+    break;
+  case PackGen::Bimodal:
+    // Complementary pairs around 0.6/0.4: pairing-aware algorithms (BFD,
+    // MFFD) can approach occupancy 1, naive ones cannot.
+    for (size_t I = 0; I != N; ++I) {
+      double Big = Rng.uniform(0.56, 0.64);
+      V.push_back(Rng.chance(0.5) ? Big
+                                  : std::clamp(1.0 - Big +
+                                                   Rng.uniform(-0.015, 0.015),
+                                               0.02, 1.0));
+    }
+    break;
+  case PackGen::Triplets:
+    for (size_t I = 0; I != N; ++I)
+      V.push_back(Rng.uniform(0.32, 0.3334));
+    break;
+  case PackGen::SortedAscending:
+    for (size_t I = 0; I != N; ++I)
+      V.push_back(Rng.uniform(0.05, 0.4));
+    std::sort(V.begin(), V.end());
+    break;
+  case PackGen::Skewed:
+    for (size_t I = 0; I != N; ++I) {
+      double X = std::min(0.5, Rng.exponential(6.0) + 0.02);
+      V.push_back(X);
+    }
+    break;
+  }
+  return V;
+}
+
+BinPackingBenchmark::BinPackingBenchmark(const Options &Opts) : Opts(Opts) {
+  AlgoParam = Space.addCategorical("binpacking.algorithm", NumPackAlgos);
+
+  support::Rng Rng(Opts.Seed);
+  Inputs.reserve(Opts.NumInputs);
+  Tags.reserve(Opts.NumInputs);
+  for (size_t I = 0; I != Opts.NumInputs; ++I) {
+    size_t N = Opts.MinItems + Rng.index(Opts.MaxItems - Opts.MinItems + 1);
+    PackGen G = static_cast<PackGen>(Rng.index(NumPackGens));
+    Inputs.push_back(generatePackInput(G, N, Rng));
+    Tags.push_back(packGenName(G));
+  }
+}
+
+std::vector<runtime::FeatureInfo> BinPackingBenchmark::features() const {
+  return {{"average", 3}, {"deviation", 3}, {"range", 3}, {"sortedness", 3}};
+}
+
+static size_t packSampleSize(unsigned Level, size_t N) {
+  size_t S = static_cast<size_t>(24) << (2 * Level);
+  return std::min(S, N);
+}
+
+double BinPackingBenchmark::extractFeature(size_t Input, unsigned Feature,
+                                           unsigned Level,
+                                           support::CostCounter &Cost) const {
+  assert(Input < Inputs.size() && "input out of range");
+  assert(Feature < 4 && Level < 3 && "feature/level out of range");
+  const std::vector<double> &V = Inputs[Input];
+  size_t N = V.size();
+  size_t S = packSampleSize(Level, N);
+  size_t Stride = std::max<size_t>(1, N / S);
+
+  switch (Feature) {
+  case 0: { // average
+    double Sum = 0.0;
+    size_t Count = 0;
+    for (size_t I = 0; I < N && Count < S; I += Stride, ++Count)
+      Sum += V[I];
+    Cost.addFlops(static_cast<double>(Count));
+    return Count > 0 ? Sum / static_cast<double>(Count) : 0.0;
+  }
+  case 1: { // deviation
+    double Sum = 0.0, SumSq = 0.0;
+    size_t Count = 0;
+    for (size_t I = 0; I < N && Count < S; I += Stride, ++Count) {
+      Sum += V[I];
+      SumSq += V[I] * V[I];
+    }
+    Cost.addFlops(2.0 * static_cast<double>(Count));
+    if (Count == 0)
+      return 0.0;
+    double Mean = Sum / static_cast<double>(Count);
+    double Var = SumSq / static_cast<double>(Count) - Mean * Mean;
+    return Var > 0.0 ? std::sqrt(Var) : 0.0;
+  }
+  case 2: { // value range
+    double Lo = 2.0, Hi = -1.0;
+    size_t Count = 0;
+    for (size_t I = 0; I < N && Count < S; I += Stride, ++Count) {
+      Lo = std::min(Lo, V[I]);
+      Hi = std::max(Hi, V[I]);
+    }
+    Cost.addCompares(2.0 * static_cast<double>(Count));
+    return Count > 0 ? Hi - Lo : 0.0;
+  }
+  case 3: { // sortedness (same definition as Sort)
+    size_t Step = std::max<size_t>(1, N / S);
+    size_t SortedCount = 0, Count = 0;
+    for (size_t I = 0; I + Step < N; I += Step) {
+      if (V[I] <= V[I + Step])
+        ++SortedCount;
+      ++Count;
+    }
+    Cost.addCompares(static_cast<double>(Count));
+    return Count > 0
+               ? static_cast<double>(SortedCount) / static_cast<double>(Count)
+               : 0.0;
+  }
+  default:
+    return 0.0;
+  }
+}
+
+PackAlgo
+BinPackingBenchmark::algoFor(const runtime::Configuration &Config) const {
+  return static_cast<PackAlgo>(Config.category(AlgoParam));
+}
+
+runtime::RunResult
+BinPackingBenchmark::run(size_t Input, const runtime::Configuration &Config,
+                         support::CostCounter &Cost) const {
+  assert(Input < Inputs.size() && "input out of range");
+  double Before = Cost.units();
+  PackingResult P = pack(algoFor(Config), Inputs[Input], Cost);
+  runtime::RunResult R;
+  R.TimeUnits = Cost.units() - Before;
+  R.Accuracy = P.averageOccupancy();
+  return R;
+}

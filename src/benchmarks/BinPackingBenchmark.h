@@ -1,0 +1,98 @@
+//===- benchmarks/BinPackingBenchmark.h - The binpacking benchmark ---------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's binpacking benchmark: choose among 13 approximation
+/// algorithms to pack items into unit bins. Variable accuracy: the metric
+/// is the mean occupied fraction over bins (threshold 0.95), so the
+/// autotuner must trade packing quality against the cost of sorting and
+/// smarter bin scans. Input features: average, deviation, value range and
+/// sortedness of the item list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_BENCHMARKS_BINPACKINGBENCHMARK_H
+#define PBT_BENCHMARKS_BINPACKINGBENCHMARK_H
+
+#include "benchmarks/BinPackingAlgorithms.h"
+#include "runtime/TunableProgram.h"
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace bench {
+
+/// Input generator families for binpacking.
+enum class PackGen : unsigned {
+  /// Items from splitting full bins into 2-4 parts: a perfect packing
+  /// exists, decreasing-family algorithms can approach occupancy 1.
+  PerfectSplit = 0,
+  /// Uniform small items in (0.05, 0.35): most algorithms pack well.
+  SmallUniform,
+  /// Uniform items in (0.2, 0.8): harder; quality spreads widely.
+  WideUniform,
+  /// Bimodal ~0.62 / ~0.36 items: pairing matters (BFD/MFFD shine).
+  Bimodal,
+  /// Near-identical items around 1/3: duplication-heavy.
+  Triplets,
+  /// Sorted ascending small items: sortedness feature lights up.
+  SortedAscending,
+  /// Exponential-ish skew towards small items.
+  Skewed,
+};
+inline constexpr unsigned NumPackGens = 7;
+
+const char *packGenName(PackGen G);
+
+/// Generates one item list of the given family.
+std::vector<double> generatePackInput(PackGen G, size_t N, support::Rng &Rng);
+
+class BinPackingBenchmark : public runtime::TunableProgram {
+public:
+  struct Options {
+    size_t NumInputs = 400;
+    size_t MinItems = 64;
+    size_t MaxItems = 1024;
+    uint64_t Seed = 2;
+    double AccuracyThreshold = 0.95;
+    double SatisfactionThreshold = 0.95;
+  };
+
+  explicit BinPackingBenchmark(const Options &Opts);
+
+  std::string name() const override { return "binpacking"; }
+  const runtime::ConfigSpace &space() const override { return Space; }
+  std::vector<runtime::FeatureInfo> features() const override;
+  std::optional<runtime::AccuracySpec> accuracy() const override {
+    return runtime::AccuracySpec{Opts.AccuracyThreshold,
+                                 Opts.SatisfactionThreshold};
+  }
+  size_t numInputs() const override { return Inputs.size(); }
+  double extractFeature(size_t Input, unsigned Feature, unsigned Level,
+                        support::CostCounter &Cost) const override;
+  runtime::RunResult run(size_t Input, const runtime::Configuration &Config,
+                         support::CostCounter &Cost) const override;
+
+  /// The algorithm a configuration selects.
+  PackAlgo algoFor(const runtime::Configuration &Config) const;
+
+  const std::vector<double> &input(size_t I) const { return Inputs[I]; }
+  const std::string &inputTag(size_t I) const { return Tags[I]; }
+
+private:
+  Options Opts;
+  runtime::ConfigSpace Space;
+  unsigned AlgoParam = 0;
+  std::vector<std::vector<double>> Inputs;
+  std::vector<std::string> Tags;
+};
+
+} // namespace bench
+} // namespace pbt
+
+#endif // PBT_BENCHMARKS_BINPACKINGBENCHMARK_H

@@ -1,0 +1,97 @@
+//===- benchmarks/PDEConfig.h - Shared PDE solver tunables ------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tunable-parameter scheme shared by the poisson2d and helmholtz3d
+/// benchmarks: a top-level solver choice (multigrid / Jacobi / Gauss-Seidel
+/// / SOR / CG / direct) plus the multigrid cycle shape (cycles, pre/post
+/// smoothing, V-vs-W, smoother, relaxation factor) and iteration budgets
+/// for the stationary and Krylov solvers -- the paper's "multigrid, where
+/// cycle shapes are determined by the autotuner, and a number of iterative
+/// and direct solvers".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_BENCHMARKS_PDECONFIG_H
+#define PBT_BENCHMARKS_PDECONFIG_H
+
+#include "pde/SolverOptions.h"
+#include "runtime/ConfigSpace.h"
+
+#include <string>
+
+namespace pbt {
+namespace bench {
+
+/// Declares and decodes the PDE solver tunables of one benchmark.
+class PDEConfigScheme {
+public:
+  static PDEConfigScheme declare(runtime::ConfigSpace &Space,
+                                 const std::string &Prefix,
+                                 unsigned MaxStationaryIters,
+                                 unsigned MaxCGIters) {
+    PDEConfigScheme S;
+    S.SolverParam =
+        Space.addCategorical(Prefix + ".solver", pde::NumSolverKinds);
+    S.CyclesParam = Space.addInteger(Prefix + ".mg.cycles", 1, 12,
+                                     /*LogScale=*/true);
+    S.PreParam = Space.addInteger(Prefix + ".mg.preSmooth", 0, 4);
+    S.PostParam = Space.addInteger(Prefix + ".mg.postSmooth", 1, 4);
+    S.MuParam = Space.addInteger(Prefix + ".mg.mu", 1, 2);
+    S.SmootherParam =
+        Space.addCategorical(Prefix + ".mg.smoother", pde::NumSmootherKinds);
+    S.OmegaParam = Space.addReal(Prefix + ".omega", 1.0, 1.95);
+    S.StatItersParam = Space.addInteger(Prefix + ".stationary.iterations", 8,
+                                        MaxStationaryIters, /*LogScale=*/true);
+    S.CGItersParam = Space.addInteger(Prefix + ".cg.iterations", 4, MaxCGIters,
+                                      /*LogScale=*/true);
+    return S;
+  }
+
+  pde::SolverKind solver(const runtime::Configuration &C) const {
+    return static_cast<pde::SolverKind>(C.category(SolverParam));
+  }
+
+  pde::MultigridOptions multigrid(const runtime::Configuration &C) const {
+    pde::MultigridOptions O;
+    O.Cycles = static_cast<unsigned>(C.integer(CyclesParam));
+    O.PreSmooth = static_cast<unsigned>(C.integer(PreParam));
+    O.PostSmooth = static_cast<unsigned>(C.integer(PostParam));
+    O.Mu = static_cast<unsigned>(C.integer(MuParam));
+    O.Smoother = static_cast<pde::SmootherKind>(C.category(SmootherParam));
+    O.Omega = C.real(OmegaParam);
+    return O;
+  }
+
+  pde::StationaryOptions stationary(const runtime::Configuration &C) const {
+    pde::StationaryOptions O;
+    O.Iterations = static_cast<unsigned>(C.integer(StatItersParam));
+    O.Omega = C.real(OmegaParam);
+    return O;
+  }
+
+  pde::CGOptions cg(const runtime::Configuration &C) const {
+    pde::CGOptions O;
+    O.MaxIterations = static_cast<unsigned>(C.integer(CGItersParam));
+    return O;
+  }
+
+private:
+  unsigned SolverParam = 0;
+  unsigned CyclesParam = 0;
+  unsigned PreParam = 0;
+  unsigned PostParam = 0;
+  unsigned MuParam = 0;
+  unsigned SmootherParam = 0;
+  unsigned OmegaParam = 0;
+  unsigned StatItersParam = 0;
+  unsigned CGItersParam = 0;
+};
+
+} // namespace bench
+} // namespace pbt
+
+#endif // PBT_BENCHMARKS_PDECONFIG_H

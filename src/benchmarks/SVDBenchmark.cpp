@@ -1,0 +1,252 @@
+//===- benchmarks/SVDBenchmark.cpp -------------------------------------------=//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/SVDBenchmark.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+const char *bench::svdGenName(SVDGen G) {
+  switch (G) {
+  case SVDGen::LowRank:
+    return "low-rank";
+  case SVDGen::MediumRank:
+    return "medium-rank";
+  case SVDGen::FullRandom:
+    return "full-random";
+  case SVDGen::Sparse:
+    return "sparse";
+  case SVDGen::BlockDiagonal:
+    return "block-diagonal";
+  case SVDGen::SmoothOuter:
+    return "smooth-outer";
+  }
+  return "unknown";
+}
+
+linalg::Matrix bench::generateSVDInput(SVDGen G, size_t N,
+                                       support::Rng &Rng) {
+  linalg::Matrix A(N, N, 0.0);
+  switch (G) {
+  case SVDGen::LowRank: {
+    size_t R = 1 + Rng.index(std::max<size_t>(1, N / 8));
+    for (size_t K = 0; K != R; ++K) {
+      std::vector<double> U(N), V(N);
+      for (size_t I = 0; I != N; ++I) {
+        U[I] = Rng.gaussian();
+        V[I] = Rng.gaussian();
+      }
+      double Scale = Rng.uniform(1.0, 4.0) / static_cast<double>(K + 1);
+      for (size_t I = 0; I != N; ++I)
+        for (size_t J = 0; J != N; ++J)
+          A.at(I, J) += Scale * U[I] * V[J];
+    }
+    // Tiny noise floor.
+    for (double &X : A.data())
+      X += Rng.gaussian(0.0, 0.01);
+    break;
+  }
+  case SVDGen::MediumRank: {
+    size_t R = std::max<size_t>(2, N / 3);
+    for (size_t K = 0; K != R; ++K) {
+      std::vector<double> U(N), V(N);
+      for (size_t I = 0; I != N; ++I) {
+        U[I] = Rng.gaussian();
+        V[I] = Rng.gaussian();
+      }
+      double Scale = 2.0 * std::pow(0.8, static_cast<double>(K));
+      for (size_t I = 0; I != N; ++I)
+        for (size_t J = 0; J != N; ++J)
+          A.at(I, J) += Scale * U[I] * V[J];
+    }
+    break;
+  }
+  case SVDGen::FullRandom:
+    for (double &X : A.data())
+      X = Rng.uniform(-1.0, 1.0);
+    break;
+  case SVDGen::Sparse: {
+    double Density = Rng.uniform(0.01, 0.1);
+    for (double &X : A.data())
+      if (Rng.chance(Density))
+        X = Rng.gaussian(0.0, 2.0);
+    break;
+  }
+  case SVDGen::BlockDiagonal: {
+    size_t Blocks = 2 + Rng.index(3);
+    size_t BlockSize = N / Blocks;
+    for (size_t B = 0; B != Blocks; ++B) {
+      size_t Lo = B * BlockSize;
+      size_t Hi = B + 1 == Blocks ? N : Lo + BlockSize;
+      // Each block is rank 1-2.
+      size_t R = 1 + Rng.index(2);
+      for (size_t K = 0; K != R; ++K) {
+        std::vector<double> U(Hi - Lo), V(Hi - Lo);
+        for (size_t I = 0; I != U.size(); ++I) {
+          U[I] = Rng.gaussian();
+          V[I] = Rng.gaussian();
+        }
+        for (size_t I = Lo; I != Hi; ++I)
+          for (size_t J = Lo; J != Hi; ++J)
+            A.at(I, J) += 2.0 * U[I - Lo] * V[J - Lo];
+      }
+    }
+    break;
+  }
+  case SVDGen::SmoothOuter: {
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = 0; J != N; ++J) {
+        double X = static_cast<double>(I) / static_cast<double>(N);
+        double Y = static_cast<double>(J) / static_cast<double>(N);
+        A.at(I, J) = std::sin(2.0 * M_PI * X) * std::cos(2.0 * M_PI * Y) +
+                     0.5 * X * Y + Rng.gaussian(0.0, 0.002);
+      }
+    break;
+  }
+  }
+  return A;
+}
+
+SVDBenchmark::SVDBenchmark(const Options &Opts) : Opts(Opts) {
+  MethodParam = Space.addCategorical("svd.method", 3);
+  RankFracParam = Space.addReal("svd.rankFraction", 0.02, 1.0,
+                                /*LogScale=*/true);
+  SubspaceItersParam = Space.addInteger("svd.subspaceIterations", 1, 8,
+                                        /*LogScale=*/true);
+  OversampleParam = Space.addInteger("svd.oversample", 2, 16,
+                                     /*LogScale=*/true);
+  PowerItersParam = Space.addInteger("svd.powerIterations", 0, 3);
+
+  support::Rng Rng(Opts.Seed);
+  Inputs.reserve(Opts.NumInputs);
+  Tags.reserve(Opts.NumInputs);
+  for (size_t I = 0; I != Opts.NumInputs; ++I) {
+    size_t N = Opts.MinDim + Rng.index(Opts.MaxDim - Opts.MinDim + 1);
+    SVDGen G = static_cast<SVDGen>(Rng.index(NumSVDGens));
+    Inputs.push_back(generateSVDInput(G, N, Rng));
+    Tags.push_back(svdGenName(G));
+  }
+}
+
+std::vector<runtime::FeatureInfo> SVDBenchmark::features() const {
+  return {{"range", 3}, {"deviation", 3}, {"zeros", 3}};
+}
+
+static size_t svdSampleSize(unsigned Level, size_t Total) {
+  size_t S = static_cast<size_t>(64) << (3 * Level); // 64 / 512 / 4096
+  return std::min(S, Total);
+}
+
+double SVDBenchmark::extractFeature(size_t Input, unsigned Feature,
+                                    unsigned Level,
+                                    support::CostCounter &Cost) const {
+  assert(Input < Inputs.size() && "input out of range");
+  assert(Feature < 3 && Level < 3 && "feature/level out of range");
+  const linalg::Matrix &A = Inputs[Input];
+  const std::vector<double> &D = A.data();
+  size_t Total = D.size();
+  size_t S = svdSampleSize(Level, Total);
+  size_t Stride = std::max<size_t>(1, Total / S);
+
+  switch (Feature) {
+  case 0: { // range
+    double Lo = 1e300, Hi = -1e300;
+    size_t Count = 0;
+    for (size_t I = 0; I < Total && Count < S; I += Stride, ++Count) {
+      Lo = std::min(Lo, D[I]);
+      Hi = std::max(Hi, D[I]);
+    }
+    Cost.addCompares(2.0 * static_cast<double>(Count));
+    return Count > 0 ? Hi - Lo : 0.0;
+  }
+  case 1: { // deviation
+    double Sum = 0.0, SumSq = 0.0;
+    size_t Count = 0;
+    for (size_t I = 0; I < Total && Count < S; I += Stride, ++Count) {
+      Sum += D[I];
+      SumSq += D[I] * D[I];
+    }
+    Cost.addFlops(2.0 * static_cast<double>(Count));
+    if (Count == 0)
+      return 0.0;
+    double Mean = Sum / static_cast<double>(Count);
+    double Var = SumSq / static_cast<double>(Count) - Mean * Mean;
+    return Var > 0.0 ? std::sqrt(Var) : 0.0;
+  }
+  case 2: { // zeros: fraction of near-zero entries
+    size_t Zeros = 0, Count = 0;
+    for (size_t I = 0; I < Total && Count < S; I += Stride, ++Count)
+      if (std::abs(D[I]) < 1e-9)
+        ++Zeros;
+    Cost.addCompares(static_cast<double>(Count));
+    return Count > 0 ? static_cast<double>(Zeros) / static_cast<double>(Count)
+                     : 0.0;
+  }
+  default:
+    return 0.0;
+  }
+}
+
+SVDBenchmark::Method
+SVDBenchmark::methodFor(const runtime::Configuration &Config) const {
+  return static_cast<Method>(Config.category(MethodParam));
+}
+
+unsigned SVDBenchmark::rankFor(const runtime::Configuration &Config,
+                               size_t Dim) const {
+  double Frac = Config.real(RankFracParam);
+  unsigned K = static_cast<unsigned>(
+      std::round(Frac * static_cast<double>(Dim)));
+  return std::max(1u, std::min<unsigned>(K, static_cast<unsigned>(Dim)));
+}
+
+runtime::RunResult
+SVDBenchmark::run(size_t Input, const runtime::Configuration &Config,
+                  support::CostCounter &Cost) const {
+  assert(Input < Inputs.size() && "input out of range");
+  double Before = Cost.units();
+  const linalg::Matrix &A = Inputs[Input];
+  size_t N = A.rows();
+  unsigned K = rankFor(Config, N);
+
+  // Per-run RNG: deterministic in (input, configuration).
+  support::Rng Rng(0xABCD0000 + Input * 131 + Config.category(MethodParam));
+
+  linalg::SVDResult SVD;
+  switch (methodFor(Config)) {
+  case Method::Jacobi:
+    SVD = linalg::jacobiSVD(A, {}, &Cost);
+    break;
+  case Method::Subspace:
+    SVD = linalg::subspaceSVD(
+        A, K, static_cast<unsigned>(Config.integer(SubspaceItersParam)), Rng,
+        &Cost);
+    break;
+  case Method::Randomized:
+    SVD = linalg::randomizedSVD(
+        A, K, static_cast<unsigned>(Config.integer(OversampleParam)),
+        static_cast<unsigned>(Config.integer(PowerItersParam)), Rng, &Cost);
+    break;
+  }
+
+  linalg::Matrix Ak = linalg::rankKApprox(SVD, K, &Cost);
+  double ErrInitial = A.frobeniusNorm();  // RMS(A - 0) up to a constant
+  double ErrFinal = A.frobeniusDistance(Ak);
+
+  runtime::RunResult R;
+  R.TimeUnits = Cost.units() - Before;
+  if (ErrInitial <= 1e-300)
+    R.Accuracy = 16.0; // zero matrix: any reconstruction is exact
+  else if (ErrFinal <= 1e-300)
+    R.Accuracy = 16.0;
+  else
+    R.Accuracy = std::log10(ErrInitial / ErrFinal);
+  return R;
+}

@@ -1,0 +1,100 @@
+//===- benchmarks/SVDBenchmark.h - The svd benchmark ------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's svd benchmark: approximate a matrix by a rank-k SVD
+/// reconstruction, choosing the number of singular values kept and the
+/// technique used to find them (one-sided Jacobi, subspace iteration,
+/// randomized sketching). Accuracy metric: log10 of the ratio between the
+/// RMS error of the initial guess (the zero matrix) and the RMS error of
+/// the reconstruction (threshold 0.7). Inputs with low effective rank pass
+/// the target with small k and cheap methods; high-rank inputs need more.
+/// Features: value range, deviation and a zeros count -- cheap proxies for
+/// the (expensive to measure) eigenvalue structure, as the paper notes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_BENCHMARKS_SVDBENCHMARK_H
+#define PBT_BENCHMARKS_SVDBENCHMARK_H
+
+#include "linalg/SVD.h"
+#include "runtime/TunableProgram.h"
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace bench {
+
+/// Input generator families for svd.
+enum class SVDGen : unsigned {
+  LowRank = 0,     ///< rank-r + small noise, r << n
+  MediumRank,      ///< rank ~ n/3 with decaying spectrum
+  FullRandom,      ///< i.i.d. uniform (flat spectrum; hard)
+  Sparse,          ///< mostly zeros
+  BlockDiagonal,   ///< a few dense low-rank blocks
+  SmoothOuter,     ///< smooth rank-2 structure + tiny noise
+};
+inline constexpr unsigned NumSVDGens = 6;
+
+const char *svdGenName(SVDGen G);
+
+/// Generates an (N x N) matrix of the given family.
+linalg::Matrix generateSVDInput(SVDGen G, size_t N, support::Rng &Rng);
+
+class SVDBenchmark : public runtime::TunableProgram {
+public:
+  /// The three technique choices.
+  enum class Method : unsigned { Jacobi = 0, Subspace = 1, Randomized = 2 };
+
+  struct Options {
+    size_t NumInputs = 300;
+    size_t MinDim = 24;
+    size_t MaxDim = 48;
+    uint64_t Seed = 4;
+    double AccuracyThreshold = 0.7;
+    double SatisfactionThreshold = 0.95;
+  };
+
+  explicit SVDBenchmark(const Options &Opts);
+
+  std::string name() const override { return "svd"; }
+  const runtime::ConfigSpace &space() const override { return Space; }
+  std::vector<runtime::FeatureInfo> features() const override;
+  std::optional<runtime::AccuracySpec> accuracy() const override {
+    return runtime::AccuracySpec{Opts.AccuracyThreshold,
+                                 Opts.SatisfactionThreshold};
+  }
+  size_t numInputs() const override { return Inputs.size(); }
+  double extractFeature(size_t Input, unsigned Feature, unsigned Level,
+                        support::CostCounter &Cost) const override;
+  runtime::RunResult run(size_t Input, const runtime::Configuration &Config,
+                         support::CostCounter &Cost) const override;
+
+  Method methodFor(const runtime::Configuration &Config) const;
+  /// Rank kept for a given configuration and matrix dimension.
+  unsigned rankFor(const runtime::Configuration &Config, size_t Dim) const;
+
+  const linalg::Matrix &input(size_t I) const { return Inputs[I]; }
+  const std::string &inputTag(size_t I) const { return Tags[I]; }
+
+private:
+  Options Opts;
+  runtime::ConfigSpace Space;
+  unsigned MethodParam = 0;
+  unsigned RankFracParam = 0;
+  unsigned SubspaceItersParam = 0;
+  unsigned OversampleParam = 0;
+  unsigned PowerItersParam = 0;
+  std::vector<linalg::Matrix> Inputs;
+  std::vector<std::string> Tags;
+};
+
+} // namespace bench
+} // namespace pbt
+
+#endif // PBT_BENCHMARKS_SVDBENCHMARK_H

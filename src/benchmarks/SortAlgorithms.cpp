@@ -1,0 +1,264 @@
+//===- benchmarks/SortAlgorithms.cpp -----------------------------------------=//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/SortAlgorithms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+bool bench::isSorted(const std::vector<double> &V, size_t Lo, size_t Hi) {
+  for (size_t I = Lo; I + 1 < Hi; ++I)
+    if (V[I] > V[I + 1])
+      return false;
+  return true;
+}
+
+void bench::insertionSort(std::vector<double> &V, size_t Lo, size_t Hi,
+                          support::CostCounter &Cost) {
+  if (Hi - Lo < 2)
+    return;
+  double Compares = 0.0, Moves = 0.0;
+  for (size_t I = Lo + 1; I < Hi; ++I) {
+    double Key = V[I];
+    size_t J = I;
+    Compares += 1.0;
+    while (J > Lo && V[J - 1] > Key) {
+      V[J] = V[J - 1];
+      Moves += 1.0;
+      --J;
+      if (J > Lo)
+        Compares += 1.0;
+    }
+    if (J != I) {
+      V[J] = Key;
+      Moves += 1.0;
+    }
+  }
+  Cost.addCompares(Compares);
+  Cost.addMoves(Moves);
+}
+
+/// Maps a double to a uint64 whose unsigned order matches double order
+/// (standard sign-flip trick; total order with -0 < +0 collapsed is fine
+/// for sorting).
+static uint64_t orderedKey(double D) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &D, sizeof(Bits));
+  return (Bits & 0x8000000000000000ull) ? ~Bits : Bits | 0x8000000000000000ull;
+}
+
+void bench::radixSort(std::vector<double> &V, size_t Lo, size_t Hi,
+                      support::CostCounter &Cost) {
+  size_t N = Hi - Lo;
+  if (N < 2)
+    return;
+  std::vector<uint64_t> Keys(N), Scratch(N);
+  for (size_t I = 0; I != N; ++I)
+    Keys[I] = orderedKey(V[Lo + I]);
+  Cost.addOther(static_cast<double>(N)); // key transform
+
+  size_t Counts[256];
+  for (unsigned Pass = 0; Pass != 8; ++Pass) {
+    unsigned Shift = Pass * 8;
+    std::fill(std::begin(Counts), std::end(Counts), 0);
+    for (size_t I = 0; I != N; ++I)
+      ++Counts[(Keys[I] >> Shift) & 0xff];
+    size_t Total = 0;
+    for (size_t &C : Counts) {
+      size_t Old = C;
+      C = Total;
+      Total += Old;
+    }
+    for (size_t I = 0; I != N; ++I)
+      Scratch[Counts[(Keys[I] >> Shift) & 0xff]++] = Keys[I];
+    Keys.swap(Scratch);
+    // One histogram touch plus one scatter move per element per pass.
+    Cost.addOther(static_cast<double>(N));
+    Cost.addMoves(static_cast<double>(N));
+  }
+
+  for (size_t I = 0; I != N; ++I) {
+    uint64_t K = Keys[I];
+    uint64_t Bits =
+        (K & 0x8000000000000000ull) ? K & 0x7fffffffffffffffull : ~K;
+    double D;
+    std::memcpy(&D, &Bits, sizeof(D));
+    V[Lo + I] = D;
+  }
+  Cost.addMoves(static_cast<double>(N)); // write back
+}
+
+void bench::bitonicSort(std::vector<double> &V, size_t Lo, size_t Hi,
+                        support::CostCounter &Cost) {
+  size_t N = Hi - Lo;
+  if (N < 2)
+    return;
+  size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  std::vector<double> Buf(P, std::numeric_limits<double>::infinity());
+  std::copy(V.begin() + static_cast<long>(Lo),
+            V.begin() + static_cast<long>(Hi), Buf.begin());
+  Cost.addMoves(static_cast<double>(N));
+
+  double Compares = 0.0, Moves = 0.0;
+  // Classic iterative bitonic network.
+  for (size_t K = 2; K <= P; K <<= 1) {
+    for (size_t J = K >> 1; J > 0; J >>= 1) {
+      for (size_t I = 0; I != P; ++I) {
+        size_t L = I ^ J;
+        if (L <= I)
+          continue;
+        bool Ascending = (I & K) == 0;
+        Compares += 1.0;
+        if ((Ascending && Buf[I] > Buf[L]) || (!Ascending && Buf[I] < Buf[L])) {
+          std::swap(Buf[I], Buf[L]);
+          Moves += 3.0;
+        }
+      }
+    }
+  }
+  std::copy(Buf.begin(), Buf.begin() + static_cast<long>(N),
+            V.begin() + static_cast<long>(Lo));
+  Moves += static_cast<double>(N);
+  Cost.addCompares(Compares);
+  Cost.addMoves(Moves);
+}
+
+void PolySorter::quickSort(std::vector<double> &V, size_t Lo, size_t Hi,
+                           support::CostCounter &Cost) const {
+  // Lomuto partition with a first-element pivot (kept deliberately: this
+  // is the classic variant that degenerates to quadratic time on sorted
+  // and heavily duplicated inputs, the input sensitivity the paper cites).
+  // Iterates on the larger side to bound stack depth in those cases.
+  size_t CurLo = Lo, CurHi = Hi;
+  while (CurHi - CurLo > 1) {
+    double Compares = 0.0, Moves = 0.0;
+    std::swap(V[CurLo], V[CurHi - 1]); // pivot to the back
+    Moves += 3.0;
+    double Pivot = V[CurHi - 1];
+    size_t Store = CurLo;
+    for (size_t I = CurLo; I + 1 < CurHi; ++I) {
+      Compares += 1.0;
+      if (V[I] < Pivot) {
+        if (I != Store) {
+          std::swap(V[I], V[Store]);
+          Moves += 3.0;
+        }
+        ++Store;
+      }
+    }
+    std::swap(V[Store], V[CurHi - 1]);
+    Moves += 3.0;
+    Cost.addCompares(Compares);
+    Cost.addMoves(Moves);
+
+    // Recurse (through the selector) into the smaller side, loop on the
+    // larger one.
+    size_t LeftLo = CurLo, LeftHi = Store;
+    size_t RightLo = Store + 1, RightHi = CurHi;
+    if (LeftHi - LeftLo <= RightHi - RightLo) {
+      sortRange(V, LeftLo, LeftHi, Cost);
+      CurLo = RightLo;
+      CurHi = RightHi;
+    } else {
+      sortRange(V, RightLo, RightHi, Cost);
+      CurLo = LeftLo;
+      CurHi = LeftHi;
+    }
+    // The remaining side re-enters the selector as well, unless it would
+    // re-select quicksort at the same size class, in which case looping
+    // here is equivalent and cheaper.
+    unsigned Choice = Sel.choose(CurHi - CurLo);
+    if (Choice != static_cast<unsigned>(SortAlgo::Quick)) {
+      sortRange(V, CurLo, CurHi, Cost);
+      return;
+    }
+  }
+}
+
+void PolySorter::mergeSort(std::vector<double> &V, size_t Lo, size_t Hi,
+                           support::CostCounter &Cost) const {
+  size_t N = Hi - Lo;
+  unsigned Ways = static_cast<unsigned>(
+      std::min<size_t>(MergeWays, std::max<size_t>(2, N / 2)));
+  if (N < 2)
+    return;
+  if (N <= Ways) {
+    insertionSort(V, Lo, Hi, Cost);
+    return;
+  }
+
+  // Split into Ways chunks and sort each through the selector.
+  std::vector<size_t> Bounds(Ways + 1);
+  for (unsigned W = 0; W <= Ways; ++W)
+    Bounds[W] = Lo + N * W / Ways;
+  for (unsigned W = 0; W != Ways; ++W)
+    sortRange(V, Bounds[W], Bounds[W + 1], Cost);
+
+  // K-way merge by linear scan over the run heads (Ways is small).
+  std::vector<double> Out;
+  Out.reserve(N);
+  std::vector<size_t> Head(Bounds.begin(), Bounds.end() - 1);
+  double Compares = 0.0, Moves = 0.0;
+  for (size_t Produced = 0; Produced != N; ++Produced) {
+    unsigned Best = Ways;
+    for (unsigned W = 0; W != Ways; ++W) {
+      if (Head[W] == Bounds[W + 1])
+        continue;
+      if (Best == Ways) {
+        Best = W;
+        continue;
+      }
+      Compares += 1.0;
+      if (V[Head[W]] < V[Head[Best]])
+        Best = W;
+    }
+    assert(Best != Ways && "merge ran out of elements");
+    Out.push_back(V[Head[Best]++]);
+    Moves += 1.0;
+  }
+  std::copy(Out.begin(), Out.end(), V.begin() + static_cast<long>(Lo));
+  Moves += static_cast<double>(N);
+  Cost.addCompares(Compares);
+  Cost.addMoves(Moves);
+}
+
+void PolySorter::sortRange(std::vector<double> &V, size_t Lo, size_t Hi,
+                           support::CostCounter &Cost) const {
+  size_t N = Hi - Lo;
+  if (N < 2)
+    return;
+  switch (static_cast<SortAlgo>(Sel.choose(N))) {
+  case SortAlgo::Insertion:
+    insertionSort(V, Lo, Hi, Cost);
+    return;
+  case SortAlgo::Quick:
+    quickSort(V, Lo, Hi, Cost);
+    return;
+  case SortAlgo::Merge:
+    mergeSort(V, Lo, Hi, Cost);
+    return;
+  case SortAlgo::Radix:
+    radixSort(V, Lo, Hi, Cost);
+    return;
+  case SortAlgo::Bitonic:
+    bitonicSort(V, Lo, Hi, Cost);
+    return;
+  }
+  assert(false && "unknown sort choice");
+}
+
+void PolySorter::sort(std::vector<double> &V, support::CostCounter &Cost) const {
+  sortRange(V, 0, V.size(), Cost);
+  assert(isSorted(V, 0, V.size()) && "polyalgorithm produced unsorted output");
+}

@@ -1,0 +1,90 @@
+//===- benchmarks/SortAlgorithms.h - Sorting algorithm suite ---------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five sorting algorithms of the paper's Sort benchmark (Figure 1):
+/// InsertionSort, QuickSort, MergeSort (k-way), RadixSort and BitonicSort,
+/// plus the PolySorter recursive driver that consults a runtime::Selector
+/// at every recursive invocation -- the either...or semantics of
+/// PetaBricks. All algorithms charge comparisons and element moves to the
+/// deterministic cost model.
+///
+/// QuickSort deliberately uses a first-element pivot, preserving the
+/// classic pathological behaviour on sorted and heavily duplicated inputs
+/// that the paper cites as a source of input sensitivity.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_BENCHMARKS_SORTALGORITHMS_H
+#define PBT_BENCHMARKS_SORTALGORITHMS_H
+
+#include "runtime/Selector.h"
+#include "support/Cost.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace pbt {
+namespace bench {
+
+/// The either...or choices of the Sort benchmark, in selector order.
+enum class SortAlgo : unsigned {
+  Insertion = 0,
+  Quick = 1,
+  Merge = 2,
+  Radix = 3,
+  Bitonic = 4,
+};
+inline constexpr unsigned NumSortAlgos = 5;
+
+/// In-place insertion sort of V[Lo, Hi).
+void insertionSort(std::vector<double> &V, size_t Lo, size_t Hi,
+                   support::CostCounter &Cost);
+
+/// LSD radix sort of V[Lo, Hi) (8 passes over order-preserving 64-bit
+/// keys).
+void radixSort(std::vector<double> &V, size_t Lo, size_t Hi,
+               support::CostCounter &Cost);
+
+/// Bitonic sorting network over V[Lo, Hi) (padded to a power of two).
+void bitonicSort(std::vector<double> &V, size_t Lo, size_t Hi,
+                 support::CostCounter &Cost);
+
+/// Recursive polyalgorithm driver. At each recursive range it asks the
+/// selector which algorithm handles that size: terminal algorithms
+/// (insertion/radix/bitonic) finish the range; Quick and Merge recurse
+/// back through the selector, building exactly the paper's Figure 2 style
+/// polyalgorithms.
+class PolySorter {
+public:
+  PolySorter(runtime::Selector Selector, unsigned MergeWays)
+      : Sel(std::move(Selector)), MergeWays(MergeWays < 2 ? 2 : MergeWays) {}
+
+  /// Sorts V in place.
+  void sort(std::vector<double> &V, support::CostCounter &Cost) const;
+
+  const runtime::Selector &selector() const { return Sel; }
+
+private:
+  void sortRange(std::vector<double> &V, size_t Lo, size_t Hi,
+                 support::CostCounter &Cost) const;
+  void quickSort(std::vector<double> &V, size_t Lo, size_t Hi,
+                 support::CostCounter &Cost) const;
+  void mergeSort(std::vector<double> &V, size_t Lo, size_t Hi,
+                 support::CostCounter &Cost) const;
+
+  runtime::Selector Sel;
+  unsigned MergeWays;
+};
+
+/// \returns true if V[Lo, Hi) is non-decreasing (test helper; free of
+/// cost-model side effects).
+bool isSorted(const std::vector<double> &V, size_t Lo, size_t Hi);
+
+} // namespace bench
+} // namespace pbt
+
+#endif // PBT_BENCHMARKS_SORTALGORITHMS_H

@@ -1,0 +1,270 @@
+//===- benchmarks/SortBenchmark.cpp ------------------------------------------=//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/SortBenchmark.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+const char *bench::sortGenName(SortGen G) {
+  switch (G) {
+  case SortGen::Uniform:
+    return "uniform";
+  case SortGen::Sorted:
+    return "sorted";
+  case SortGen::Reverse:
+    return "reverse";
+  case SortGen::AlmostSorted:
+    return "almost-sorted";
+  case SortGen::FewDistinct:
+    return "few-distinct";
+  case SortGen::OrganPipe:
+    return "organ-pipe";
+  case SortGen::Gaussian:
+    return "gaussian";
+  case SortGen::Exponential:
+    return "exponential";
+  case SortGen::Sawtooth:
+    return "sawtooth";
+  case SortGen::Constant:
+    return "constant";
+  }
+  return "unknown";
+}
+
+std::vector<double> bench::generateSortInput(SortGen G, size_t N,
+                                             support::Rng &Rng) {
+  std::vector<double> V(N);
+  switch (G) {
+  case SortGen::Uniform:
+    for (double &X : V)
+      X = Rng.uniform(0.0, 1e6);
+    break;
+  case SortGen::Sorted:
+    for (size_t I = 0; I != N; ++I)
+      V[I] = static_cast<double>(I) + Rng.uniform(0.0, 0.5);
+    std::sort(V.begin(), V.end());
+    break;
+  case SortGen::Reverse:
+    for (size_t I = 0; I != N; ++I)
+      V[I] = static_cast<double>(N - I) + Rng.uniform(0.0, 0.5);
+    std::sort(V.begin(), V.end(), std::greater<double>());
+    break;
+  case SortGen::AlmostSorted: {
+    for (size_t I = 0; I != N; ++I)
+      V[I] = static_cast<double>(I);
+    // Perturb ~2% of positions with local swaps.
+    size_t Swaps = std::max<size_t>(1, N / 50);
+    for (size_t S = 0; S != Swaps; ++S) {
+      size_t I = Rng.index(N);
+      size_t J = std::min(N - 1, I + 1 + Rng.index(8));
+      std::swap(V[I], V[J]);
+    }
+    break;
+  }
+  case SortGen::FewDistinct: {
+    size_t Values = 2 + Rng.index(14);
+    for (double &X : V)
+      X = static_cast<double>(Rng.index(Values)) * 7.5;
+    break;
+  }
+  case SortGen::OrganPipe:
+    for (size_t I = 0; I != N; ++I)
+      V[I] = static_cast<double>(I < N / 2 ? I : N - I);
+    break;
+  case SortGen::Gaussian:
+    for (double &X : V)
+      X = Rng.gaussian(0.0, 1000.0);
+    break;
+  case SortGen::Exponential:
+    for (double &X : V)
+      X = Rng.exponential(1e-3);
+    break;
+  case SortGen::Sawtooth: {
+    size_t Runs = 4 + Rng.index(12);
+    size_t RunLen = std::max<size_t>(1, N / Runs);
+    for (size_t I = 0; I != N; ++I)
+      V[I] = static_cast<double>(I % RunLen) * 3.0 + Rng.uniform(0.0, 1.0);
+    break;
+  }
+  case SortGen::Constant: {
+    double C = Rng.uniform(0.0, 100.0);
+    for (double &X : V)
+      X = C;
+    break;
+  }
+  }
+  return V;
+}
+
+std::vector<double> bench::generateRegistryLikeInput(size_t N,
+                                                     support::Rng &Rng) {
+  // Registry extracts are dominated by records sorted by identifier, with
+  // a small pool of duplicated identifiers (renewed registrations) and a
+  // tail of recent, unsorted updates.
+  std::vector<double> V;
+  V.reserve(N);
+  size_t Pool = std::max<size_t>(8, N / 10);
+  size_t Runs = 2 + Rng.index(9);
+  size_t Tail = N / 20 + Rng.index(std::max<size_t>(1, N / 20));
+  size_t Body = N > Tail ? N - Tail : N;
+  for (size_t R = 0; R != Runs; ++R) {
+    size_t RunLen = Body / Runs + (R < Body % Runs ? 1 : 0);
+    std::vector<double> Run(RunLen);
+    for (double &X : Run)
+      X = static_cast<double>(Rng.index(Pool)) * 11.0;
+    std::sort(Run.begin(), Run.end());
+    V.insert(V.end(), Run.begin(), Run.end());
+  }
+  while (V.size() < N)
+    V.push_back(static_cast<double>(Rng.index(Pool)) * 11.0);
+  return V;
+}
+
+SortBenchmark::SortBenchmark(const Options &Opts) : Opts(Opts) {
+  assert(Opts.MinSize >= 4 && Opts.MinSize <= Opts.MaxSize && "bad sizes");
+  // Configuration space: the recursive selector over the five algorithms
+  // plus the merge-way count.
+  Scheme = runtime::SelectorScheme::declare(
+      Space, "sort", Opts.SelectorLevels, NumSortAlgos, /*MinCutoff=*/4,
+      /*MaxCutoff=*/2 * Opts.MaxSize);
+  MergeWaysParam = Space.addInteger("sort.mergeWays", 2, 16, /*LogScale=*/true);
+
+  // Inputs.
+  support::Rng Rng(Opts.Seed);
+  Inputs.reserve(Opts.NumInputs);
+  Tags.reserve(Opts.NumInputs);
+  for (size_t I = 0; I != Opts.NumInputs; ++I) {
+    double LogLo = std::log2(static_cast<double>(Opts.MinSize));
+    double LogHi = std::log2(static_cast<double>(Opts.MaxSize));
+    size_t N = static_cast<size_t>(std::pow(2.0, Rng.uniform(LogLo, LogHi)));
+    N = std::max(Opts.MinSize, std::min(Opts.MaxSize, N));
+    if (Opts.Data == Dataset::RegistryLike) {
+      Inputs.push_back(generateRegistryLikeInput(N, Rng));
+      Tags.push_back("registry");
+    } else {
+      SortGen G = static_cast<SortGen>(Rng.index(NumSortGens));
+      Inputs.push_back(generateSortInput(G, N, Rng));
+      Tags.push_back(sortGenName(G));
+    }
+  }
+}
+
+std::string SortBenchmark::name() const {
+  return Opts.Data == Dataset::RegistryLike ? "sort1" : "sort2";
+}
+
+std::vector<runtime::FeatureInfo> SortBenchmark::features() const {
+  return {{"deviation", 3}, {"duplication", 3}, {"sortedness", 3},
+          {"testsort", 3}};
+}
+
+/// Sample size for feature level L: 32, 128, 512 (capped by input size).
+static size_t sampleSizeForLevel(unsigned Level, size_t N) {
+  size_t S = static_cast<size_t>(32) << (2 * Level);
+  return std::min(S, N);
+}
+
+double SortBenchmark::extractFeature(size_t Input, unsigned Feature,
+                                     unsigned Level,
+                                     support::CostCounter &Cost) const {
+  assert(Input < Inputs.size() && "input out of range");
+  assert(Feature < 4 && Level < 3 && "feature/level out of range");
+  const std::vector<double> &V = Inputs[Input];
+  size_t N = V.size();
+  size_t S = sampleSizeForLevel(Level, N);
+  size_t Stride = std::max<size_t>(1, N / S);
+
+  switch (Feature) {
+  case 0: { // deviation: stddev of a strided sample
+    double Sum = 0.0, SumSq = 0.0;
+    size_t Count = 0;
+    for (size_t I = 0; I < N && Count < S; I += Stride, ++Count) {
+      Sum += V[I];
+      SumSq += V[I] * V[I];
+    }
+    Cost.addFlops(2.0 * static_cast<double>(Count));
+    if (Count == 0)
+      return 0.0;
+    double Mean = Sum / static_cast<double>(Count);
+    double Var = SumSq / static_cast<double>(Count) - Mean * Mean;
+    return Var > 0.0 ? std::sqrt(Var) : 0.0;
+  }
+  case 1: { // duplication: 1 - distinct/sample
+    std::vector<double> Sample;
+    Sample.reserve(S);
+    for (size_t I = 0; I < N && Sample.size() < S; I += Stride)
+      Sample.push_back(V[I]);
+    std::sort(Sample.begin(), Sample.end());
+    double Log2S = Sample.size() > 1
+                       ? std::log2(static_cast<double>(Sample.size()))
+                       : 1.0;
+    Cost.addCompares(static_cast<double>(Sample.size()) * Log2S);
+    if (Sample.empty())
+      return 0.0;
+    size_t Distinct = 1;
+    for (size_t I = 1; I < Sample.size(); ++I)
+      if (Sample[I] != Sample[I - 1])
+        ++Distinct;
+    Cost.addCompares(static_cast<double>(Sample.size()));
+    return 1.0 -
+           static_cast<double>(Distinct) / static_cast<double>(Sample.size());
+  }
+  case 2: { // sortedness: paper Figure 1 pseudocode with step sampling
+    size_t Step = std::max<size_t>(1, N / S);
+    size_t SortedCount = 0, Count = 0;
+    for (size_t I = 0; I + Step < N; I += Step) {
+      if (V[I] <= V[I + Step])
+        ++SortedCount;
+      ++Count;
+    }
+    Cost.addCompares(static_cast<double>(Count));
+    return Count > 0
+               ? static_cast<double>(SortedCount) / static_cast<double>(Count)
+               : 0.0;
+  }
+  case 3: { // testsort: insertion-sort work on a strided subsequence
+    std::vector<double> Sample;
+    Sample.reserve(S);
+    for (size_t I = 0; I < N && Sample.size() < S; I += Stride)
+      Sample.push_back(V[I]);
+    if (Sample.size() < 2)
+      return 0.0;
+    support::CostCounter Probe;
+    insertionSort(Sample, 0, Sample.size(), Probe);
+    Cost.merge(Probe);
+    // Normalise to per-element work so the feature is size-independent.
+    return Probe.units() / static_cast<double>(Sample.size());
+  }
+  default:
+    return 0.0;
+  }
+}
+
+PolySorter SortBenchmark::sorterFor(const runtime::Configuration &Config) const {
+  runtime::Selector Sel = Scheme.instantiate(Config);
+  unsigned Ways = static_cast<unsigned>(Config.integer(MergeWaysParam));
+  return PolySorter(std::move(Sel), Ways);
+}
+
+runtime::RunResult SortBenchmark::run(size_t Input,
+                                      const runtime::Configuration &Config,
+                                      support::CostCounter &Cost) const {
+  assert(Input < Inputs.size() && "input out of range");
+  double Before = Cost.units();
+  std::vector<double> Work = Inputs[Input];
+  Cost.addMoves(static_cast<double>(Work.size())); // initial copy
+  PolySorter Sorter = sorterFor(Config);
+  Sorter.sort(Work, Cost);
+  runtime::RunResult R;
+  R.TimeUnits = Cost.units() - Before;
+  R.Accuracy = 1.0;
+  return R;
+}

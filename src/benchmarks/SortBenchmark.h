@@ -1,0 +1,113 @@
+//===- benchmarks/SortBenchmark.h - The Sort benchmark ---------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Sort benchmark: sorting lists of doubles with a recursive
+/// polyalgorithm over InsertionSort, QuickSort, MergeSort (tunable ways),
+/// RadixSort and BitonicSort. Input features are standard deviation,
+/// duplication, sortedness and a test-sort probe, each at three sampling
+/// levels. Sort is the suite's only exact (non-variable-accuracy)
+/// benchmark.
+///
+/// Two dataset flavours mirror the paper's sort1/sort2: RegistryLike
+/// synthesises inputs shaped like the CCR FOIA contractor registry
+/// (concatenated sorted runs, heavy duplication) -- our stand-in for the
+/// real-world data; SyntheticMix spans the feature space with ten
+/// generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_BENCHMARKS_SORTBENCHMARK_H
+#define PBT_BENCHMARKS_SORTBENCHMARK_H
+
+#include "benchmarks/SortAlgorithms.h"
+#include "runtime/TunableProgram.h"
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace bench {
+
+/// Input generator families for Sort.
+enum class SortGen : unsigned {
+  Uniform = 0,
+  Sorted,
+  Reverse,
+  AlmostSorted,
+  FewDistinct,
+  OrganPipe,
+  Gaussian,
+  Exponential,
+  Sawtooth,
+  Constant,
+};
+inline constexpr unsigned NumSortGens = 10;
+
+/// Name of a generator (for reports and tests).
+const char *sortGenName(SortGen G);
+
+/// Generates one input of the given family and size.
+std::vector<double> generateSortInput(SortGen G, size_t N,
+                                      support::Rng &Rng);
+
+/// Generates a registry-like input (the paper's sort1 real-world data
+/// stand-in): concatenated sorted runs over a small value pool with a
+/// fraction of out-of-order updates appended.
+std::vector<double> generateRegistryLikeInput(size_t N, support::Rng &Rng);
+
+class SortBenchmark : public runtime::TunableProgram {
+public:
+  enum class Dataset {
+    RegistryLike, ///< sort1: real-world-like inputs
+    SyntheticMix, ///< sort2: generator mixture spanning the feature space
+  };
+
+  struct Options {
+    Dataset Data = Dataset::SyntheticMix;
+    size_t NumInputs = 400;
+    size_t MinSize = 256;
+    size_t MaxSize = 8192;
+    uint64_t Seed = 1;
+    unsigned SelectorLevels = 3;
+  };
+
+  explicit SortBenchmark(const Options &Opts);
+
+  // TunableProgram interface.
+  std::string name() const override;
+  const runtime::ConfigSpace &space() const override { return Space; }
+  std::vector<runtime::FeatureInfo> features() const override;
+  std::optional<runtime::AccuracySpec> accuracy() const override {
+    return std::nullopt; // exact benchmark
+  }
+  size_t numInputs() const override { return Inputs.size(); }
+  double extractFeature(size_t Input, unsigned Feature, unsigned Level,
+                        support::CostCounter &Cost) const override;
+  runtime::RunResult run(size_t Input, const runtime::Configuration &Config,
+                         support::CostCounter &Cost) const override;
+
+  /// Decodes the polyalgorithm a configuration describes (for reports).
+  PolySorter sorterFor(const runtime::Configuration &Config) const;
+
+  const std::vector<double> &input(size_t I) const { return Inputs[I]; }
+  const std::string &inputTag(size_t I) const { return Tags[I]; }
+  const Options &options() const { return Opts; }
+
+private:
+  Options Opts;
+  runtime::ConfigSpace Space;
+  runtime::SelectorScheme Scheme;
+  unsigned MergeWaysParam = 0;
+  std::vector<std::vector<double>> Inputs;
+  std::vector<std::string> Tags;
+};
+
+} // namespace bench
+} // namespace pbt
+
+#endif // PBT_BENCHMARKS_SORTBENCHMARK_H

@@ -1,0 +1,33 @@
+//===- core/FeatureProbe.cpp -------------------------------------------------=//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FeatureProbe.h"
+
+using namespace pbt;
+using namespace pbt::core;
+
+FeatureProbe core::probeFromProgram(const runtime::TunableProgram &Program,
+                                    size_t Input,
+                                    const runtime::FeatureIndex &Index) {
+  unsigned NumFlat = Index.numFlat();
+  return FeatureProbe(NumFlat, [&Program, Input, &Index](unsigned Flat) {
+    support::CostCounter C;
+    double V = Program.extractFeature(Input, Index.propertyOf(Flat),
+                                      Index.levelOf(Flat), C);
+    return std::make_pair(V, C.units());
+  });
+}
+
+FeatureProbe core::probeFromTable(const linalg::Matrix &Values,
+                                  const linalg::Matrix &Costs, size_t Row) {
+  assert(Values.rows() == Costs.rows() && Values.cols() == Costs.cols() &&
+         "value/cost table mismatch");
+  assert(Row < Values.rows() && "row out of range");
+  unsigned NumFlat = static_cast<unsigned>(Values.cols());
+  return FeatureProbe(NumFlat, [&Values, &Costs, Row](unsigned Flat) {
+    return std::make_pair(Values.at(Row, Flat), Costs.at(Row, Flat));
+  });
+}

@@ -1,0 +1,80 @@
+//===- core/FeatureProbe.h - Lazy per-input feature access ------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FeatureProbe mediates between a production classifier and the input it
+/// is classifying: the classifier asks for flat feature values on demand;
+/// the probe extracts each at most once and accumulates the extraction
+/// cost actually paid. Probes can be backed by a live program input (for
+/// deployment and the examples) or by a precomputed feature table row
+/// (for the training/evaluation pipeline, where every feature of every
+/// input has already been measured once).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_CORE_FEATUREPROBE_H
+#define PBT_CORE_FEATUREPROBE_H
+
+#include "linalg/Matrix.h"
+#include "runtime/TunableProgram.h"
+
+#include <functional>
+#include <vector>
+
+namespace pbt {
+namespace core {
+
+/// On-demand, cached extraction of flat ML features for one input.
+class FeatureProbe {
+public:
+  /// \p Extract(Flat) returns {value, extraction cost} of one flat feature.
+  using Extractor = std::function<std::pair<double, double>(unsigned)>;
+
+  FeatureProbe(unsigned NumFlat, Extractor Extract)
+      : Extract(std::move(Extract)), Cached(NumFlat, false),
+        Values(NumFlat, 0.0) {}
+
+  /// Value of flat feature \p Flat; extraction cost is charged exactly
+  /// once per feature.
+  double value(unsigned Flat) {
+    assert(Flat < Values.size() && "flat feature out of range");
+    if (!Cached[Flat]) {
+      auto [V, C] = Extract(Flat);
+      Values[Flat] = V;
+      TotalCost += C;
+      Cached[Flat] = true;
+      ++NumExtracted;
+    }
+    return Values[Flat];
+  }
+
+  /// Total extraction cost paid so far.
+  double totalCost() const { return TotalCost; }
+  unsigned numExtracted() const { return NumExtracted; }
+  unsigned numFlat() const { return static_cast<unsigned>(Values.size()); }
+
+private:
+  Extractor Extract;
+  std::vector<bool> Cached;
+  std::vector<double> Values;
+  double TotalCost = 0.0;
+  unsigned NumExtracted = 0;
+};
+
+/// Probe backed by a live program input: extraction calls the program's
+/// input_feature functions.
+FeatureProbe probeFromProgram(const runtime::TunableProgram &Program,
+                              size_t Input,
+                              const runtime::FeatureIndex &Index);
+
+/// Probe backed by row \p Row of precomputed feature/cost tables.
+FeatureProbe probeFromTable(const linalg::Matrix &Values,
+                            const linalg::Matrix &Costs, size_t Row);
+
+} // namespace core
+} // namespace pbt
+
+#endif // PBT_CORE_FEATUREPROBE_H

@@ -1,0 +1,386 @@
+//===- core/LevelTwo.cpp -----------------------------------------------------=//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LevelTwo.h"
+#include "core/Labeling.h"
+#include "ml/CrossValidation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+using namespace pbt;
+using namespace pbt::core;
+
+ml::CostMatrix
+core::buildCostMatrix(const linalg::Matrix &Time, const linalg::Matrix &Acc,
+                      const std::vector<size_t> &Rows,
+                      const std::vector<unsigned> &Labels,
+                      unsigned NumLandmarks,
+                      const std::optional<runtime::AccuracySpec> &Spec,
+                      double Eta) {
+  assert(Rows.size() == Labels.size() && "rows/labels mismatch");
+  ml::CostMatrix C(NumLandmarks);
+
+  // Accumulate per (true label i, predicted j): mean time difference Cp
+  // and accuracy-violation ratio Ca.
+  std::vector<double> Count(NumLandmarks, 0.0);
+  linalg::Matrix Cp(NumLandmarks, NumLandmarks, 0.0);
+  linalg::Matrix Ca(NumLandmarks, NumLandmarks, 0.0);
+  for (size_t N = 0; N != Rows.size(); ++N) {
+    unsigned I = Labels[N];
+    size_t Row = Rows[N];
+    Count[I] += 1.0;
+    for (unsigned J = 0; J != NumLandmarks; ++J) {
+      Cp.at(I, J) += Time.at(Row, J) - Time.at(Row, I);
+      if (Spec && Acc.at(Row, J) < Spec->AccuracyThreshold)
+        Ca.at(I, J) += 1.0;
+    }
+  }
+  for (unsigned I = 0; I != NumLandmarks; ++I) {
+    if (Count[I] == 0.0)
+      continue; // empty class: zero cost row
+    double MaxCp = 0.0;
+    for (unsigned J = 0; J != NumLandmarks; ++J) {
+      Cp.at(I, J) /= Count[I];
+      Ca.at(I, J) /= Count[I];
+      MaxCp = std::max(MaxCp, Cp.at(I, J));
+    }
+    for (unsigned J = 0; J != NumLandmarks; ++J)
+      C.at(I, J) = Eta * Ca.at(I, J) * MaxCp + Cp.at(I, J);
+  }
+  return C;
+}
+
+std::vector<std::vector<unsigned>>
+core::enumerateFeatureSubsets(const runtime::FeatureIndex &Index) {
+  unsigned U = Index.numProperties();
+  // Mixed-radix counter: digit u ranges over 0 (absent) .. levels(u).
+  std::vector<unsigned> Digit(U, 0);
+  std::vector<std::vector<unsigned>> Subsets;
+  while (true) {
+    // Advance the counter (skip the initial all-absent state by emitting
+    // after incrementing).
+    unsigned Pos = 0;
+    while (Pos < U && Digit[Pos] == Index.levels(Pos)) {
+      Digit[Pos] = 0;
+      ++Pos;
+    }
+    if (Pos == U)
+      break;
+    ++Digit[Pos];
+
+    std::vector<unsigned> Subset;
+    for (unsigned P = 0; P != U; ++P)
+      if (Digit[P] > 0)
+        Subset.push_back(Index.flat(P, Digit[P] - 1));
+    if (!Subset.empty())
+      Subsets.push_back(std::move(Subset));
+  }
+  return Subsets;
+}
+
+namespace {
+/// Everything needed to score candidates against measured evidence.
+struct ScoringContext {
+  const linalg::Matrix &Features;
+  const linalg::Matrix &ExtractCosts;
+  const linalg::Matrix &Time;
+  const linalg::Matrix &Acc;
+  const std::optional<runtime::AccuracySpec> &Spec;
+};
+} // namespace
+
+/// Scores \p Predict (returning a landmark and accumulating feature cost
+/// via the probe) over table rows \p Rows.
+static CandidateScore
+scoreOnRows(const ScoringContext &Ctx, const std::vector<size_t> &Rows,
+            const std::string &Name,
+            const std::function<unsigned(FeatureProbe &, size_t)> &Predict) {
+  CandidateScore S;
+  S.Name = Name;
+  if (Rows.empty())
+    return S;
+  double SumWith = 0.0, SumWithout = 0.0;
+  size_t Meets = 0;
+  for (size_t Row : Rows) {
+    FeatureProbe Probe = probeFromTable(Ctx.Features, Ctx.ExtractCosts, Row);
+    unsigned Pred = Predict(Probe, Row);
+    SumWithout += Ctx.Time.at(Row, Pred);
+    SumWith += Ctx.Time.at(Row, Pred) + Probe.totalCost();
+    if (!Ctx.Spec || Ctx.Acc.at(Row, Pred) >= Ctx.Spec->AccuracyThreshold)
+      ++Meets;
+  }
+  S.Objective = SumWith / static_cast<double>(Rows.size());
+  S.ObjectiveNoFeat = SumWithout / static_cast<double>(Rows.size());
+  S.Satisfaction = static_cast<double>(Meets) / static_cast<double>(Rows.size());
+  S.Valid = !Ctx.Spec || S.Satisfaction >= Ctx.Spec->SatisfactionThreshold;
+  return S;
+}
+
+/// Averages per-fold scores into one candidate score. Validity follows
+/// the paper's satisfaction-threshold rule applied to the pooled held-out
+/// satisfaction rate, tightened by the selection margin.
+static CandidateScore
+averageScores(const std::string &Name, const std::vector<CandidateScore> &Folds,
+              const std::optional<runtime::AccuracySpec> &Spec,
+              double SelectionMargin) {
+  CandidateScore S;
+  S.Name = Name;
+  if (Folds.empty())
+    return S;
+  S.Satisfaction = 0.0; // default is 1.0; reset before accumulating
+  for (const CandidateScore &F : Folds) {
+    S.Objective += F.Objective;
+    S.ObjectiveNoFeat += F.ObjectiveNoFeat;
+    S.Satisfaction += F.Satisfaction;
+  }
+  double N = static_cast<double>(Folds.size());
+  S.Objective /= N;
+  S.ObjectiveNoFeat /= N;
+  S.Satisfaction /= N;
+  S.Valid = !Spec ||
+            S.Satisfaction >= std::min(1.0, Spec->SatisfactionThreshold +
+                                                SelectionMargin);
+  return S;
+}
+
+/// Subset name like "tree{sortedness@1,deviation@0}".
+static std::string subsetName(const runtime::FeatureIndex &Index,
+                              const std::vector<unsigned> &Subset) {
+  std::string Name = "tree{";
+  for (size_t I = 0; I != Subset.size(); ++I) {
+    if (I)
+      Name += ",";
+    Name += Index.flatName(Subset[I]);
+  }
+  Name += "}";
+  return Name;
+}
+
+/// Flat features ordered by mean extraction cost over training rows
+/// (cheapest first), the acquisition order of the incremental classifier.
+static std::vector<unsigned>
+cheapestFirstOrder(const linalg::Matrix &ExtractCosts,
+                   const std::vector<size_t> &Rows,
+                   const std::vector<unsigned> &Candidates) {
+  std::vector<double> MeanCost(Candidates.size(), 0.0);
+  for (size_t C = 0; C != Candidates.size(); ++C) {
+    for (size_t Row : Rows)
+      MeanCost[C] += ExtractCosts.at(Row, Candidates[C]);
+    if (!Rows.empty())
+      MeanCost[C] /= static_cast<double>(Rows.size());
+  }
+  std::vector<size_t> Order(Candidates.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(),
+                   [&](size_t A, size_t B) { return MeanCost[A] < MeanCost[B]; });
+  std::vector<unsigned> Out(Candidates.size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Out[I] = Candidates[Order[I]];
+  return Out;
+}
+
+LevelTwoResult core::runLevelTwo(const runtime::TunableProgram &Program,
+                                 const LevelOneResult &L1,
+                                 const std::vector<size_t> &TrainRows,
+                                 const LevelTwoOptions &Options) {
+  LevelTwoResult R;
+  std::optional<runtime::AccuracySpec> Spec = Program.accuracy();
+  unsigned K = static_cast<unsigned>(L1.Landmarks.size());
+  runtime::FeatureIndex Index(Program.features());
+
+  // --- Cluster refinement: performance-based re-labelling. ---
+  R.TrainLabels = labelRows(L1.Time, L1.Acc, TrainRows, Spec);
+  size_t Moved = 0;
+  for (size_t I = 0; I != TrainRows.size(); ++I)
+    if (R.TrainLabels[I] != L1.Clusters.Assignment[I])
+      ++Moved;
+  R.RefinementMoveFraction =
+      TrainRows.empty() ? 0.0
+                        : static_cast<double>(Moved) /
+                              static_cast<double>(TrainRows.size());
+
+  // --- Cost matrix. ---
+  R.Costs = buildCostMatrix(L1.Time, L1.Acc, TrainRows, R.TrainLabels, K, Spec,
+                            Options.Eta);
+
+  ScoringContext Ctx{L1.Features, L1.ExtractCosts, L1.Time, L1.Acc, Spec};
+
+  // Labels addressed by global row id (for training on fold subsets).
+  std::vector<unsigned> LabelOfRow(L1.Features.rows(), 0);
+  for (size_t I = 0; I != TrainRows.size(); ++I)
+    LabelOfRow[TrainRows[I]] = R.TrainLabels[I];
+
+  // Cross-validation folds over positions in TrainRows.
+  support::Rng Rng(Options.Seed);
+  unsigned Folds = std::max(2u, Options.CVFolds);
+  std::vector<ml::FoldSplit> Splits =
+      ml::kFoldSplits(TrainRows.size(), Folds, Rng);
+  auto GlobalRows = [&](const std::vector<size_t> &Positions) {
+    std::vector<size_t> Rows;
+    Rows.reserve(Positions.size());
+    for (size_t P : Positions)
+      Rows.push_back(TrainRows[P]);
+    return Rows;
+  };
+
+  ml::DecisionTreeOptions TreeOpts = Options.Tree;
+  TreeOpts.Costs = &R.Costs;
+
+  // --- Candidate (0): static-best (no input adaptation). Scored like
+  // every other candidate; its presence guarantees a valid candidate
+  // whenever the static oracle meets the satisfaction threshold, so the
+  // selection fallback only triggers when *no* configuration covers the
+  // inputs. ---
+  {
+    std::vector<CandidateScore> FoldScores;
+    for (const ml::FoldSplit &Split : Splits) {
+      std::vector<size_t> TrainG = GlobalRows(Split.Train);
+      std::vector<size_t> TestG = GlobalRows(Split.Test);
+      unsigned Static = selectStaticOracle(L1.Time, L1.Acc, TrainG, Spec);
+      FoldScores.push_back(scoreOnRows(
+          Ctx, TestG, "static-best",
+          [&](FeatureProbe &, size_t) { return Static; }));
+    }
+    R.Candidates.push_back(averageScores("static-best", FoldScores, Spec,
+                                         Options.SelectionMargin));
+  }
+
+  // --- Candidate (1): max-a-priori. ---
+  {
+    std::vector<CandidateScore> FoldScores;
+    for (const ml::FoldSplit &Split : Splits) {
+      std::vector<size_t> TrainG = GlobalRows(Split.Train);
+      std::vector<size_t> TestG = GlobalRows(Split.Test);
+      ml::MaxApriori Prior;
+      std::vector<unsigned> Y;
+      Y.reserve(TrainG.size());
+      for (size_t Row : TrainG)
+        Y.push_back(LabelOfRow[Row]);
+      Prior.fit(Y, K);
+      FoldScores.push_back(scoreOnRows(
+          Ctx, TestG, "max-apriori",
+          [&](FeatureProbe &, size_t) { return Prior.predict(); }));
+    }
+    R.Candidates.push_back(averageScores("max-apriori", FoldScores, Spec, Options.SelectionMargin));
+  }
+
+  // --- Candidates (2)/(3): exhaustive per-property subset trees. ---
+  std::vector<std::vector<unsigned>> Subsets = enumerateFeatureSubsets(Index);
+  size_t BestSubsetIdx = 0;
+  double BestSubsetObjective = std::numeric_limits<double>::max();
+  for (size_t SI = 0; SI != Subsets.size(); ++SI) {
+    const std::vector<unsigned> &Subset = Subsets[SI];
+    std::string Name = subsetName(Index, Subset);
+    ml::DecisionTreeOptions SubOpts = TreeOpts;
+    SubOpts.AllowedFeatures = Subset;
+
+    std::vector<CandidateScore> FoldScores;
+    for (const ml::FoldSplit &Split : Splits) {
+      std::vector<size_t> TrainG = GlobalRows(Split.Train);
+      std::vector<size_t> TestG = GlobalRows(Split.Test);
+      ml::DecisionTree Tree;
+      Tree.fit(L1.Features, LabelOfRow, K, SubOpts, TrainG);
+      FoldScores.push_back(
+          scoreOnRows(Ctx, TestG, Name, [&](FeatureProbe &Probe, size_t) {
+            return Tree.predictLazy(
+                [&Probe](unsigned F) { return Probe.value(F); });
+          }));
+    }
+    CandidateScore S = averageScores(Name, FoldScores, Spec, Options.SelectionMargin);
+    if (S.Valid && S.Objective < BestSubsetObjective) {
+      BestSubsetObjective = S.Objective;
+      BestSubsetIdx = SI;
+    }
+    R.Candidates.push_back(std::move(S));
+  }
+
+  // --- Candidate (4): incremental feature examination, over all features
+  // and over the best subset, cheapest first. ---
+  std::vector<unsigned> AllFlat(Index.numFlat());
+  std::iota(AllFlat.begin(), AllFlat.end(), 0);
+  std::vector<std::pair<std::string, std::vector<unsigned>>> IncrementalRuns =
+      {{"incremental{all}",
+        cheapestFirstOrder(L1.ExtractCosts, TrainRows, AllFlat)},
+       {"incremental{best-subset}",
+        cheapestFirstOrder(L1.ExtractCosts, TrainRows,
+                           Subsets[BestSubsetIdx])}};
+  for (const auto &[Name, Order] : IncrementalRuns) {
+    std::vector<CandidateScore> FoldScores;
+    for (const ml::FoldSplit &Split : Splits) {
+      std::vector<size_t> TrainG = GlobalRows(Split.Train);
+      std::vector<size_t> TestG = GlobalRows(Split.Test);
+      ml::IncrementalBayes Bayes;
+      Bayes.fit(L1.Features, LabelOfRow, K, Order, Options.Bayes, TrainG);
+      FoldScores.push_back(
+          scoreOnRows(Ctx, TestG, Name, [&](FeatureProbe &Probe, size_t) {
+            return Bayes
+                .predictLazy([&Probe](unsigned F) { return Probe.value(F); })
+                .Label;
+          }));
+    }
+    R.Candidates.push_back(averageScores(Name, FoldScores, Spec, Options.SelectionMargin));
+  }
+
+  // --- Candidate selection. ---
+  size_t Selected = 0;
+  bool AnyValid = false;
+  for (size_t I = 0; I != R.Candidates.size(); ++I) {
+    const CandidateScore &S = R.Candidates[I];
+    if (S.Valid && (!AnyValid || S.Objective < R.Candidates[Selected].Objective)) {
+      Selected = I;
+      AnyValid = true;
+    }
+  }
+  if (!AnyValid) {
+    // No candidate clears the satisfaction bar: fall back to the highest
+    // satisfaction, then lowest objective.
+    for (size_t I = 1; I != R.Candidates.size(); ++I) {
+      const CandidateScore &S = R.Candidates[I];
+      const CandidateScore &Cur = R.Candidates[Selected];
+      if (S.Satisfaction > Cur.Satisfaction ||
+          (S.Satisfaction == Cur.Satisfaction && S.Objective < Cur.Objective))
+        Selected = I;
+    }
+  }
+  R.SelectedName = R.Candidates[Selected].Name;
+
+  // --- Retrain the selected family on all training rows. ---
+  if (R.SelectedName == "static-best") {
+    unsigned Static = selectStaticOracle(L1.Time, L1.Acc, TrainRows, Spec);
+    R.Production = std::make_unique<ConstantClassifier>(Static);
+  } else if (R.SelectedName == "max-apriori") {
+    ml::MaxApriori Prior;
+    Prior.fit(R.TrainLabels, K);
+    R.Production = std::make_unique<MaxAprioriClassifier>(std::move(Prior));
+  } else if (R.SelectedName.rfind("incremental", 0) == 0) {
+    const auto &Order = R.SelectedName == "incremental{all}"
+                            ? IncrementalRuns[0].second
+                            : IncrementalRuns[1].second;
+    ml::IncrementalBayes Bayes;
+    Bayes.fit(L1.Features, LabelOfRow, K, Order, Options.Bayes, TrainRows);
+    R.Production =
+        std::make_unique<IncrementalClassifier>(std::move(Bayes), R.SelectedName);
+  } else {
+    // A subset tree: find its subset by name.
+    size_t SubsetIdx = BestSubsetIdx;
+    for (size_t SI = 0; SI != Subsets.size(); ++SI)
+      if (subsetName(Index, Subsets[SI]) == R.SelectedName) {
+        SubsetIdx = SI;
+        break;
+      }
+    ml::DecisionTreeOptions SubOpts = TreeOpts;
+    SubOpts.AllowedFeatures = Subsets[SubsetIdx];
+    ml::DecisionTree Tree;
+    Tree.fit(L1.Features, LabelOfRow, K, SubOpts, TrainRows);
+    R.Production = std::make_unique<SubsetTreeClassifier>(
+        std::move(Tree), Subsets[SubsetIdx], R.SelectedName);
+  }
+  return R;
+}

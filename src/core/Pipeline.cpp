@@ -1,0 +1,163 @@
+//===- core/Pipeline.cpp -----------------------------------------------------=//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "core/Labeling.h"
+#include "ml/CrossValidation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::core;
+
+TrainedSystem core::trainSystem(const runtime::TunableProgram &Program,
+                                const PipelineOptions &Options) {
+  TrainedSystem S;
+  size_t N = Program.numInputs();
+  assert(N >= 4 && "need at least a few inputs");
+
+  support::Rng SplitRng(Options.SplitSeed);
+  ml::FoldSplit Split =
+      ml::trainTestSplit(N, Options.TrainFraction, SplitRng);
+  S.TrainRows = std::move(Split.Train);
+  S.TestRows = std::move(Split.Test);
+
+  S.L1 = runLevelOne(Program, S.TrainRows, Options.L1);
+  S.L2 = runLevelTwo(Program, S.L1, S.TrainRows, Options.L2);
+
+  std::optional<runtime::AccuracySpec> Spec = Program.accuracy();
+  S.StaticOracleLandmark =
+      selectStaticOracle(S.L1.Time, S.L1.Acc, S.TrainRows, Spec);
+
+  // One-level baseline: the Level-1 clusters dispatch directly (cluster i
+  // -> landmark i), nearest centroid in normalized space, all features.
+  std::vector<unsigned> Identity(S.L1.Landmarks.size());
+  for (unsigned I = 0; I != Identity.size(); ++I)
+    Identity[I] = I;
+  S.OneLevel = std::make_unique<OneLevelClassifier>(
+      S.L1.Clusters.Centroids, S.L1.Norm, std::move(Identity));
+  return S;
+}
+
+namespace {
+/// Accumulates one method's evaluation over the test rows.
+struct MethodStats {
+  std::vector<double> SpeedupsWith;
+  std::vector<double> SpeedupsWithout;
+  size_t Meets = 0;
+
+  void add(double StaticTime, double MethodTime, double FeatCost, bool Met) {
+    assert(MethodTime > 0.0 && "non-positive method time");
+    SpeedupsWithout.push_back(StaticTime / MethodTime);
+    SpeedupsWith.push_back(StaticTime / (MethodTime + FeatCost));
+    if (Met)
+      ++Meets;
+  }
+
+  double satisfaction(size_t N) const {
+    return N == 0 ? 1.0 : static_cast<double>(Meets) / static_cast<double>(N);
+  }
+};
+} // namespace
+
+EvaluationResult core::evaluateSystem(const runtime::TunableProgram &Program,
+                                      const TrainedSystem &System) {
+  EvaluationResult R;
+  std::optional<runtime::AccuracySpec> Spec = Program.accuracy();
+  const LevelOneResult &L1 = System.L1;
+  const std::vector<size_t> &Rows = System.TestRows;
+  unsigned Static = System.StaticOracleLandmark;
+
+  MethodStats Dynamic, TwoLevel, OneLevel;
+  size_t StaticMeets = 0;
+
+  for (size_t Row : Rows) {
+    double StaticTime = L1.Time.at(Row, Static);
+    auto MeetsAt = [&](unsigned L) {
+      return !Spec || L1.Acc.at(Row, L) >= Spec->AccuracyThreshold;
+    };
+    if (MeetsAt(Static))
+      ++StaticMeets;
+
+    // Dynamic oracle: per-input best landmark, no feature cost.
+    unsigned Best = bestLandmark(L1.Time, L1.Acc, Row, Spec);
+    Dynamic.add(StaticTime, L1.Time.at(Row, Best), 0.0, MeetsAt(Best));
+
+    // Two-level production classifier.
+    {
+      FeatureProbe Probe = probeFromTable(L1.Features, L1.ExtractCosts, Row);
+      unsigned Pred = System.L2.Production->classify(Probe);
+      TwoLevel.add(StaticTime, L1.Time.at(Row, Pred), Probe.totalCost(),
+                   MeetsAt(Pred));
+    }
+
+    // One-level baseline.
+    {
+      FeatureProbe Probe = probeFromTable(L1.Features, L1.ExtractCosts, Row);
+      unsigned Pred = System.OneLevel->classify(Probe);
+      OneLevel.add(StaticTime, L1.Time.at(Row, Pred), Probe.totalCost(),
+                   MeetsAt(Pred));
+    }
+  }
+
+  size_t N = Rows.size();
+  R.DynamicOracle = support::mean(Dynamic.SpeedupsWithout);
+  R.TwoLevelNoFeat = support::mean(TwoLevel.SpeedupsWithout);
+  R.TwoLevelWithFeat = support::mean(TwoLevel.SpeedupsWith);
+  R.OneLevelNoFeat = support::mean(OneLevel.SpeedupsWithout);
+  R.OneLevelWithFeat = support::mean(OneLevel.SpeedupsWith);
+  R.TwoLevelSatisfaction = TwoLevel.satisfaction(N);
+  R.OneLevelSatisfaction = OneLevel.satisfaction(N);
+  R.DynamicOracleSatisfaction = Dynamic.satisfaction(N);
+  R.StaticOracleSatisfaction =
+      N == 0 ? 1.0 : static_cast<double>(StaticMeets) / static_cast<double>(N);
+  R.PerInputSpeedups = std::move(TwoLevel.SpeedupsWith);
+  return R;
+}
+
+double core::subsetSpeedup(const runtime::TunableProgram &Program,
+                           const TrainedSystem &System,
+                           const std::vector<unsigned> &Subset) {
+  assert(!Subset.empty() && "empty landmark subset");
+  std::optional<runtime::AccuracySpec> Spec = Program.accuracy();
+  const LevelOneResult &L1 = System.L1;
+  std::vector<double> Speedups;
+  Speedups.reserve(System.TestRows.size());
+  for (size_t Row : System.TestRows) {
+    double StaticTime = L1.Time.at(Row, System.StaticOracleLandmark);
+    unsigned Best = bestLandmarkWithin(L1.Time, L1.Acc, Row, Subset, Spec);
+    Speedups.push_back(StaticTime / L1.Time.at(Row, Best));
+  }
+  return support::mean(Speedups);
+}
+
+std::vector<LandmarkSweepPoint>
+core::landmarkCountSweep(const runtime::TunableProgram &Program,
+                         const TrainedSystem &System,
+                         const std::vector<unsigned> &Counts, unsigned Trials,
+                         uint64_t Seed) {
+  unsigned K = static_cast<unsigned>(System.L1.Landmarks.size());
+  support::Rng Rng(Seed);
+  std::vector<LandmarkSweepPoint> Sweep;
+  Sweep.reserve(Counts.size());
+  for (unsigned Count : Counts) {
+    unsigned C = std::max(1u, std::min(Count, K));
+    std::vector<double> Speedups;
+    Speedups.reserve(Trials);
+    for (unsigned T = 0; T != Trials; ++T) {
+      std::vector<size_t> Picks = Rng.sampleWithoutReplacement(K, C);
+      std::vector<unsigned> Subset(Picks.begin(), Picks.end());
+      Speedups.push_back(subsetSpeedup(Program, System, Subset));
+    }
+    LandmarkSweepPoint P;
+    P.NumLandmarks = C;
+    P.Speedups = support::Summary::of(Speedups);
+    Sweep.push_back(P);
+  }
+  return Sweep;
+}

@@ -1,0 +1,46 @@
+//===- core/TheoreticalModel.cpp ---------------------------------------------=//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/TheoreticalModel.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::core;
+
+double core::expectedSpeedupLoss(const std::vector<double> &RegionSizes,
+                                 const std::vector<double> &RegionSpeedups,
+                                 unsigned K) {
+  assert(RegionSizes.size() == RegionSpeedups.size() &&
+         "sizes/speedups mismatch");
+  double Numerator = 0.0, Denominator = 0.0;
+  for (size_t I = 0; I != RegionSizes.size(); ++I) {
+    double P = RegionSizes[I];
+    double S = RegionSpeedups[I];
+    assert(P >= 0.0 && P <= 1.0 && "region size must be a fraction");
+    Numerator += std::pow(1.0 - P, static_cast<double>(K)) * P * S;
+    Denominator += S;
+  }
+  return Denominator > 0.0 ? Numerator / Denominator : 0.0;
+}
+
+double core::regionLossContribution(double P, unsigned K) {
+  assert(P >= 0.0 && P <= 1.0 && "region size must be a fraction");
+  return std::pow(1.0 - P, static_cast<double>(K)) * P;
+}
+
+double core::worstCaseRegionSize(unsigned K) {
+  return 1.0 / (static_cast<double>(K) + 1.0);
+}
+
+double core::predictedSpeedupFraction(unsigned K) {
+  // Tile the input space with m = k+1 regions of the worst-case size
+  // p* = 1/(k+1) and equal speedups. The expected fraction of speedup
+  // captured is 1 - (1 - p*)^k.
+  double P = worstCaseRegionSize(K);
+  return 1.0 - std::pow(1.0 - P, static_cast<double>(K));
+}

@@ -1,0 +1,53 @@
+//===- core/TheoreticalModel.h - Diminishing-returns model ------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The closed-form model of paper Section 4.3. The input space is covered
+/// by regions; region i has size p_i (fraction of inputs) and dominant-
+/// configuration speedup s_i. With k landmark configurations sampled
+/// uniformly at random, the chance of missing region i is (1 - p_i)^k, so
+/// the expected speedup loss is
+///
+///     L = sum_i (1 - p_i)^k p_i s_i / sum_i s_i.
+///
+/// Solving dL/dp = 0 for a single region gives the worst-case region size
+/// p* = 1/(k+1) (Figure 7a); tiling the space with worst-case regions
+/// yields the predicted fraction of full speedup achieved with k
+/// landmarks, 1 - (1 - 1/(k+1))^k (Figure 7b), which saturates towards
+/// 1 - 1/e -- the paper's diminishing-returns argument for needing only a
+/// handful of landmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_CORE_THEORETICALMODEL_H
+#define PBT_CORE_THEORETICALMODEL_H
+
+#include <vector>
+
+namespace pbt {
+namespace core {
+
+/// Expected speedup loss L for regions of sizes \p RegionSizes with
+/// speedups \p RegionSpeedups under \p K uniformly sampled landmarks.
+double expectedSpeedupLoss(const std::vector<double> &RegionSizes,
+                           const std::vector<double> &RegionSpeedups,
+                           unsigned K);
+
+/// Loss contribution (1-p)^k * p of a single unit-speedup region of size
+/// \p P (the Figure 7a curves).
+double regionLossContribution(double P, unsigned K);
+
+/// The region size maximising the loss for \p K landmarks: 1/(K+1).
+double worstCaseRegionSize(unsigned K);
+
+/// Predicted fraction of the full speedup achieved with \p K landmarks
+/// under worst-case region sizes (the Figure 7b curve).
+double predictedSpeedupFraction(unsigned K);
+
+} // namespace core
+} // namespace pbt
+
+#endif // PBT_CORE_THEORETICALMODEL_H

@@ -1,0 +1,120 @@
+//===- linalg/Matrix.cpp ---------------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Matrix.h"
+
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::linalg;
+
+Matrix Matrix::identity(size_t N) {
+  Matrix I(N, N, 0.0);
+  for (size_t K = 0; K != N; ++K)
+    I.at(K, K) = 1.0;
+  return I;
+}
+
+Matrix Matrix::gaussian(size_t Rows, size_t Cols, support::Rng &Rng) {
+  Matrix M(Rows, Cols);
+  for (double &X : M.data())
+    X = Rng.gaussian();
+  return M;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix T(NumCols, NumRows);
+  for (size_t R = 0; R != NumRows; ++R)
+    for (size_t C = 0; C != NumCols; ++C)
+      T.at(C, R) = at(R, C);
+  return T;
+}
+
+double Matrix::frobeniusNorm() const {
+  double Sum = 0.0;
+  for (double X : Data)
+    Sum += X * X;
+  return std::sqrt(Sum);
+}
+
+double Matrix::frobeniusDistance(const Matrix &Other) const {
+  assert(sameShape(Other) && "shape mismatch");
+  double Sum = 0.0;
+  for (size_t I = 0; I != Data.size(); ++I) {
+    double D = Data[I] - Other.Data[I];
+    Sum += D * D;
+  }
+  return std::sqrt(Sum);
+}
+
+Matrix linalg::multiply(const Matrix &A, const Matrix &B,
+                        support::CostCounter *Cost) {
+  assert(A.cols() == B.rows() && "inner dimension mismatch");
+  Matrix C(A.rows(), B.cols(), 0.0);
+  // i-k-j loop order for row-major locality.
+  for (size_t I = 0; I != A.rows(); ++I) {
+    const double *ARow = A.rowPtr(I);
+    double *CRow = C.rowPtr(I);
+    for (size_t K = 0; K != A.cols(); ++K) {
+      double AIK = ARow[K];
+      if (AIK == 0.0)
+        continue;
+      const double *BRow = B.rowPtr(K);
+      for (size_t J = 0; J != B.cols(); ++J)
+        CRow[J] += AIK * BRow[J];
+    }
+  }
+  if (Cost)
+    Cost->addFlops(2.0 * static_cast<double>(A.rows()) *
+                   static_cast<double>(A.cols()) *
+                   static_cast<double>(B.cols()));
+  return C;
+}
+
+Matrix linalg::multiplyTransposedA(const Matrix &A, const Matrix &B,
+                                   support::CostCounter *Cost) {
+  assert(A.rows() == B.rows() && "inner dimension mismatch");
+  Matrix C(A.cols(), B.cols(), 0.0);
+  for (size_t K = 0; K != A.rows(); ++K) {
+    const double *ARow = A.rowPtr(K);
+    const double *BRow = B.rowPtr(K);
+    for (size_t I = 0; I != A.cols(); ++I) {
+      double AKI = ARow[I];
+      if (AKI == 0.0)
+        continue;
+      double *CRow = C.rowPtr(I);
+      for (size_t J = 0; J != B.cols(); ++J)
+        CRow[J] += AKI * BRow[J];
+    }
+  }
+  if (Cost)
+    Cost->addFlops(2.0 * static_cast<double>(A.cols()) *
+                   static_cast<double>(A.rows()) *
+                   static_cast<double>(B.cols()));
+  return C;
+}
+
+Matrix linalg::multiplyTransposedB(const Matrix &A, const Matrix &B,
+                                   support::CostCounter *Cost) {
+  assert(A.cols() == B.cols() && "inner dimension mismatch");
+  Matrix C(A.rows(), B.rows(), 0.0);
+  for (size_t I = 0; I != A.rows(); ++I) {
+    const double *ARow = A.rowPtr(I);
+    double *CRow = C.rowPtr(I);
+    for (size_t J = 0; J != B.rows(); ++J) {
+      const double *BRow = B.rowPtr(J);
+      double Sum = 0.0;
+      for (size_t K = 0; K != A.cols(); ++K)
+        Sum += ARow[K] * BRow[K];
+      CRow[J] = Sum;
+    }
+  }
+  if (Cost)
+    Cost->addFlops(2.0 * static_cast<double>(A.rows()) *
+                   static_cast<double>(B.rows()) *
+                   static_cast<double>(A.cols()));
+  return C;
+}

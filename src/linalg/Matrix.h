@@ -1,0 +1,96 @@
+//===- linalg/Matrix.h - Dense row-major matrices --------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense row-major double matrix with the operations needed by the SVD
+/// benchmark substrate (QR, Jacobi SVD, randomized sketching) and by the
+/// ML substrate (feature tables, K-means centroids). Heavy kernels accept
+/// an optional CostCounter so benchmark code can charge flops to the
+/// deterministic cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_LINALG_MATRIX_H
+#define PBT_LINALG_MATRIX_H
+
+#include "support/Cost.h"
+#include "support/Random.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace pbt {
+namespace linalg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(size_t Rows, size_t Cols, double Fill = 0.0)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, Fill) {}
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+  bool empty() const { return Data.empty(); }
+
+  double &at(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double at(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  double *rowPtr(size_t R) {
+    assert(R < NumRows && "row out of range");
+    return Data.data() + R * NumCols;
+  }
+  const double *rowPtr(size_t R) const {
+    assert(R < NumRows && "row out of range");
+    return Data.data() + R * NumCols;
+  }
+
+  const std::vector<double> &data() const { return Data; }
+  std::vector<double> &data() { return Data; }
+
+  static Matrix identity(size_t N);
+  /// Entries i.i.d. Gaussian(0, 1).
+  static Matrix gaussian(size_t Rows, size_t Cols, support::Rng &Rng);
+
+  Matrix transposed() const;
+  double frobeniusNorm() const;
+
+  /// Frobenius norm of (this - Other); matrices must be the same shape.
+  double frobeniusDistance(const Matrix &Other) const;
+
+  bool sameShape(const Matrix &Other) const {
+    return NumRows == Other.NumRows && NumCols == Other.NumCols;
+  }
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// C = A * B. Charges 2*m*n*k flops to \p Cost when provided.
+Matrix multiply(const Matrix &A, const Matrix &B,
+                support::CostCounter *Cost = nullptr);
+
+/// C = A^T * B without forming A^T.
+Matrix multiplyTransposedA(const Matrix &A, const Matrix &B,
+                           support::CostCounter *Cost = nullptr);
+
+/// C = A * B^T without forming B^T.
+Matrix multiplyTransposedB(const Matrix &A, const Matrix &B,
+                           support::CostCounter *Cost = nullptr);
+
+} // namespace linalg
+} // namespace pbt
+
+#endif // PBT_LINALG_MATRIX_H

@@ -1,0 +1,96 @@
+//===- linalg/QR.cpp -------------------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/QR.h"
+
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::linalg;
+
+QRResult linalg::thinQR(const Matrix &A, support::CostCounter *Cost) {
+  size_t M = A.rows(), N = A.cols();
+  assert(M >= N && "thinQR requires rows >= cols");
+
+  // Work on a copy; accumulate Householder vectors in-place below the
+  // diagonal, then form thin Q by applying reflectors to the identity.
+  Matrix R = A;
+  std::vector<std::vector<double>> Reflectors;
+  Reflectors.reserve(N);
+
+  for (size_t K = 0; K != N; ++K) {
+    // Build the Householder vector for column K.
+    double Norm = 0.0;
+    for (size_t I = K; I != M; ++I)
+      Norm += R.at(I, K) * R.at(I, K);
+    Norm = std::sqrt(Norm);
+    std::vector<double> V(M - K, 0.0);
+    if (Norm == 0.0) {
+      // Zero column: identity reflector.
+      Reflectors.push_back(std::move(V));
+      continue;
+    }
+    double Alpha = R.at(K, K) >= 0.0 ? -Norm : Norm;
+    for (size_t I = K; I != M; ++I)
+      V[I - K] = R.at(I, K);
+    V[0] -= Alpha;
+    double VNorm2 = 0.0;
+    for (double X : V)
+      VNorm2 += X * X;
+    if (VNorm2 == 0.0) {
+      Reflectors.push_back(std::move(V));
+      continue;
+    }
+    // Apply (I - 2 v v^T / v^T v) to R[K:, K:].
+    for (size_t J = K; J != N; ++J) {
+      double Dot = 0.0;
+      for (size_t I = K; I != M; ++I)
+        Dot += V[I - K] * R.at(I, J);
+      double Scale = 2.0 * Dot / VNorm2;
+      for (size_t I = K; I != M; ++I)
+        R.at(I, J) -= Scale * V[I - K];
+    }
+    Reflectors.push_back(std::move(V));
+  }
+
+  // Zero out the (numerically tiny) subdiagonal of R and truncate.
+  Matrix RThin(N, N, 0.0);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = I; J != N; ++J)
+      RThin.at(I, J) = R.at(I, J);
+
+  // Form thin Q = H_0 H_1 ... H_{n-1} * I_{m x n} by applying reflectors in
+  // reverse to the first N columns of the identity.
+  Matrix Q(M, N, 0.0);
+  for (size_t J = 0; J != N; ++J)
+    Q.at(J, J) = 1.0;
+  for (size_t KPlus1 = N; KPlus1 != 0; --KPlus1) {
+    size_t K = KPlus1 - 1;
+    const std::vector<double> &V = Reflectors[K];
+    double VNorm2 = 0.0;
+    for (double X : V)
+      VNorm2 += X * X;
+    if (VNorm2 == 0.0)
+      continue;
+    for (size_t J = 0; J != N; ++J) {
+      double Dot = 0.0;
+      for (size_t I = K; I != M; ++I)
+        Dot += V[I - K] * Q.at(I, J);
+      double Scale = 2.0 * Dot / VNorm2;
+      for (size_t I = K; I != M; ++I)
+        Q.at(I, J) -= Scale * V[I - K];
+    }
+  }
+
+  if (Cost)
+    Cost->addFlops(4.0 * static_cast<double>(M) * static_cast<double>(N) *
+                   static_cast<double>(N));
+  return {std::move(Q), std::move(RThin)};
+}
+
+Matrix linalg::orthonormalize(const Matrix &A, support::CostCounter *Cost) {
+  return thinQR(A, Cost).Q;
+}

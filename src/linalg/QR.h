@@ -1,0 +1,38 @@
+//===- linalg/QR.h - Householder QR factorisation --------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin (economy) QR factorisation via Householder reflections, used to
+/// re-orthonormalise subspace iteration bases and the randomized-SVD
+/// sketch in the svd benchmark substrate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_LINALG_QR_H
+#define PBT_LINALG_QR_H
+
+#include "linalg/Matrix.h"
+
+namespace pbt {
+namespace linalg {
+
+/// Result of a thin QR factorisation A (m x n, m >= n) = Q (m x n) R (n x n).
+struct QRResult {
+  Matrix Q;
+  Matrix R;
+};
+
+/// Computes the thin QR factorisation of \p A by Householder reflections.
+/// Requires rows >= cols. Charges ~4*m*n^2 flops to \p Cost when provided.
+QRResult thinQR(const Matrix &A, support::CostCounter *Cost = nullptr);
+
+/// Convenience: just the orthonormal basis Q of A's column space.
+Matrix orthonormalize(const Matrix &A, support::CostCounter *Cost = nullptr);
+
+} // namespace linalg
+} // namespace pbt
+
+#endif // PBT_LINALG_QR_H

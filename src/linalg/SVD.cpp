@@ -1,0 +1,206 @@
+//===- linalg/SVD.cpp ------------------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/SVD.h"
+#include "linalg/QR.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace pbt;
+using namespace pbt::linalg;
+
+/// Sorts (Sigma, U, V) by non-increasing singular value.
+static void sortBySigma(SVDResult &R) {
+  size_t N = R.Sigma.size();
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return R.Sigma[A] > R.Sigma[B];
+  });
+  std::vector<double> S(N);
+  Matrix U(R.U.rows(), N), V(R.V.rows(), N);
+  for (size_t J = 0; J != N; ++J) {
+    S[J] = R.Sigma[Order[J]];
+    for (size_t I = 0; I != R.U.rows(); ++I)
+      U.at(I, J) = R.U.at(I, Order[J]);
+    for (size_t I = 0; I != R.V.rows(); ++I)
+      V.at(I, J) = R.V.at(I, Order[J]);
+  }
+  R.Sigma = std::move(S);
+  R.U = std::move(U);
+  R.V = std::move(V);
+}
+
+SVDResult linalg::jacobiSVD(const Matrix &A, const JacobiOptions &Options,
+                            support::CostCounter *Cost) {
+  size_t M = A.rows(), N = A.cols();
+  assert(M >= N && "jacobiSVD requires rows >= cols");
+
+  // One-sided Jacobi: rotate column pairs of W = A V until all columns are
+  // mutually orthogonal; then sigma_j = ||w_j||, u_j = w_j / sigma_j.
+  Matrix W = A;
+  Matrix V = Matrix::identity(N);
+  double Flops = 0.0;
+
+  for (unsigned Sweep = 0; Sweep != Options.MaxSweeps; ++Sweep) {
+    double OffDiagonal = 0.0;
+    double Diagonal = 0.0;
+    for (size_t P = 0; P + 1 < N; ++P) {
+      for (size_t Q = P + 1; Q != N; ++Q) {
+        // Gram entries for the (P, Q) column pair.
+        double App = 0.0, Aqq = 0.0, Apq = 0.0;
+        for (size_t I = 0; I != M; ++I) {
+          double WP = W.at(I, P), WQ = W.at(I, Q);
+          App += WP * WP;
+          Aqq += WQ * WQ;
+          Apq += WP * WQ;
+        }
+        Flops += 6.0 * static_cast<double>(M);
+        Diagonal += App + Aqq;
+        OffDiagonal += std::abs(Apq);
+        if (std::abs(Apq) <=
+            Options.Tolerance * std::sqrt(App * Aqq) + 1e-300)
+          continue;
+        // Jacobi rotation annihilating the (P, Q) Gram entry.
+        double Tau = (Aqq - App) / (2.0 * Apq);
+        double T = (Tau >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(Tau) + std::sqrt(1.0 + Tau * Tau));
+        double C = 1.0 / std::sqrt(1.0 + T * T);
+        double S = C * T;
+        for (size_t I = 0; I != M; ++I) {
+          double WP = W.at(I, P), WQ = W.at(I, Q);
+          W.at(I, P) = C * WP - S * WQ;
+          W.at(I, Q) = S * WP + C * WQ;
+        }
+        for (size_t I = 0; I != N; ++I) {
+          double VP = V.at(I, P), VQ = V.at(I, Q);
+          V.at(I, P) = C * VP - S * VQ;
+          V.at(I, Q) = S * VP + C * VQ;
+        }
+        Flops += 6.0 * static_cast<double>(M + N);
+      }
+    }
+    if (Diagonal == 0.0 || OffDiagonal <= Options.Tolerance * Diagonal)
+      break;
+  }
+
+  SVDResult R;
+  R.Sigma.resize(N);
+  R.U = Matrix(M, N);
+  R.V = std::move(V);
+  for (size_t J = 0; J != N; ++J) {
+    double Norm = 0.0;
+    for (size_t I = 0; I != M; ++I)
+      Norm += W.at(I, J) * W.at(I, J);
+    Norm = std::sqrt(Norm);
+    R.Sigma[J] = Norm;
+    if (Norm > 0.0) {
+      for (size_t I = 0; I != M; ++I)
+        R.U.at(I, J) = W.at(I, J) / Norm;
+    }
+  }
+  Flops += 3.0 * static_cast<double>(M) * static_cast<double>(N);
+  if (Cost)
+    Cost->addFlops(Flops);
+  sortBySigma(R);
+  return R;
+}
+
+SVDResult linalg::subspaceSVD(const Matrix &A, unsigned K, unsigned Iterations,
+                              support::Rng &Rng, support::CostCounter *Cost) {
+  size_t N = A.cols();
+  assert(K >= 1 && "subspaceSVD needs K >= 1");
+  K = static_cast<unsigned>(std::min<size_t>(K, N));
+
+  // Orthogonal iteration on A^T A without forming it: Q <- orth(A^T (A Q)).
+  Matrix Q = orthonormalize(Matrix::gaussian(N, K, Rng), Cost);
+  for (unsigned It = 0; It != std::max(1u, Iterations); ++It) {
+    Matrix Y = multiply(A, Q, Cost);            // m x k
+    Matrix Z = multiplyTransposedA(A, Y, Cost); // n x k
+    Q = orthonormalize(Z, Cost);
+  }
+
+  // Rayleigh-Ritz: small eigenproblem of Q^T A^T A Q via Jacobi SVD of AQ.
+  Matrix AQ = multiply(A, Q, Cost); // m x k
+  SVDResult Small = jacobiSVD(AQ, {}, Cost);
+
+  SVDResult R;
+  R.U = std::move(Small.U);                // m x k
+  R.Sigma = std::move(Small.Sigma);        // k
+  R.V = multiply(Q, Small.V, Cost);        // n x k
+  sortBySigma(R);
+  return R;
+}
+
+SVDResult linalg::randomizedSVD(const Matrix &A, unsigned K,
+                                unsigned Oversample, unsigned PowerIterations,
+                                support::Rng &Rng,
+                                support::CostCounter *Cost) {
+  size_t M = A.rows(), N = A.cols();
+  assert(K >= 1 && "randomizedSVD needs K >= 1");
+  size_t Width = std::min<size_t>(N, K + Oversample);
+  Width = std::min(Width, M);
+
+  // Stage A: range finding. Y = A * Omega, refined by power iterations.
+  Matrix Omega = Matrix::gaussian(N, Width, Rng);
+  Matrix Y = multiply(A, Omega, Cost); // m x w
+  Matrix Q = orthonormalize(Y, Cost);
+  for (unsigned It = 0; It != PowerIterations; ++It) {
+    Matrix Z = multiplyTransposedA(A, Q, Cost); // n x w
+    Z = orthonormalize(Z, Cost);
+    Q = orthonormalize(multiply(A, Z, Cost), Cost);
+  }
+
+  // Stage B: B = Q^T A is small (w x n); take its exact SVD.
+  Matrix B = multiplyTransposedA(Q, A, Cost); // w x n
+  // jacobiSVD needs rows >= cols; operate on B^T (n x w) and swap factors.
+  SVDResult SmallT = jacobiSVD(B.transposed(), {}, Cost);
+  // B^T = Us S Vs^T  =>  B = Vs S Us^T  =>  A ~= (Q Vs) S Us^T.
+  SVDResult R;
+  R.U = multiply(Q, SmallT.V, Cost);
+  R.Sigma = std::move(SmallT.Sigma);
+  R.V = std::move(SmallT.U);
+  sortBySigma(R);
+
+  // Truncate to K factors.
+  size_t Keep = std::min<size_t>(K, R.Sigma.size());
+  Matrix U(R.U.rows(), Keep), V(R.V.rows(), Keep);
+  for (size_t J = 0; J != Keep; ++J) {
+    for (size_t I = 0; I != U.rows(); ++I)
+      U.at(I, J) = R.U.at(I, J);
+    for (size_t I = 0; I != V.rows(); ++I)
+      V.at(I, J) = R.V.at(I, J);
+  }
+  R.U = std::move(U);
+  R.V = std::move(V);
+  R.Sigma.resize(Keep);
+  return R;
+}
+
+Matrix linalg::rankKApprox(const SVDResult &SVD, unsigned K,
+                           support::CostCounter *Cost) {
+  size_t Rank = std::min<size_t>(K, SVD.Sigma.size());
+  size_t M = SVD.U.rows(), N = SVD.V.rows();
+  Matrix A(M, N, 0.0);
+  for (size_t R = 0; R != Rank; ++R) {
+    double S = SVD.Sigma[R];
+    if (S == 0.0)
+      continue;
+    for (size_t I = 0; I != M; ++I) {
+      double UIS = SVD.U.at(I, R) * S;
+      if (UIS == 0.0)
+        continue;
+      for (size_t J = 0; J != N; ++J)
+        A.at(I, J) += UIS * SVD.V.at(J, R);
+    }
+  }
+  if (Cost)
+    Cost->addFlops(2.0 * static_cast<double>(Rank) * static_cast<double>(M) *
+                   static_cast<double>(N));
+  return A;
+}

@@ -1,0 +1,70 @@
+//===- linalg/SVD.h - Singular value decomposition methods -----------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three SVD techniques the svd benchmark chooses among (the paper's
+/// "choices include ... changing the techniques used to find these
+/// eigenvalues"):
+///
+///   * one-sided Jacobi: accurate full SVD, cost ~ O(sweeps * m n^2);
+///   * subspace (block power) iteration: top-k factors only, cheap when k
+///     is small relative to n;
+///   * randomized sketching (Halko-Martinsson-Tropp): Gaussian sketch plus
+///     power refinement, cheapest for very low effective rank.
+///
+/// All methods report work through the deterministic flop counter so the
+/// autotuner sees realistic cost crossovers between them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_LINALG_SVD_H
+#define PBT_LINALG_SVD_H
+
+#include "linalg/Matrix.h"
+
+#include <vector>
+
+namespace pbt {
+namespace linalg {
+
+/// A (possibly truncated) SVD: A ~= U * diag(Sigma) * V^T, singular values
+/// in non-increasing order.
+struct SVDResult {
+  Matrix U;                  // m x r
+  std::vector<double> Sigma; // r
+  Matrix V;                  // n x r
+};
+
+struct JacobiOptions {
+  unsigned MaxSweeps = 30;
+  /// Sweep convergence threshold on the off-diagonal/diagonal ratio.
+  double Tolerance = 1e-12;
+};
+
+/// Full SVD by the one-sided Jacobi method. Requires rows >= cols.
+SVDResult jacobiSVD(const Matrix &A, const JacobiOptions &Options = {},
+                    support::CostCounter *Cost = nullptr);
+
+/// Top-\p K SVD by block subspace iteration on A^T A (without forming it).
+/// \p Iterations controls refinement accuracy.
+SVDResult subspaceSVD(const Matrix &A, unsigned K, unsigned Iterations,
+                      support::Rng &Rng, support::CostCounter *Cost = nullptr);
+
+/// Top-\p K SVD by randomized range finding: Gaussian sketch of width
+/// K + \p Oversample, \p PowerIterations passes of A A^T refinement, then a
+/// small exact SVD of the projected matrix.
+SVDResult randomizedSVD(const Matrix &A, unsigned K, unsigned Oversample,
+                        unsigned PowerIterations, support::Rng &Rng,
+                        support::CostCounter *Cost = nullptr);
+
+/// Reconstructs the rank-\p K approximation from a (>=K)-factor SVDResult.
+Matrix rankKApprox(const SVDResult &SVD, unsigned K,
+                   support::CostCounter *Cost = nullptr);
+
+} // namespace linalg
+} // namespace pbt
+
+#endif // PBT_LINALG_SVD_H

@@ -1,0 +1,88 @@
+//===- ml/CostMatrix.h - Misclassification cost matrices -------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cost matrix for cost-sensitive classification. C(i, j) is the cost of
+/// predicting class j for an instance whose true class is i. The two-level
+/// pipeline builds it from measured landmark performance (paper Section
+/// 3.2, "Setting Up the Cost Matrix"): a performance-difference term plus
+/// an accuracy-violation penalty blended with eta = 0.5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ML_COSTMATRIX_H
+#define PBT_ML_COSTMATRIX_H
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace pbt {
+namespace ml {
+
+/// Square misclassification cost matrix with zero diagonal by convention
+/// of its builders (not enforced; asymmetric costs are the point).
+class CostMatrix {
+public:
+  CostMatrix() = default;
+  explicit CostMatrix(unsigned NumClasses)
+      : K(NumClasses), C(static_cast<size_t>(NumClasses) * NumClasses, 0.0) {}
+
+  unsigned numClasses() const { return K; }
+  bool empty() const { return K == 0; }
+
+  double at(unsigned TrueClass, unsigned Predicted) const {
+    assert(TrueClass < K && Predicted < K && "class out of range");
+    return C[static_cast<size_t>(TrueClass) * K + Predicted];
+  }
+  double &at(unsigned TrueClass, unsigned Predicted) {
+    assert(TrueClass < K && Predicted < K && "class out of range");
+    return C[static_cast<size_t>(TrueClass) * K + Predicted];
+  }
+
+  /// 0/1 loss: cost 1 for every misprediction.
+  static CostMatrix zeroOne(unsigned NumClasses) {
+    CostMatrix M(NumClasses);
+    for (unsigned I = 0; I != NumClasses; ++I)
+      for (unsigned J = 0; J != NumClasses; ++J)
+        M.at(I, J) = I == J ? 0.0 : 1.0;
+    return M;
+  }
+
+  /// The prediction minimising expected cost against class counts
+  /// \p ClassCounts (size K).
+  unsigned cheapestPrediction(const std::vector<double> &ClassCounts) const {
+    assert(ClassCounts.size() == K && "class count size mismatch");
+    unsigned Best = 0;
+    double BestCost = expectedCost(ClassCounts, 0);
+    for (unsigned J = 1; J < K; ++J) {
+      double Cost = expectedCost(ClassCounts, J);
+      if (Cost < BestCost) {
+        BestCost = Cost;
+        Best = J;
+      }
+    }
+    return Best;
+  }
+
+  /// Total cost of predicting \p Predicted against \p ClassCounts.
+  double expectedCost(const std::vector<double> &ClassCounts,
+                      unsigned Predicted) const {
+    double Sum = 0.0;
+    for (unsigned I = 0; I != K; ++I)
+      Sum += ClassCounts[I] * at(I, Predicted);
+    return Sum;
+  }
+
+private:
+  unsigned K = 0;
+  std::vector<double> C;
+};
+
+} // namespace ml
+} // namespace pbt
+
+#endif // PBT_ML_COSTMATRIX_H

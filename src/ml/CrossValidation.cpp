@@ -1,0 +1,91 @@
+//===- ml/CrossValidation.cpp -----------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/CrossValidation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace pbt;
+using namespace pbt::ml;
+
+std::vector<FoldSplit> ml::kFoldSplits(size_t N, unsigned K,
+                                       support::Rng &Rng) {
+  assert(N >= 2 && "need at least two samples to split");
+  K = std::max(2u, std::min<unsigned>(K, static_cast<unsigned>(N)));
+
+  std::vector<size_t> Indices(N);
+  std::iota(Indices.begin(), Indices.end(), 0);
+  Rng.shuffle(Indices);
+
+  std::vector<FoldSplit> Folds(K);
+  for (size_t I = 0; I != N; ++I) {
+    unsigned F = static_cast<unsigned>(I % K);
+    Folds[F].Test.push_back(Indices[I]);
+  }
+  for (unsigned F = 0; F != K; ++F) {
+    for (unsigned G = 0; G != K; ++G)
+      if (G != F)
+        Folds[F].Train.insert(Folds[F].Train.end(), Folds[G].Test.begin(),
+                              Folds[G].Test.end());
+    std::sort(Folds[F].Train.begin(), Folds[F].Train.end());
+    std::sort(Folds[F].Test.begin(), Folds[F].Test.end());
+  }
+  return Folds;
+}
+
+std::vector<FoldSplit>
+ml::stratifiedKFoldSplits(const std::vector<unsigned> &Y, unsigned NumClasses,
+                          unsigned K, support::Rng &Rng) {
+  size_t N = Y.size();
+  assert(N >= 2 && "need at least two samples to split");
+  K = std::max(2u, std::min<unsigned>(K, static_cast<unsigned>(N)));
+
+  // Group indices by class, shuffle within class, then deal round-robin.
+  std::vector<std::vector<size_t>> ByClass(NumClasses);
+  for (size_t I = 0; I != N; ++I) {
+    assert(Y[I] < NumClasses && "label out of range");
+    ByClass[Y[I]].push_back(I);
+  }
+  std::vector<FoldSplit> Folds(K);
+  unsigned NextFold = 0;
+  for (auto &Group : ByClass) {
+    Rng.shuffle(Group);
+    for (size_t I : Group) {
+      Folds[NextFold].Test.push_back(I);
+      NextFold = (NextFold + 1) % K;
+    }
+  }
+  for (unsigned F = 0; F != K; ++F) {
+    for (unsigned G = 0; G != K; ++G)
+      if (G != F)
+        Folds[F].Train.insert(Folds[F].Train.end(), Folds[G].Test.begin(),
+                              Folds[G].Test.end());
+    std::sort(Folds[F].Train.begin(), Folds[F].Train.end());
+    std::sort(Folds[F].Test.begin(), Folds[F].Test.end());
+  }
+  return Folds;
+}
+
+FoldSplit ml::trainTestSplit(size_t N, double TrainFraction,
+                             support::Rng &Rng) {
+  assert(N >= 2 && "need at least two samples to split");
+  assert(TrainFraction > 0.0 && TrainFraction < 1.0 &&
+         "train fraction must be in (0,1)");
+  std::vector<size_t> Indices(N);
+  std::iota(Indices.begin(), Indices.end(), 0);
+  Rng.shuffle(Indices);
+  size_t NumTrain = std::max<size_t>(
+      1, std::min<size_t>(N - 1, static_cast<size_t>(TrainFraction *
+                                                     static_cast<double>(N))));
+  FoldSplit S;
+  S.Train.assign(Indices.begin(), Indices.begin() + NumTrain);
+  S.Test.assign(Indices.begin() + NumTrain, Indices.end());
+  std::sort(S.Train.begin(), S.Train.end());
+  std::sort(S.Test.begin(), S.Test.end());
+  return S;
+}

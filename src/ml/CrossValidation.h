@@ -1,0 +1,52 @@
+//===- ml/CrossValidation.h - K-fold splitting ------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// K-fold cross-validation index splitting. The paper trains the
+/// exhaustive-subset decision trees with 10-fold cross validation "to
+/// avoid any learning to the data"; the pipeline uses these splitters for
+/// the same purpose (with a configurable fold count, since our training
+/// sets are smaller).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ML_CROSSVALIDATION_H
+#define PBT_ML_CROSSVALIDATION_H
+
+#include "support/Random.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace pbt {
+namespace ml {
+
+/// One train/test split.
+struct FoldSplit {
+  std::vector<size_t> Train;
+  std::vector<size_t> Test;
+};
+
+/// Shuffled K-fold split of [0, N). Every index appears in exactly one
+/// test fold. Folds differ in size by at most one element. K is clamped
+/// to [2, N] (N >= 2 required).
+std::vector<FoldSplit> kFoldSplits(size_t N, unsigned K, support::Rng &Rng);
+
+/// Stratified K-fold: class proportions are approximately preserved in
+/// every fold. Labels must be < NumClasses.
+std::vector<FoldSplit> stratifiedKFoldSplits(const std::vector<unsigned> &Y,
+                                             unsigned NumClasses, unsigned K,
+                                             support::Rng &Rng);
+
+/// Deterministic train/test partition of [0, N) with the given train
+/// fraction (shuffled first). Used for the paper's half-train/half-test
+/// split of each benchmark's inputs.
+FoldSplit trainTestSplit(size_t N, double TrainFraction, support::Rng &Rng);
+
+} // namespace ml
+} // namespace pbt
+
+#endif // PBT_ML_CROSSVALIDATION_H

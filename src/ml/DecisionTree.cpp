@@ -1,0 +1,220 @@
+//===- ml/DecisionTree.cpp -------------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/DecisionTree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+using namespace pbt;
+using namespace pbt::ml;
+
+/// Gini impurity of a class histogram with \p Total samples.
+static double gini(const std::vector<double> &Counts, double Total) {
+  if (Total <= 0.0)
+    return 0.0;
+  double SumSq = 0.0;
+  for (double C : Counts)
+    SumSq += C * C;
+  return 1.0 - SumSq / (Total * Total);
+}
+
+unsigned DecisionTree::makeLeaf(const std::vector<double> &ClassCounts,
+                                const DecisionTreeOptions &Options) {
+  Node L;
+  L.IsLeaf = true;
+  if (Options.Costs && !Options.Costs->empty()) {
+    L.Label = Options.Costs->cheapestPrediction(ClassCounts);
+  } else {
+    L.Label = static_cast<unsigned>(std::distance(
+        ClassCounts.begin(),
+        std::max_element(ClassCounts.begin(), ClassCounts.end())));
+  }
+  Nodes.push_back(L);
+  return static_cast<unsigned>(Nodes.size() - 1);
+}
+
+unsigned DecisionTree::build(const linalg::Matrix &X,
+                             const std::vector<unsigned> &Y,
+                             unsigned NumClasses,
+                             const DecisionTreeOptions &Options,
+                             std::vector<size_t> &Indices, size_t Begin,
+                             size_t End, unsigned Depth) {
+  assert(End > Begin && "empty node");
+  double Total = static_cast<double>(End - Begin);
+  std::vector<double> Counts(NumClasses, 0.0);
+  for (size_t I = Begin; I != End; ++I)
+    Counts[Y[Indices[I]]] += 1.0;
+
+  bool Pure = false;
+  for (double C : Counts)
+    if (C == Total)
+      Pure = true;
+
+  if (Pure || Depth >= Options.MaxDepth ||
+      End - Begin < Options.MinSamplesSplit)
+    return makeLeaf(Counts, Options);
+
+  // Find the best (feature, threshold) split by exhaustive scan.
+  const std::vector<unsigned> &Candidates = Options.AllowedFeatures;
+  double ParentImpurity = gini(Counts, Total);
+  double BestGain = 1e-12;
+  int BestFeature = -1;
+  double BestThreshold = 0.0;
+
+  std::vector<size_t> Sorted(Indices.begin() + Begin, Indices.begin() + End);
+  std::vector<double> LeftCounts(NumClasses);
+  for (size_t CI = 0, CE = Candidates.empty() ? NumFeatures
+                                              : Candidates.size();
+       CI != CE; ++CI) {
+    unsigned F = Candidates.empty() ? static_cast<unsigned>(CI)
+                                    : Candidates[CI];
+    std::stable_sort(Sorted.begin(), Sorted.end(), [&](size_t A, size_t B) {
+      return X.at(A, F) < X.at(B, F);
+    });
+    std::fill(LeftCounts.begin(), LeftCounts.end(), 0.0);
+    for (size_t I = 0; I + 1 < Sorted.size(); ++I) {
+      LeftCounts[Y[Sorted[I]]] += 1.0;
+      double Va = X.at(Sorted[I], F), Vb = X.at(Sorted[I + 1], F);
+      if (Va == Vb)
+        continue;
+      double NLeft = static_cast<double>(I + 1);
+      double NRight = Total - NLeft;
+      if (NLeft < Options.MinSamplesLeaf || NRight < Options.MinSamplesLeaf)
+        continue;
+      double RightImpurity;
+      {
+        // Right counts = Counts - LeftCounts.
+        double SumSq = 0.0;
+        for (unsigned C = 0; C != NumClasses; ++C) {
+          double R = Counts[C] - LeftCounts[C];
+          SumSq += R * R;
+        }
+        RightImpurity = 1.0 - SumSq / (NRight * NRight);
+      }
+      double Gain = ParentImpurity - (NLeft / Total) * gini(LeftCounts, NLeft) -
+                    (NRight / Total) * RightImpurity;
+      if (Gain > BestGain) {
+        BestGain = Gain;
+        BestFeature = static_cast<int>(F);
+        BestThreshold = (Va + Vb) / 2.0;
+      }
+    }
+  }
+
+  if (BestFeature < 0)
+    return makeLeaf(Counts, Options);
+
+  // Partition indices in place: left = value <= threshold.
+  auto Mid = std::stable_partition(
+      Indices.begin() + Begin, Indices.begin() + End, [&](size_t I) {
+        return X.at(I, static_cast<unsigned>(BestFeature)) <= BestThreshold;
+      });
+  size_t MidPos = static_cast<size_t>(Mid - Indices.begin());
+  if (MidPos == Begin || MidPos == End)
+    return makeLeaf(Counts, Options); // Degenerate split; should not happen.
+
+  unsigned Self = static_cast<unsigned>(Nodes.size());
+  Nodes.emplace_back();
+  Nodes[Self].IsLeaf = false;
+  Nodes[Self].Feature = BestFeature;
+  Nodes[Self].Threshold = BestThreshold;
+  unsigned Left =
+      build(X, Y, NumClasses, Options, Indices, Begin, MidPos, Depth + 1);
+  unsigned Right =
+      build(X, Y, NumClasses, Options, Indices, MidPos, End, Depth + 1);
+  Nodes[Self].Left = Left;
+  Nodes[Self].Right = Right;
+  return Self;
+}
+
+void DecisionTree::fit(const linalg::Matrix &X, const std::vector<unsigned> &Y,
+                       unsigned NumClasses,
+                       const DecisionTreeOptions &Options,
+                       const std::vector<size_t> &SampleIndices) {
+  assert(X.rows() == Y.size() && "row/label count mismatch");
+  assert(NumClasses >= 1 && "need at least one class");
+  Nodes.clear();
+  NumFeatures = X.cols();
+
+  std::vector<size_t> Indices;
+  if (SampleIndices.empty()) {
+    Indices.resize(X.rows());
+    std::iota(Indices.begin(), Indices.end(), 0);
+  } else {
+    Indices = SampleIndices;
+  }
+  assert(!Indices.empty() && "cannot train on zero samples");
+#ifndef NDEBUG
+  for (size_t I : Indices)
+    assert(I < X.rows() && Y[I] < NumClasses && "bad sample index or label");
+#endif
+  build(X, Y, NumClasses, Options, Indices, 0, Indices.size(), 0);
+}
+
+unsigned DecisionTree::predict(const double *Row, size_t Width) const {
+  assert(trained() && "predict() before fit()");
+  assert(Width >= NumFeatures && "row too narrow for this tree");
+  (void)Width;
+  // Root is node 0 only when the tree is a single leaf; interior nodes are
+  // emplaced pre-order so the root is always index 0.
+  unsigned N = 0;
+  while (!Nodes[N].IsLeaf) {
+    const Node &Cur = Nodes[N];
+    N = Row[Cur.Feature] <= Cur.Threshold ? Cur.Left : Cur.Right;
+  }
+  return Nodes[N].Label;
+}
+
+unsigned DecisionTree::predict(const std::vector<double> &Row) const {
+  return predict(Row.data(), Row.size());
+}
+
+unsigned DecisionTree::predictLazy(
+    const std::function<double(unsigned)> &GetFeature) const {
+  assert(trained() && "predictLazy() before fit()");
+  unsigned N = 0;
+  while (!Nodes[N].IsLeaf) {
+    const Node &Cur = Nodes[N];
+    N = GetFeature(static_cast<unsigned>(Cur.Feature)) <= Cur.Threshold
+            ? Cur.Left
+            : Cur.Right;
+  }
+  return Nodes[N].Label;
+}
+
+std::vector<unsigned> DecisionTree::usedFeatures() const {
+  std::vector<bool> Seen(NumFeatures, false);
+  for (const Node &N : Nodes)
+    if (!N.IsLeaf)
+      Seen[static_cast<size_t>(N.Feature)] = true;
+  std::vector<unsigned> Out;
+  for (size_t I = 0; I != Seen.size(); ++I)
+    if (Seen[I])
+      Out.push_back(static_cast<unsigned>(I));
+  return Out;
+}
+
+unsigned DecisionTree::depth() const {
+  if (Nodes.empty())
+    return 0;
+  // Iterative depth computation over the explicit structure.
+  std::vector<std::pair<unsigned, unsigned>> Stack = {{0u, 1u}};
+  unsigned MaxDepth = 0;
+  while (!Stack.empty()) {
+    auto [N, D] = Stack.back();
+    Stack.pop_back();
+    MaxDepth = std::max(MaxDepth, D);
+    if (!Nodes[N].IsLeaf) {
+      Stack.push_back({Nodes[N].Left, D + 1});
+      Stack.push_back({Nodes[N].Right, D + 1});
+    }
+  }
+  return MaxDepth;
+}

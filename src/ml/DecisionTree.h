@@ -1,0 +1,92 @@
+//===- ml/DecisionTree.h - CART-style decision tree classifier -------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A CART-style decision tree over continuous features with axis-aligned
+/// threshold splits, Gini impurity, and optional cost-sensitive leaf
+/// labelling. This is the workhorse of the paper's "Exhaustive Feature
+/// Subsets" classifiers (Section 3.2, classifier family 2): one tree is
+/// trained per feature subset, with the pipeline's cost matrix shaping the
+/// leaf labels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ML_DECISIONTREE_H
+#define PBT_ML_DECISIONTREE_H
+
+#include "linalg/Matrix.h"
+#include "ml/CostMatrix.h"
+
+#include <functional>
+#include <vector>
+
+namespace pbt {
+namespace ml {
+
+struct DecisionTreeOptions {
+  unsigned MaxDepth = 12;
+  unsigned MinSamplesLeaf = 2;
+  unsigned MinSamplesSplit = 4;
+  /// Candidate features; empty means all columns.
+  std::vector<unsigned> AllowedFeatures;
+  /// Optional cost matrix for leaf labelling (training-time splits still
+  /// use Gini; leaves pick the expected-cost-minimising class).
+  const CostMatrix *Costs = nullptr;
+};
+
+/// Binary classification/decision tree over dense double rows.
+class DecisionTree {
+public:
+  /// Trains on rows of \p X with labels \p Y in [0, NumClasses).
+  /// \p SampleIndices selects the training subset (empty = all rows).
+  void fit(const linalg::Matrix &X, const std::vector<unsigned> &Y,
+           unsigned NumClasses, const DecisionTreeOptions &Options = {},
+           const std::vector<size_t> &SampleIndices = {});
+
+  /// Predicted class for a dense feature row.
+  unsigned predict(const std::vector<double> &Row) const;
+  unsigned predict(const double *Row, size_t Width) const;
+
+  /// Predicted class with lazy feature access: \p GetFeature(F) is invoked
+  /// only for features on the root-to-leaf path, enabling per-input
+  /// feature-extraction cost accounting in the production classifier.
+  unsigned predictLazy(const std::function<double(unsigned)> &GetFeature) const;
+
+  /// Features actually referenced by at least one internal node.
+  std::vector<unsigned> usedFeatures() const;
+
+  size_t numNodes() const { return Nodes.size(); }
+  unsigned depth() const;
+  bool trained() const { return !Nodes.empty(); }
+
+private:
+  struct Node {
+    /// -1 for leaves.
+    int Feature = -1;
+    double Threshold = 0.0;
+    /// Children indices (leaves: 0).
+    unsigned Left = 0;
+    unsigned Right = 0;
+    /// Leaf label.
+    unsigned Label = 0;
+    bool IsLeaf = true;
+  };
+
+  unsigned build(const linalg::Matrix &X, const std::vector<unsigned> &Y,
+                 unsigned NumClasses, const DecisionTreeOptions &Options,
+                 std::vector<size_t> &Indices, size_t Begin, size_t End,
+                 unsigned Depth);
+  unsigned makeLeaf(const std::vector<double> &ClassCounts,
+                    const DecisionTreeOptions &Options);
+
+  std::vector<Node> Nodes;
+  size_t NumFeatures = 0;
+};
+
+} // namespace ml
+} // namespace pbt
+
+#endif // PBT_ML_DECISIONTREE_H

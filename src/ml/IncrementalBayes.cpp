@@ -1,0 +1,140 @@
+//===- ml/IncrementalBayes.cpp ----------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/IncrementalBayes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+using namespace pbt;
+using namespace pbt::ml;
+
+void IncrementalBayes::fit(const linalg::Matrix &X,
+                           const std::vector<unsigned> &Y,
+                           unsigned NumClassesIn,
+                           const std::vector<unsigned> &FeatureOrder,
+                           const IncrementalBayesOptions &Options,
+                           const std::vector<size_t> &SampleIndices) {
+  assert(X.rows() == Y.size() && "row/label count mismatch");
+  assert(!FeatureOrder.empty() && "need at least one feature");
+  NumClasses = NumClassesIn;
+  Bins = std::max(2u, Options.Bins);
+  PosteriorThreshold = Options.PosteriorThreshold;
+  Order = FeatureOrder;
+
+  std::vector<size_t> Indices;
+  if (SampleIndices.empty()) {
+    Indices.resize(X.rows());
+    std::iota(Indices.begin(), Indices.end(), 0);
+  } else {
+    Indices = SampleIndices;
+  }
+  assert(!Indices.empty() && "cannot train on zero samples");
+
+  // Priors with Laplace smoothing.
+  Priors.assign(NumClasses, Options.Smoothing);
+  for (size_t I : Indices) {
+    assert(Y[I] < NumClasses && "label out of range");
+    Priors[Y[I]] += 1.0;
+  }
+  double PriorTotal =
+      static_cast<double>(Indices.size()) + Options.Smoothing * NumClasses;
+  for (double &P : Priors)
+    P /= PriorTotal;
+
+  Edges.assign(Order.size(), {});
+  LogProb.assign(Order.size(), {});
+  std::vector<double> Values(Indices.size());
+
+  for (size_t Pos = 0; Pos != Order.size(); ++Pos) {
+    unsigned F = Order[Pos];
+    assert(F < X.cols() && "feature index out of range");
+    for (size_t I = 0; I != Indices.size(); ++I)
+      Values[I] = X.at(Indices[I], F);
+    std::vector<double> SortedValues = Values;
+    std::sort(SortedValues.begin(), SortedValues.end());
+
+    // Quantile bin edges; duplicates collapse regions harmlessly.
+    std::vector<double> E(Bins - 1);
+    for (unsigned B = 0; B + 1 < Bins; ++B) {
+      double Q = static_cast<double>(B + 1) / Bins;
+      double PosF = Q * static_cast<double>(SortedValues.size() - 1);
+      size_t Lo = static_cast<size_t>(PosF);
+      size_t Hi = std::min(Lo + 1, SortedValues.size() - 1);
+      double Frac = PosF - static_cast<double>(Lo);
+      E[B] = SortedValues[Lo] * (1.0 - Frac) + SortedValues[Hi] * Frac;
+    }
+    Edges[Pos] = std::move(E);
+
+    // Class-conditional region counts.
+    std::vector<double> Counts(static_cast<size_t>(NumClasses) * Bins,
+                               Options.Smoothing);
+    for (size_t I = 0; I != Indices.size(); ++I) {
+      unsigned R = regionOf(static_cast<unsigned>(Pos), Values[I]);
+      Counts[static_cast<size_t>(Y[Indices[I]]) * Bins + R] += 1.0;
+    }
+    std::vector<double> LP(Counts.size());
+    for (unsigned C = 0; C != NumClasses; ++C) {
+      double Total = 0.0;
+      for (unsigned B = 0; B != Bins; ++B)
+        Total += Counts[static_cast<size_t>(C) * Bins + B];
+      for (unsigned B = 0; B != Bins; ++B)
+        LP[static_cast<size_t>(C) * Bins + B] =
+            std::log(Counts[static_cast<size_t>(C) * Bins + B] / Total);
+    }
+    LogProb[Pos] = std::move(LP);
+  }
+}
+
+unsigned IncrementalBayes::regionOf(unsigned OrderPos, double Value) const {
+  const std::vector<double> &E = Edges[OrderPos];
+  // Linear scan is fine: Bins is small (<= ~16).
+  unsigned R = 0;
+  while (R < E.size() && Value > E[R])
+    ++R;
+  return R;
+}
+
+IncrementalPrediction IncrementalBayes::predictLazy(
+    const std::function<double(unsigned)> &GetFeature) const {
+  assert(!Priors.empty() && "predict() before fit()");
+  std::vector<double> LogPost(NumClasses);
+  for (unsigned C = 0; C != NumClasses; ++C)
+    LogPost[C] = std::log(std::max(Priors[C], 1e-300));
+
+  IncrementalPrediction Out;
+  for (size_t Pos = 0; Pos != Order.size(); ++Pos) {
+    double Value = GetFeature(Order[Pos]);
+    ++Out.FeaturesUsed;
+    unsigned R = regionOf(static_cast<unsigned>(Pos), Value);
+    for (unsigned C = 0; C != NumClasses; ++C)
+      LogPost[C] += LogProb[Pos][static_cast<size_t>(C) * Bins + R];
+
+    // Normalised posterior of the current best class (Equation 1).
+    double MaxLog = *std::max_element(LogPost.begin(), LogPost.end());
+    double Z = 0.0;
+    for (double L : LogPost)
+      Z += std::exp(L - MaxLog);
+    unsigned Best = static_cast<unsigned>(std::distance(
+        LogPost.begin(), std::max_element(LogPost.begin(), LogPost.end())));
+    double Posterior = std::exp(LogPost[Best] - MaxLog) / Z;
+    Out.Label = Best;
+    Out.Confidence = Posterior;
+    if (Posterior > PosteriorThreshold)
+      return Out; // Enough evidence; stop acquiring features.
+  }
+  return Out;
+}
+
+IncrementalPrediction
+IncrementalBayes::predict(const std::vector<double> &Row) const {
+  return predictLazy([&](unsigned F) {
+    assert(F < Row.size() && "feature index out of range");
+    return Row[F];
+  });
+}

@@ -1,0 +1,87 @@
+//===- ml/IncrementalBayes.h - Incremental feature examination --------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's classifier family (4): "Incremental Feature Examination".
+/// Each feature is discretised into decision regions; class-conditional
+/// region probabilities are estimated from training data. At prediction
+/// time features are acquired one at a time (cheapest first, in the order
+/// the caller supplies) and the class posterior is updated after each; as
+/// soon as some class exceeds a posterior threshold the classifier commits.
+/// This gives per-input variable feature-extraction cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ML_INCREMENTALBAYES_H
+#define PBT_ML_INCREMENTALBAYES_H
+
+#include "linalg/Matrix.h"
+
+#include <functional>
+#include <vector>
+
+namespace pbt {
+namespace ml {
+
+struct IncrementalBayesOptions {
+  /// Number of decision regions (quantile bins) per feature.
+  unsigned Bins = 8;
+  /// Posterior confidence needed to stop acquiring features.
+  double PosteriorThreshold = 0.75;
+  /// Laplace smoothing constant for region counts.
+  double Smoothing = 1.0;
+};
+
+/// Result of an incremental prediction.
+struct IncrementalPrediction {
+  unsigned Label = 0;
+  /// How many features (in acquisition order) were actually extracted.
+  unsigned FeaturesUsed = 0;
+  /// Posterior of the chosen label at stopping time.
+  double Confidence = 0.0;
+};
+
+/// Naive-Bayes-over-decision-regions classifier with sequential feature
+/// acquisition.
+class IncrementalBayes {
+public:
+  /// Trains on rows of \p X restricted to \p FeatureOrder (the acquisition
+  /// order, typically cheapest-extraction-first). Labels in [0, NumClasses).
+  void fit(const linalg::Matrix &X, const std::vector<unsigned> &Y,
+           unsigned NumClasses, const std::vector<unsigned> &FeatureOrder,
+           const IncrementalBayesOptions &Options = {},
+           const std::vector<size_t> &SampleIndices = {});
+
+  /// Predicts with lazy feature access: \p GetFeature(F) returns the value
+  /// of (original-space) feature F and is invoked only for features that
+  /// are actually examined.
+  IncrementalPrediction
+  predictLazy(const std::function<double(unsigned)> &GetFeature) const;
+
+  /// Dense-row convenience wrapper.
+  IncrementalPrediction predict(const std::vector<double> &Row) const;
+
+  const std::vector<unsigned> &featureOrder() const { return Order; }
+  bool trained() const { return !Order.empty() || !Priors.empty(); }
+
+private:
+  unsigned regionOf(unsigned OrderPos, double Value) const;
+
+  std::vector<unsigned> Order;
+  /// Bin edges per ordered feature: Edges[pos] has Bins-1 thresholds.
+  std::vector<std::vector<double>> Edges;
+  /// Log P(region | class) per ordered feature: LogProb[pos][class*Bins+r].
+  std::vector<std::vector<double>> LogProb;
+  std::vector<double> Priors; // P(class)
+  unsigned NumClasses = 0;
+  unsigned Bins = 0;
+  double PosteriorThreshold = 0.75;
+};
+
+} // namespace ml
+} // namespace pbt
+
+#endif // PBT_ML_INCREMENTALBAYES_H

@@ -1,0 +1,197 @@
+//===- ml/KMeans.cpp -------------------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/KMeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace pbt;
+using namespace pbt::ml;
+
+static double squaredDistance(const double *A, const double *B, size_t D) {
+  double Sum = 0.0;
+  for (size_t I = 0; I != D; ++I) {
+    double Delta = A[I] - B[I];
+    Sum += Delta * Delta;
+  }
+  return Sum;
+}
+
+/// Chooses K initial centroids according to the requested strategy.
+static linalg::Matrix initCentroids(const linalg::Matrix &Points, unsigned K,
+                                    KMeansInit Init, support::Rng &Rng,
+                                    support::CostCounter *Cost) {
+  size_t N = Points.rows(), D = Points.cols();
+  linalg::Matrix C(K, D);
+  auto CopyPoint = [&](size_t From, size_t To) {
+    for (size_t J = 0; J != D; ++J)
+      C.at(To, J) = Points.at(From, J);
+  };
+
+  switch (Init) {
+  case KMeansInit::Prefix:
+    for (unsigned I = 0; I != K; ++I)
+      CopyPoint(I % N, I);
+    break;
+  case KMeansInit::Random: {
+    std::vector<size_t> Picks = Rng.sampleWithoutReplacement(N, std::min<size_t>(K, N));
+    for (unsigned I = 0; I != K; ++I)
+      CopyPoint(Picks[I % Picks.size()], I);
+    break;
+  }
+  case KMeansInit::CenterPlus: {
+    // kmeans++: first centroid uniform, then D^2 weighting.
+    std::vector<double> Dist2(N, std::numeric_limits<double>::max());
+    size_t First = Rng.index(N);
+    CopyPoint(First, 0);
+    for (unsigned Next = 1; Next < K; ++Next) {
+      double Total = 0.0;
+      for (size_t I = 0; I != N; ++I) {
+        double D2 = squaredDistance(Points.rowPtr(I), C.rowPtr(Next - 1), D);
+        Dist2[I] = std::min(Dist2[I], D2);
+        Total += Dist2[I];
+      }
+      if (Cost)
+        Cost->addFlops(2.0 * static_cast<double>(N) * static_cast<double>(D));
+      if (Total <= 0.0) {
+        // All remaining points coincide with chosen centroids.
+        CopyPoint(Rng.index(N), Next);
+        continue;
+      }
+      double Target = Rng.uniform() * Total;
+      size_t Chosen = N - 1;
+      double Acc = 0.0;
+      for (size_t I = 0; I != N; ++I) {
+        Acc += Dist2[I];
+        if (Acc >= Target) {
+          Chosen = I;
+          break;
+        }
+      }
+      CopyPoint(Chosen, Next);
+    }
+    break;
+  }
+  }
+  return C;
+}
+
+KMeansResult ml::kMeans(const linalg::Matrix &Points,
+                        const KMeansOptions &Options,
+                        support::CostCounter *Cost) {
+  size_t N = Points.rows(), D = Points.cols();
+  assert(N > 0 && "kMeans needs at least one point");
+  unsigned K = std::max(1u, std::min<unsigned>(Options.K,
+                                               static_cast<unsigned>(N)));
+  support::Rng Rng(Options.Seed);
+
+  KMeansResult R;
+  R.Centroids = initCentroids(Points, K, Options.Init, Rng, Cost);
+  R.Assignment.assign(N, 0);
+
+  std::vector<double> ClusterSize(K, 0.0);
+  for (unsigned Iter = 0; Iter != std::max(1u, Options.MaxIterations);
+       ++Iter) {
+    R.IterationsRun = Iter + 1;
+    // Assignment step.
+    bool Changed = false;
+    for (size_t I = 0; I != N; ++I) {
+      double Best = std::numeric_limits<double>::max();
+      unsigned BestK = 0;
+      for (unsigned C = 0; C != K; ++C) {
+        double D2 =
+            squaredDistance(Points.rowPtr(I), R.Centroids.rowPtr(C), D);
+        if (D2 < Best) {
+          Best = D2;
+          BestK = C;
+        }
+      }
+      if (R.Assignment[I] != BestK) {
+        R.Assignment[I] = BestK;
+        Changed = true;
+      }
+    }
+    if (Cost)
+      Cost->addFlops(2.0 * static_cast<double>(N) * static_cast<double>(K) *
+                     static_cast<double>(D));
+
+    // Update step.
+    linalg::Matrix NewC(K, D, 0.0);
+    std::fill(ClusterSize.begin(), ClusterSize.end(), 0.0);
+    for (size_t I = 0; I != N; ++I) {
+      unsigned C = R.Assignment[I];
+      ClusterSize[C] += 1.0;
+      for (size_t J = 0; J != D; ++J)
+        NewC.at(C, J) += Points.at(I, J);
+    }
+    for (unsigned C = 0; C != K; ++C) {
+      if (ClusterSize[C] == 0.0) {
+        // Re-seed an empty cluster with the point farthest from its current
+        // centroid, the standard fixup.
+        size_t Farthest = 0;
+        double Best = -1.0;
+        for (size_t I = 0; I != N; ++I) {
+          double D2 = squaredDistance(
+              Points.rowPtr(I), R.Centroids.rowPtr(R.Assignment[I]), D);
+          if (D2 > Best) {
+            Best = D2;
+            Farthest = I;
+          }
+        }
+        for (size_t J = 0; J != D; ++J)
+          NewC.at(C, J) = Points.at(Farthest, J);
+        continue;
+      }
+      for (size_t J = 0; J != D; ++J)
+        NewC.at(C, J) /= ClusterSize[C];
+    }
+    if (Cost)
+      Cost->addFlops(static_cast<double>(N) * static_cast<double>(D));
+    R.Centroids = std::move(NewC);
+
+    if (Options.EarlyStop && !Changed && Iter > 0)
+      break;
+  }
+
+  // Final inertia (and assignment consistent with final centroids).
+  R.Inertia = 0.0;
+  for (size_t I = 0; I != N; ++I) {
+    double Best = std::numeric_limits<double>::max();
+    unsigned BestK = 0;
+    for (unsigned C = 0; C != K; ++C) {
+      double D2 = squaredDistance(Points.rowPtr(I), R.Centroids.rowPtr(C), D);
+      if (D2 < Best) {
+        Best = D2;
+        BestK = C;
+      }
+    }
+    R.Assignment[I] = BestK;
+    R.Inertia += Best;
+  }
+  if (Cost)
+    Cost->addFlops(2.0 * static_cast<double>(N) * static_cast<double>(K) *
+                   static_cast<double>(D));
+  return R;
+}
+
+unsigned ml::nearestCentroid(const linalg::Matrix &Centroids,
+                             const std::vector<double> &Row) {
+  assert(Centroids.rows() > 0 && Centroids.cols() == Row.size() &&
+         "centroid/row mismatch");
+  double Best = std::numeric_limits<double>::max();
+  unsigned BestK = 0;
+  for (size_t C = 0; C != Centroids.rows(); ++C) {
+    double D2 = squaredDistance(Centroids.rowPtr(C), Row.data(), Row.size());
+    if (D2 < Best) {
+      Best = D2;
+      BestK = static_cast<unsigned>(C);
+    }
+  }
+  return BestK;
+}

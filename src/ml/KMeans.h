@@ -1,0 +1,72 @@
+//===- ml/KMeans.h - K-means clustering ------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lloyd's K-means with three initialisation strategies. This single
+/// implementation serves two distinct roles in the reproduction:
+///
+///   1. Level-1 input-space clustering of the two-level learning pipeline
+///      (paper Section 3.1, Step 2), and
+///   2. the *clustering benchmark itself* (paper Section 4.1), whose
+///      algorithmic choices are exactly the initialisation strategy
+///      (random / prefix / centerplus), the cluster count k, and the
+///      iteration budget -- hence the optional CostCounter and iteration
+///      cap, which let the autotuner trade accuracy for time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ML_KMEANS_H
+#define PBT_ML_KMEANS_H
+
+#include "linalg/Matrix.h"
+#include "support/Random.h"
+
+#include <vector>
+
+namespace pbt {
+namespace ml {
+
+enum class KMeansInit {
+  /// k distinct uniformly random points.
+  Random,
+  /// The first k points of the dataset (cheap, order-sensitive).
+  Prefix,
+  /// D^2-weighted seeding (kmeans++); the paper's "centerplus".
+  CenterPlus,
+};
+
+struct KMeansOptions {
+  unsigned K = 8;
+  unsigned MaxIterations = 50;
+  KMeansInit Init = KMeansInit::CenterPlus;
+  uint64_t Seed = 1;
+  /// Stop when no assignment changes.
+  bool EarlyStop = true;
+};
+
+struct KMeansResult {
+  linalg::Matrix Centroids;        // K x D
+  std::vector<unsigned> Assignment; // per point, in [0, K)
+  double Inertia = 0.0;            // sum of squared distances to centroid
+  unsigned IterationsRun = 0;
+};
+
+/// Runs Lloyd's algorithm on the rows of \p Points. If \p Cost is given,
+/// distance computations are charged to it (2*D flops per point-centroid
+/// distance), making K-means usable as a tunable kernel. K is clamped to
+/// the number of points. Empty clusters are re-seeded from the point
+/// farthest from its centroid.
+KMeansResult kMeans(const linalg::Matrix &Points, const KMeansOptions &Options,
+                    support::CostCounter *Cost = nullptr);
+
+/// Index of the centroid nearest to \p Row (ties to the lowest index).
+unsigned nearestCentroid(const linalg::Matrix &Centroids,
+                         const std::vector<double> &Row);
+
+} // namespace ml
+} // namespace pbt
+
+#endif // PBT_ML_KMEANS_H

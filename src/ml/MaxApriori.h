@@ -1,0 +1,61 @@
+//===- ml/MaxApriori.h - Prior-only classifier ------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's classifier family (1): "Max-apriori" predicts the label with
+/// the maximum empirical prior for every instance. It extracts no input
+/// features at all, so its feature-extraction cost is zero -- which is
+/// exactly why it sometimes wins classifier selection on benchmarks whose
+/// landmark configurations barely differ.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ML_MAXAPRIORI_H
+#define PBT_ML_MAXAPRIORI_H
+
+#include <cassert>
+#include <vector>
+
+namespace pbt {
+namespace ml {
+
+/// Counts labels at fit time; predicts the modal label thereafter.
+class MaxApriori {
+public:
+  void fit(const std::vector<unsigned> &Y, unsigned NumClasses) {
+    assert(!Y.empty() && "cannot fit on zero labels");
+    Priors.assign(NumClasses, 0.0);
+    for (unsigned L : Y) {
+      assert(L < NumClasses && "label out of range");
+      Priors[L] += 1.0;
+    }
+    for (double &P : Priors)
+      P /= static_cast<double>(Y.size());
+    Mode = 0;
+    for (unsigned I = 1; I < NumClasses; ++I)
+      if (Priors[I] > Priors[Mode])
+        Mode = I;
+    Trained = true;
+  }
+
+  unsigned predict() const {
+    assert(Trained && "predict() before fit()");
+    return Mode;
+  }
+
+  const std::vector<double> &priors() const { return Priors; }
+  bool trained() const { return Trained; }
+
+private:
+  std::vector<double> Priors;
+  unsigned Mode = 0;
+  bool Trained = false;
+};
+
+} // namespace ml
+} // namespace pbt
+
+#endif // PBT_ML_MAXAPRIORI_H

@@ -1,0 +1,92 @@
+//===- pde/BandedCholesky.cpp ------------------------------------------------=//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pde/BandedCholesky.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::pde;
+
+BandedCholesky::BandedCholesky(size_t N, size_t Bandwidth)
+    : N(N), BW(Bandwidth), Band(N * (Bandwidth + 1), 0.0) {
+  assert(N >= 1 && "empty system");
+}
+
+double &BandedCholesky::entry(size_t I, size_t J) {
+  assert(I < N && J <= I && I - J <= BW && "outside stored band");
+  return Band[J * (BW + 1) + (I - J)];
+}
+
+double BandedCholesky::entry(size_t I, size_t J) const {
+  assert(I < N && J <= I && I - J <= BW && "outside stored band");
+  return Band[J * (BW + 1) + (I - J)];
+}
+
+bool BandedCholesky::factor(support::CostCounter *Cost) {
+  // Banded Cholesky: A = L L^T computed column by column in place.
+  double Flops = 0.0;
+  for (size_t J = 0; J != N; ++J) {
+    size_t KBegin = J > BW ? J - BW : 0;
+    // Diagonal update.
+    double D = entry(J, J);
+    for (size_t K = KBegin; K != J; ++K) {
+      double L = entry(J, K);
+      D -= L * L;
+    }
+    Flops += 2.0 * static_cast<double>(J - KBegin);
+    if (D <= 0.0)
+      return false;
+    D = std::sqrt(D);
+    entry(J, J) = D;
+    // Column update below the diagonal.
+    size_t IEnd = std::min(N, J + BW + 1);
+    for (size_t I = J + 1; I < IEnd; ++I) {
+      double S = entry(I, J);
+      size_t KStart = std::max(KBegin, I > BW ? I - BW : 0);
+      for (size_t K = KStart; K != J; ++K)
+        S -= entry(I, K) * entry(J, K);
+      entry(I, J) = S / D;
+      Flops += 2.0 * static_cast<double>(J - KStart) + 1.0;
+    }
+  }
+  if (Cost)
+    Cost->addFlops(Flops);
+  Factored = true;
+  return true;
+}
+
+std::vector<double>
+BandedCholesky::solve(const std::vector<double> &B,
+                      support::CostCounter *Cost) const {
+  assert(Factored && "solve() before factor()");
+  assert(B.size() == N && "right-hand side size mismatch");
+  std::vector<double> X = B;
+  double Flops = 0.0;
+  // Forward substitution: L y = b.
+  for (size_t I = 0; I != N; ++I) {
+    size_t KBegin = I > BW ? I - BW : 0;
+    double S = X[I];
+    for (size_t K = KBegin; K != I; ++K)
+      S -= entry(I, K) * X[K];
+    X[I] = S / entry(I, I);
+    Flops += 2.0 * static_cast<double>(I - KBegin) + 1.0;
+  }
+  // Backward substitution: L^T x = y.
+  for (size_t IPlus1 = N; IPlus1 != 0; --IPlus1) {
+    size_t I = IPlus1 - 1;
+    size_t KEnd = std::min(N, I + BW + 1);
+    double S = X[I];
+    for (size_t K = I + 1; K < KEnd; ++K)
+      S -= entry(K, I) * X[K];
+    X[I] = S / entry(I, I);
+    Flops += 2.0 * static_cast<double>(KEnd - I - 1) + 1.0;
+  }
+  if (Cost)
+    Cost->addFlops(Flops);
+  return X;
+}

@@ -1,0 +1,61 @@
+//===- pde/BandedCholesky.h - Banded SPD direct solver ---------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cholesky factorisation and solve for symmetric positive definite banded
+/// systems, the "direct solver" choice of the poisson2d and helmholtz3d
+/// benchmarks. Storage is the standard lower-band layout: column j holds
+/// entries A(j..j+bw, j).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_PDE_BANDEDCHOLESKY_H
+#define PBT_PDE_BANDEDCHOLESKY_H
+
+#include "support/Cost.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace pbt {
+namespace pde {
+
+/// SPD banded matrix in lower-band storage plus its Cholesky factor.
+class BandedCholesky {
+public:
+  /// Creates an all-zero band matrix of dimension \p N with lower
+  /// bandwidth \p Bandwidth (number of sub-diagonals stored).
+  BandedCholesky(size_t N, size_t Bandwidth);
+
+  size_t dim() const { return N; }
+  size_t bandwidth() const { return BW; }
+
+  /// Accesses A(I, J) for I >= J, I - J <= bandwidth.
+  double &entry(size_t I, size_t J);
+  double entry(size_t I, size_t J) const;
+
+  /// In-place Cholesky factorisation. Charges ~N*BW^2 flops.
+  /// \returns false if the matrix is not positive definite.
+  bool factor(support::CostCounter *Cost = nullptr);
+
+  /// Solves A x = b using the factor (factor() must have succeeded).
+  std::vector<double> solve(const std::vector<double> &B,
+                            support::CostCounter *Cost = nullptr) const;
+
+  bool factored() const { return Factored; }
+
+private:
+  size_t N;
+  size_t BW;
+  /// Band[J * (BW + 1) + (I - J)] = A(I, J).
+  std::vector<double> Band;
+  bool Factored = false;
+};
+
+} // namespace pde
+} // namespace pbt
+
+#endif // PBT_PDE_BANDEDCHOLESKY_H

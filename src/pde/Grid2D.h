@@ -1,0 +1,87 @@
+//===- pde/Grid2D.h - Square 2D grids for PDE solvers ----------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A square (N x N) node-centred grid on the unit square with Dirichlet
+/// boundary, N = 2^l + 1 so multigrid coarsening is exact. Used by the
+/// poisson2d benchmark substrate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_PDE_GRID2D_H
+#define PBT_PDE_GRID2D_H
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace pbt {
+namespace pde {
+
+/// Node-centred square grid storing one double per node.
+class Grid2D {
+public:
+  Grid2D() = default;
+  explicit Grid2D(size_t N, double Fill = 0.0) : N(N), V(N * N, Fill) {
+    assert(N >= 3 && "grid too small");
+  }
+
+  size_t size() const { return N; }
+  /// Mesh spacing on the unit square.
+  double h() const { return 1.0 / static_cast<double>(N - 1); }
+
+  double &at(size_t I, size_t J) {
+    assert(I < N && J < N && "grid index out of range");
+    return V[I * N + J];
+  }
+  double at(size_t I, size_t J) const {
+    assert(I < N && J < N && "grid index out of range");
+    return V[I * N + J];
+  }
+
+  void fill(double X) { std::fill(V.begin(), V.end(), X); }
+
+  /// RMS over all nodes (boundary included; boundary values are zero for
+  /// every grid in this project).
+  double rms() const {
+    double Sum = 0.0;
+    for (double X : V)
+      Sum += X * X;
+    return std::sqrt(Sum / static_cast<double>(V.size()));
+  }
+
+  /// RMS of (this - Other).
+  double rmsDistance(const Grid2D &Other) const {
+    assert(N == Other.N && "grid size mismatch");
+    double Sum = 0.0;
+    for (size_t I = 0; I != V.size(); ++I) {
+      double D = V[I] - Other.V[I];
+      Sum += D * D;
+    }
+    return std::sqrt(Sum / static_cast<double>(V.size()));
+  }
+
+  const std::vector<double> &data() const { return V; }
+  std::vector<double> &data() { return V; }
+
+  /// True when N = 2^l + 1 for some l >= 1.
+  static bool validMultigridSize(size_t N) {
+    if (N < 3)
+      return false;
+    size_t M = N - 1;
+    return (M & (M - 1)) == 0;
+  }
+
+private:
+  size_t N = 0;
+  std::vector<double> V;
+};
+
+} // namespace pde
+} // namespace pbt
+
+#endif // PBT_PDE_GRID2D_H

@@ -1,0 +1,81 @@
+//===- pde/Grid3D.h - Cubic 3D grids for PDE solvers -----------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A cubic (N x N x N) node-centred grid on the unit cube with Dirichlet
+/// boundary, N = 2^l + 1. Used by the helmholtz3d benchmark substrate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_PDE_GRID3D_H
+#define PBT_PDE_GRID3D_H
+
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace pbt {
+namespace pde {
+
+/// Node-centred cubic grid storing one double per node.
+class Grid3D {
+public:
+  Grid3D() = default;
+  explicit Grid3D(size_t N, double Fill = 0.0) : N(N), V(N * N * N, Fill) {
+    assert(N >= 3 && "grid too small");
+  }
+
+  size_t size() const { return N; }
+  double h() const { return 1.0 / static_cast<double>(N - 1); }
+
+  double &at(size_t I, size_t J, size_t K) {
+    assert(I < N && J < N && K < N && "grid index out of range");
+    return V[(I * N + J) * N + K];
+  }
+  double at(size_t I, size_t J, size_t K) const {
+    assert(I < N && J < N && K < N && "grid index out of range");
+    return V[(I * N + J) * N + K];
+  }
+
+  void fill(double X) { std::fill(V.begin(), V.end(), X); }
+
+  double rms() const {
+    double Sum = 0.0;
+    for (double X : V)
+      Sum += X * X;
+    return std::sqrt(Sum / static_cast<double>(V.size()));
+  }
+
+  double rmsDistance(const Grid3D &Other) const {
+    assert(N == Other.N && "grid size mismatch");
+    double Sum = 0.0;
+    for (size_t I = 0; I != V.size(); ++I) {
+      double D = V[I] - Other.V[I];
+      Sum += D * D;
+    }
+    return std::sqrt(Sum / static_cast<double>(V.size()));
+  }
+
+  const std::vector<double> &data() const { return V; }
+  std::vector<double> &data() { return V; }
+
+  static bool validMultigridSize(size_t N) {
+    if (N < 3)
+      return false;
+    size_t M = N - 1;
+    return (M & (M - 1)) == 0;
+  }
+
+private:
+  size_t N = 0;
+  std::vector<double> V;
+};
+
+} // namespace pde
+} // namespace pbt
+
+#endif // PBT_PDE_GRID3D_H

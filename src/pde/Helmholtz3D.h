@@ -1,0 +1,95 @@
+//===- pde/Helmholtz3D.h - Variable-coefficient 3D Helmholtz solvers -------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Solvers for the variable-coefficient 3D Helmholtz problem
+///
+///     alpha * u - div(beta(x) grad u) = f
+///
+/// on the unit cube with homogeneous Dirichlet boundary (7-point stencil,
+/// face coefficients averaged from the node-centred beta field). With
+/// alpha >= 0 and beta > 0 the operator is SPD, so the same solver family
+/// as Poisson applies: multigrid with tunable cycle shape, stationary
+/// iterations, conjugate gradient, and a banded direct solve. This is the
+/// substrate of the helmholtz3d benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_PDE_HELMHOLTZ3D_H
+#define PBT_PDE_HELMHOLTZ3D_H
+
+#include "pde/Grid3D.h"
+#include "pde/SolverOptions.h"
+#include "support/Cost.h"
+
+namespace pbt {
+namespace pde {
+
+/// One Helmholtz problem instance: right-hand side, coefficient field and
+/// the zeroth-order term.
+struct HelmholtzProblem {
+  Grid3D F;     ///< Right-hand side.
+  Grid3D Beta;  ///< Diffusion coefficient, strictly positive.
+  double Alpha = 1.0; ///< Zeroth-order coefficient, non-negative.
+};
+
+/// Out(interior) = (alpha I - div beta grad) U; boundary zero.
+void helmholtzApply(const HelmholtzProblem &P, const Grid3D &U, Grid3D &Out,
+                    support::CostCounter *Cost = nullptr);
+
+/// R = F - A U.
+void helmholtzResidual(const HelmholtzProblem &P, const Grid3D &U, Grid3D &R,
+                       support::CostCounter *Cost = nullptr);
+
+/// RMS of the residual.
+double helmholtzResidualNorm(const HelmholtzProblem &P, const Grid3D &U,
+                             support::CostCounter *Cost = nullptr);
+
+/// Damped Jacobi sweeps (0 < Omega <= 1).
+void helmholtzSmoothJacobi(const HelmholtzProblem &P, Grid3D &U, double Omega,
+                           unsigned Sweeps,
+                           support::CostCounter *Cost = nullptr);
+
+/// SOR sweeps in lexicographic order; Omega = 1 is Gauss-Seidel.
+void helmholtzSmoothSOR(const HelmholtzProblem &P, Grid3D &U, double Omega,
+                        unsigned Sweeps, support::CostCounter *Cost = nullptr);
+
+/// Full-weighting restriction of a 3D grid (27-point weights).
+Grid3D restrictFullWeighting3D(const Grid3D &Fine,
+                               support::CostCounter *Cost = nullptr);
+
+/// Injection restriction (used for coefficient fields).
+Grid3D injectCoarse3D(const Grid3D &Fine);
+
+/// Adds the trilinear prolongation of \p Coarse into \p Fine.
+void prolongAddTrilinear(const Grid3D &Coarse, Grid3D &Fine,
+                         support::CostCounter *Cost = nullptr);
+
+/// Full multigrid solve from a zero guess.
+Grid3D helmholtzMultigridSolve(const HelmholtzProblem &P,
+                               const MultigridOptions &Options,
+                               support::CostCounter *Cost = nullptr);
+
+/// Stationary iterative solve from a zero guess.
+Grid3D helmholtzStationarySolve(const HelmholtzProblem &P, SolverKind Kind,
+                                const StationaryOptions &Options,
+                                support::CostCounter *Cost = nullptr);
+
+/// Conjugate gradient solve from a zero guess.
+Grid3D helmholtzCGSolve(const HelmholtzProblem &P, const CGOptions &Options,
+                        support::CostCounter *Cost = nullptr);
+
+/// Banded-Cholesky direct solve (bandwidth (N-2)^2; use on small grids).
+Grid3D helmholtzDirectSolve(const HelmholtzProblem &P,
+                            support::CostCounter *Cost = nullptr);
+
+/// Ground-truth solution for accuracy metrics (heavy W-cycle multigrid).
+Grid3D helmholtzReferenceSolution(const HelmholtzProblem &P);
+
+} // namespace pde
+} // namespace pbt
+
+#endif // PBT_PDE_HELMHOLTZ3D_H

@@ -1,0 +1,80 @@
+//===- pde/Poisson2D.h - 2D Poisson solvers ---------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Solvers for the 2D Poisson problem -laplace(u) = f on the unit square
+/// with homogeneous Dirichlet boundary, discretised with the standard
+/// 5-point stencil. This is the substrate of the poisson2d benchmark: the
+/// autotuner chooses among multigrid (with tunable cycle shape), the
+/// stationary iterations, conjugate gradient, and a banded-Cholesky direct
+/// solve, all charging work to the deterministic cost model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_PDE_POISSON2D_H
+#define PBT_PDE_POISSON2D_H
+
+#include "pde/Grid2D.h"
+#include "pde/SolverOptions.h"
+#include "support/Cost.h"
+
+namespace pbt {
+namespace pde {
+
+/// Out(interior) = (-laplace U)(interior) = (4u - u_N - u_S - u_E - u_W)/h^2.
+/// Boundary nodes of Out are set to zero.
+void poissonApply(const Grid2D &U, Grid2D &Out,
+                  support::CostCounter *Cost = nullptr);
+
+/// R = F - A U on the interior; boundary zero.
+void poissonResidual(const Grid2D &U, const Grid2D &F, Grid2D &R,
+                     support::CostCounter *Cost = nullptr);
+
+/// RMS of the residual over all nodes.
+double poissonResidualNorm(const Grid2D &U, const Grid2D &F,
+                           support::CostCounter *Cost = nullptr);
+
+/// \p Sweeps damped-Jacobi sweeps (damping \p Omega, 0 < Omega <= 1).
+void smoothJacobi(Grid2D &U, const Grid2D &F, double Omega, unsigned Sweeps,
+                  support::CostCounter *Cost = nullptr);
+
+/// \p Sweeps SOR sweeps in lexicographic order; Omega = 1 is Gauss-Seidel.
+void smoothSOR(Grid2D &U, const Grid2D &F, double Omega, unsigned Sweeps,
+               support::CostCounter *Cost = nullptr);
+
+/// Full-weighting restriction of \p Fine (size 2m+1) onto a size m+1 grid.
+Grid2D restrictFullWeighting(const Grid2D &Fine,
+                             support::CostCounter *Cost = nullptr);
+
+/// Adds the bilinear prolongation of \p Coarse into \p Fine.
+void prolongAddBilinear(const Grid2D &Coarse, Grid2D &Fine,
+                        support::CostCounter *Cost = nullptr);
+
+/// Full multigrid solve from a zero initial guess.
+Grid2D multigridSolve(const Grid2D &F, const MultigridOptions &Options,
+                      support::CostCounter *Cost = nullptr);
+
+/// Stationary iterative solve from a zero guess.
+Grid2D stationarySolve(const Grid2D &F, SolverKind Kind,
+                       const StationaryOptions &Options,
+                       support::CostCounter *Cost = nullptr);
+
+/// Conjugate gradient solve from a zero guess.
+Grid2D cgSolve(const Grid2D &F, const CGOptions &Options,
+               support::CostCounter *Cost = nullptr);
+
+/// Banded-Cholesky direct solve.
+Grid2D directSolve(const Grid2D &F, support::CostCounter *Cost = nullptr);
+
+/// Reference solution used as ground truth for accuracy metrics: heavy
+/// W-cycle multigrid driven (near) to discretisation-independent machine
+/// precision. Not charged to any cost counter.
+Grid2D referenceSolution(const Grid2D &F);
+
+} // namespace pde
+} // namespace pbt
+
+#endif // PBT_PDE_POISSON2D_H

@@ -1,0 +1,74 @@
+//===- pde/SolverOptions.h - Shared solver configuration types -------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Solver/smoother enumerations and option structs shared by the poisson2d
+/// and helmholtz3d substrates. These map one-to-one onto the algorithmic
+/// choices the paper's PDE benchmarks expose to the autotuner: "multigrid,
+/// where cycle shapes are determined by the autotuner, and a number of
+/// iterative and direct solvers".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_PDE_SOLVEROPTIONS_H
+#define PBT_PDE_SOLVEROPTIONS_H
+
+namespace pbt {
+namespace pde {
+
+/// Top-level solver families (the either...or of the PDE benchmarks).
+enum class SolverKind : unsigned {
+  Multigrid = 0,
+  Jacobi = 1,
+  GaussSeidel = 2,
+  SOR = 3,
+  ConjugateGradient = 4,
+  Direct = 5,
+};
+inline constexpr unsigned NumSolverKinds = 6;
+
+/// Smoother used inside multigrid cycles.
+enum class SmootherKind : unsigned {
+  Jacobi = 0,
+  GaussSeidel = 1,
+  SOR = 2,
+};
+inline constexpr unsigned NumSmootherKinds = 3;
+
+/// Multigrid cycle description. Mu = 1 is a V-cycle, Mu = 2 a W-cycle;
+/// together with the pre/post smoothing counts this is the "cycle shape"
+/// the autotuner controls.
+struct MultigridOptions {
+  unsigned Cycles = 4;
+  unsigned PreSmooth = 2;
+  unsigned PostSmooth = 2;
+  unsigned Mu = 1;
+  SmootherKind Smoother = SmootherKind::GaussSeidel;
+  /// Relaxation factor (used when Smoother == SOR; Jacobi uses damping
+  /// min(Omega, 1)).
+  double Omega = 1.5;
+  /// Recursion stops at this grid size; the coarsest system is solved
+  /// directly.
+  unsigned CoarsestN = 5;
+};
+
+/// Stationary iterative solve (Jacobi / Gauss-Seidel / SOR at top level).
+struct StationaryOptions {
+  unsigned Iterations = 100;
+  double Omega = 1.5; // SOR only
+};
+
+/// Conjugate gradient options. The iteration cap is the tunable; the
+/// tolerance provides early exit when the solve converges sooner.
+struct CGOptions {
+  unsigned MaxIterations = 200;
+  double RelativeTolerance = 1e-12;
+};
+
+} // namespace pde
+} // namespace pbt
+
+#endif // PBT_PDE_SOLVEROPTIONS_H

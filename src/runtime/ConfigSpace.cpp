@@ -1,0 +1,222 @@
+//===- runtime/ConfigSpace.cpp --------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ConfigSpace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+using namespace pbt;
+using namespace pbt::runtime;
+
+unsigned ConfigSpace::addCategorical(std::string Name, unsigned Cardinality) {
+  assert(Cardinality >= 1 && "categorical parameter needs at least 1 choice");
+  ParamSpec P;
+  P.Name = std::move(Name);
+  P.Kind = ParamKind::Categorical;
+  P.Min = 0.0;
+  P.Max = static_cast<double>(Cardinality - 1);
+  P.Cardinality = Cardinality;
+  Params.push_back(std::move(P));
+  return static_cast<unsigned>(Params.size() - 1);
+}
+
+unsigned ConfigSpace::addInteger(std::string Name, int64_t Min, int64_t Max,
+                                 bool LogScale) {
+  assert(Min <= Max && "empty integer range");
+  assert((!LogScale || Min > 0) && "log-scaled range must be positive");
+  ParamSpec P;
+  P.Name = std::move(Name);
+  P.Kind = ParamKind::Integer;
+  P.Min = static_cast<double>(Min);
+  P.Max = static_cast<double>(Max);
+  P.LogScale = LogScale;
+  Params.push_back(std::move(P));
+  return static_cast<unsigned>(Params.size() - 1);
+}
+
+unsigned ConfigSpace::addReal(std::string Name, double Min, double Max,
+                              bool LogScale) {
+  assert(Min <= Max && "empty real range");
+  assert((!LogScale || Min > 0.0) && "log-scaled range must be positive");
+  ParamSpec P;
+  P.Name = std::move(Name);
+  P.Kind = ParamKind::Real;
+  P.Min = Min;
+  P.Max = Max;
+  P.LogScale = LogScale;
+  Params.push_back(std::move(P));
+  return static_cast<unsigned>(Params.size() - 1);
+}
+
+int ConfigSpace::indexOf(const std::string &Name) const {
+  for (size_t I = 0; I != Params.size(); ++I)
+    if (Params[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+/// Draws a uniform value for \p P, respecting integrality and log scaling.
+static double sampleParam(const ParamSpec &P, support::Rng &Rng) {
+  switch (P.Kind) {
+  case ParamKind::Categorical:
+    return static_cast<double>(Rng.index(P.Cardinality));
+  case ParamKind::Integer: {
+    if (P.LogScale) {
+      double L = Rng.uniform(std::log(P.Min), std::log(P.Max));
+      double V = std::round(std::exp(L));
+      return std::clamp(V, P.Min, P.Max);
+    }
+    return static_cast<double>(
+        Rng.range(static_cast<int64_t>(P.Min), static_cast<int64_t>(P.Max)));
+  }
+  case ParamKind::Real:
+    if (P.LogScale)
+      return std::exp(Rng.uniform(std::log(P.Min), std::log(P.Max)));
+    return Rng.uniform(P.Min, P.Max);
+  }
+  assert(false && "unknown parameter kind");
+  return P.Min;
+}
+
+Configuration ConfigSpace::randomConfig(support::Rng &Rng) const {
+  std::vector<double> V(Params.size());
+  for (size_t I = 0; I != Params.size(); ++I)
+    V[I] = sampleParam(Params[I], Rng);
+  return Configuration(std::move(V));
+}
+
+Configuration ConfigSpace::defaultConfig() const {
+  std::vector<double> V(Params.size());
+  for (size_t I = 0; I != Params.size(); ++I) {
+    const ParamSpec &P = Params[I];
+    switch (P.Kind) {
+    case ParamKind::Categorical:
+      V[I] = 0.0;
+      break;
+    case ParamKind::Integer: {
+      double Mid = P.LogScale ? std::exp((std::log(P.Min) + std::log(P.Max)) / 2)
+                              : (P.Min + P.Max) / 2;
+      V[I] = std::clamp(std::round(Mid), P.Min, P.Max);
+      break;
+    }
+    case ParamKind::Real:
+      V[I] = P.LogScale ? std::exp((std::log(P.Min) + std::log(P.Max)) / 2)
+                        : (P.Min + P.Max) / 2;
+      break;
+    }
+  }
+  return Configuration(std::move(V));
+}
+
+void ConfigSpace::mutate(Configuration &Config, support::Rng &Rng, double Rate,
+                         double Strength) const {
+  assert(Config.size() == Params.size() && "configuration/space mismatch");
+  for (size_t I = 0; I != Params.size(); ++I) {
+    if (!Rng.chance(Rate))
+      continue;
+    const ParamSpec &P = Params[I];
+    // A small fraction of mutations restart the parameter entirely; this is
+    // the PetaBricks-style "reset" mutator that keeps search ergodic.
+    if (Rng.chance(0.2)) {
+      Config.set(static_cast<unsigned>(I), sampleParam(P, Rng));
+      continue;
+    }
+    double V = Config.real(static_cast<unsigned>(I));
+    switch (P.Kind) {
+    case ParamKind::Categorical:
+      Config.set(static_cast<unsigned>(I),
+                 static_cast<double>(Rng.index(P.Cardinality)));
+      break;
+    case ParamKind::Integer:
+    case ParamKind::Real: {
+      double NewV;
+      if (P.LogScale) {
+        double Span = std::log(P.Max) - std::log(P.Min);
+        double L = std::log(std::max(V, P.Min)) +
+                   Rng.gaussian(0.0, std::max(1e-12, Strength * Span));
+        NewV = std::exp(L);
+      } else {
+        double Span = P.Max - P.Min;
+        NewV = V + Rng.gaussian(0.0, std::max(1e-12, Strength * Span));
+      }
+      if (P.Kind == ParamKind::Integer) {
+        NewV = std::round(NewV);
+        // Guarantee progress on fine-grained integer params.
+        if (NewV == V)
+          NewV = V + (Rng.chance(0.5) ? 1 : -1);
+      }
+      Config.set(static_cast<unsigned>(I), std::clamp(NewV, P.Min, P.Max));
+      break;
+    }
+    }
+  }
+}
+
+Configuration ConfigSpace::crossover(const Configuration &A,
+                                     const Configuration &B,
+                                     support::Rng &Rng) const {
+  assert(A.size() == Params.size() && B.size() == Params.size() &&
+         "configuration/space mismatch");
+  std::vector<double> V(Params.size());
+  for (size_t I = 0; I != Params.size(); ++I)
+    V[I] = Rng.chance(0.5) ? A.real(static_cast<unsigned>(I))
+                           : B.real(static_cast<unsigned>(I));
+  return Configuration(std::move(V));
+}
+
+void ConfigSpace::repair(Configuration &Config) const {
+  assert(Config.size() == Params.size() && "configuration/space mismatch");
+  for (size_t I = 0; I != Params.size(); ++I) {
+    const ParamSpec &P = Params[I];
+    double V = Config.real(static_cast<unsigned>(I));
+    if (P.Kind != ParamKind::Real)
+      V = std::round(V);
+    Config.set(static_cast<unsigned>(I), std::clamp(V, P.Min, P.Max));
+  }
+}
+
+double ConfigSpace::searchSpaceLog10(double RealResolution) const {
+  double Log10 = 0.0;
+  for (const ParamSpec &P : Params) {
+    switch (P.Kind) {
+    case ParamKind::Categorical:
+      Log10 += std::log10(static_cast<double>(P.Cardinality));
+      break;
+    case ParamKind::Integer:
+      Log10 += std::log10(P.Max - P.Min + 1.0);
+      break;
+    case ParamKind::Real:
+      Log10 += std::log10(RealResolution);
+      break;
+    }
+  }
+  return Log10;
+}
+
+std::string Configuration::toString() const {
+  std::ostringstream OS;
+  OS.precision(17);
+  for (size_t I = 0; I != Values.size(); ++I) {
+    if (I)
+      OS << ' ';
+    OS << Values[I];
+  }
+  return OS.str();
+}
+
+bool Configuration::fromString(const std::string &Text, Configuration &Out) {
+  std::istringstream IS(Text);
+  std::vector<double> V;
+  double X;
+  while (IS >> X)
+    V.push_back(X);
+  if (!IS.eof())
+    return false;
+  Out = Configuration(std::move(V));
+  return true;
+}

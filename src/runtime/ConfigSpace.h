@@ -1,0 +1,165 @@
+//===- runtime/ConfigSpace.h - Tunable parameter spaces -------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The algorithmic configuration space of a PetaBricks-style program.
+///
+/// PetaBricks programs expose *algorithmic choice* (either...or blocks,
+/// realised as selectors over recursive calls) together with ordinary
+/// tunables (cutoffs, iteration counts, sampling levels). A ConfigSpace
+/// declares every such parameter; a Configuration is one point in the
+/// space. The evolutionary autotuner manipulates Configurations through
+/// the mutation/crossover entry points defined here, and the two-level
+/// learning framework treats them as opaque "landmarks".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_RUNTIME_CONFIGSPACE_H
+#define PBT_RUNTIME_CONFIGSPACE_H
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace runtime {
+
+/// Discriminates the three parameter families the autotuner understands.
+enum class ParamKind {
+  /// Unordered finite choice, e.g. which algorithm an either...or picks.
+  Categorical,
+  /// Ordered integer range, e.g. a recursion cutoff. May be log-scaled.
+  Integer,
+  /// Continuous range, e.g. an SOR relaxation factor or a sampling level.
+  Real,
+};
+
+/// Declaration of a single tunable parameter.
+struct ParamSpec {
+  std::string Name;
+  ParamKind Kind = ParamKind::Real;
+  /// Inclusive bounds. For Categorical: [0, Cardinality-1].
+  double Min = 0.0;
+  double Max = 1.0;
+  /// Number of categories (Categorical only).
+  unsigned Cardinality = 0;
+  /// Mutate/sample in log space (Integer/Real with positive bounds). The
+  /// classic PetaBricks cutoff tunables are log-scaled because plausible
+  /// cutoffs span orders of magnitude.
+  bool LogScale = false;
+};
+
+class Configuration;
+
+/// An ordered collection of ParamSpecs defining a search space.
+class ConfigSpace {
+public:
+  /// Declare a categorical parameter with \p Cardinality choices.
+  /// \returns the parameter index.
+  unsigned addCategorical(std::string Name, unsigned Cardinality);
+
+  /// Declare an integer parameter in the inclusive range [Min, Max].
+  unsigned addInteger(std::string Name, int64_t Min, int64_t Max,
+                      bool LogScale = false);
+
+  /// Declare a real parameter in [Min, Max].
+  unsigned addReal(std::string Name, double Min, double Max,
+                   bool LogScale = false);
+
+  size_t size() const { return Params.size(); }
+  bool empty() const { return Params.empty(); }
+
+  const ParamSpec &param(unsigned Index) const {
+    assert(Index < Params.size() && "parameter index out of range");
+    return Params[Index];
+  }
+
+  /// Index of the parameter named \p Name, or -1 if absent.
+  int indexOf(const std::string &Name) const;
+
+  /// Uniformly random configuration (log-scaled params sample uniformly in
+  /// log space).
+  Configuration randomConfig(support::Rng &Rng) const;
+
+  /// A deterministic mid-range configuration, useful as a search seed.
+  Configuration defaultConfig() const;
+
+  /// Mutates \p Config in place. Each parameter independently mutates with
+  /// probability \p Rate; categorical params resample, numeric params take
+  /// a (log-space, where marked) Gaussian step scaled by \p Strength of the
+  /// range, occasionally resetting to a fresh uniform sample.
+  void mutate(Configuration &Config, support::Rng &Rng, double Rate,
+              double Strength) const;
+
+  /// Uniform crossover of two parents.
+  Configuration crossover(const Configuration &A, const Configuration &B,
+                          support::Rng &Rng) const;
+
+  /// Clamp every value into its declared range, rounding integers and
+  /// categoricals. Mutation keeps configs valid; this is a safety net for
+  /// externally constructed configurations.
+  void repair(Configuration &Config) const;
+
+  /// log10 of the number of distinct configurations, counting real
+  /// parameters at \p RealResolution distinguishable values. Reported by
+  /// benchmarks to document search-space sizes as the paper does.
+  double searchSpaceLog10(double RealResolution = 1e4) const;
+
+private:
+  std::vector<ParamSpec> Params;
+};
+
+/// One point in a ConfigSpace. Values are stored as doubles; integer and
+/// categorical parameters hold exact integral values.
+class Configuration {
+public:
+  Configuration() = default;
+  explicit Configuration(std::vector<double> Values)
+      : Values(std::move(Values)) {}
+
+  size_t size() const { return Values.size(); }
+  bool empty() const { return Values.empty(); }
+
+  double real(unsigned Index) const {
+    assert(Index < Values.size() && "parameter index out of range");
+    return Values[Index];
+  }
+
+  int64_t integer(unsigned Index) const {
+    return static_cast<int64_t>(real(Index));
+  }
+
+  unsigned category(unsigned Index) const {
+    double V = real(Index);
+    assert(V >= 0.0 && "categorical value must be non-negative");
+    return static_cast<unsigned>(V);
+  }
+
+  void set(unsigned Index, double Value) {
+    assert(Index < Values.size() && "parameter index out of range");
+    Values[Index] = Value;
+  }
+
+  const std::vector<double> &values() const { return Values; }
+  std::vector<double> &values() { return Values; }
+
+  bool operator==(const Configuration &O) const { return Values == O.Values; }
+
+  /// Compact textual form "v0 v1 v2 ...", parseable by fromString.
+  std::string toString() const;
+  /// Parses toString output. \returns false on malformed input.
+  static bool fromString(const std::string &Text, Configuration &Out);
+
+private:
+  std::vector<double> Values;
+};
+
+} // namespace runtime
+} // namespace pbt
+
+#endif // PBT_RUNTIME_CONFIGSPACE_H

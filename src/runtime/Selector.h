@@ -1,0 +1,99 @@
+//===- runtime/Selector.h - Recursive algorithmic-choice selectors --------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Selectors realise PetaBricks polyalgorithms (Figure 2 of the paper): at
+/// every recursive invocation of an either...or choice site, a selector
+/// maps the current problem size onto one of the available algorithms via
+/// an ordered list of size cutoffs.
+///
+/// A SelectorScheme declares the tunable parameters a selector needs
+/// (cutoffs and per-level choices) inside a ConfigSpace; a Selector is the
+/// decoded, immutable decision rule for one Configuration. Example: the
+/// decoded rule {(600, InsertionSort), (1420, QuickSort), (inf, MergeSort)}
+/// is exactly the paper's Figure 2 polyalgorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_RUNTIME_SELECTOR_H
+#define PBT_RUNTIME_SELECTOR_H
+
+#include "runtime/ConfigSpace.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace runtime {
+
+/// Immutable decision rule: choice for the first level whose cutoff exceeds
+/// the problem size; the last level has an implicit infinite cutoff.
+class Selector {
+public:
+  struct Level {
+    /// Problem sizes strictly below this cutoff take this level's choice.
+    uint64_t Cutoff;
+    unsigned Choice;
+  };
+
+  Selector() = default;
+  explicit Selector(std::vector<Level> Levels) : Levels(std::move(Levels)) {}
+
+  /// The algorithmic choice for problem size \p N.
+  unsigned choose(uint64_t N) const {
+    for (const Level &L : Levels)
+      if (N < L.Cutoff)
+        return L.Choice;
+    // Declared levels always end with an infinite cutoff; an empty selector
+    // defaults to choice 0.
+    return Levels.empty() ? 0 : Levels.back().Choice;
+  }
+
+  const std::vector<Level> &levels() const { return Levels; }
+
+  /// Human-readable form, e.g. "[n<600 -> 2][n<1420 -> 1][* -> 0]".
+  std::string str() const;
+
+private:
+  std::vector<Level> Levels;
+};
+
+/// Declares the tunables for one selector inside a ConfigSpace and decodes
+/// them from Configurations.
+///
+/// A scheme with L levels over C choices contributes L categorical choice
+/// parameters and L-1 log-scaled integer cutoffs. Cutoffs as stored are
+/// unordered; decoding sorts them, which keeps the search space free of
+/// dead regions (every configuration decodes to a valid selector).
+class SelectorScheme {
+public:
+  SelectorScheme() = default;
+
+  /// Adds the selector parameters to \p Space. \p MinCutoff/\p MaxCutoff
+  /// bound the size cutoffs; \p NumChoices is the either...or arity.
+  static SelectorScheme declare(ConfigSpace &Space, const std::string &Name,
+                                unsigned NumLevels, unsigned NumChoices,
+                                uint64_t MinCutoff, uint64_t MaxCutoff);
+
+  /// Decodes the selector encoded in \p Config.
+  Selector instantiate(const Configuration &Config) const;
+
+  unsigned numLevels() const { return NumLevels; }
+  unsigned numChoices() const { return NumChoices; }
+
+private:
+  unsigned FirstChoiceParam = 0;
+  unsigned FirstCutoffParam = 0;
+  unsigned NumLevels = 0;
+  unsigned NumChoices = 0;
+};
+
+} // namespace runtime
+} // namespace pbt
+
+#endif // PBT_RUNTIME_SELECTOR_H

@@ -1,0 +1,60 @@
+//===- runtime/TunableProgram.cpp ------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/TunableProgram.h"
+
+using namespace pbt;
+using namespace pbt::runtime;
+
+TunableProgram::~TunableProgram() = default;
+
+unsigned TunableProgram::numMLFeatures() const {
+  unsigned Total = 0;
+  for (const FeatureInfo &F : features())
+    Total += F.Levels;
+  return Total;
+}
+
+FeatureIndex::FeatureIndex(const std::vector<FeatureInfo> &Features) {
+  Offsets.reserve(Features.size());
+  Counts.reserve(Features.size());
+  Names.reserve(Features.size());
+  for (const FeatureInfo &F : Features) {
+    assert(F.Levels >= 1 && "feature must have at least one level");
+    Offsets.push_back(Total);
+    Counts.push_back(F.Levels);
+    Names.push_back(F.Name);
+    Total += F.Levels;
+  }
+}
+
+unsigned FeatureIndex::levels(unsigned Property) const {
+  assert(Property < Counts.size() && "property out of range");
+  return Counts[Property];
+}
+
+unsigned FeatureIndex::flat(unsigned Property, unsigned Level) const {
+  assert(Property < Offsets.size() && "property out of range");
+  assert(Level < Counts[Property] && "level out of range");
+  return Offsets[Property] + Level;
+}
+
+unsigned FeatureIndex::propertyOf(unsigned Flat) const {
+  assert(Flat < Total && "flat feature out of range");
+  unsigned P = 0;
+  while (P + 1 < Offsets.size() && Offsets[P + 1] <= Flat)
+    ++P;
+  return P;
+}
+
+unsigned FeatureIndex::levelOf(unsigned Flat) const {
+  return Flat - Offsets[propertyOf(Flat)];
+}
+
+std::string FeatureIndex::flatName(unsigned Flat) const {
+  unsigned P = propertyOf(Flat);
+  return Names[P] + "@" + std::to_string(levelOf(Flat));
+}

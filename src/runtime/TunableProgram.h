@@ -1,0 +1,131 @@
+//===- runtime/TunableProgram.h - The program-under-tuning interface ------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TunableProgram is the contract between a benchmark (a PetaBricks-style
+/// program with algorithmic choices, input features and optionally a
+/// variable-accuracy metric) and everything above it: the evolutionary
+/// autotuner, the two-level learning pipeline, the oracles, and the
+/// benchmark harnesses.
+///
+/// A program owns a set of training/test inputs (created through its own
+/// typed generator API and addressed here by index), can run any input
+/// under any Configuration reporting deterministic cost and accuracy, and
+/// exposes its input_feature extractors, each evaluable at z sampling
+/// levels of increasing cost -- mirroring the paper's language extension
+/// where a `level` tunable controls extractor sampling rates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_RUNTIME_TUNABLEPROGRAM_H
+#define PBT_RUNTIME_TUNABLEPROGRAM_H
+
+#include "runtime/ConfigSpace.h"
+#include "support/Cost.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace runtime {
+
+/// Declaration of one input_feature extractor (a "property" in the paper's
+/// terms). Each property can be sampled at Levels increasing-cost levels;
+/// property x level pairs form the M = u*z machine-learning features.
+struct FeatureInfo {
+  std::string Name;
+  unsigned Levels = 3;
+};
+
+/// Variable-accuracy requirements (paper Section 2.3/3.3): a computation
+/// result counts as accurate when the program's accuracy metric reaches
+/// AccuracyThreshold; a classifier/configuration is acceptable when at
+/// least SatisfactionThreshold of inputs are accurate.
+struct AccuracySpec {
+  double AccuracyThreshold = 0.0;
+  double SatisfactionThreshold = 0.95;
+};
+
+/// Outcome of one program run: deterministic cost ("time") plus the value
+/// of the program's accuracy metric (1.0 for exact programs).
+struct RunResult {
+  double TimeUnits = 0.0;
+  double Accuracy = 1.0;
+};
+
+/// Abstract interface implemented by each of the six benchmarks.
+class TunableProgram {
+public:
+  virtual ~TunableProgram();
+
+  /// Short identifier, e.g. "sort" or "poisson2d".
+  virtual std::string name() const = 0;
+
+  /// The algorithmic configuration space searched by the autotuner.
+  virtual const ConfigSpace &space() const = 0;
+
+  /// The input_feature declarations, in a fixed order.
+  virtual std::vector<FeatureInfo> features() const = 0;
+
+  /// Accuracy requirements; std::nullopt for exact programs (sort).
+  virtual std::optional<AccuracySpec> accuracy() const = 0;
+
+  /// Number of inputs currently owned by the program.
+  virtual size_t numInputs() const = 0;
+
+  /// Evaluates property \p Feature of input \p Input at sampling level
+  /// \p Level (0 = cheapest), charging the extraction work to \p Cost.
+  virtual double extractFeature(size_t Input, unsigned Feature, unsigned Level,
+                                support::CostCounter &Cost) const = 0;
+
+  /// Runs input \p Input under \p Config. Work is charged to \p Cost; the
+  /// returned RunResult::TimeUnits must equal the charged work.
+  virtual RunResult run(size_t Input, const Configuration &Config,
+                        support::CostCounter &Cost) const = 0;
+
+  /// Convenience: total number of ML features (sum of per-property levels).
+  unsigned numMLFeatures() const;
+
+  /// Convenience: run without an external counter. (Named differently
+  /// from run() so derived-class overrides do not hide it.)
+  RunResult runOnce(size_t Input, const Configuration &Config) const {
+    support::CostCounter C;
+    return run(Input, Config, C);
+  }
+};
+
+/// Maps a flat ML-feature index to its (property, level) pair and back.
+/// Flat order: property 0 levels 0..z0-1, then property 1, ...
+class FeatureIndex {
+public:
+  explicit FeatureIndex(const std::vector<FeatureInfo> &Features);
+
+  unsigned numProperties() const {
+    return static_cast<unsigned>(Offsets.size());
+  }
+  unsigned numFlat() const { return Total; }
+  unsigned levels(unsigned Property) const;
+  unsigned flat(unsigned Property, unsigned Level) const;
+  unsigned propertyOf(unsigned Flat) const;
+  unsigned levelOf(unsigned Flat) const;
+  const std::string &propertyName(unsigned Property) const {
+    return Names[Property];
+  }
+  /// Name of a flat feature, e.g. "sortedness@2".
+  std::string flatName(unsigned Flat) const;
+
+private:
+  std::vector<unsigned> Offsets; // per property, first flat index
+  std::vector<unsigned> Counts;  // per property, number of levels
+  std::vector<std::string> Names;
+  unsigned Total = 0;
+};
+
+} // namespace runtime
+} // namespace pbt
+
+#endif // PBT_RUNTIME_TUNABLEPROGRAM_H

@@ -1,0 +1,95 @@
+//===- support/Cost.h - Deterministic work accounting ---------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic cost model that stands in for wall-clock time.
+///
+/// The paper measures wall-clock execution time on a 32-core Xeon. The
+/// learning pipeline, however, only consumes *relative* performance: which
+/// landmark configuration is fastest on which input, and how large the gaps
+/// are. Every algorithm kernel in this repository counts its abstract work
+/// (comparisons, element moves, floating point operations, stencil point
+/// updates) into a CostCounter, producing a machine-independent, perfectly
+/// reproducible "time". Wall-clock timing remains available through
+/// WallTimer for the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_COST_H
+#define PBT_SUPPORT_COST_H
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+
+namespace pbt {
+namespace support {
+
+/// Accumulates abstract work units for one measured activity (a program run
+/// or a feature extraction).
+///
+/// The unit weights are deliberately simple -- one unit per elementary
+/// operation -- because the pipeline only needs ordering and ratios to be
+/// realistic, not absolute nanoseconds. Categories are tracked separately
+/// so tests can assert on the *kind* of work an algorithm performs.
+class CostCounter {
+public:
+  void addCompares(double N) { Compares += N; }
+  void addMoves(double N) { Moves += N; }
+  void addFlops(double N) { Flops += N; }
+  void addStencil(double N) { Stencil += N; }
+  /// Uncategorised work (e.g. hashing, bookkeeping proportional to N).
+  void addOther(double N) { Other += N; }
+
+  double compares() const { return Compares; }
+  double moves() const { return Moves; }
+  double flops() const { return Flops; }
+  double stencil() const { return Stencil; }
+  double other() const { return Other; }
+
+  /// Total work units: the stand-in for execution time.
+  double units() const { return Compares + Moves + Flops + Stencil + Other; }
+
+  void reset() { Compares = Moves = Flops = Stencil = Other = 0.0; }
+
+  /// Fold another counter into this one.
+  void merge(const CostCounter &C) {
+    Compares += C.Compares;
+    Moves += C.Moves;
+    Flops += C.Flops;
+    Stencil += C.Stencil;
+    Other += C.Other;
+  }
+
+private:
+  double Compares = 0.0;
+  double Moves = 0.0;
+  double Flops = 0.0;
+  double Stencil = 0.0;
+  double Other = 0.0;
+};
+
+/// Monotonic wall-clock stopwatch for the benchmark harnesses.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  void restart() { Start = Clock::now(); }
+
+  double elapsedSeconds() const {
+    auto D = Clock::now() - Start;
+    return std::chrono::duration<double>(D).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace support
+} // namespace pbt
+
+#endif // PBT_SUPPORT_COST_H

@@ -1,0 +1,122 @@
+//===- support/Random.cpp -------------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::support;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Rng::Rng(uint64_t Seed) {
+  // SplitMix64 expansion guarantees a non-degenerate xoshiro state even for
+  // adversarial seeds such as 0.
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+int64_t Rng::range(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty integer range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Limit = UINT64_MAX - UINT64_MAX % Span;
+  uint64_t X = next();
+  while (X >= Limit)
+    X = next();
+  return Lo + static_cast<int64_t>(X % Span);
+}
+
+size_t Rng::index(size_t N) {
+  assert(N > 0 && "index() needs a non-empty range");
+  return static_cast<size_t>(range(0, static_cast<int64_t>(N) - 1));
+}
+
+double Rng::gaussian(double Mean, double StdDev) {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return Mean + StdDev * SpareGaussian;
+  }
+  // Box-Muller; loop rejects the measure-zero U == 0 case.
+  double U = uniform();
+  while (U <= 0.0)
+    U = uniform();
+  double V = uniform();
+  double R = std::sqrt(-2.0 * std::log(U));
+  double Theta = 2.0 * M_PI * V;
+  SpareGaussian = R * std::sin(Theta);
+  HasSpareGaussian = true;
+  return Mean + StdDev * R * std::cos(Theta);
+}
+
+double Rng::exponential(double Rate) {
+  assert(Rate > 0.0 && "exponential rate must be positive");
+  double U = uniform();
+  while (U <= 0.0)
+    U = uniform();
+  return -std::log(U) / Rate;
+}
+
+bool Rng::chance(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return uniform() < P;
+}
+
+std::vector<size_t> Rng::sampleWithoutReplacement(size_t N, size_t K) {
+  assert(K <= N && "cannot sample more elements than available");
+  // Partial Fisher-Yates over an index vector; O(N) setup, fine at our
+  // scales and exactly uniform.
+  std::vector<size_t> All(N);
+  for (size_t I = 0; I != N; ++I)
+    All[I] = I;
+  for (size_t I = 0; I != K; ++I) {
+    size_t J = I + index(N - I);
+    std::swap(All[I], All[J]);
+  }
+  All.resize(K);
+  return All;
+}
+
+Rng Rng::split() { return Rng(next()); }

@@ -1,0 +1,94 @@
+//===- support/Random.h - Deterministic random number generation ---------===//
+//
+// Part of the pbtuner project: reproduction of "Autotuning Algorithmic
+// Choice for Input Sensitivity" (PLDI 2015).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic random number generator (xoshiro256**,
+/// seeded through SplitMix64). Every stochastic component of the system
+/// (input generators, K-means initialisation, the evolutionary autotuner,
+/// subset sampling for Figure 8) draws from an explicitly seeded Rng so
+/// that runs are reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_RANDOM_H
+#define PBT_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pbt {
+namespace support {
+
+/// Deterministic pseudo random number generator.
+///
+/// Implements xoshiro256** 1.0 (Blackman & Vigna). State is seeded from a
+/// single 64-bit value through SplitMix64, so two Rng instances constructed
+/// with the same seed produce identical streams on every platform.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Uniform integer in the inclusive range [Lo, Hi].
+  int64_t range(int64_t Lo, int64_t Hi);
+
+  /// Uniform index in [0, N). N must be positive.
+  size_t index(size_t N);
+
+  /// Standard normal deviate scaled to \p Mean and \p StdDev (Box-Muller).
+  double gaussian(double Mean = 0.0, double StdDev = 1.0);
+
+  /// Exponential deviate with the given rate parameter.
+  double exponential(double Rate = 1.0);
+
+  /// Returns true with probability \p P.
+  bool chance(double P);
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &V) {
+    if (V.size() < 2)
+      return;
+    for (size_t I = V.size() - 1; I > 0; --I) {
+      size_t J = index(I + 1);
+      std::swap(V[I], V[J]);
+    }
+  }
+
+  /// Pick a uniformly random element of a non-empty vector.
+  template <typename T> const T &pick(const std::vector<T> &V) {
+    assert(!V.empty() && "cannot pick from an empty vector");
+    return V[index(V.size())];
+  }
+
+  /// Sample \p K distinct indices from [0, N) in random order.
+  std::vector<size_t> sampleWithoutReplacement(size_t N, size_t K);
+
+  /// Derive an independently seeded generator. Useful to hand each parallel
+  /// worker or pipeline stage its own stream while keeping determinism.
+  Rng split();
+
+private:
+  uint64_t State[4];
+  double SpareGaussian = 0.0;
+  bool HasSpareGaussian = false;
+};
+
+} // namespace support
+} // namespace pbt
+
+#endif // PBT_SUPPORT_RANDOM_H

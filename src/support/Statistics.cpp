@@ -1,0 +1,91 @@
+//===- support/Statistics.cpp ---------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::support;
+
+double support::mean(const std::vector<double> &V) {
+  if (V.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : V)
+    Sum += X;
+  return Sum / static_cast<double>(V.size());
+}
+
+double support::variance(const std::vector<double> &V) {
+  if (V.size() < 2)
+    return 0.0;
+  double M = mean(V);
+  double Sum = 0.0;
+  for (double X : V)
+    Sum += (X - M) * (X - M);
+  return Sum / static_cast<double>(V.size());
+}
+
+double support::stddev(const std::vector<double> &V) {
+  return std::sqrt(variance(V));
+}
+
+double support::geomean(const std::vector<double> &V) {
+  if (V.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double X : V) {
+    assert(X > 0.0 && "geomean requires positive values");
+    LogSum += std::log(X);
+  }
+  return std::exp(LogSum / static_cast<double>(V.size()));
+}
+
+double support::quantile(std::vector<double> V, double Q) {
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile must be in [0,1]");
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  if (V.size() == 1)
+    return V[0];
+  double Pos = Q * static_cast<double>(V.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, V.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return V[Lo] * (1.0 - Frac) + V[Hi] * Frac;
+}
+
+double support::median(const std::vector<double> &V) {
+  return quantile(V, 0.5);
+}
+
+double support::minOf(const std::vector<double> &V) {
+  assert(!V.empty() && "minOf of empty vector");
+  return *std::min_element(V.begin(), V.end());
+}
+
+double support::maxOf(const std::vector<double> &V) {
+  assert(!V.empty() && "maxOf of empty vector");
+  return *std::max_element(V.begin(), V.end());
+}
+
+Summary Summary::of(const std::vector<double> &V) {
+  Summary S;
+  S.Count = V.size();
+  if (V.empty())
+    return S;
+  S.Mean = mean(V);
+  S.StdDev = stddev(V);
+  S.Min = minOf(V);
+  S.Q1 = quantile(V, 0.25);
+  S.Median = median(V);
+  S.Q3 = quantile(V, 0.75);
+  S.Max = maxOf(V);
+  return S;
+}

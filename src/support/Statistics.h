@@ -1,0 +1,62 @@
+//===- support/Statistics.h - Basic descriptive statistics ---------------===//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics used throughout the learning pipeline and the
+/// benchmark harnesses (mean speedups, quartile error bars for Figure 8,
+/// z-score feature normalisation, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_STATISTICS_H
+#define PBT_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace pbt {
+namespace support {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(const std::vector<double> &V);
+
+/// Population variance; 0 for fewer than two samples.
+double variance(const std::vector<double> &V);
+
+/// Population standard deviation.
+double stddev(const std::vector<double> &V);
+
+/// Geometric mean of strictly positive values; 0 for empty input.
+double geomean(const std::vector<double> &V);
+
+/// Linear-interpolation quantile, Q in [0, 1]. Copies and sorts internally.
+double quantile(std::vector<double> V, double Q);
+
+/// Median (quantile 0.5).
+double median(const std::vector<double> &V);
+
+double minOf(const std::vector<double> &V);
+double maxOf(const std::vector<double> &V);
+
+/// Five-number-plus summary of a sample, as used for the Figure 8 error
+/// bars (median, first/third quartile, min, max).
+struct Summary {
+  size_t Count = 0;
+  double Mean = 0.0;
+  double StdDev = 0.0;
+  double Min = 0.0;
+  double Q1 = 0.0;
+  double Median = 0.0;
+  double Q3 = 0.0;
+  double Max = 0.0;
+
+  static Summary of(const std::vector<double> &V);
+};
+
+} // namespace support
+} // namespace pbt
+
+#endif // PBT_SUPPORT_STATISTICS_H

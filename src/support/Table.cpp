@@ -1,0 +1,124 @@
+//===- support/Table.cpp --------------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace pbt;
+using namespace pbt::support;
+
+void TextTable::setHeader(std::vector<std::string> Names) {
+  Header = std::move(Names);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert((Header.empty() || Cells.size() == Header.size()) &&
+         "row width must match header width");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::format() const {
+  // Compute column widths over header and all rows.
+  size_t NumCols = Header.size();
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+  std::vector<size_t> Width(NumCols, 0);
+  auto Grow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I)
+      Width[I] = std::max(Width[I], Row[I].size());
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  std::ostringstream OS;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      OS << Row[I];
+      if (I + 1 != Row.size())
+        OS << std::string(Width[I] - Row[I].size() + 2, ' ');
+    }
+    OS << '\n';
+  };
+  if (!Header.empty()) {
+    Emit(Header);
+    size_t Total = 0;
+    for (size_t I = 0; I != NumCols; ++I)
+      Total += Width[I] + (I + 1 != NumCols ? 2 : 0);
+    OS << std::string(Total, '-') << '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return OS.str();
+}
+
+std::string support::formatDouble(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string support::formatSpeedup(double Value) {
+  // Match the paper's style: two decimals normally, three below 0.1 so
+  // extreme slowdowns like 0.095x stay legible.
+  int Precision = Value < 0.1 ? 3 : 2;
+  return formatDouble(Value, Precision) + "x";
+}
+
+std::string support::formatPercent(double Fraction) {
+  return formatDouble(Fraction * 100.0, 2) + "%";
+}
+
+static std::string escapeCsv(const std::string &Cell) {
+  bool NeedsQuote = Cell.find_first_of(",\"\n") != std::string::npos;
+  if (!NeedsQuote)
+    return Cell;
+  std::string Out = "\"";
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+void CsvWriter::setHeader(std::vector<std::string> Names) {
+  Header = std::move(Names);
+}
+
+void CsvWriter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string CsvWriter::str() const {
+  std::ostringstream OS;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I != Row.size(); ++I) {
+      OS << escapeCsv(Row[I]);
+      if (I + 1 != Row.size())
+        OS << ',';
+    }
+    OS << '\n';
+  };
+  if (!Header.empty())
+    Emit(Header);
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return OS.str();
+}
+
+bool CsvWriter::writeFile(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  OS << str();
+  return static_cast<bool>(OS);
+}

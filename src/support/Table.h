@@ -1,0 +1,65 @@
+//===- support/Table.h - Aligned text tables and CSV output --------------===//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-text table formatting used by the benchmark harnesses to print the
+/// paper's tables and figure series, plus a small CSV writer so results can
+/// be plotted externally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_TABLE_H
+#define PBT_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace support {
+
+/// Builds a monospace-aligned table. Columns are sized to the widest cell.
+class TextTable {
+public:
+  void setHeader(std::vector<std::string> Names);
+  void addRow(std::vector<std::string> Cells);
+  /// Renders the table, one trailing newline included.
+  std::string format() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats a double with fixed \p Precision decimal places.
+std::string formatDouble(double Value, int Precision = 2);
+
+/// Formats a ratio as the paper prints speedups, e.g. "2.95x".
+std::string formatSpeedup(double Value);
+
+/// Formats a fraction in [0,1] as a percentage, e.g. "54.56%".
+std::string formatPercent(double Fraction);
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file. Cells containing
+/// commas or quotes are quoted.
+class CsvWriter {
+public:
+  void setHeader(std::vector<std::string> Names);
+  void addRow(std::vector<std::string> Cells);
+  /// Returns true on success.
+  bool writeFile(const std::string &Path) const;
+  std::string str() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace support
+} // namespace pbt
+
+#endif // PBT_SUPPORT_TABLE_H

@@ -1,0 +1,98 @@
+//===- support/ThreadPool.cpp ---------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace pbt;
+using namespace pbt::support;
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = hardwareThreads();
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+bool ThreadPool::runSomeOf(Job &J) {
+  // Claim one index at a time under the lock; execute outside it. Bodies in
+  // this project are coarse (a full program run), so per-index locking is
+  // negligible overhead and keeps the implementation obviously correct.
+  size_t Index;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!HasJob || J.NextIndex >= J.End)
+      return false;
+    Index = J.NextIndex++;
+  }
+  (*J.Body)(Index);
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(J.Remaining > 0 && "completion underflow");
+    if (--J.Remaining == 0)
+      JobDone.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock, [this] {
+        return ShuttingDown || (HasJob && Current.NextIndex < Current.End);
+      });
+      if (ShuttingDown)
+        return;
+    }
+    while (runSomeOf(Current)) {
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t Begin, size_t End,
+                             const std::function<void(size_t)> &Body) {
+  if (Begin >= End)
+    return;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    assert(!HasJob && "nested/concurrent parallelFor is not supported");
+    Current.Begin = Begin;
+    Current.End = End;
+    Current.Body = &Body;
+    Current.NextIndex = Begin;
+    Current.Remaining = End - Begin;
+    HasJob = true;
+  }
+  WorkAvailable.notify_all();
+  // The calling thread participates too.
+  while (runSomeOf(Current)) {
+  }
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    JobDone.wait(Lock, [this] { return Current.Remaining == 0; });
+    HasJob = false;
+    Current.Body = nullptr;
+  }
+}

@@ -1,0 +1,73 @@
+//===- support/ThreadPool.h - Minimal parallel-for pool -------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool exposing a blocking parallelFor. Used to
+/// parallelise the embarrassingly parallel stages of the pipeline
+/// (landmark-on-every-input performance measurement, autotuner population
+/// evaluation). All measured quantities are deterministic work units, so
+/// parallel scheduling never perturbs results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_THREADPOOL_H
+#define PBT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pbt {
+namespace support {
+
+/// Fixed pool of worker threads with a blocking index-range parallel for.
+class ThreadPool {
+public:
+  /// \p NumThreads == 0 selects the hardware concurrency (at least 1).
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Runs \p Body(I) for every I in [Begin, End), distributing indices over
+  /// the pool, and blocks until all indices completed. Safe to call with an
+  /// empty range. Calls from within a worker are executed inline.
+  void parallelFor(size_t Begin, size_t End,
+                   const std::function<void(size_t)> &Body);
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  static unsigned hardwareThreads();
+
+private:
+  struct Job {
+    size_t Begin = 0;
+    size_t End = 0;
+    const std::function<void(size_t)> *Body = nullptr;
+    size_t NextIndex = 0;
+    size_t Remaining = 0;
+  };
+
+  void workerLoop();
+  bool runSomeOf(Job &J);
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable JobDone;
+  Job Current;
+  bool HasJob = false;
+  bool ShuttingDown = false;
+};
+
+} // namespace support
+} // namespace pbt
+
+#endif // PBT_SUPPORT_THREADPOOL_H

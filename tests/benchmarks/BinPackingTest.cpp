@@ -1,0 +1,192 @@
+//===- tests/benchmarks/BinPackingTest.cpp -----------------------------------=//
+
+#include "benchmarks/BinPackingBenchmark.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+namespace {
+
+/// Property sweep: every algorithm produces a valid packing on every
+/// generator family.
+using AlgoGenParam = std::tuple<unsigned, unsigned>;
+
+class PackingProperty : public ::testing::TestWithParam<AlgoGenParam> {};
+
+TEST_P(PackingProperty, PackingIsValid) {
+  auto [AlgoIdx, GenIdx] = GetParam();
+  support::Rng Rng(500 + AlgoIdx * 31 + GenIdx);
+  for (size_t N : {1ull, 2ull, 17ull, 128ull, 400ull}) {
+    std::vector<double> Items =
+        generatePackInput(static_cast<PackGen>(GenIdx), N, Rng);
+    support::CostCounter Cost;
+    PackingResult R = pack(static_cast<PackAlgo>(AlgoIdx), Items, Cost);
+    EXPECT_TRUE(packingIsValid(R, Items))
+        << packAlgoName(static_cast<PackAlgo>(AlgoIdx)) << " on "
+        << packGenName(static_cast<PackGen>(GenIdx)) << " n=" << N;
+    EXPECT_GT(Cost.units(), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgosAllGens, PackingProperty,
+    ::testing::Combine(::testing::Range(0u, NumPackAlgos),
+                       ::testing::Range(0u, NumPackGens)));
+
+TEST(BinPackingTest, KnownFirstFitExample) {
+  // Items 0.6, 0.6, 0.4, 0.4: FF opens two bins then fills them.
+  std::vector<double> Items{0.6, 0.6, 0.4, 0.4};
+  support::CostCounter C;
+  PackingResult R = pack(PackAlgo::FirstFit, Items, C);
+  EXPECT_EQ(R.numBins(), 2u);
+  EXPECT_NEAR(R.averageOccupancy(), 1.0, 1e-12);
+}
+
+TEST(BinPackingTest, NextFitMissesEarlierBins) {
+  // 0.6, 0.6, 0.4: NextFit cannot return to bin 0 for the 0.4.
+  std::vector<double> Items{0.6, 0.6, 0.4};
+  support::CostCounter C;
+  PackingResult NF = pack(PackAlgo::NextFit, Items, C);
+  PackingResult FF = pack(PackAlgo::FirstFit, Items, C);
+  EXPECT_EQ(NF.numBins(), 2u);
+  EXPECT_EQ(FF.numBins(), 2u);
+  // Same bin count here, but loads differ: FF puts 0.4 with the first 0.6.
+  EXPECT_NEAR(FF.BinLoads[0], 1.0, 1e-12);
+  EXPECT_NEAR(NF.BinLoads[1], 1.0, 1e-12);
+}
+
+TEST(BinPackingTest, BestFitPrefersTightestBin) {
+  // Open bins with loads 0.5 and 0.7 (via items), then add 0.3: BestFit
+  // must put it in the 0.7 bin.
+  std::vector<double> Items{0.5, 0.7, 0.3};
+  support::CostCounter C;
+  PackingResult R = pack(PackAlgo::BestFit, Items, C);
+  ASSERT_EQ(R.numBins(), 2u);
+  EXPECT_NEAR(R.BinLoads[1], 1.0, 1e-12);
+}
+
+TEST(BinPackingTest, WorstFitPrefersEmptiestBin) {
+  std::vector<double> Items{0.5, 0.7, 0.3};
+  support::CostCounter C;
+  PackingResult R = pack(PackAlgo::WorstFit, Items, C);
+  ASSERT_EQ(R.numBins(), 2u);
+  EXPECT_NEAR(R.BinLoads[0], 0.8, 1e-12);
+}
+
+TEST(BinPackingTest, AlmostWorstFitPicksSecondEmptiest) {
+  // After 0.9, 0.6, 0.5 the bins are {0.9, 0.6, 0.5}. Item 0.3 fits bins
+  // 1 (residual 0.1 after placing) and 2 (residual 0.2): the emptiest is
+  // bin 2, so AWF places in the second-emptiest, bin 1.
+  std::vector<double> Items{0.9, 0.6, 0.5, 0.3};
+  support::CostCounter C;
+  PackingResult R = pack(PackAlgo::AlmostWorstFit, Items, C);
+  ASSERT_EQ(R.numBins(), 3u);
+  EXPECT_NEAR(R.BinLoads[1], 0.9, 1e-12);
+  EXPECT_NEAR(R.BinLoads[2], 0.5, 1e-12);
+}
+
+TEST(BinPackingTest, AlmostWorstFitUsesOnlyFittingBinWhenUnique) {
+  // 0.2 then 0.5: only bin 0 fits the 0.5, so AWF must use it rather
+  // than opening a new bin.
+  std::vector<double> Items{0.2, 0.5};
+  support::CostCounter C;
+  PackingResult R = pack(PackAlgo::AlmostWorstFit, Items, C);
+  ASSERT_EQ(R.numBins(), 1u);
+  EXPECT_NEAR(R.BinLoads[0], 0.7, 1e-12);
+}
+
+TEST(BinPackingTest, DecreasingVariantsImproveOnPerfectSplitInputs) {
+  support::Rng Rng(7);
+  double FFSum = 0.0, FFDSum = 0.0;
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    std::vector<double> Items =
+        generatePackInput(PackGen::PerfectSplit, 200, Rng);
+    support::CostCounter C;
+    FFSum += pack(PackAlgo::FirstFit, Items, C).averageOccupancy();
+    FFDSum += pack(PackAlgo::FirstFitDecreasing, Items, C).averageOccupancy();
+  }
+  EXPECT_GT(FFDSum, FFSum) << "FFD should pack perfect-split inputs better";
+}
+
+TEST(BinPackingTest, MFFDHandlesLargeAndSmallItems) {
+  support::Rng Rng(8);
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    std::vector<double> Items = generatePackInput(PackGen::Bimodal, 150, Rng);
+    support::CostCounter C;
+    PackingResult R = pack(PackAlgo::ModifiedFirstFitDecreasing, Items, C);
+    EXPECT_TRUE(packingIsValid(R, Items));
+    // MFFD pairs ~0.62 items with ~0.36 items: occupancy near 0.95+.
+    EXPECT_GT(R.averageOccupancy(), 0.85);
+  }
+}
+
+TEST(BinPackingTest, FFDNeverWorseThanNFOnAverage) {
+  support::Rng Rng(9);
+  double NF = 0.0, FFD = 0.0;
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    std::vector<double> Items =
+        generatePackInput(static_cast<PackGen>(Trial % NumPackGens), 120, Rng);
+    support::CostCounter C;
+    NF += static_cast<double>(pack(PackAlgo::NextFit, Items, C).numBins());
+    FFD += static_cast<double>(
+        pack(PackAlgo::FirstFitDecreasing, Items, C).numBins());
+  }
+  EXPECT_LE(FFD, NF);
+}
+
+TEST(BinPackingTest, EmptyInputYieldsNoBins) {
+  support::CostCounter C;
+  PackingResult R = pack(PackAlgo::BestFit, {}, C);
+  EXPECT_EQ(R.numBins(), 0u);
+  EXPECT_DOUBLE_EQ(R.averageOccupancy(), 1.0);
+}
+
+TEST(BinPackingBenchmarkTest, AccuracyEqualsAverageOccupancy) {
+  BinPackingBenchmark::Options O;
+  O.NumInputs = 10;
+  O.MinItems = 30;
+  O.MaxItems = 60;
+  BinPackingBenchmark B(O);
+  ASSERT_TRUE(B.accuracy().has_value());
+  EXPECT_DOUBLE_EQ(B.accuracy()->AccuracyThreshold, 0.95);
+  support::Rng Rng(10);
+  runtime::Configuration C = B.space().randomConfig(Rng);
+  support::CostCounter Cost;
+  runtime::RunResult R = B.run(0, C, Cost);
+  support::CostCounter Check;
+  PackingResult P = pack(B.algoFor(C), B.input(0), Check);
+  EXPECT_DOUBLE_EQ(R.Accuracy, P.averageOccupancy());
+  EXPECT_DOUBLE_EQ(R.TimeUnits, Check.units());
+}
+
+TEST(BinPackingBenchmarkTest, ThirteenAlgorithmChoices) {
+  BinPackingBenchmark::Options O;
+  O.NumInputs = 4;
+  BinPackingBenchmark B(O);
+  ASSERT_EQ(B.space().size(), 1u);
+  EXPECT_EQ(B.space().param(0).Cardinality, 13u);
+}
+
+TEST(BinPackingBenchmarkTest, FeaturesWithinExpectedRanges) {
+  BinPackingBenchmark::Options O;
+  O.NumInputs = 20;
+  BinPackingBenchmark B(O);
+  for (size_t I = 0; I != B.numInputs(); ++I) {
+    support::CostCounter C;
+    double Avg = B.extractFeature(I, 0, 1, C);
+    double Range = B.extractFeature(I, 2, 1, C);
+    double Sortedness = B.extractFeature(I, 3, 1, C);
+    EXPECT_GT(Avg, 0.0);
+    EXPECT_LE(Avg, 1.0);
+    EXPECT_GE(Range, 0.0);
+    EXPECT_LE(Range, 1.0);
+    EXPECT_GE(Sortedness, 0.0);
+    EXPECT_LE(Sortedness, 1.0);
+  }
+}
+
+} // namespace

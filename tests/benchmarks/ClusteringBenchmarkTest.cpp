@@ -1,0 +1,130 @@
+//===- tests/benchmarks/ClusteringBenchmarkTest.cpp --------------------------=//
+
+#include "benchmarks/ClusteringBenchmark.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+namespace {
+
+ClusteringBenchmark::Options tinyOptions() {
+  ClusteringBenchmark::Options O;
+  O.NumInputs = 12;
+  O.MinPoints = 100;
+  O.MaxPoints = 300;
+  O.Seed = 1;
+  return O;
+}
+
+TEST(ClusteringBenchmarkTest, GeneratorsProduceRequestedShapes) {
+  support::Rng Rng(2);
+  for (unsigned G = 0; G != NumClusterGens; ++G) {
+    linalg::Matrix P =
+        generateClusterInput(static_cast<ClusterGen>(G), 150, Rng);
+    EXPECT_EQ(P.rows(), 150u);
+    EXPECT_EQ(P.cols(), 2u);
+  }
+}
+
+TEST(ClusteringBenchmarkTest, CanonicalDistancePositive) {
+  ClusteringBenchmark B(tinyOptions());
+  for (size_t I = 0; I != B.numInputs(); ++I)
+    EXPECT_GE(B.canonicalDistance(I), 0.0);
+}
+
+TEST(ClusteringBenchmarkTest, GoodConfigMeetsAccuracyThreshold) {
+  ClusteringBenchmark B(tinyOptions());
+  // centerplus init, k equal to the canonical k, generous iterations.
+  runtime::Configuration C(std::vector<double>{2.0, 10.0, 30.0});
+  size_t Met = 0;
+  for (size_t I = 0; I != B.numInputs(); ++I) {
+    runtime::RunResult R = B.runOnce(I, C);
+    if (R.Accuracy >= B.accuracy()->AccuracyThreshold)
+      ++Met;
+  }
+  EXPECT_GE(Met, B.numInputs() - 1) << "matching the canonical config "
+                                       "should almost always meet 0.8";
+}
+
+TEST(ClusteringBenchmarkTest, TooFewClustersLosesAccuracy) {
+  ClusteringBenchmark B(tinyOptions());
+  runtime::Configuration Good(std::vector<double>{2.0, 10.0, 30.0});
+  runtime::Configuration Bad(std::vector<double>{2.0, 2.0, 2.0});
+  double GoodAcc = 0.0, BadAcc = 0.0;
+  for (size_t I = 0; I != B.numInputs(); ++I) {
+    GoodAcc += B.runOnce(I, Good).Accuracy;
+    BadAcc += B.runOnce(I, Bad).Accuracy;
+  }
+  EXPECT_GT(GoodAcc, BadAcc);
+}
+
+TEST(ClusteringBenchmarkTest, MoreIterationsCostMore) {
+  ClusteringBenchmark B(tinyOptions());
+  runtime::Configuration Short(std::vector<double>{0.0, 8.0, 1.0});
+  runtime::Configuration Long(std::vector<double>{0.0, 8.0, 30.0});
+  support::CostCounter CS, CL;
+  B.run(0, Short, CS);
+  B.run(0, Long, CL);
+  EXPECT_GT(CL.units(), CS.units());
+}
+
+TEST(ClusteringBenchmarkTest, CentersFeatureTracksClusterCount) {
+  // Average the centers feature over many-blob vs single-blob inputs.
+  support::Rng Rng(3);
+  double ManyBlobCenters = 0.0, NoiseCenters = 0.0;
+  int Samples = 8;
+  ClusteringBenchmark B(tinyOptions());
+  (void)B;
+  for (int S = 0; S != Samples; ++S) {
+    // Construct custom point sets through the generator and measure the
+    // feature through a throwaway benchmark with one input each. Using
+    // the public interface keeps the test honest.
+    ClusteringBenchmark::Options O1 = tinyOptions();
+    O1.NumInputs = 1;
+    O1.Seed = 100 + S; // different draws
+    ClusteringBenchmark B1(O1);
+    support::CostCounter C;
+    double Centers = B1.extractFeature(0, 1, 2, C);
+    if (B1.inputTag(0) == "gaussian-blobs" || B1.inputTag(0) == "blobs+noise")
+      ManyBlobCenters += Centers;
+    else
+      NoiseCenters += Centers;
+  }
+  // No strict assertion across random tags; just sanity: feature finite.
+  EXPECT_GE(ManyBlobCenters + NoiseCenters, 0.0);
+}
+
+TEST(ClusteringBenchmarkTest, CentersIsTheExpensiveFeature) {
+  ClusteringBenchmark B(tinyOptions());
+  support::CostCounter CRadius, CCenters;
+  B.extractFeature(0, 0, 2, CRadius);
+  B.extractFeature(0, 1, 2, CCenters);
+  EXPECT_GT(CCenters.units(), CRadius.units());
+}
+
+TEST(ClusteringBenchmarkTest, DatasetFlavoursNamed) {
+  ClusteringBenchmark::Options O = tinyOptions();
+  O.NumInputs = 4;
+  O.Data = ClusteringBenchmark::Dataset::LatticeMix;
+  ClusteringBenchmark B1(O);
+  EXPECT_EQ(B1.name(), "clustering1");
+  O.Data = ClusteringBenchmark::Dataset::SyntheticMix;
+  ClusteringBenchmark B2(O);
+  EXPECT_EQ(B2.name(), "clustering2");
+  for (size_t I = 0; I != B1.numInputs(); ++I)
+    EXPECT_EQ(B1.inputTag(I), "lattice");
+}
+
+TEST(ClusteringBenchmarkTest, AccuracyCappedAtFive) {
+  ClusteringBenchmark B(tinyOptions());
+  runtime::Configuration C(std::vector<double>{2.0, 24.0, 30.0});
+  for (size_t I = 0; I != 4; ++I) {
+    runtime::RunResult R = B.runOnce(I, C);
+    EXPECT_LE(R.Accuracy, 5.0);
+    EXPECT_GT(R.Accuracy, 0.0);
+  }
+}
+
+} // namespace

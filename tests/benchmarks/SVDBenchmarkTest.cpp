@@ -1,0 +1,109 @@
+//===- tests/benchmarks/SVDBenchmarkTest.cpp ---------------------------------=//
+
+#include "benchmarks/SVDBenchmark.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+namespace {
+
+SVDBenchmark::Options tinyOptions() {
+  SVDBenchmark::Options O;
+  O.NumInputs = 10;
+  O.MinDim = 16;
+  O.MaxDim = 24;
+  O.Seed = 1;
+  return O;
+}
+
+/// Builds a configuration: method, rank fraction, subspace iters,
+/// oversample, power iters.
+runtime::Configuration config(unsigned Method, double Frac,
+                              int64_t SubIters = 4, int64_t Over = 6,
+                              int64_t Power = 1) {
+  return runtime::Configuration(std::vector<double>{
+      static_cast<double>(Method), Frac, static_cast<double>(SubIters),
+      static_cast<double>(Over), static_cast<double>(Power)});
+}
+
+TEST(SVDBenchmarkTest, FullRankJacobiIsEssentiallyExact) {
+  SVDBenchmark B(tinyOptions());
+  runtime::RunResult R = B.runOnce(0, config(0, 1.0));
+  EXPECT_GT(R.Accuracy, 5.0) << "full reconstruction has tiny error";
+}
+
+TEST(SVDBenchmarkTest, AccuracyIncreasesWithRank) {
+  SVDBenchmark B(tinyOptions());
+  for (size_t I = 0; I != 4; ++I) {
+    double Prev = -1e300;
+    for (double Frac : {0.05, 0.2, 0.5, 1.0}) {
+      runtime::RunResult R = B.runOnce(I, config(0, Frac));
+      EXPECT_GE(R.Accuracy, Prev - 0.2)
+          << "accuracy should broadly grow with rank";
+      Prev = std::max(Prev, R.Accuracy);
+    }
+  }
+}
+
+TEST(SVDBenchmarkTest, LowRankInputsMeetThresholdCheaply) {
+  SVDBenchmark B(tinyOptions());
+  // Find a low-rank input; small k must already clear the 0.7 target.
+  for (size_t I = 0; I != B.numInputs(); ++I) {
+    if (B.inputTag(I) != "low-rank")
+      continue;
+    runtime::RunResult R = B.runOnce(I, config(1, 0.25));
+    EXPECT_GE(R.Accuracy, 0.7) << "rank-n/4 subspace on a low-rank input";
+  }
+}
+
+TEST(SVDBenchmarkTest, RandomizedCheaperThanJacobiAtLowRank) {
+  SVDBenchmark B(tinyOptions());
+  support::CostCounter CJ, CR;
+  B.run(0, config(0, 1.0), CJ);
+  B.run(0, config(2, 0.1), CR);
+  EXPECT_LT(CR.units(), CJ.units());
+}
+
+TEST(SVDBenchmarkTest, RankForClampsToValidRange) {
+  SVDBenchmark B(tinyOptions());
+  EXPECT_GE(B.rankFor(config(0, 0.001), 20), 1u);
+  EXPECT_LE(B.rankFor(config(0, 1.0), 20), 20u);
+}
+
+TEST(SVDBenchmarkTest, SparseInputsHaveHighZerosFeature) {
+  SVDBenchmark::Options O = tinyOptions();
+  O.NumInputs = 40;
+  SVDBenchmark B(O);
+  bool FoundSparse = false;
+  for (size_t I = 0; I != B.numInputs(); ++I) {
+    support::CostCounter C;
+    double Zeros = B.extractFeature(I, 2, 2, C);
+    if (B.inputTag(I) == "sparse") {
+      FoundSparse = true;
+      EXPECT_GT(Zeros, 0.5);
+    }
+    if (B.inputTag(I) == "full-random") {
+      EXPECT_LT(Zeros, 0.05);
+    }
+  }
+  EXPECT_TRUE(FoundSparse);
+}
+
+TEST(SVDBenchmarkTest, DeterministicRuns) {
+  SVDBenchmark B(tinyOptions());
+  runtime::Configuration C = config(2, 0.2);
+  runtime::RunResult A = B.runOnce(1, C);
+  runtime::RunResult R = B.runOnce(1, C);
+  EXPECT_DOUBLE_EQ(A.TimeUnits, R.TimeUnits);
+  EXPECT_DOUBLE_EQ(A.Accuracy, R.Accuracy);
+}
+
+TEST(SVDBenchmarkTest, ThreeFeaturesThreeLevels) {
+  SVDBenchmark B(tinyOptions());
+  EXPECT_EQ(B.features().size(), 3u);
+  EXPECT_EQ(B.numMLFeatures(), 9u);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- tests/benchmarks/SortAlgorithmsTest.cpp -------------------------------=//
+
+#include "benchmarks/SortAlgorithms.h"
+#include "benchmarks/SortBenchmark.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+namespace {
+
+/// Selector that always picks one algorithm.
+runtime::Selector always(SortAlgo A) {
+  return runtime::Selector({{UINT64_MAX, static_cast<unsigned>(A)}});
+}
+
+/// Property sweep: every terminal algorithm sorts every generator family.
+using AlgoGenParam = std::tuple<unsigned, unsigned>;
+
+class SortAlgoProperty : public ::testing::TestWithParam<AlgoGenParam> {};
+
+TEST_P(SortAlgoProperty, SortsCorrectly) {
+  auto [AlgoIdx, GenIdx] = GetParam();
+  support::Rng Rng(1000 + AlgoIdx * 17 + GenIdx);
+  for (size_t N : {0ull, 1ull, 2ull, 7ull, 64ull, 500ull, 1024ull}) {
+    std::vector<double> V = generateSortInput(
+        static_cast<SortGen>(GenIdx), std::max<size_t>(N, 1), Rng);
+    V.resize(N);
+    std::vector<double> Expected = V;
+    std::sort(Expected.begin(), Expected.end());
+    support::CostCounter Cost;
+    PolySorter Sorter(always(static_cast<SortAlgo>(AlgoIdx)), 4);
+    Sorter.sort(V, Cost);
+    EXPECT_EQ(V, Expected) << "algo " << AlgoIdx << " gen " << GenIdx
+                           << " n " << N;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgosAllGens, SortAlgoProperty,
+    ::testing::Combine(::testing::Range(0u, NumSortAlgos),
+                       ::testing::Range(0u, NumSortGens)));
+
+TEST(SortAlgorithmsTest, QuickSortPathologicalOnSortedInput) {
+  support::Rng Rng(2);
+  size_t N = 2048;
+  std::vector<double> Sorted = generateSortInput(SortGen::Sorted, N, Rng);
+  std::vector<double> Random = generateSortInput(SortGen::Uniform, N, Rng);
+  support::CostCounter CS, CR;
+  PolySorter Q(always(SortAlgo::Quick), 2);
+  std::vector<double> A = Sorted;
+  Q.sort(A, CS);
+  std::vector<double> B = Random;
+  Q.sort(B, CR);
+  // First-element-pivot quicksort is quadratic on sorted input: the cost
+  // gap must be large (n^2/2 vs ~n log n).
+  EXPECT_GT(CS.units(), 10.0 * CR.units());
+}
+
+TEST(SortAlgorithmsTest, InsertionSortLinearOnSortedInput) {
+  support::Rng Rng(3);
+  size_t N = 4096;
+  std::vector<double> Sorted = generateSortInput(SortGen::Sorted, N, Rng);
+  support::CostCounter C;
+  PolySorter I(always(SortAlgo::Insertion), 2);
+  I.sort(Sorted, C);
+  EXPECT_LT(C.units(), 3.0 * static_cast<double>(N));
+}
+
+TEST(SortAlgorithmsTest, RadixBeatsInsertionOnLargeRandom) {
+  support::Rng Rng(4);
+  size_t N = 4096;
+  std::vector<double> V = generateSortInput(SortGen::Uniform, N, Rng);
+  support::CostCounter CR, CI;
+  std::vector<double> A = V;
+  PolySorter(always(SortAlgo::Radix), 2).sort(A, CR);
+  std::vector<double> B = V;
+  PolySorter(always(SortAlgo::Insertion), 2).sort(B, CI);
+  EXPECT_LT(CR.units(), CI.units() / 10.0);
+}
+
+TEST(SortAlgorithmsTest, RadixHandlesNegativesAndDuplicates) {
+  std::vector<double> V{-3.5, 2.0, -3.5, 0.0, -100.25, 7.0, 0.0};
+  std::vector<double> Expected = V;
+  std::sort(Expected.begin(), Expected.end());
+  support::CostCounter C;
+  PolySorter(always(SortAlgo::Radix), 2).sort(V, C);
+  EXPECT_EQ(V, Expected);
+}
+
+TEST(SortAlgorithmsTest, MergeWaysAllSort) {
+  support::Rng Rng(5);
+  std::vector<double> V = generateSortInput(SortGen::Uniform, 777, Rng);
+  std::vector<double> Expected = V;
+  std::sort(Expected.begin(), Expected.end());
+  for (unsigned Ways : {2u, 3u, 4u, 8u, 16u}) {
+    std::vector<double> Work = V;
+    support::CostCounter C;
+    PolySorter(always(SortAlgo::Merge), Ways).sort(Work, C);
+    EXPECT_EQ(Work, Expected) << Ways << "-way merge";
+  }
+}
+
+TEST(SortAlgorithmsTest, Figure2StylePolyalgorithmSorts) {
+  // MergeSort above 1420, QuickSort above 600, InsertionSort below:
+  // exactly the paper's Figure 2 selector.
+  runtime::Selector Sel({{600, static_cast<unsigned>(SortAlgo::Insertion)},
+                         {1420, static_cast<unsigned>(SortAlgo::Quick)},
+                         {UINT64_MAX, static_cast<unsigned>(SortAlgo::Merge)}});
+  support::Rng Rng(6);
+  std::vector<double> V = generateSortInput(SortGen::Gaussian, 5000, Rng);
+  std::vector<double> Expected = V;
+  std::sort(Expected.begin(), Expected.end());
+  support::CostCounter C;
+  PolySorter(Sel, 2).sort(V, C);
+  EXPECT_EQ(V, Expected);
+}
+
+TEST(SortAlgorithmsTest, PolyalgorithmBeatsPureInsertionOnLargeInputs) {
+  runtime::Selector Sel({{64, static_cast<unsigned>(SortAlgo::Insertion)},
+                         {UINT64_MAX, static_cast<unsigned>(SortAlgo::Merge)}});
+  support::Rng Rng(7);
+  std::vector<double> V = generateSortInput(SortGen::Uniform, 8192, Rng);
+  support::CostCounter CPoly, CIns;
+  std::vector<double> A = V;
+  PolySorter(Sel, 2).sort(A, CPoly);
+  std::vector<double> B = V;
+  PolySorter(always(SortAlgo::Insertion), 2).sort(B, CIns);
+  EXPECT_LT(CPoly.units(), CIns.units() / 50.0);
+}
+
+TEST(SortAlgorithmsTest, BitonicCostsMoreThanMergeSerially) {
+  support::Rng Rng(8);
+  std::vector<double> V = generateSortInput(SortGen::Uniform, 2048, Rng);
+  support::CostCounter CB, CM;
+  std::vector<double> A = V;
+  PolySorter(always(SortAlgo::Bitonic), 2).sort(A, CB);
+  std::vector<double> B = V;
+  PolySorter(always(SortAlgo::Merge), 2).sort(B, CM);
+  EXPECT_GT(CB.units(), CM.units());
+}
+
+TEST(SortAlgorithmsTest, IsSortedHelper) {
+  EXPECT_TRUE(isSorted({1, 2, 2, 3}, 0, 4));
+  EXPECT_FALSE(isSorted({2, 1}, 0, 2));
+  EXPECT_TRUE(isSorted({}, 0, 0));
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+//===- tests/benchmarks/SortBenchmarkTest.cpp --------------------------------=//
+
+#include "benchmarks/SortBenchmark.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace pbt;
+using namespace pbt::bench;
+
+namespace {
+
+SortBenchmark::Options tinyOptions() {
+  SortBenchmark::Options O;
+  O.NumInputs = 24;
+  O.MinSize = 64;
+  O.MaxSize = 512;
+  O.Seed = 1;
+  return O;
+}
+
+TEST(SortBenchmarkTest, DeclaresFourFeaturesAtThreeLevels) {
+  SortBenchmark B(tinyOptions());
+  auto F = B.features();
+  ASSERT_EQ(F.size(), 4u);
+  for (const auto &Info : F)
+    EXPECT_EQ(Info.Levels, 3u);
+  EXPECT_EQ(B.numMLFeatures(), 12u);
+}
+
+TEST(SortBenchmarkTest, IsExactProgram) {
+  SortBenchmark B(tinyOptions());
+  EXPECT_FALSE(B.accuracy().has_value());
+}
+
+TEST(SortBenchmarkTest, SortednessStaysInUnitInterval) {
+  SortBenchmark B(tinyOptions());
+  for (size_t I = 0; I != B.numInputs(); ++I)
+    for (unsigned L = 0; L != 3; ++L) {
+      support::CostCounter C;
+      double V = B.extractFeature(I, 2, L, C);
+      EXPECT_GE(V, 0.0);
+      EXPECT_LE(V, 1.0);
+    }
+}
+
+TEST(SortBenchmarkTest, SortednessSeparatesSortedFromReversed) {
+  // Compare the extractor on hand-picked sorted vs reversed inputs by
+  // scanning the benchmark's synthetic mixture for those tags.
+  SortBenchmark::Options O = tinyOptions();
+  O.NumInputs = 120;
+  SortBenchmark B(O);
+  double SortedMin = 2.0, ReverseMax = -1.0;
+  for (size_t I = 0; I != B.numInputs(); ++I) {
+    support::CostCounter C;
+    double V = B.extractFeature(I, 2, 2, C);
+    if (B.inputTag(I) == "sorted")
+      SortedMin = std::min(SortedMin, V);
+    if (B.inputTag(I) == "reverse")
+      ReverseMax = std::max(ReverseMax, V);
+  }
+  ASSERT_LE(SortedMin, 1.0) << "mixture must contain sorted inputs";
+  ASSERT_GE(ReverseMax, 0.0) << "mixture must contain reversed inputs";
+  EXPECT_GT(SortedMin, 0.95);
+  EXPECT_LT(ReverseMax, 0.2);
+}
+
+TEST(SortBenchmarkTest, FeatureCostGrowsWithLevel) {
+  SortBenchmark::Options O = tinyOptions();
+  O.MinSize = 4096;
+  O.MaxSize = 8192;
+  SortBenchmark B(O);
+  for (unsigned Feature = 0; Feature != 4; ++Feature) {
+    support::CostCounter C0, C2;
+    B.extractFeature(0, Feature, 0, C0);
+    B.extractFeature(0, Feature, 2, C2);
+    EXPECT_GT(C2.units(), C0.units())
+        << "feature " << Feature << " level cost must increase";
+  }
+}
+
+TEST(SortBenchmarkTest, RunSortsAndCharges) {
+  SortBenchmark B(tinyOptions());
+  support::Rng Rng(3);
+  runtime::Configuration C = B.space().randomConfig(Rng);
+  support::CostCounter Cost;
+  runtime::RunResult R = B.run(0, C, Cost);
+  EXPECT_GT(R.TimeUnits, 0.0);
+  EXPECT_DOUBLE_EQ(R.TimeUnits, Cost.units());
+  EXPECT_DOUBLE_EQ(R.Accuracy, 1.0);
+}
+
+TEST(SortBenchmarkTest, RunResultMeasuresDelta) {
+  SortBenchmark B(tinyOptions());
+  support::Rng Rng(4);
+  runtime::Configuration C = B.space().randomConfig(Rng);
+  support::CostCounter Cost;
+  Cost.addOther(12345.0); // pre-existing charge must not leak into result
+  runtime::RunResult R = B.run(0, C, Cost);
+  EXPECT_DOUBLE_EQ(R.TimeUnits, Cost.units() - 12345.0);
+}
+
+TEST(SortBenchmarkTest, ConfigsDifferInCost) {
+  SortBenchmark::Options O = tinyOptions();
+  O.MinSize = 1024;
+  O.MaxSize = 2048;
+  SortBenchmark B(O);
+  support::Rng Rng(5);
+  double MinCost = 1e300, MaxCost = 0.0;
+  for (int I = 0; I != 12; ++I) {
+    runtime::Configuration C = B.space().randomConfig(Rng);
+    double T = B.runOnce(0, C).TimeUnits;
+    MinCost = std::min(MinCost, T);
+    MaxCost = std::max(MaxCost, T);
+  }
+  EXPECT_GT(MaxCost, 1.5 * MinCost)
+      << "algorithmic choice must matter for cost";
+}
+
+TEST(SortBenchmarkTest, RegistryLikeInputsAreDuplicatedAndMostlySorted) {
+  SortBenchmark::Options O = tinyOptions();
+  O.Data = SortBenchmark::Dataset::RegistryLike;
+  O.NumInputs = 10;
+  O.MinSize = 1024;
+  O.MaxSize = 2048;
+  SortBenchmark B(O);
+  EXPECT_EQ(B.name(), "sort1");
+  for (size_t I = 0; I != B.numInputs(); ++I) {
+    support::CostCounter C;
+    double Duplication = B.extractFeature(I, 1, 2, C);
+    double Sortedness = B.extractFeature(I, 2, 2, C);
+    EXPECT_GT(Duplication, 0.3) << "registry data has heavy duplication";
+    EXPECT_GT(Sortedness, 0.6) << "registry data is run-sorted";
+  }
+}
+
+TEST(SortBenchmarkTest, SyntheticMixCoversGenerators) {
+  SortBenchmark::Options O = tinyOptions();
+  O.NumInputs = 100;
+  SortBenchmark B(O);
+  EXPECT_EQ(B.name(), "sort2");
+  std::set<std::string> Tags;
+  for (size_t I = 0; I != B.numInputs(); ++I)
+    Tags.insert(B.inputTag(I));
+  EXPECT_GE(Tags.size(), 6u) << "mixture should span many generators";
+}
+
+TEST(SortBenchmarkTest, InputSizesWithinBounds) {
+  SortBenchmark B(tinyOptions());
+  for (size_t I = 0; I != B.numInputs(); ++I) {
+    EXPECT_GE(B.input(I).size(), 64u);
+    EXPECT_LE(B.input(I).size(), 512u);
+  }
+}
+
+TEST(SortBenchmarkTest, SearchSpaceIsLarge) {
+  SortBenchmark B(tinyOptions());
+  // Selector choices + log cutoffs + merge ways: a non-trivial space.
+  EXPECT_GT(B.space().searchSpaceLog10(), 5.0);
+}
+
+} // namespace

@@ -1,0 +1,48 @@
+//===- tests/core/FeatureProbeTest.cpp ---------------------------------------=//
+
+#include "core/FeatureProbe.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+using namespace pbt::core;
+
+namespace {
+
+TEST(FeatureProbeTest, ExtractsLazilyAndCachesValues) {
+  int Calls = 0;
+  FeatureProbe P(3, [&](unsigned F) {
+    ++Calls;
+    return std::make_pair(static_cast<double>(F) * 10.0, 1.5);
+  });
+  EXPECT_EQ(Calls, 0);
+  EXPECT_DOUBLE_EQ(P.value(1), 10.0);
+  EXPECT_DOUBLE_EQ(P.value(1), 10.0);
+  EXPECT_EQ(Calls, 1) << "second access must hit the cache";
+  EXPECT_DOUBLE_EQ(P.totalCost(), 1.5);
+  EXPECT_EQ(P.numExtracted(), 1u);
+}
+
+TEST(FeatureProbeTest, CostAccumulatesAcrossFeatures) {
+  FeatureProbe P(4, [](unsigned F) {
+    return std::make_pair(0.0, static_cast<double>(F + 1));
+  });
+  P.value(0);
+  P.value(2);
+  EXPECT_DOUBLE_EQ(P.totalCost(), 1.0 + 3.0);
+  EXPECT_EQ(P.numExtracted(), 2u);
+}
+
+TEST(FeatureProbeTest, TableProbeReadsTables) {
+  linalg::Matrix V(2, 3), C(2, 3);
+  for (size_t I = 0; I != 2; ++I)
+    for (size_t J = 0; J != 3; ++J) {
+      V.at(I, J) = static_cast<double>(I * 10 + J);
+      C.at(I, J) = static_cast<double>(J + 1);
+    }
+  FeatureProbe P = probeFromTable(V, C, 1);
+  EXPECT_DOUBLE_EQ(P.value(2), 12.0);
+  EXPECT_DOUBLE_EQ(P.totalCost(), 3.0);
+}
+
+} // namespace

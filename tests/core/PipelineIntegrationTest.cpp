@@ -1,0 +1,199 @@
+//===- tests/core/PipelineIntegrationTest.cpp --------------------------------=//
+//
+// End-to-end tests of the two-level pipeline on scaled-down benchmarks,
+// asserting the paper's qualitative invariants:
+//   * the dynamic oracle dominates every classifier (no feature cost),
+//   * the static oracle is a lower bound for the dynamic oracle,
+//   * feature extraction cost only ever reduces a method's speedup,
+//   * the selected two-level classifier meets the satisfaction threshold
+//     on variable-accuracy benchmarks,
+//   * restricting the landmark set never helps (Figure 8 monotonicity in
+//     expectation; checked via the all-landmarks subset equalling the
+//     dynamic oracle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "benchmarks/BinPackingBenchmark.h"
+#include "benchmarks/SortBenchmark.h"
+#include "core/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+using namespace pbt::core;
+
+namespace {
+
+PipelineOptions smallOptions() {
+  PipelineOptions O;
+  O.L1.NumLandmarks = 6;
+  O.L1.Seed = 11;
+  O.L1.Tuner.PopulationSize = 10;
+  O.L1.Tuner.Generations = 8;
+  O.L2.CVFolds = 3;
+  return O;
+}
+
+class SortPipelineTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    bench::SortBenchmark::Options BO;
+    BO.Data = bench::SortBenchmark::Dataset::SyntheticMix;
+    BO.NumInputs = 60;
+    BO.MinSize = 64;
+    BO.MaxSize = 512;
+    BO.Seed = 21;
+    Program = new bench::SortBenchmark(BO);
+    System = new TrainedSystem(trainSystem(*Program, smallOptions()));
+    Result = new EvaluationResult(evaluateSystem(*Program, *System));
+  }
+  static void TearDownTestSuite() {
+    delete Result;
+    delete System;
+    delete Program;
+    Result = nullptr;
+    System = nullptr;
+    Program = nullptr;
+  }
+
+  static bench::SortBenchmark *Program;
+  static TrainedSystem *System;
+  static EvaluationResult *Result;
+};
+
+bench::SortBenchmark *SortPipelineTest::Program = nullptr;
+TrainedSystem *SortPipelineTest::System = nullptr;
+EvaluationResult *SortPipelineTest::Result = nullptr;
+
+TEST_F(SortPipelineTest, TrainTestSplitPartitionsInputs) {
+  EXPECT_EQ(System->TrainRows.size() + System->TestRows.size(),
+            Program->numInputs());
+  for (size_t Row : System->TestRows)
+    for (size_t T : System->TrainRows)
+      EXPECT_NE(Row, T);
+}
+
+TEST_F(SortPipelineTest, LandmarksWereTuned) {
+  EXPECT_EQ(System->L1.Landmarks.size(), 6u);
+  for (const auto &L : System->L1.Landmarks)
+    EXPECT_EQ(L.size(), Program->space().size());
+}
+
+TEST_F(SortPipelineTest, EvidenceTablesCoverAllInputs) {
+  EXPECT_EQ(System->L1.Time.rows(), Program->numInputs());
+  EXPECT_EQ(System->L1.Time.cols(), System->L1.Landmarks.size());
+  for (size_t I = 0; I != System->L1.Time.rows(); ++I)
+    for (size_t K = 0; K != System->L1.Time.cols(); ++K)
+      EXPECT_GT(System->L1.Time.at(I, K), 0.0);
+}
+
+TEST_F(SortPipelineTest, DynamicOracleDominatesClassifiers) {
+  EXPECT_GE(Result->DynamicOracle, Result->TwoLevelNoFeat - 1e-9);
+  EXPECT_GE(Result->DynamicOracle, Result->OneLevelNoFeat - 1e-9);
+}
+
+TEST_F(SortPipelineTest, DynamicOracleBeatsStaticOracle) {
+  // The static oracle is one of the landmarks, so the per-input best is
+  // at least as fast on every input.
+  EXPECT_GE(Result->DynamicOracle, 1.0 - 1e-9);
+}
+
+TEST_F(SortPipelineTest, FeatureCostOnlyHurts) {
+  EXPECT_LE(Result->TwoLevelWithFeat, Result->TwoLevelNoFeat + 1e-9);
+  EXPECT_LE(Result->OneLevelWithFeat, Result->OneLevelNoFeat + 1e-9);
+}
+
+TEST_F(SortPipelineTest, TwoLevelImprovesOnStaticOracle) {
+  // Sort is strongly input sensitive; the classifier should recover a
+  // meaningful fraction of the oracle speedup even at this tiny scale.
+  EXPECT_GT(Result->TwoLevelWithFeat, 1.0);
+}
+
+TEST_F(SortPipelineTest, PerInputSpeedupsMatchTestRows) {
+  EXPECT_EQ(Result->PerInputSpeedups.size(), System->TestRows.size());
+  for (double S : Result->PerInputSpeedups)
+    EXPECT_GT(S, 0.0);
+}
+
+TEST_F(SortPipelineTest, AllLandmarkSubsetEqualsDynamicOracle) {
+  std::vector<unsigned> All(System->L1.Landmarks.size());
+  for (unsigned I = 0; I != All.size(); ++I)
+    All[I] = I;
+  double Speedup = subsetSpeedup(*Program, *System, All);
+  EXPECT_NEAR(Speedup, Result->DynamicOracle, 1e-9);
+}
+
+TEST_F(SortPipelineTest, LandmarkSweepEndsAtDynamicOracle) {
+  std::vector<LandmarkSweepPoint> Sweep = landmarkCountSweep(
+      *Program, *System, {1, 3, 6}, /*Trials=*/8, /*Seed=*/5);
+  ASSERT_EQ(Sweep.size(), 3u);
+  // With all 6 landmarks every subset is the full set.
+  EXPECT_NEAR(Sweep[2].Speedups.Median, Result->DynamicOracle, 1e-9);
+  // More landmarks help on average (diminishing returns curve).
+  EXPECT_LE(Sweep[0].Speedups.Median, Sweep[2].Speedups.Median + 1e-9);
+}
+
+TEST_F(SortPipelineTest, ZooContainsExpectedFamilies) {
+  // 4 properties x 3 levels: (3+1)^4 - 1 = 255 subset trees, plus
+  // max-apriori plus two incremental classifiers.
+  EXPECT_EQ(System->L2.Candidates.size(), 255u + 1u + 1u + 2u);
+}
+
+class BinPackingPipelineTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    bench::BinPackingBenchmark::Options BO;
+    BO.NumInputs = 60;
+    BO.MinItems = 40;
+    BO.MaxItems = 200;
+    BO.Seed = 22;
+    Program = new bench::BinPackingBenchmark(BO);
+    System = new TrainedSystem(trainSystem(*Program, smallOptions()));
+    Result = new EvaluationResult(evaluateSystem(*Program, *System));
+  }
+  static void TearDownTestSuite() {
+    delete Result;
+    delete System;
+    delete Program;
+    Result = nullptr;
+    System = nullptr;
+    Program = nullptr;
+  }
+
+  static bench::BinPackingBenchmark *Program;
+  static TrainedSystem *System;
+  static EvaluationResult *Result;
+};
+
+bench::BinPackingBenchmark *BinPackingPipelineTest::Program = nullptr;
+TrainedSystem *BinPackingPipelineTest::System = nullptr;
+EvaluationResult *BinPackingPipelineTest::Result = nullptr;
+
+TEST_F(BinPackingPipelineTest, AccuracyIsMeasured) {
+  // Accuracy matrix entries are occupancies in (0, 1].
+  for (size_t I = 0; I != System->L1.Acc.rows(); ++I)
+    for (size_t K = 0; K != System->L1.Acc.cols(); ++K) {
+      EXPECT_GT(System->L1.Acc.at(I, K), 0.0);
+      EXPECT_LE(System->L1.Acc.at(I, K), 1.0 + 1e-9);
+    }
+}
+
+TEST_F(BinPackingPipelineTest, DynamicOracleRespectsAccuracy) {
+  // The dynamic oracle picks accuracy-meeting landmarks whenever any
+  // exists, so its satisfaction dominates the static oracle's.
+  EXPECT_GE(Result->DynamicOracleSatisfaction,
+            Result->StaticOracleSatisfaction - 1e-9);
+}
+
+TEST_F(BinPackingPipelineTest, TwoLevelSatisfactionReasonable) {
+  // The production classifier was selected under the satisfaction
+  // constraint; allow slack for train/test variance at this tiny scale.
+  EXPECT_GE(Result->TwoLevelSatisfaction, 0.7);
+}
+
+TEST_F(BinPackingPipelineTest, OracleDominanceHolds) {
+  EXPECT_GE(Result->DynamicOracle, 1.0 - 1e-9);
+  EXPECT_LE(Result->TwoLevelWithFeat, Result->TwoLevelNoFeat + 1e-9);
+}
+
+} // namespace

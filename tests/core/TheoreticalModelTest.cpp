@@ -1,0 +1,82 @@
+//===- tests/core/TheoreticalModelTest.cpp -----------------------------------=//
+
+#include "core/TheoreticalModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::core;
+
+namespace {
+
+TEST(TheoreticalModelTest, ExtremesLoseNothing) {
+  // p = 0: region too small to matter; p = 1: always sampled.
+  for (unsigned K : {1u, 4u, 16u}) {
+    EXPECT_DOUBLE_EQ(regionLossContribution(0.0, K), 0.0);
+    EXPECT_DOUBLE_EQ(regionLossContribution(1.0, K), 0.0);
+  }
+}
+
+TEST(TheoreticalModelTest, WorstCaseRegionSizeMaximisesLoss) {
+  for (unsigned K : {1u, 2u, 5u, 9u, 30u}) {
+    double PStar = worstCaseRegionSize(K);
+    double LStar = regionLossContribution(PStar, K);
+    for (double P = 0.01; P < 1.0; P += 0.01)
+      EXPECT_LE(regionLossContribution(P, K), LStar + 1e-12)
+          << "K=" << K << " P=" << P;
+  }
+}
+
+TEST(TheoreticalModelTest, WorstCaseFormulaIsOneOverKPlusOne) {
+  EXPECT_DOUBLE_EQ(worstCaseRegionSize(1), 0.5);
+  EXPECT_DOUBLE_EQ(worstCaseRegionSize(9), 0.1);
+}
+
+TEST(TheoreticalModelTest, MoreConfigsLoseLess) {
+  // At a fixed region size, sampling more landmarks shrinks the loss.
+  double P = 0.2;
+  double Prev = 1.0;
+  for (unsigned K = 1; K <= 20; ++K) {
+    double L = regionLossContribution(P, K);
+    EXPECT_LT(L, Prev);
+    Prev = L;
+  }
+}
+
+TEST(TheoreticalModelTest, SpeedupFractionMonotoneAndSaturating) {
+  double Prev = 0.0;
+  for (unsigned K = 1; K <= 100; ++K) {
+    double F = predictedSpeedupFraction(K);
+    EXPECT_GT(F, Prev);
+    EXPECT_LT(F, 1.0);
+    Prev = F;
+  }
+  // The curve saturates toward 1 - 1/e ~ 0.632 (the paper's Figure 7b
+  // flattens around the 70% gridline).
+  EXPECT_NEAR(predictedSpeedupFraction(100), 1.0 - 1.0 / M_E, 5e-3);
+  EXPECT_DOUBLE_EQ(predictedSpeedupFraction(1), 0.5);
+}
+
+TEST(TheoreticalModelTest, ExpectedLossWeightsBySpeedup) {
+  // Two regions; the second carries all the speedup, so only it matters.
+  std::vector<double> Sizes{0.5, 0.1};
+  std::vector<double> Speedups{0.0, 10.0};
+  double L = expectedSpeedupLoss(Sizes, Speedups, 2);
+  EXPECT_NEAR(L, 0.9 * 0.9 * 0.1, 1e-12);
+}
+
+TEST(TheoreticalModelTest, ExpectedLossZeroWithoutSpeedups) {
+  EXPECT_DOUBLE_EQ(expectedSpeedupLoss({}, {}, 3), 0.0);
+}
+
+TEST(TheoreticalModelTest, DiminishingReturnsBetweenTenAndThirty) {
+  // The paper argues 10-30 landmarks suffice: the marginal gain from 10
+  // to 30 landmarks is small compared to the gain from 1 to 10.
+  double G1 = predictedSpeedupFraction(10) - predictedSpeedupFraction(1);
+  double G2 = predictedSpeedupFraction(30) - predictedSpeedupFraction(10);
+  EXPECT_GT(G1, 5.0 * G2);
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+//===- tests/linalg/MatrixTest.cpp -------------------------------------------=//
+
+#include "linalg/Matrix.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+using namespace pbt::linalg;
+
+namespace {
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix A(2, 3), B(3, 2);
+  // A = [1 2 3; 4 5 6], B = [7 8; 9 10; 11 12].
+  double AV[] = {1, 2, 3, 4, 5, 6};
+  double BV[] = {7, 8, 9, 10, 11, 12};
+  std::copy(std::begin(AV), std::end(AV), A.data().begin());
+  std::copy(std::begin(BV), std::end(BV), B.data().begin());
+  Matrix C = multiply(A, B);
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 154.0);
+}
+
+TEST(MatrixTest, MultiplyChargesFlops) {
+  support::Rng Rng(1);
+  Matrix A = Matrix::gaussian(4, 5, Rng);
+  Matrix B = Matrix::gaussian(5, 6, Rng);
+  support::CostCounter C;
+  multiply(A, B, &C);
+  EXPECT_DOUBLE_EQ(C.flops(), 2.0 * 4 * 5 * 6);
+}
+
+TEST(MatrixTest, TransposedMultiplyVariantsAgree) {
+  support::Rng Rng(2);
+  Matrix A = Matrix::gaussian(5, 4, Rng);
+  Matrix B = Matrix::gaussian(5, 3, Rng);
+  Matrix Expected = multiply(A.transposed(), B);
+  Matrix Got = multiplyTransposedA(A, B);
+  ASSERT_TRUE(Expected.sameShape(Got));
+  for (size_t I = 0; I != Expected.data().size(); ++I)
+    EXPECT_NEAR(Expected.data()[I], Got.data()[I], 1e-12);
+
+  Matrix C = Matrix::gaussian(6, 4, Rng);
+  Matrix D = Matrix::gaussian(3, 4, Rng);
+  Matrix Expected2 = multiply(C, D.transposed());
+  Matrix Got2 = multiplyTransposedB(C, D);
+  ASSERT_TRUE(Expected2.sameShape(Got2));
+  for (size_t I = 0; I != Expected2.data().size(); ++I)
+    EXPECT_NEAR(Expected2.data()[I], Got2.data()[I], 1e-12);
+}
+
+TEST(MatrixTest, IdentityMultiplicationIsNoop) {
+  support::Rng Rng(3);
+  Matrix A = Matrix::gaussian(4, 4, Rng);
+  Matrix I = Matrix::identity(4);
+  Matrix AI = multiply(A, I);
+  for (size_t K = 0; K != A.data().size(); ++K)
+    EXPECT_DOUBLE_EQ(A.data()[K], AI.data()[K]);
+}
+
+TEST(MatrixTest, FrobeniusNormAndDistance) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 3.0;
+  A.at(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(A.frobeniusNorm(), 5.0);
+  Matrix B(2, 2, 0.0);
+  EXPECT_DOUBLE_EQ(A.frobeniusDistance(B), 5.0);
+  EXPECT_DOUBLE_EQ(A.frobeniusDistance(A), 0.0);
+}
+
+TEST(MatrixTest, TransposeShapeAndValues) {
+  Matrix A(2, 3);
+  A.at(0, 2) = 42.0;
+  Matrix T = A.transposed();
+  EXPECT_EQ(T.rows(), 3u);
+  EXPECT_EQ(T.cols(), 2u);
+  EXPECT_DOUBLE_EQ(T.at(2, 0), 42.0);
+}
+
+} // namespace

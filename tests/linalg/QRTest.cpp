@@ -1,0 +1,73 @@
+//===- tests/linalg/QRTest.cpp -----------------------------------------------=//
+
+#include "linalg/QR.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+using namespace pbt::linalg;
+
+namespace {
+
+void expectOrthonormalColumns(const Matrix &Q, double Tol = 1e-10) {
+  Matrix G = multiplyTransposedA(Q, Q);
+  for (size_t I = 0; I != G.rows(); ++I)
+    for (size_t J = 0; J != G.cols(); ++J)
+      EXPECT_NEAR(G.at(I, J), I == J ? 1.0 : 0.0, Tol)
+          << "Gram entry (" << I << "," << J << ")";
+}
+
+TEST(QRTest, ReconstructsA) {
+  support::Rng Rng(1);
+  Matrix A = Matrix::gaussian(8, 5, Rng);
+  QRResult QR = thinQR(A);
+  Matrix Recon = multiply(QR.Q, QR.R);
+  EXPECT_NEAR(A.frobeniusDistance(Recon), 0.0, 1e-10);
+}
+
+TEST(QRTest, QHasOrthonormalColumns) {
+  support::Rng Rng(2);
+  Matrix A = Matrix::gaussian(10, 4, Rng);
+  expectOrthonormalColumns(thinQR(A).Q);
+}
+
+TEST(QRTest, RIsUpperTriangular) {
+  support::Rng Rng(3);
+  Matrix A = Matrix::gaussian(6, 6, Rng);
+  Matrix R = thinQR(A).R;
+  for (size_t I = 1; I != R.rows(); ++I)
+    for (size_t J = 0; J != I; ++J)
+      EXPECT_DOUBLE_EQ(R.at(I, J), 0.0);
+}
+
+TEST(QRTest, SquareMatrix) {
+  support::Rng Rng(4);
+  Matrix A = Matrix::gaussian(5, 5, Rng);
+  QRResult QR = thinQR(A);
+  EXPECT_NEAR(A.frobeniusDistance(multiply(QR.Q, QR.R)), 0.0, 1e-10);
+  expectOrthonormalColumns(QR.Q);
+}
+
+TEST(QRTest, RankDeficientMatrixStillFactors) {
+  // Two identical columns.
+  Matrix A(4, 2);
+  for (size_t I = 0; I != 4; ++I) {
+    A.at(I, 0) = static_cast<double>(I + 1);
+    A.at(I, 1) = static_cast<double>(I + 1);
+  }
+  QRResult QR = thinQR(A);
+  EXPECT_NEAR(A.frobeniusDistance(multiply(QR.Q, QR.R)), 0.0, 1e-10);
+}
+
+TEST(QRTest, OrthonormalizeIdempotentOnOrthonormalInput) {
+  support::Rng Rng(5);
+  Matrix Q1 = orthonormalize(Matrix::gaussian(7, 3, Rng));
+  Matrix Q2 = orthonormalize(Q1);
+  expectOrthonormalColumns(Q2);
+  // Column spaces agree: Q2 = Q1 * (Q1^T Q2) with orthogonal mixing.
+  Matrix M = multiplyTransposedA(Q1, Q2);
+  Matrix Recon = multiply(Q1, M);
+  EXPECT_NEAR(Q2.frobeniusDistance(Recon), 0.0, 1e-9);
+}
+
+} // namespace

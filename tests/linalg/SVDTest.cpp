@@ -1,0 +1,153 @@
+//===- tests/linalg/SVDTest.cpp ----------------------------------------------=//
+
+#include "linalg/SVD.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::linalg;
+
+namespace {
+
+/// A = U diag(S) V^T with random orthonormal factors and given spectrum.
+Matrix matrixWithSpectrum(const std::vector<double> &S, size_t N,
+                          support::Rng &Rng) {
+  Matrix U = Matrix::gaussian(N, S.size(), Rng);
+  Matrix V = Matrix::gaussian(N, S.size(), Rng);
+  // Orthonormalise through QR by multiplying into SVD later; simpler: use
+  // jacobi on random matrices is overkill -- use Gram-Schmidt via QR from
+  // the library under test is circular, so construct sums of outer
+  // products of *independent* gaussian vectors; for spectral tests we
+  // use the diagonal matrix itself instead.
+  (void)U;
+  (void)V;
+  Matrix A(N, N, 0.0);
+  for (size_t I = 0; I != S.size(); ++I)
+    A.at(I, I) = S[I];
+  return A;
+}
+
+TEST(SVDTest, JacobiRecoversDiagonalSpectrum) {
+  support::Rng Rng(1);
+  std::vector<double> Spectrum{9.0, 4.0, 1.0, 0.25};
+  Matrix A = matrixWithSpectrum(Spectrum, 4, Rng);
+  SVDResult R = jacobiSVD(A);
+  ASSERT_EQ(R.Sigma.size(), 4u);
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_NEAR(R.Sigma[I], Spectrum[I], 1e-10);
+}
+
+TEST(SVDTest, JacobiReconstructsRandomMatrix) {
+  support::Rng Rng(2);
+  Matrix A = Matrix::gaussian(10, 6, Rng);
+  SVDResult R = jacobiSVD(A);
+  Matrix Recon = rankKApprox(R, 6);
+  EXPECT_NEAR(A.frobeniusDistance(Recon), 0.0, 1e-8);
+}
+
+TEST(SVDTest, SigmaSortedDescending) {
+  support::Rng Rng(3);
+  Matrix A = Matrix::gaussian(8, 8, Rng);
+  SVDResult R = jacobiSVD(A);
+  for (size_t I = 1; I != R.Sigma.size(); ++I)
+    EXPECT_GE(R.Sigma[I - 1], R.Sigma[I]);
+}
+
+TEST(SVDTest, SingularVectorsOrthonormal) {
+  support::Rng Rng(4);
+  Matrix A = Matrix::gaussian(9, 5, Rng);
+  SVDResult R = jacobiSVD(A);
+  Matrix GU = multiplyTransposedA(R.U, R.U);
+  Matrix GV = multiplyTransposedA(R.V, R.V);
+  for (size_t I = 0; I != 5; ++I)
+    for (size_t J = 0; J != 5; ++J) {
+      EXPECT_NEAR(GU.at(I, J), I == J ? 1.0 : 0.0, 1e-8);
+      EXPECT_NEAR(GV.at(I, J), I == J ? 1.0 : 0.0, 1e-8);
+    }
+}
+
+/// Low-rank matrix plus small noise for the truncated methods.
+Matrix lowRankMatrix(size_t N, size_t Rank, support::Rng &Rng) {
+  Matrix A(N, N, 0.0);
+  for (size_t R = 0; R != Rank; ++R) {
+    std::vector<double> U(N), V(N);
+    for (size_t I = 0; I != N; ++I) {
+      U[I] = Rng.gaussian();
+      V[I] = Rng.gaussian();
+    }
+    double Scale = 5.0 / static_cast<double>(R + 1);
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = 0; J != N; ++J)
+        A.at(I, J) += Scale * U[I] * V[J];
+  }
+  return A;
+}
+
+TEST(SVDTest, SubspaceMatchesJacobiOnTopFactors) {
+  support::Rng Rng(5);
+  Matrix A = lowRankMatrix(16, 3, Rng);
+  SVDResult Full = jacobiSVD(A);
+  SVDResult Top = subspaceSVD(A, 3, /*Iterations=*/30, Rng);
+  ASSERT_GE(Top.Sigma.size(), 3u);
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_NEAR(Top.Sigma[I], Full.Sigma[I], 1e-6 * (1.0 + Full.Sigma[I]));
+}
+
+TEST(SVDTest, RandomizedCapturesLowRankStructure) {
+  support::Rng Rng(6);
+  Matrix A = lowRankMatrix(20, 2, Rng);
+  SVDResult R = randomizedSVD(A, 2, /*Oversample=*/6, /*PowerIterations=*/2,
+                              Rng);
+  Matrix Recon = rankKApprox(R, 2);
+  double RelErr = A.frobeniusDistance(Recon) / A.frobeniusNorm();
+  EXPECT_LT(RelErr, 1e-6);
+}
+
+TEST(SVDTest, RankKErrorDecreasesWithK) {
+  support::Rng Rng(7);
+  Matrix A = Matrix::gaussian(12, 12, Rng);
+  SVDResult R = jacobiSVD(A);
+  double PrevErr = 1e300;
+  for (unsigned K : {1u, 3u, 6u, 9u, 12u}) {
+    double Err = A.frobeniusDistance(rankKApprox(R, K));
+    EXPECT_LE(Err, PrevErr + 1e-12);
+    PrevErr = Err;
+  }
+  EXPECT_NEAR(PrevErr, 0.0, 1e-8);
+}
+
+TEST(SVDTest, EckartYoungErrorMatchesTailSpectrum) {
+  support::Rng Rng(8);
+  Matrix A = Matrix::gaussian(10, 10, Rng);
+  SVDResult R = jacobiSVD(A);
+  unsigned K = 4;
+  double TailSq = 0.0;
+  for (size_t I = K; I != R.Sigma.size(); ++I)
+    TailSq += R.Sigma[I] * R.Sigma[I];
+  double Err = A.frobeniusDistance(rankKApprox(R, K));
+  EXPECT_NEAR(Err, std::sqrt(TailSq), 1e-8);
+}
+
+TEST(SVDTest, ZeroMatrixHandled) {
+  Matrix A(5, 3, 0.0);
+  SVDResult R = jacobiSVD(A);
+  for (double S : R.Sigma)
+    EXPECT_DOUBLE_EQ(S, 0.0);
+  EXPECT_NEAR(rankKApprox(R, 3).frobeniusNorm(), 0.0, 1e-15);
+}
+
+TEST(SVDTest, CostScalesWithMethod) {
+  support::Rng Rng(9);
+  Matrix A = lowRankMatrix(24, 2, Rng);
+  support::CostCounter CJ, CR;
+  jacobiSVD(A, {}, &CJ);
+  randomizedSVD(A, 2, 4, 1, Rng, &CR);
+  // Randomized rank-2 on a 24x24 matrix must be cheaper than a full
+  // Jacobi SVD.
+  EXPECT_LT(CR.units(), CJ.units());
+}
+
+} // namespace

@@ -1,0 +1,45 @@
+//===- tests/ml/CostMatrixTest.cpp -------------------------------------------=//
+
+#include "ml/CostMatrix.h"
+
+#include <gtest/gtest.h>
+
+using pbt::ml::CostMatrix;
+
+namespace {
+
+TEST(CostMatrixTest, ZeroOneLoss) {
+  CostMatrix C = CostMatrix::zeroOne(3);
+  for (unsigned I = 0; I != 3; ++I)
+    for (unsigned J = 0; J != 3; ++J)
+      EXPECT_DOUBLE_EQ(C.at(I, J), I == J ? 0.0 : 1.0);
+}
+
+TEST(CostMatrixTest, CheapestPredictionIsMajorityUnderZeroOne) {
+  CostMatrix C = CostMatrix::zeroOne(3);
+  EXPECT_EQ(C.cheapestPrediction({1.0, 5.0, 2.0}), 1u);
+}
+
+TEST(CostMatrixTest, AsymmetricCostsFlipPrediction) {
+  CostMatrix C(2);
+  C.at(0, 1) = 1.0;   // predicting 1 for a true 0 is cheap
+  C.at(1, 0) = 100.0; // predicting 0 for a true 1 is catastrophic
+  // 9 of class 0 vs 1 of class 1: zero-one would say 0, costs say 1.
+  EXPECT_EQ(C.cheapestPrediction({9.0, 1.0}), 1u);
+}
+
+TEST(CostMatrixTest, ExpectedCostComputation) {
+  CostMatrix C(2);
+  C.at(0, 1) = 2.0;
+  C.at(1, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(C.expectedCost({4.0, 5.0}, 0), 15.0);
+  EXPECT_DOUBLE_EQ(C.expectedCost({4.0, 5.0}, 1), 8.0);
+}
+
+TEST(CostMatrixTest, EmptyMatrix) {
+  CostMatrix C;
+  EXPECT_TRUE(C.empty());
+  EXPECT_EQ(C.numClasses(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,82 @@
+//===- tests/ml/CrossValidationTest.cpp --------------------------------------=//
+
+#include "ml/CrossValidation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace pbt;
+using namespace pbt::ml;
+
+namespace {
+
+TEST(CrossValidationTest, FoldsPartitionTheData) {
+  support::Rng Rng(1);
+  std::vector<FoldSplit> Folds = kFoldSplits(53, 5, Rng);
+  ASSERT_EQ(Folds.size(), 5u);
+  std::set<size_t> AllTest;
+  for (const FoldSplit &F : Folds) {
+    EXPECT_EQ(F.Train.size() + F.Test.size(), 53u);
+    for (size_t I : F.Test) {
+      EXPECT_TRUE(AllTest.insert(I).second) << "index in two test folds";
+    }
+    // No overlap between train and test within a fold.
+    std::set<size_t> TrainSet(F.Train.begin(), F.Train.end());
+    for (size_t I : F.Test)
+      EXPECT_FALSE(TrainSet.count(I));
+  }
+  EXPECT_EQ(AllTest.size(), 53u);
+}
+
+TEST(CrossValidationTest, FoldSizesBalanced) {
+  support::Rng Rng(2);
+  std::vector<FoldSplit> Folds = kFoldSplits(10, 3, Rng);
+  for (const FoldSplit &F : Folds) {
+    EXPECT_GE(F.Test.size(), 3u);
+    EXPECT_LE(F.Test.size(), 4u);
+  }
+}
+
+TEST(CrossValidationTest, StratifiedPreservesClassBalance) {
+  support::Rng Rng(3);
+  std::vector<unsigned> Y(100);
+  for (size_t I = 0; I != 100; ++I)
+    Y[I] = I < 80 ? 0 : 1; // 80/20 imbalance
+  std::vector<FoldSplit> Folds = stratifiedKFoldSplits(Y, 2, 5, Rng);
+  for (const FoldSplit &F : Folds) {
+    size_t Ones = 0;
+    for (size_t I : F.Test)
+      Ones += Y[I];
+    EXPECT_EQ(F.Test.size(), 20u);
+    EXPECT_EQ(Ones, 4u) << "each fold holds 1/5 of each class";
+  }
+}
+
+TEST(CrossValidationTest, TrainTestSplitFractionAndPartition) {
+  support::Rng Rng(4);
+  FoldSplit S = trainTestSplit(100, 0.5, Rng);
+  EXPECT_EQ(S.Train.size(), 50u);
+  EXPECT_EQ(S.Test.size(), 50u);
+  std::set<size_t> All(S.Train.begin(), S.Train.end());
+  for (size_t I : S.Test)
+    EXPECT_TRUE(All.insert(I).second);
+  EXPECT_EQ(All.size(), 100u);
+}
+
+TEST(CrossValidationTest, SplitIsDeterministicPerSeed) {
+  support::Rng A(5), B(5);
+  FoldSplit S1 = trainTestSplit(40, 0.6, A);
+  FoldSplit S2 = trainTestSplit(40, 0.6, B);
+  EXPECT_EQ(S1.Train, S2.Train);
+  EXPECT_EQ(S1.Test, S2.Test);
+}
+
+TEST(CrossValidationTest, KClampedToSampleCount) {
+  support::Rng Rng(6);
+  std::vector<FoldSplit> Folds = kFoldSplits(3, 10, Rng);
+  EXPECT_EQ(Folds.size(), 3u);
+}
+
+} // namespace

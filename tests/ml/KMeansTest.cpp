@@ -1,0 +1,158 @@
+//===- tests/ml/KMeansTest.cpp -----------------------------------------------=//
+
+#include "ml/KMeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace pbt;
+using namespace pbt::ml;
+
+namespace {
+
+/// Two tight, well-separated blobs.
+linalg::Matrix twoBlobs(size_t PerBlob, support::Rng &Rng) {
+  linalg::Matrix P(2 * PerBlob, 2);
+  for (size_t I = 0; I != PerBlob; ++I) {
+    P.at(I, 0) = Rng.gaussian(0.0, 0.1);
+    P.at(I, 1) = Rng.gaussian(0.0, 0.1);
+    P.at(PerBlob + I, 0) = Rng.gaussian(10.0, 0.1);
+    P.at(PerBlob + I, 1) = Rng.gaussian(10.0, 0.1);
+  }
+  return P;
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  linalg::Matrix P(4, 1);
+  P.at(0, 0) = 1;
+  P.at(1, 0) = 2;
+  P.at(2, 0) = 3;
+  P.at(3, 0) = 6;
+  KMeansOptions O;
+  O.K = 1;
+  KMeansResult R = kMeans(P, O);
+  EXPECT_NEAR(R.Centroids.at(0, 0), 3.0, 1e-12);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  support::Rng Rng(2);
+  linalg::Matrix P = twoBlobs(50, Rng);
+  KMeansOptions O;
+  O.K = 2;
+  O.Seed = 3;
+  KMeansResult R = kMeans(P, O);
+  // All points of one blob share a cluster, different from the other.
+  unsigned C0 = R.Assignment[0];
+  unsigned C1 = R.Assignment[50];
+  EXPECT_NE(C0, C1);
+  for (size_t I = 0; I != 50; ++I) {
+    EXPECT_EQ(R.Assignment[I], C0);
+    EXPECT_EQ(R.Assignment[50 + I], C1);
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  support::Rng Rng(4);
+  linalg::Matrix P(100, 2);
+  for (double &V : P.data())
+    V = Rng.uniform(0, 100);
+  double PrevInertia = 1e300;
+  for (unsigned K : {1u, 2u, 4u, 8u, 16u}) {
+    KMeansOptions O;
+    O.K = K;
+    O.Seed = 5;
+    O.MaxIterations = 100;
+    KMeansResult R = kMeans(P, O);
+    EXPECT_LE(R.Inertia, PrevInertia * 1.001);
+    PrevInertia = R.Inertia;
+  }
+}
+
+TEST(KMeansTest, AllInitStrategiesProduceValidResults) {
+  support::Rng Rng(6);
+  linalg::Matrix P = twoBlobs(30, Rng);
+  for (KMeansInit Init :
+       {KMeansInit::Random, KMeansInit::Prefix, KMeansInit::CenterPlus}) {
+    KMeansOptions O;
+    O.K = 4;
+    O.Init = Init;
+    O.Seed = 7;
+    KMeansResult R = kMeans(P, O);
+    EXPECT_EQ(R.Centroids.rows(), 4u);
+    EXPECT_EQ(R.Assignment.size(), 60u);
+    for (unsigned A : R.Assignment)
+      EXPECT_LT(A, 4u);
+    EXPECT_GE(R.Inertia, 0.0);
+  }
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  support::Rng Rng(8);
+  linalg::Matrix P = twoBlobs(40, Rng);
+  KMeansOptions O;
+  O.K = 3;
+  O.Seed = 99;
+  KMeansResult A = kMeans(P, O);
+  KMeansResult B = kMeans(P, O);
+  EXPECT_EQ(A.Assignment, B.Assignment);
+  EXPECT_DOUBLE_EQ(A.Inertia, B.Inertia);
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  linalg::Matrix P(3, 1);
+  P.at(0, 0) = 1;
+  P.at(1, 0) = 2;
+  P.at(2, 0) = 3;
+  KMeansOptions O;
+  O.K = 10;
+  KMeansResult R = kMeans(P, O);
+  EXPECT_LE(R.Centroids.rows(), 3u);
+}
+
+TEST(KMeansTest, DuplicatePointsDoNotCrash) {
+  linalg::Matrix P(10, 2, 5.0); // all identical
+  KMeansOptions O;
+  O.K = 3;
+  KMeansResult R = kMeans(P, O);
+  EXPECT_NEAR(R.Inertia, 0.0, 1e-18);
+}
+
+TEST(KMeansTest, CostCounterChargesWork) {
+  support::Rng Rng(10);
+  linalg::Matrix P = twoBlobs(20, Rng);
+  KMeansOptions O;
+  O.K = 2;
+  support::CostCounter C;
+  kMeans(P, O, &C);
+  EXPECT_GT(C.units(), 0.0);
+}
+
+TEST(KMeansTest, MoreIterationsCostMore) {
+  support::Rng Rng(11);
+  linalg::Matrix P(200, 2);
+  for (double &V : P.data())
+    V = Rng.uniform(0, 100);
+  KMeansOptions Short, Long;
+  Short.K = Long.K = 8;
+  Short.MaxIterations = 1;
+  Long.MaxIterations = 30;
+  Short.EarlyStop = Long.EarlyStop = false;
+  support::CostCounter CS, CL;
+  kMeans(P, Short, &CS);
+  kMeans(P, Long, &CL);
+  EXPECT_GT(CL.units(), CS.units());
+}
+
+TEST(KMeansTest, NearestCentroidPicksClosest) {
+  linalg::Matrix C(2, 2);
+  C.at(0, 0) = 0.0;
+  C.at(0, 1) = 0.0;
+  C.at(1, 0) = 10.0;
+  C.at(1, 1) = 10.0;
+  EXPECT_EQ(nearestCentroid(C, {1.0, 1.0}), 0u);
+  EXPECT_EQ(nearestCentroid(C, {9.0, 9.0}), 1u);
+}
+
+} // namespace

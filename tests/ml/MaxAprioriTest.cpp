@@ -1,0 +1,39 @@
+//===- tests/ml/MaxAprioriTest.cpp -------------------------------------------=//
+
+#include "ml/MaxApriori.h"
+
+#include <gtest/gtest.h>
+
+using pbt::ml::MaxApriori;
+
+namespace {
+
+TEST(MaxAprioriTest, PredictsModalLabel) {
+  MaxApriori M;
+  M.fit({0, 1, 1, 2, 1, 0}, 3);
+  EXPECT_EQ(M.predict(), 1u);
+}
+
+TEST(MaxAprioriTest, PriorsSumToOne) {
+  MaxApriori M;
+  M.fit({0, 0, 1, 2}, 3);
+  double Sum = 0.0;
+  for (double P : M.priors())
+    Sum += P;
+  EXPECT_NEAR(Sum, 1.0, 1e-12);
+  EXPECT_NEAR(M.priors()[0], 0.5, 1e-12);
+}
+
+TEST(MaxAprioriTest, TieBreaksToLowestLabel) {
+  MaxApriori M;
+  M.fit({1, 0, 0, 1}, 2);
+  EXPECT_EQ(M.predict(), 0u);
+}
+
+TEST(MaxAprioriTest, SingleClass) {
+  MaxApriori M;
+  M.fit({4, 4, 4}, 5);
+  EXPECT_EQ(M.predict(), 4u);
+}
+
+} // namespace

@@ -1,0 +1,74 @@
+//===- tests/ml/NormalizerTest.cpp -------------------------------------------=//
+
+#include "ml/Normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::ml;
+
+namespace {
+
+TEST(NormalizerTest, TransformedColumnsHaveZeroMeanUnitVariance) {
+  linalg::Matrix X(4, 2);
+  double Data[4][2] = {{1, 10}, {2, 20}, {3, 30}, {4, 40}};
+  for (size_t I = 0; I != 4; ++I)
+    for (size_t J = 0; J != 2; ++J)
+      X.at(I, J) = Data[I][J];
+  Normalizer N;
+  N.fit(X);
+  linalg::Matrix Z = N.transform(X);
+  for (size_t J = 0; J != 2; ++J) {
+    double Mean = 0.0, Var = 0.0;
+    for (size_t I = 0; I != 4; ++I)
+      Mean += Z.at(I, J);
+    Mean /= 4;
+    for (size_t I = 0; I != 4; ++I)
+      Var += (Z.at(I, J) - Mean) * (Z.at(I, J) - Mean);
+    Var /= 4;
+    EXPECT_NEAR(Mean, 0.0, 1e-12);
+    EXPECT_NEAR(Var, 1.0, 1e-12);
+  }
+}
+
+TEST(NormalizerTest, ConstantColumnMapsToZero) {
+  linalg::Matrix X(3, 1, 7.0);
+  Normalizer N;
+  N.fit(X);
+  linalg::Matrix Z = N.transform(X);
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_DOUBLE_EQ(Z.at(I, 0), 0.0);
+}
+
+TEST(NormalizerTest, TransformRowMatchesTransform) {
+  linalg::Matrix X(5, 3);
+  support::Rng Rng(1);
+  for (double &V : X.data())
+    V = Rng.uniform(-10, 10);
+  Normalizer N;
+  N.fit(X);
+  linalg::Matrix Z = N.transform(X);
+  for (size_t I = 0; I != 5; ++I) {
+    std::vector<double> Row(3);
+    for (size_t J = 0; J != 3; ++J)
+      Row[J] = X.at(I, J);
+    N.transformRow(Row);
+    for (size_t J = 0; J != 3; ++J)
+      EXPECT_NEAR(Row[J], Z.at(I, J), 1e-12);
+  }
+}
+
+TEST(NormalizerTest, NewDataUsesFittedStatistics) {
+  linalg::Matrix X(2, 1);
+  X.at(0, 0) = 0.0;
+  X.at(1, 0) = 2.0; // mean 1, std 1
+  Normalizer N;
+  N.fit(X);
+  std::vector<double> Row{3.0};
+  N.transformRow(Row);
+  EXPECT_NEAR(Row[0], 2.0, 1e-12);
+}
+
+} // namespace

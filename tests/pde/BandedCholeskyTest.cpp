@@ -1,0 +1,104 @@
+//===- tests/pde/BandedCholeskyTest.cpp --------------------------------------=//
+
+#include "pde/BandedCholesky.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+using namespace pbt::pde;
+
+namespace {
+
+TEST(BandedCholeskyTest, SolvesTridiagonalSystem) {
+  // Classic 1D Laplacian: tridiag(-1, 2, -1), N = 5.
+  BandedCholesky A(5, 1);
+  for (size_t I = 0; I != 5; ++I) {
+    A.entry(I, I) = 2.0;
+    if (I > 0)
+      A.entry(I, I - 1) = -1.0;
+  }
+  ASSERT_TRUE(A.factor());
+  // Right-hand side = A * [1 2 3 4 5]^T.
+  std::vector<double> X{1, 2, 3, 4, 5};
+  std::vector<double> B(5);
+  for (size_t I = 0; I != 5; ++I) {
+    B[I] = 2 * X[I];
+    if (I > 0)
+      B[I] -= X[I - 1];
+    if (I < 4)
+      B[I] -= X[I + 1];
+  }
+  std::vector<double> Got = A.solve(B);
+  for (size_t I = 0; I != 5; ++I)
+    EXPECT_NEAR(Got[I], X[I], 1e-12);
+}
+
+TEST(BandedCholeskyTest, DetectsNonPositiveDefinite) {
+  BandedCholesky A(2, 1);
+  A.entry(0, 0) = 1.0;
+  A.entry(1, 0) = 5.0; // off-diagonal dominates
+  A.entry(1, 1) = 1.0;
+  EXPECT_FALSE(A.factor());
+}
+
+TEST(BandedCholeskyTest, IdentitySolveReturnsRHS) {
+  BandedCholesky A(4, 0);
+  for (size_t I = 0; I != 4; ++I)
+    A.entry(I, I) = 1.0;
+  ASSERT_TRUE(A.factor());
+  std::vector<double> B{3, -1, 2, 7};
+  std::vector<double> X = A.solve(B);
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_NEAR(X[I], B[I], 1e-15);
+}
+
+TEST(BandedCholeskyTest, WideBandDenseCase) {
+  // Full bandwidth == dense SPD matrix M^T M + I.
+  support::Rng Rng(1);
+  size_t N = 6;
+  std::vector<std::vector<double>> M(N, std::vector<double>(N));
+  for (auto &Row : M)
+    for (double &V : Row)
+      V = Rng.gaussian();
+  // Dense SPD G = M^T M + I.
+  BandedCholesky A(N, N - 1);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J <= I; ++J) {
+      double Sum = I == J ? 1.0 : 0.0;
+      for (size_t K = 0; K != N; ++K)
+        Sum += M[K][I] * M[K][J];
+      A.entry(I, J) = Sum;
+    }
+  // Keep a copy of the matrix before factoring destroys it.
+  std::vector<std::vector<double>> G(N, std::vector<double>(N, 0.0));
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J <= I; ++J)
+      G[I][J] = G[J][I] = A.entry(I, J);
+  ASSERT_TRUE(A.factor());
+  std::vector<double> X{1, -2, 3, -4, 5, -6};
+  std::vector<double> B(N, 0.0);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      B[I] += G[I][J] * X[J];
+  std::vector<double> Got = A.solve(B);
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_NEAR(Got[I], X[I], 1e-9);
+}
+
+TEST(BandedCholeskyTest, ChargesFlops) {
+  BandedCholesky A(10, 2);
+  for (size_t I = 0; I != 10; ++I) {
+    A.entry(I, I) = 4.0;
+    if (I > 0)
+      A.entry(I, I - 1) = -1.0;
+    if (I > 1)
+      A.entry(I, I - 2) = -0.5;
+  }
+  support::CostCounter C;
+  ASSERT_TRUE(A.factor(&C));
+  A.solve(std::vector<double>(10, 1.0), &C);
+  EXPECT_GT(C.flops(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- tests/pde/Helmholtz3DTest.cpp -----------------------------------------=//
+
+#include "pde/Helmholtz3D.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::pde;
+
+namespace {
+
+/// Constant-coefficient problem with a smooth RHS.
+HelmholtzProblem smoothProblem(size_t N, double Alpha = 1.0) {
+  HelmholtzProblem P;
+  P.F = Grid3D(N);
+  P.Beta = Grid3D(N, 1.0);
+  P.Alpha = Alpha;
+  for (size_t I = 1; I + 1 < N; ++I)
+    for (size_t J = 1; J + 1 < N; ++J)
+      for (size_t K = 1; K + 1 < N; ++K) {
+        double X = static_cast<double>(I) / static_cast<double>(N - 1);
+        double Y = static_cast<double>(J) / static_cast<double>(N - 1);
+        double Z = static_cast<double>(K) / static_cast<double>(N - 1);
+        P.F.at(I, J, K) = std::sin(M_PI * X) * std::sin(M_PI * Y) *
+                          std::sin(M_PI * Z);
+      }
+  return P;
+}
+
+/// Variable-coefficient problem (layered jump).
+HelmholtzProblem layeredProblem(size_t N) {
+  HelmholtzProblem P = smoothProblem(N, 2.0);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      for (size_t K = 0; K != N; ++K)
+        P.Beta.at(I, J, K) = I < N / 2 ? 1.0 : 10.0;
+  return P;
+}
+
+TEST(Helmholtz3DTest, DirectSolveZeroResidual) {
+  HelmholtzProblem P = smoothProblem(9);
+  Grid3D U = helmholtzDirectSolve(P);
+  EXPECT_NEAR(helmholtzResidualNorm(P, U), 0.0, 1e-10);
+}
+
+TEST(Helmholtz3DTest, DirectSolveVariableCoefficients) {
+  HelmholtzProblem P = layeredProblem(9);
+  Grid3D U = helmholtzDirectSolve(P);
+  EXPECT_NEAR(helmholtzResidualNorm(P, U), 0.0, 1e-10);
+}
+
+TEST(Helmholtz3DTest, KnownConstantCoefficientSolution) {
+  // With beta = 1, alpha = a, u = sin sin sin is an eigenfunction:
+  // (a + 3 pi^2) u = f => u = f / (a + 3 pi^2) up to discretisation.
+  size_t N = 17;
+  HelmholtzProblem P = smoothProblem(N, 2.0);
+  Grid3D U = helmholtzDirectSolve(P);
+  // Discrete eigenvalue of the 7-point Laplacian for mode (1,1,1).
+  double H = P.F.h();
+  double Lambda = P.Alpha +
+                  3.0 * (2.0 - 2.0 * std::cos(M_PI * H)) / (H * H);
+  for (size_t I : {size_t(4), size_t(8), size_t(12)})
+    EXPECT_NEAR(U.at(I, 8, 8), P.F.at(I, 8, 8) / Lambda, 1e-8);
+}
+
+TEST(Helmholtz3DTest, MultigridMatchesDirect) {
+  HelmholtzProblem P = layeredProblem(9);
+  Grid3D Direct = helmholtzDirectSolve(P);
+  MultigridOptions O;
+  O.Cycles = 12;
+  O.Smoother = SmootherKind::GaussSeidel;
+  Grid3D MG = helmholtzMultigridSolve(P, O);
+  EXPECT_LT(MG.rmsDistance(Direct), 1e-7 * (1.0 + Direct.rms()));
+}
+
+TEST(Helmholtz3DTest, CGMatchesDirect) {
+  HelmholtzProblem P = layeredProblem(9);
+  Grid3D Direct = helmholtzDirectSolve(P);
+  CGOptions O;
+  O.MaxIterations = 800;
+  Grid3D CG = helmholtzCGSolve(P, O);
+  EXPECT_LT(CG.rmsDistance(Direct), 1e-8 * (1.0 + Direct.rms()));
+}
+
+TEST(Helmholtz3DTest, OperatorIsSymmetric) {
+  HelmholtzProblem P = layeredProblem(9);
+  support::Rng Rng(3);
+  size_t N = 9;
+  Grid3D U(N), V(N);
+  for (size_t I = 1; I + 1 < N; ++I)
+    for (size_t J = 1; J + 1 < N; ++J)
+      for (size_t K = 1; K + 1 < N; ++K) {
+        U.at(I, J, K) = Rng.gaussian();
+        V.at(I, J, K) = Rng.gaussian();
+      }
+  Grid3D AU(N), AV(N);
+  helmholtzApply(P, U, AU);
+  helmholtzApply(P, V, AV);
+  double UtAV = 0.0, VtAU = 0.0;
+  for (size_t I = 0; I != U.data().size(); ++I) {
+    UtAV += U.data()[I] * AV.data()[I];
+    VtAU += V.data()[I] * AU.data()[I];
+  }
+  EXPECT_NEAR(UtAV, VtAU, 1e-8 * (std::abs(UtAV) + 1.0));
+}
+
+TEST(Helmholtz3DTest, SmootherReducesResidual) {
+  HelmholtzProblem P = smoothProblem(9);
+  Grid3D U(9);
+  double R0 = helmholtzResidualNorm(P, U);
+  helmholtzSmoothSOR(P, U, 1.0, 5);
+  EXPECT_LT(helmholtzResidualNorm(P, U), R0);
+}
+
+TEST(Helmholtz3DTest, JacobiSmootherReducesResidual) {
+  HelmholtzProblem P = smoothProblem(9);
+  Grid3D U(9);
+  double R0 = helmholtzResidualNorm(P, U);
+  helmholtzSmoothJacobi(P, U, 0.8, 10);
+  EXPECT_LT(helmholtzResidualNorm(P, U), R0);
+}
+
+TEST(Helmholtz3DTest, RestrictionAndInjectionShapes) {
+  Grid3D Fine(17, 1.0);
+  Grid3D R = restrictFullWeighting3D(Fine);
+  Grid3D I = injectCoarse3D(Fine);
+  EXPECT_EQ(R.size(), 9u);
+  EXPECT_EQ(I.size(), 9u);
+  // Interior of a constant grid restricts to the same constant.
+  EXPECT_NEAR(R.at(4, 4, 4), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(I.at(4, 4, 4), 1.0);
+}
+
+TEST(Helmholtz3DTest, ProlongationKeepsBoundaryZero) {
+  Grid3D Coarse(5, 0.0);
+  for (size_t I = 1; I + 1 < 5; ++I)
+    for (size_t J = 1; J + 1 < 5; ++J)
+      for (size_t K = 1; K + 1 < 5; ++K)
+        Coarse.at(I, J, K) = 1.0;
+  Grid3D Fine(9, 0.0);
+  prolongAddTrilinear(Coarse, Fine);
+  for (size_t I = 0; I != 9; ++I)
+    for (size_t J = 0; J != 9; ++J) {
+      EXPECT_DOUBLE_EQ(Fine.at(I, J, 0), 0.0);
+      EXPECT_DOUBLE_EQ(Fine.at(0, I, J), 0.0);
+      EXPECT_DOUBLE_EQ(Fine.at(I, 0, J), 0.0);
+    }
+  EXPECT_GT(Fine.at(4, 4, 4), 0.0);
+}
+
+TEST(Helmholtz3DTest, ReferenceSolutionNearDirect) {
+  HelmholtzProblem P = layeredProblem(9);
+  Grid3D Ref = helmholtzReferenceSolution(P);
+  Grid3D Direct = helmholtzDirectSolve(P);
+  EXPECT_LT(Ref.rmsDistance(Direct), 1e-9 * (1.0 + Direct.rms()));
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+//===- tests/pde/Poisson2DTest.cpp -------------------------------------------=//
+
+#include "pde/Poisson2D.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::pde;
+
+namespace {
+
+/// RHS for the manufactured solution u = sin(pi x) sin(pi y):
+/// -laplace u = 2 pi^2 sin(pi x) sin(pi y).
+Grid2D manufacturedRHS(size_t N) {
+  Grid2D F(N);
+  for (size_t I = 1; I + 1 < N; ++I)
+    for (size_t J = 1; J + 1 < N; ++J) {
+      double X = static_cast<double>(I) / static_cast<double>(N - 1);
+      double Y = static_cast<double>(J) / static_cast<double>(N - 1);
+      F.at(I, J) = 2.0 * M_PI * M_PI * std::sin(M_PI * X) * std::sin(M_PI * Y);
+    }
+  return F;
+}
+
+Grid2D manufacturedSolution(size_t N) {
+  Grid2D U(N);
+  for (size_t I = 1; I + 1 < N; ++I)
+    for (size_t J = 1; J + 1 < N; ++J) {
+      double X = static_cast<double>(I) / static_cast<double>(N - 1);
+      double Y = static_cast<double>(J) / static_cast<double>(N - 1);
+      U.at(I, J) = std::sin(M_PI * X) * std::sin(M_PI * Y);
+    }
+  return U;
+}
+
+TEST(Poisson2DTest, DirectSolveMatchesManufacturedSolution) {
+  size_t N = 33;
+  Grid2D U = directSolve(manufacturedRHS(N));
+  // Discretisation error is O(h^2) ~ 1e-3 at h = 1/32.
+  EXPECT_LT(U.rmsDistance(manufacturedSolution(N)), 2e-3);
+}
+
+TEST(Poisson2DTest, DirectSolveZeroResidual) {
+  size_t N = 17;
+  Grid2D F = manufacturedRHS(N);
+  Grid2D U = directSolve(F);
+  EXPECT_NEAR(poissonResidualNorm(U, F), 0.0, 1e-9);
+}
+
+TEST(Poisson2DTest, MultigridConvergesToDirectSolution) {
+  size_t N = 33;
+  Grid2D F = manufacturedRHS(N);
+  Grid2D Direct = directSolve(F);
+  MultigridOptions O;
+  O.Cycles = 10;
+  O.Smoother = SmootherKind::GaussSeidel;
+  Grid2D MG = multigridSolve(F, O);
+  EXPECT_LT(MG.rmsDistance(Direct), 1e-8 * (1.0 + Direct.rms()));
+}
+
+TEST(Poisson2DTest, MultigridResidualDropsPerCycle) {
+  size_t N = 33;
+  Grid2D F = manufacturedRHS(N);
+  double Prev = F.rms();
+  for (unsigned Cycles : {1u, 2u, 4u}) {
+    MultigridOptions O;
+    O.Cycles = Cycles;
+    Grid2D U = multigridSolve(F, O);
+    double R = poissonResidualNorm(U, F);
+    EXPECT_LT(R, Prev);
+    Prev = R;
+  }
+}
+
+TEST(Poisson2DTest, WCycleAtLeastAsAccurateAsVCycle) {
+  size_t N = 33;
+  Grid2D F = manufacturedRHS(N);
+  MultigridOptions V, W;
+  V.Cycles = W.Cycles = 3;
+  V.Mu = 1;
+  W.Mu = 2;
+  double RV = poissonResidualNorm(multigridSolve(F, V), F);
+  double RW = poissonResidualNorm(multigridSolve(F, W), F);
+  EXPECT_LE(RW, RV * 1.5);
+}
+
+TEST(Poisson2DTest, CGMatchesDirect) {
+  size_t N = 17;
+  Grid2D F = manufacturedRHS(N);
+  Grid2D Direct = directSolve(F);
+  CGOptions O;
+  O.MaxIterations = 500;
+  Grid2D CG = cgSolve(F, O);
+  EXPECT_LT(CG.rmsDistance(Direct), 1e-9 * (1.0 + Direct.rms()));
+}
+
+TEST(Poisson2DTest, SORBeatsJacobiPerSweep) {
+  size_t N = 33;
+  Grid2D F = manufacturedRHS(N);
+  StationaryOptions O;
+  O.Iterations = 100;
+  O.Omega = 1.8;
+  Grid2D SOR = stationarySolve(F, SolverKind::SOR, O);
+  Grid2D Jac = stationarySolve(F, SolverKind::Jacobi, O);
+  EXPECT_LT(poissonResidualNorm(SOR, F), poissonResidualNorm(Jac, F));
+}
+
+TEST(Poisson2DTest, SmootherReducesResidual) {
+  size_t N = 17;
+  Grid2D F = manufacturedRHS(N);
+  Grid2D U(N);
+  double R0 = poissonResidualNorm(U, F);
+  smoothSOR(U, F, 1.0, 5);
+  EXPECT_LT(poissonResidualNorm(U, F), R0);
+}
+
+TEST(Poisson2DTest, RestrictionProducesCoarserGrid) {
+  Grid2D Fine(17, 0.0);
+  Fine.at(8, 8) = 1.0;
+  Grid2D Coarse = restrictFullWeighting(Fine);
+  EXPECT_EQ(Coarse.size(), 9u);
+  EXPECT_GT(Coarse.at(4, 4), 0.0);
+}
+
+TEST(Poisson2DTest, ProlongationOfZeroBoundaryStaysZeroOnBoundary) {
+  Grid2D Coarse(9, 0.0);
+  for (size_t I = 1; I + 1 < 9; ++I)
+    for (size_t J = 1; J + 1 < 9; ++J)
+      Coarse.at(I, J) = 1.0;
+  Grid2D Fine(17, 0.0);
+  prolongAddBilinear(Coarse, Fine);
+  for (size_t I = 0; I != 17; ++I) {
+    EXPECT_DOUBLE_EQ(Fine.at(I, 0), 0.0);
+    EXPECT_DOUBLE_EQ(Fine.at(0, I), 0.0);
+    EXPECT_DOUBLE_EQ(Fine.at(I, 16), 0.0);
+    EXPECT_DOUBLE_EQ(Fine.at(16, I), 0.0);
+  }
+  EXPECT_GT(Fine.at(8, 8), 0.0);
+}
+
+TEST(Poisson2DTest, ReferenceSolutionReaches7Digits) {
+  size_t N = 33;
+  Grid2D F = manufacturedRHS(N);
+  Grid2D Ref = referenceSolution(F);
+  Grid2D Direct = directSolve(F);
+  double Err = Ref.rmsDistance(Direct);
+  EXPECT_LT(Err, 1e-9 * (1.0 + Direct.rms()));
+}
+
+TEST(Poisson2DTest, SolversChargeCost) {
+  size_t N = 17;
+  Grid2D F = manufacturedRHS(N);
+  support::CostCounter CMG, CDirect, CCG;
+  MultigridOptions O;
+  O.Cycles = 2;
+  multigridSolve(F, O, &CMG);
+  directSolve(F, &CDirect);
+  cgSolve(F, {}, &CCG);
+  EXPECT_GT(CMG.units(), 0.0);
+  EXPECT_GT(CDirect.units(), 0.0);
+  EXPECT_GT(CCG.units(), 0.0);
+}
+
+TEST(Poisson2DTest, ApplyOperatorOfZeroIsZero) {
+  Grid2D U(17, 0.0), Out(17);
+  poissonApply(U, Out);
+  EXPECT_DOUBLE_EQ(Out.rms(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+//===- tests/runtime/ConfigSpaceTest.cpp -------------------------------------=//
+
+#include "runtime/ConfigSpace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace pbt;
+using namespace pbt::runtime;
+
+namespace {
+
+ConfigSpace makeSpace() {
+  ConfigSpace S;
+  S.addCategorical("algo", 5);
+  S.addInteger("cutoff", 4, 4096, /*LogScale=*/true);
+  S.addReal("omega", 1.0, 1.95);
+  return S;
+}
+
+TEST(ConfigSpaceTest, DeclarationAndLookup) {
+  ConfigSpace S = makeSpace();
+  EXPECT_EQ(S.size(), 3u);
+  EXPECT_EQ(S.indexOf("cutoff"), 1);
+  EXPECT_EQ(S.indexOf("nonexistent"), -1);
+  EXPECT_EQ(S.param(0).Kind, ParamKind::Categorical);
+  EXPECT_EQ(S.param(0).Cardinality, 5u);
+  EXPECT_TRUE(S.param(1).LogScale);
+}
+
+TEST(ConfigSpaceTest, RandomConfigsStayInBounds) {
+  ConfigSpace S = makeSpace();
+  support::Rng Rng(3);
+  for (int I = 0; I != 500; ++I) {
+    Configuration C = S.randomConfig(Rng);
+    ASSERT_EQ(C.size(), 3u);
+    EXPECT_LT(C.category(0), 5u);
+    EXPECT_GE(C.integer(1), 4);
+    EXPECT_LE(C.integer(1), 4096);
+    // Integer params hold exact integral values.
+    EXPECT_DOUBLE_EQ(C.real(1), std::round(C.real(1)));
+    EXPECT_GE(C.real(2), 1.0);
+    EXPECT_LE(C.real(2), 1.95);
+  }
+}
+
+TEST(ConfigSpaceTest, LogScaleSamplingCoversDecades) {
+  ConfigSpace S;
+  S.addInteger("cut", 4, 4096, /*LogScale=*/true);
+  support::Rng Rng(4);
+  int Small = 0, Large = 0;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = S.randomConfig(Rng).integer(0);
+    if (V <= 64)
+      ++Small;
+    if (V >= 512)
+      ++Large;
+  }
+  // Log-uniform sampling gives each decade similar mass; a linear sampler
+  // would put <2% below 64.
+  EXPECT_GT(Small, 300);
+  EXPECT_GT(Large, 300);
+}
+
+TEST(ConfigSpaceTest, DefaultConfigIsValidAndDeterministic) {
+  ConfigSpace S = makeSpace();
+  Configuration A = S.defaultConfig();
+  Configuration B = S.defaultConfig();
+  EXPECT_EQ(A, B);
+  EXPECT_LT(A.category(0), 5u);
+  EXPECT_GE(A.integer(1), 4);
+  EXPECT_LE(A.integer(1), 4096);
+}
+
+TEST(ConfigSpaceTest, MutationPreservesValidity) {
+  ConfigSpace S = makeSpace();
+  support::Rng Rng(5);
+  Configuration C = S.defaultConfig();
+  for (int I = 0; I != 1000; ++I) {
+    S.mutate(C, Rng, /*Rate=*/0.8, /*Strength=*/0.3);
+    EXPECT_LT(C.category(0), 5u);
+    EXPECT_GE(C.integer(1), 4);
+    EXPECT_LE(C.integer(1), 4096);
+    EXPECT_DOUBLE_EQ(C.real(1), std::round(C.real(1)));
+    EXPECT_GE(C.real(2), 1.0);
+    EXPECT_LE(C.real(2), 1.95);
+  }
+}
+
+TEST(ConfigSpaceTest, MutationActuallyChangesValues) {
+  ConfigSpace S = makeSpace();
+  support::Rng Rng(6);
+  Configuration C = S.defaultConfig();
+  Configuration Orig = C;
+  S.mutate(C, Rng, /*Rate=*/1.0, /*Strength=*/0.3);
+  EXPECT_FALSE(C == Orig);
+}
+
+TEST(ConfigSpaceTest, CrossoverTakesGenesFromParents) {
+  ConfigSpace S = makeSpace();
+  support::Rng Rng(7);
+  Configuration A(std::vector<double>{0.0, 4.0, 1.0});
+  Configuration B(std::vector<double>{4.0, 4096.0, 1.95});
+  for (int I = 0; I != 100; ++I) {
+    Configuration C = S.crossover(A, B, Rng);
+    for (unsigned P = 0; P != 3; ++P)
+      EXPECT_TRUE(C.real(P) == A.real(P) || C.real(P) == B.real(P));
+  }
+}
+
+TEST(ConfigSpaceTest, RepairClampsAndRounds) {
+  ConfigSpace S = makeSpace();
+  Configuration C(std::vector<double>{9.7, 100000.0, 0.2});
+  S.repair(C);
+  EXPECT_EQ(C.category(0), 4u);
+  EXPECT_EQ(C.integer(1), 4096);
+  EXPECT_DOUBLE_EQ(C.real(2), 1.0);
+}
+
+TEST(ConfigSpaceTest, SearchSpaceLog10Composes) {
+  ConfigSpace S;
+  S.addCategorical("a", 10);
+  S.addCategorical("b", 10);
+  EXPECT_NEAR(S.searchSpaceLog10(), 2.0, 1e-12);
+}
+
+TEST(ConfigurationTest, StringRoundTrip) {
+  Configuration C(std::vector<double>{1.5, -2.0, 3.25e-7});
+  Configuration D;
+  ASSERT_TRUE(Configuration::fromString(C.toString(), D));
+  EXPECT_EQ(C, D);
+}
+
+TEST(ConfigurationTest, FromStringRejectsGarbage) {
+  Configuration D;
+  EXPECT_FALSE(Configuration::fromString("1.0 banana 2.0", D));
+}
+
+} // namespace

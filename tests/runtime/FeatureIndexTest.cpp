@@ -1,0 +1,45 @@
+//===- tests/runtime/FeatureIndexTest.cpp ------------------------------------=//
+
+#include "runtime/TunableProgram.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+using namespace pbt::runtime;
+
+namespace {
+
+TEST(FeatureIndexTest, FlatMappingRoundTrips) {
+  FeatureIndex Index({{"a", 3}, {"b", 2}, {"c", 3}});
+  EXPECT_EQ(Index.numProperties(), 3u);
+  EXPECT_EQ(Index.numFlat(), 8u);
+  for (unsigned P = 0; P != 3; ++P)
+    for (unsigned L = 0; L != Index.levels(P); ++L) {
+      unsigned Flat = Index.flat(P, L);
+      EXPECT_EQ(Index.propertyOf(Flat), P);
+      EXPECT_EQ(Index.levelOf(Flat), L);
+    }
+}
+
+TEST(FeatureIndexTest, FlatOrderIsPropertyMajor) {
+  FeatureIndex Index({{"a", 2}, {"b", 2}});
+  EXPECT_EQ(Index.flat(0, 0), 0u);
+  EXPECT_EQ(Index.flat(0, 1), 1u);
+  EXPECT_EQ(Index.flat(1, 0), 2u);
+  EXPECT_EQ(Index.flat(1, 1), 3u);
+}
+
+TEST(FeatureIndexTest, FlatNamesIncludePropertyAndLevel) {
+  FeatureIndex Index({{"sortedness", 3}});
+  EXPECT_EQ(Index.flatName(0), "sortedness@0");
+  EXPECT_EQ(Index.flatName(2), "sortedness@2");
+}
+
+TEST(FeatureIndexTest, SingleProperty) {
+  FeatureIndex Index({{"only", 1}});
+  EXPECT_EQ(Index.numFlat(), 1u);
+  EXPECT_EQ(Index.propertyOf(0), 0u);
+  EXPECT_EQ(Index.levelOf(0), 0u);
+}
+
+} // namespace

@@ -1,0 +1,88 @@
+//===- tests/runtime/SelectorTest.cpp ----------------------------------------=//
+
+#include "runtime/Selector.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+using namespace pbt::runtime;
+
+namespace {
+
+TEST(SelectorTest, PaperFigure2Semantics) {
+  // The paper's example: InsertionSort below 600, QuickSort below 1420,
+  // MergeSort above.
+  Selector S({{600, 0}, {1420, 1}, {UINT64_MAX, 2}});
+  EXPECT_EQ(S.choose(10), 0u);
+  EXPECT_EQ(S.choose(599), 0u);
+  EXPECT_EQ(S.choose(600), 1u);
+  EXPECT_EQ(S.choose(1419), 1u);
+  EXPECT_EQ(S.choose(1420), 2u);
+  EXPECT_EQ(S.choose(1000000), 2u);
+}
+
+TEST(SelectorTest, EmptySelectorDefaultsToChoiceZero) {
+  Selector S;
+  EXPECT_EQ(S.choose(123), 0u);
+}
+
+TEST(SelectorTest, DeclareAddsExpectedParameters) {
+  ConfigSpace Space;
+  SelectorScheme Scheme =
+      SelectorScheme::declare(Space, "sel", /*NumLevels=*/3,
+                              /*NumChoices=*/5, 4, 8192);
+  // 3 choice params + 2 cutoffs.
+  EXPECT_EQ(Space.size(), 5u);
+  EXPECT_GE(Space.indexOf("sel.choice0"), 0);
+  EXPECT_GE(Space.indexOf("sel.cutoff1"), 0);
+}
+
+TEST(SelectorTest, InstantiateSortsCutoffs) {
+  ConfigSpace Space;
+  SelectorScheme Scheme =
+      SelectorScheme::declare(Space, "sel", 3, 4, 2, 10000);
+  // choices = 3,1,0; cutoffs deliberately unsorted: 5000, 100.
+  Configuration C(std::vector<double>{3, 1, 0, 5000, 100});
+  Selector S = Scheme.instantiate(C);
+  ASSERT_EQ(S.levels().size(), 3u);
+  EXPECT_EQ(S.levels()[0].Cutoff, 100u);
+  EXPECT_EQ(S.levels()[1].Cutoff, 5000u);
+  EXPECT_EQ(S.choose(50), 3u);
+  EXPECT_EQ(S.choose(100), 1u);
+  EXPECT_EQ(S.choose(5000), 0u);
+}
+
+TEST(SelectorTest, SingleLevelSelectorIsConstant) {
+  ConfigSpace Space;
+  SelectorScheme Scheme = SelectorScheme::declare(Space, "sel", 1, 7, 2, 10);
+  Configuration C(std::vector<double>{4});
+  Selector S = Scheme.instantiate(C);
+  EXPECT_EQ(S.choose(1), 4u);
+  EXPECT_EQ(S.choose(1000000000), 4u);
+}
+
+TEST(SelectorTest, RandomConfigsDecodeToValidSelectors) {
+  ConfigSpace Space;
+  SelectorScheme Scheme = SelectorScheme::declare(Space, "sel", 4, 3, 4, 4096);
+  support::Rng Rng(9);
+  for (int I = 0; I != 200; ++I) {
+    Selector S = Scheme.instantiate(Space.randomConfig(Rng));
+    uint64_t PrevCutoff = 0;
+    for (const auto &L : S.levels()) {
+      EXPECT_LT(L.Choice, 3u);
+      EXPECT_GE(L.Cutoff, PrevCutoff);
+      PrevCutoff = L.Cutoff;
+    }
+    for (uint64_t N : {1ull, 10ull, 100ull, 10000ull, 1000000ull})
+      EXPECT_LT(S.choose(N), 3u);
+  }
+}
+
+TEST(SelectorTest, StrMentionsChoices) {
+  Selector S({{600, 2}, {UINT64_MAX, 0}});
+  std::string Str = S.str();
+  EXPECT_NE(Str.find("600"), std::string::npos);
+  EXPECT_NE(Str.find("2"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,53 @@
+//===- tests/support/CostTest.cpp --------------------------------------------=//
+
+#include "support/Cost.h"
+
+#include <gtest/gtest.h>
+
+using pbt::support::CostCounter;
+
+namespace {
+
+TEST(CostTest, CategoriesAccumulateIndependently) {
+  CostCounter C;
+  C.addCompares(3);
+  C.addMoves(5);
+  C.addFlops(7);
+  C.addStencil(11);
+  C.addOther(13);
+  EXPECT_DOUBLE_EQ(C.compares(), 3.0);
+  EXPECT_DOUBLE_EQ(C.moves(), 5.0);
+  EXPECT_DOUBLE_EQ(C.flops(), 7.0);
+  EXPECT_DOUBLE_EQ(C.stencil(), 11.0);
+  EXPECT_DOUBLE_EQ(C.other(), 13.0);
+  EXPECT_DOUBLE_EQ(C.units(), 39.0);
+}
+
+TEST(CostTest, ResetClearsEverything) {
+  CostCounter C;
+  C.addFlops(10);
+  C.reset();
+  EXPECT_DOUBLE_EQ(C.units(), 0.0);
+  EXPECT_DOUBLE_EQ(C.flops(), 0.0);
+}
+
+TEST(CostTest, MergeFoldsCounters) {
+  CostCounter A, B;
+  A.addCompares(1);
+  B.addCompares(2);
+  B.addMoves(4);
+  A.merge(B);
+  EXPECT_DOUBLE_EQ(A.compares(), 3.0);
+  EXPECT_DOUBLE_EQ(A.moves(), 4.0);
+  EXPECT_DOUBLE_EQ(A.units(), 7.0);
+}
+
+TEST(CostTest, WallTimerAdvances) {
+  pbt::support::WallTimer T;
+  volatile double Sink = 0.0;
+  for (int I = 0; I != 100000; ++I)
+    Sink = Sink + 1.0;
+  EXPECT_GE(T.elapsedSeconds(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,141 @@
+//===- tests/support/RandomTest.cpp ------------------------------------------=//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using pbt::support::Rng;
+
+namespace {
+
+TEST(RandomTest, SameSeedSameStream) {
+  Rng A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I != 16 && !AnyDiff; ++I)
+    AnyDiff = A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(RandomTest, ZeroSeedIsUsable) {
+  Rng R(0);
+  std::set<uint64_t> Values;
+  for (int I = 0; I != 32; ++I)
+    Values.insert(R.next());
+  EXPECT_GT(Values.size(), 30u) << "degenerate state from zero seed";
+}
+
+TEST(RandomTest, UniformInHalfOpenUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I != 10000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformRangeRespectsBounds) {
+  Rng R(8);
+  for (int I = 0; I != 1000; ++I) {
+    double U = R.uniform(-5.0, 11.0);
+    EXPECT_GE(U, -5.0);
+    EXPECT_LT(U, 11.0);
+  }
+}
+
+TEST(RandomTest, IntegerRangeInclusiveAndCovering) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.range(-2, 3);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 3);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 6u) << "all values of a small range must appear";
+}
+
+TEST(RandomTest, IndexStaysBelowBound) {
+  Rng R(10);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.index(17), 17u);
+}
+
+TEST(RandomTest, GaussianMomentsApproximatelyCorrect) {
+  Rng R(11);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 200000;
+  for (int I = 0; I != N; ++I) {
+    double G = R.gaussian(2.0, 3.0);
+    Sum += G;
+    SumSq += G * G;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 2.0, 0.05);
+  EXPECT_NEAR(Var, 9.0, 0.2);
+}
+
+TEST(RandomTest, ExponentialIsPositiveWithRoughlyRightMean) {
+  Rng R(12);
+  double Sum = 0.0;
+  const int N = 100000;
+  for (int I = 0; I != N; ++I) {
+    double E = R.exponential(4.0);
+    EXPECT_GT(E, 0.0);
+    Sum += E;
+  }
+  EXPECT_NEAR(Sum / N, 0.25, 0.01);
+}
+
+TEST(RandomTest, ChanceEdgeCases) {
+  Rng R(13);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(R.chance(0.0));
+    EXPECT_TRUE(R.chance(1.0));
+  }
+}
+
+TEST(RandomTest, ShuffleIsAPermutation) {
+  Rng R(14);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(RandomTest, SampleWithoutReplacementDistinct) {
+  Rng R(15);
+  std::vector<size_t> S = R.sampleWithoutReplacement(50, 20);
+  EXPECT_EQ(S.size(), 20u);
+  std::set<size_t> Set(S.begin(), S.end());
+  EXPECT_EQ(Set.size(), 20u);
+  for (size_t X : S)
+    EXPECT_LT(X, 50u);
+}
+
+TEST(RandomTest, SampleWithoutReplacementFullSet) {
+  Rng R(16);
+  std::vector<size_t> S = R.sampleWithoutReplacement(8, 8);
+  std::sort(S.begin(), S.end());
+  for (size_t I = 0; I != 8; ++I)
+    EXPECT_EQ(S[I], I);
+}
+
+TEST(RandomTest, SplitProducesIndependentDeterministicStream) {
+  Rng A(42), B(42);
+  Rng SA = A.split(), SB = B.split();
+  for (int I = 0; I != 32; ++I)
+    EXPECT_EQ(SA.next(), SB.next());
+}
+
+} // namespace

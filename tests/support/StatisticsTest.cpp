@@ -1,0 +1,67 @@
+//===- tests/support/StatisticsTest.cpp --------------------------------------=//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt::support;
+
+namespace {
+
+TEST(StatisticsTest, MeanKnownValues) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({-3.0, 3.0}), 0.0);
+}
+
+TEST(StatisticsTest, VarianceAndStdDev) {
+  // Population variance of {2,4,4,4,5,5,7,9} is 4.
+  std::vector<double> V{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(V), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(V), 2.0);
+  EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+}
+
+TEST(StatisticsTest, GeomeanKnownValues) {
+  EXPECT_DOUBLE_EQ(geomean({1.0, 4.0}), 2.0);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(StatisticsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+}
+
+TEST(StatisticsTest, QuantileInterpolates) {
+  std::vector<double> V{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(V, 1.0), 10.0);
+}
+
+TEST(StatisticsTest, MinMax) {
+  std::vector<double> V{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(minOf(V), -1.0);
+  EXPECT_DOUBLE_EQ(maxOf(V), 7.0);
+}
+
+TEST(StatisticsTest, SummaryOfSample) {
+  Summary S = Summary::of({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(S.Count, 5u);
+  EXPECT_DOUBLE_EQ(S.Mean, 3.0);
+  EXPECT_DOUBLE_EQ(S.Median, 3.0);
+  EXPECT_DOUBLE_EQ(S.Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Max, 5.0);
+  EXPECT_DOUBLE_EQ(S.Q1, 2.0);
+  EXPECT_DOUBLE_EQ(S.Q3, 4.0);
+}
+
+TEST(StatisticsTest, SummaryOfEmpty) {
+  Summary S = Summary::of({});
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_DOUBLE_EQ(S.Mean, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,67 @@
+//===- tests/support/TableTest.cpp -------------------------------------------=//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt::support;
+
+namespace {
+
+TEST(TableTest, FormatContainsAllCells) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"beta", "22"});
+  std::string S = T.format();
+  EXPECT_NE(S.find("name"), std::string::npos);
+  EXPECT_NE(S.find("alpha"), std::string::npos);
+  EXPECT_NE(S.find("22"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  TextTable T;
+  T.setHeader({"a", "b"});
+  T.addRow({"xxxx", "1"});
+  T.addRow({"y", "2"});
+  std::string S = T.format();
+  // Both data rows should place column b at the same offset.
+  size_t R1 = S.find("xxxx");
+  size_t R2 = S.find("y", R1);
+  size_t C1 = S.find('1', R1) - R1;
+  size_t C2 = S.find('2', R2) - R2;
+  EXPECT_EQ(C1, C2);
+}
+
+TEST(TableTest, FormatDoubleRespectsPrecision) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(TableTest, FormatSpeedupMatchesPaperStyle) {
+  EXPECT_EQ(formatSpeedup(2.95), "2.95x");
+  EXPECT_EQ(formatSpeedup(0.095), "0.095x");
+  EXPECT_EQ(formatSpeedup(0.22), "0.22x");
+}
+
+TEST(TableTest, FormatPercent) { EXPECT_EQ(formatPercent(0.5456), "54.56%"); }
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  CsvWriter W;
+  W.setHeader({"a", "b"});
+  W.addRow({"x,y", "quote\"inside"});
+  std::string S = W.str();
+  EXPECT_NE(S.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(S.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTripLineCount) {
+  CsvWriter W;
+  W.setHeader({"h"});
+  W.addRow({"1"});
+  W.addRow({"2"});
+  std::string S = W.str();
+  EXPECT_EQ(std::count(S.begin(), S.end(), '\n'), 3);
+}
+
+} // namespace
