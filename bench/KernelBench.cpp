@@ -1,4 +1,4 @@
-//===- bench/bench_kernels.cpp - Substrate micro-benchmarks -----------------==//
+//===- bench/KernelBench.cpp - `pbt-bench kernels` micro-benchmarks --------==//
 //
 // Part of the pbtuner project.
 //
@@ -8,20 +8,32 @@
 /// google-benchmark micro-benchmarks of the substrate kernels: the five
 /// sorting algorithms across input families, the bin packing heuristics,
 /// the SVD methods, the PDE smoothers/solvers, K-means, and classifier
-/// prediction. These measure *wall-clock* time of our implementations
-/// (the pipeline itself uses the deterministic cost model).
+/// prediction -- plus wall-clock comparisons of sequential vs pooled
+/// pipeline training and evaluation. Kernel benchmarks measure real time
+/// of our implementations (the pipeline itself uses the deterministic
+/// cost model). When google-benchmark is unavailable the subcommand
+/// degrades to an explanatory stub.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "benchmarks/BinPackingBenchmark.h"
+#include "Reports.h"
+
+#ifdef PBT_HAVE_GOOGLE_BENCHMARK
+
+#include "benchmarks/BinPackingAlgorithms.h"
 #include "benchmarks/SortAlgorithms.h"
-#include "benchmarks/SortBenchmark.h"
+#include "core/Pipeline.h"
 #include "linalg/SVD.h"
 #include "ml/DecisionTree.h"
 #include "ml/KMeans.h"
 #include "pde/Poisson2D.h"
+#include "registry/BenchmarkRegistry.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
 
 using namespace pbt;
 
@@ -218,4 +230,57 @@ static void BM_DecisionTreePredict(benchmark::State &State) {
 }
 BENCHMARK(BM_DecisionTreePredict);
 
-BENCHMARK_MAIN();
+//===----------------------------------------------------------------------===//
+// Pipeline parallelism: sequential vs ThreadPool-backed training and
+// evaluation of a small registry suite entry. The pooled variant must be
+// bitwise-identical in results (covered by tests); this measures the
+// wall-clock effect on multi-core hosts.
+//===----------------------------------------------------------------------===//
+
+static void BM_PipelineTrain(benchmark::State &State, bool Pooled) {
+  const double Scale = 0.2; // small: ~32 inputs, 5 landmarks
+  // Pool lives outside the timed loop (and only for the pooled variant)
+  // so the comparison measures the pipeline, not thread startup.
+  std::optional<support::ThreadPool> Pool;
+  if (Pooled)
+    Pool.emplace();
+  for (auto _ : State) {
+    std::vector<registry::SuiteEntry> Suite = registry::makeSuite(
+        {"sort2"}, Scale, Pooled ? &*Pool : nullptr);
+    registry::SuiteEntry &E = Suite.front();
+    core::TrainedSystem System = core::trainSystem(*E.Program, E.Options);
+    core::EvaluationResult R =
+        core::evaluateSystem(*E.Program, System, E.Options.Pool);
+    benchmark::DoNotOptimize(R.TwoLevelWithFeat);
+  }
+  State.counters["threads"] =
+      Pooled ? support::ThreadPool::hardwareThreads() : 1;
+}
+BENCHMARK_CAPTURE(BM_PipelineTrain, sequential, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineTrain, pooled, true)
+    ->Unit(benchmark::kMillisecond);
+
+int pbt::benchharness::runKernels(const DriverOptions &, int Argc,
+                                  char **Argv) {
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+#else // !PBT_HAVE_GOOGLE_BENCHMARK
+
+#include <cstdio>
+
+int pbt::benchharness::runKernels(const DriverOptions &, int, char **) {
+  std::fprintf(stderr,
+               "pbt-bench kernels: built without google-benchmark; install "
+               "libbenchmark-dev and reconfigure to enable this "
+               "subcommand.\n");
+  return 2;
+}
+
+#endif // PBT_HAVE_GOOGLE_BENCHMARK

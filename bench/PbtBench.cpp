@@ -1,0 +1,222 @@
+//===- bench/PbtBench.cpp - The unified experiment driver ------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `pbt-bench <subcommand> [options]` reproduces the paper's experiments
+/// over the benchmarks enumerated by the BenchmarkRegistry:
+///
+///   list                the registered workload catalog
+///   table1              Table 1 speedup/satisfaction summary
+///   fig6                per-input speedup distributions
+///   fig7                closed-form landmark model curves
+///   fig8                speedup vs landmark count sweep
+///   ablation-eta        cost-matrix blend factor sweep
+///   ablation-landmarks  K-means vs random landmark selection
+///   ablation-twolevel   refinement disparity + classifier zoo
+///   kernels             google-benchmark substrate micro-benchmarks
+///
+/// Shared options: --scale=S (or PBT_BENCH_SCALE), --only=a,b,c,
+/// --threads=N, --sequential, --out-dir=DIR, --trials=N. Unrecognised
+/// arguments of `kernels` pass through to google-benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Reports.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace pbt;
+using namespace pbt::benchharness;
+
+static void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: pbt-bench <subcommand> [options]\n"
+      "\n"
+      "subcommands:\n"
+      "  list                 enumerate the registered benchmarks\n"
+      "  table1               paper Table 1 (speedups over static oracle)\n"
+      "  fig6                 paper Figure 6 (per-input speedup spread)\n"
+      "  fig7                 paper Figure 7 (closed-form landmark model)\n"
+      "  fig8                 paper Figure 8 (speedup vs landmark count)\n"
+      "  ablation-eta         Section 3.2 cost-matrix blend sweep\n"
+      "  ablation-landmarks   Section 3.1 landmark selection ablation\n"
+      "  ablation-twolevel    Section 4.2 second-level evidence\n"
+      "  kernels              substrate micro-benchmarks (google-benchmark)\n"
+      "\n"
+      "options:\n"
+      "  --scale=S            input-count scale (default: PBT_BENCH_SCALE or 1)\n"
+      "  --only=a,b,c         restrict to named benchmarks (see `list`)\n"
+      "  --threads=N          worker threads (default: hardware concurrency)\n"
+      "  --sequential         disable the thread pool (reference path)\n"
+      "  --out-dir=DIR        directory for CSV series (default: .)\n"
+      "  --trials=N           random subsets per fig8 landmark count\n"
+      "\n"
+      "`kernels` ignores the options above; it takes google-benchmark\n"
+      "flags (e.g. --benchmark_filter=...) instead.\n");
+}
+
+static std::vector<std::string> splitCommas(const std::string &Text) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= Text.size()) {
+    size_t Comma = Text.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = Text.size();
+    if (Comma > Start)
+      Out.push_back(Text.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Out;
+}
+
+enum class ParseResult { Ok, Error, Help };
+
+/// Consumes the shared --flag=value options from \p Args, leaving any
+/// unrecognised ones (passed through to `kernels`) in place.
+static ParseResult parseSharedOptions(std::vector<std::string> &Args,
+                                      DriverOptions &Opts) {
+  std::vector<std::string> Rest;
+  for (const std::string &Arg : Args) {
+    auto Value = [&](const char *Flag) -> const char * {
+      size_t Len = std::strlen(Flag);
+      if (Arg.compare(0, Len, Flag) == 0 && Arg.size() > Len &&
+          Arg[Len] == '=')
+        return Arg.c_str() + Len + 1;
+      return nullptr;
+    };
+    if (const char *V = Value("--scale")) {
+      double S = std::atof(V);
+      if (S <= 0.0) {
+        std::fprintf(stderr, "pbt-bench: bad --scale value '%s'\n", V);
+        return ParseResult::Error;
+      }
+      Opts.Scale = std::clamp(S, 0.1, 100.0);
+    } else if (const char *V = Value("--only")) {
+      Opts.Only = splitCommas(V);
+      if (Opts.Only.empty()) {
+        std::fprintf(stderr,
+                     "pbt-bench: --only requires at least one benchmark "
+                     "name (see `pbt-bench list`)\n");
+        return ParseResult::Error;
+      }
+    } else if (const char *V = Value("--threads")) {
+      int N = std::atoi(V);
+      if (N < 0 || (N == 0 && std::strcmp(V, "0") != 0)) {
+        std::fprintf(stderr, "pbt-bench: bad --threads value '%s'\n", V);
+        return ParseResult::Error;
+      }
+      Opts.Threads = static_cast<unsigned>(N);
+    } else if (Arg == "--sequential") {
+      Opts.Sequential = true;
+    } else if (const char *V = Value("--out-dir")) {
+      Opts.OutDir = V;
+    } else if (const char *V = Value("--trials")) {
+      Opts.Fig8Trials = std::max(1, std::atoi(V));
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return ParseResult::Help;
+    } else {
+      Rest.push_back(Arg);
+    }
+  }
+  Args = std::move(Rest);
+  return ParseResult::Ok;
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2) {
+    printUsage();
+    return 1;
+  }
+  std::string Sub = argv[1];
+  if (Sub == "help" || Sub == "--help" || Sub == "-h") {
+    printUsage();
+    return 0;
+  }
+  std::vector<std::string> Args(argv + 2, argv + argc);
+
+  DriverOptions Opts;
+  Opts.Scale = registry::scaleFromEnv();
+  switch (parseSharedOptions(Args, Opts)) {
+  case ParseResult::Ok:
+    break;
+  case ParseResult::Help:
+    return 0;
+  case ParseResult::Error:
+    return 1;
+  }
+  if (!Opts.OutDir.empty() && Opts.OutDir != ".") {
+    std::error_code EC;
+    std::filesystem::create_directories(Opts.OutDir, EC);
+    if (EC) {
+      std::fprintf(stderr, "pbt-bench: cannot create --out-dir '%s': %s\n",
+                   Opts.OutDir.c_str(), EC.message().c_str());
+      return 1;
+    }
+  }
+
+  // Everything except `kernels` must have consumed all arguments.
+  if (Sub != "kernels" && !Args.empty()) {
+    std::fprintf(stderr, "pbt-bench %s: unknown argument '%s'\n", Sub.c_str(),
+                 Args.front().c_str());
+    printUsage();
+    return 1;
+  }
+
+  try {
+    if (Sub == "list") {
+      return runList(Opts);
+    } else if (Sub == "fig7") {
+      // Pure model evaluation; no programs, no pool.
+      return runFig7(Opts);
+    } else if (Sub == "kernels") {
+      // google-benchmark owns the remaining argv (argv[0] + passthrough).
+      std::vector<char *> KArgv;
+      KArgv.push_back(argv[0]);
+      for (std::string &A : Args)
+        KArgv.push_back(A.data());
+      int KArgc = static_cast<int>(KArgv.size());
+      return runKernels(Opts, KArgc, KArgv.data());
+    }
+
+    // The remaining subcommands train pipelines: give them the pool
+    // (not constructed at all under --sequential).
+    std::optional<support::ThreadPool> Pool;
+    if (!Opts.Sequential) {
+      Pool.emplace(Opts.Threads);
+      Opts.Pool = &*Pool;
+    }
+
+    if (Sub == "table1")
+      return runTable1(Opts);
+    if (Sub == "fig6")
+      return runFig6(Opts);
+    if (Sub == "fig8")
+      return runFig8(Opts);
+    if (Sub == "ablation-eta")
+      return runAblationEta(Opts);
+    if (Sub == "ablation-landmarks")
+      return runAblationLandmarks(Opts);
+    if (Sub == "ablation-twolevel")
+      return runAblationTwoLevel(Opts);
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "pbt-bench %s: %s\n", Sub.c_str(), E.what());
+    return 1;
+  }
+
+  std::fprintf(stderr, "pbt-bench: unknown subcommand '%s'\n", Sub.c_str());
+  printUsage();
+  return 1;
+}

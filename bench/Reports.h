@@ -1,0 +1,72 @@
+//===- bench/Reports.h - pbt-bench subcommand implementations -------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment subcommands of the unified `pbt-bench` driver. Each
+/// reproduces one table/figure/in-text result of the paper over the
+/// benchmarks enumerated by the BenchmarkRegistry, sharing one options
+/// struct (scale, suite subset, thread pool, output directory).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_BENCH_REPORTS_H
+#define PBT_BENCH_REPORTS_H
+
+#include "registry/BenchmarkRegistry.h"
+#include "support/ThreadPool.h"
+
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace benchharness {
+
+/// Options shared by every subcommand, parsed once in main.
+struct DriverOptions {
+  /// Input-count scale (PBT_BENCH_SCALE or --scale).
+  double Scale = 1.0;
+  /// Suite subset (--only=a,b,c); empty = the full registered suite.
+  std::vector<std::string> Only;
+  /// Worker threads (--threads); 0 = hardware concurrency.
+  unsigned Threads = 0;
+  /// --sequential: run without a pool (reference path).
+  bool Sequential = false;
+  /// Directory CSV series are written into (--out-dir).
+  std::string OutDir = ".";
+  /// Trials per landmark count in fig8 (--trials).
+  unsigned Fig8Trials = 60;
+  /// The pool built from Threads/Sequential; owned by main.
+  support::ThreadPool *Pool = nullptr;
+};
+
+/// Builds the suite the subcommand operates on (Only or the full suite).
+std::vector<registry::SuiteEntry> suiteFor(const DriverOptions &Opts);
+
+/// `list`: the registered catalog, one row per benchmark.
+int runList(const DriverOptions &Opts);
+/// `table1`: mean speedups over the static oracle (paper Table 1).
+int runTable1(const DriverOptions &Opts);
+/// `fig6`: distribution of per-input speedups (paper Figure 6).
+int runFig6(const DriverOptions &Opts);
+/// `fig7`: the closed-form landmark model (paper Figure 7, no programs).
+int runFig7(const DriverOptions &Opts);
+/// `fig8`: speedup vs landmark count over random subsets (paper Figure 8).
+int runFig8(const DriverOptions &Opts);
+/// `ablation-eta`: cost-matrix blend factor sweep (Section 3.2).
+int runAblationEta(const DriverOptions &Opts);
+/// `ablation-landmarks`: K-means vs random landmark selection (Section 3.1).
+int runAblationLandmarks(const DriverOptions &Opts);
+/// `ablation-twolevel`: refinement disparity + classifier zoo (Section 4.2).
+int runAblationTwoLevel(const DriverOptions &Opts);
+/// `kernels`: google-benchmark micro-benchmarks of the substrate kernels
+/// plus the parallel-pipeline wall-clock comparison. Extra argv is passed
+/// through to google-benchmark (e.g. --benchmark_filter=...).
+int runKernels(const DriverOptions &Opts, int Argc, char **Argv);
+
+} // namespace benchharness
+} // namespace pbt
+
+#endif // PBT_BENCH_REPORTS_H

@@ -7,16 +7,19 @@
 /// \file
 /// Quickstart: train the two-level input-sensitive autotuning system on
 /// the Sort benchmark and use the resulting classifier on fresh inputs.
+/// The program is constructed by name through the BenchmarkRegistry --
+/// no concrete benchmark type appears here, so swapping "sort2" for any
+/// name printed by `pbt-bench list` retargets the whole walkthrough.
 ///
 /// The flow is the paper's Figure 3:
-///   1. a program with algorithmic choices + input features (SortBenchmark),
+///   1. a program with algorithmic choices + input features,
 ///   2. input-aware learning (core::trainSystem = Level 1 + Level 2),
 ///   3. deployment: classify each new input, run its landmark config.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "benchmarks/SortBenchmark.h"
 #include "core/Pipeline.h"
+#include "registry/BenchmarkRegistry.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -24,31 +27,28 @@
 using namespace pbt;
 
 int main() {
-  // --- 1. The program under tuning: Sort with five algorithms, a
-  // recursive selector, and four input features at three sampling levels.
-  bench::SortBenchmark::Options ProgOpts;
-  ProgOpts.Data = bench::SortBenchmark::Dataset::SyntheticMix;
-  ProgOpts.NumInputs = 120;
-  ProgOpts.MinSize = 256;
-  ProgOpts.MaxSize = 2048;
-  ProgOpts.Seed = 42;
-  bench::SortBenchmark Sort(ProgOpts);
+  // --- 1. The program under tuning, by registry name: Sort with five
+  // algorithms, a recursive selector, and four input features at three
+  // sampling levels. Scale 0.75 gives 120 inputs.
+  const registry::BenchmarkFactory &Factory =
+      registry::BenchmarkRegistry::instance().get("sort2");
+  registry::ProgramPtr Sort = Factory.makeProgram(/*Scale=*/0.75, /*Seed=*/42);
   std::printf("program: %s  (search space ~10^%.0f configurations)\n",
-              Sort.name().c_str(), Sort.space().searchSpaceLog10());
+              Sort->name().c_str(), Sort->space().searchSpaceLog10());
 
   // --- 2. Input-aware learning: cluster training inputs, tune one
   // landmark per cluster, measure, refine, train + select a classifier.
-  core::PipelineOptions Opts;
+  core::PipelineOptions Opts = Factory.defaultOptions(0.75);
   Opts.L1.NumLandmarks = 8;
   Opts.L1.Tuner.PopulationSize = 14;
   Opts.L1.Tuner.Generations = 10;
-  core::TrainedSystem System = core::trainSystem(Sort, Opts);
+  core::TrainedSystem System = core::trainSystem(*Sort, Opts);
   std::printf("trained %zu landmark configurations; selected classifier: "
               "%s\n",
               System.L1.Landmarks.size(), System.L2.SelectedName.c_str());
 
   // --- 3. Evaluation on the held-out half of the inputs.
-  core::EvaluationResult R = core::evaluateSystem(Sort, System);
+  core::EvaluationResult R = core::evaluateSystem(*Sort, System);
   support::TextTable Table;
   Table.setHeader({"method", "mean speedup vs static oracle"});
   Table.addRow({"dynamic oracle (upper bound)",
@@ -61,17 +61,17 @@ int main() {
 
   // --- 4. Deployment: classify a few test inputs through the live
   // feature extractors and show which polyalgorithm each one gets.
-  runtime::FeatureIndex Index(Sort.features());
+  runtime::FeatureIndex Index(Sort->features());
   std::printf("deployment decisions on four test inputs:\n");
   for (size_t I = 0; I != 4 && I != System.TestRows.size(); ++I) {
     size_t Input = System.TestRows[I];
-    core::FeatureProbe Probe = core::probeFromProgram(Sort, Input, Index);
+    core::FeatureProbe Probe = core::probeFromProgram(*Sort, Input, Index);
     unsigned Landmark = System.L2.Production->classify(Probe);
-    bench::PolySorter Sorter = Sort.sorterFor(System.L1.Landmarks[Landmark]);
-    std::printf("  input %-4zu (%-13s n=%-5zu) -> landmark %u  selector %s "
+    std::printf("  input %-4zu (%-20s) -> landmark %u  %s "
                 "(%u features extracted, %.0f cost units)\n",
-                Input, Sort.inputTag(Input).c_str(), Sort.input(Input).size(),
-                Landmark, Sorter.selector().str().c_str(),
+                Input, Sort->describeInput(Input).c_str(), Landmark,
+                Sort->describeConfiguration(System.L1.Landmarks[Landmark])
+                    .c_str(),
                 Probe.numExtracted(), Probe.totalCost());
   }
   return 0;

@@ -19,6 +19,7 @@
 #define PBT_BENCHMARKS_BINPACKINGALGORITHMS_H
 
 #include "support/Cost.h"
+#include "support/Random.h"
 
 #include <string>
 #include <vector>
@@ -63,6 +64,37 @@ PackingResult pack(PackAlgo Algo, const std::vector<double> &Items,
 /// (pack() itself guarantees this by construction; the test recomputes.)
 bool packingIsValid(const PackingResult &R, const std::vector<double> &Items,
                     double Epsilon = 1e-9);
+
+//===----------------------------------------------------------------------===//
+// Input generators. Kept with the algorithms so kernel micro-benchmarks
+// and tests can synthesise inputs without the TunableProgram layer.
+//===----------------------------------------------------------------------===//
+
+/// Input generator families for binpacking.
+enum class PackGen : unsigned {
+  /// Items from splitting full bins into 2-4 parts: a perfect packing
+  /// exists, decreasing-family algorithms can approach occupancy 1.
+  PerfectSplit = 0,
+  /// Uniform small items in (0.05, 0.35): most algorithms pack well.
+  SmallUniform,
+  /// Uniform items in (0.1, 0.5): harder; quality spreads widely while
+  /// staying packable to high occupancy by good heuristics.
+  WideUniform,
+  /// Bimodal ~0.62 / ~0.36 items: pairing matters (BFD/MFFD shine).
+  Bimodal,
+  /// Near-identical items around 1/3: duplication-heavy.
+  Triplets,
+  /// Sorted ascending small items: sortedness feature lights up.
+  SortedAscending,
+  /// Exponential-ish skew towards small items.
+  Skewed,
+};
+inline constexpr unsigned NumPackGens = 7;
+
+const char *packGenName(PackGen G);
+
+/// Generates one item list of the given family.
+std::vector<double> generatePackInput(PackGen G, size_t N, support::Rng &Rng);
 
 } // namespace bench
 } // namespace pbt

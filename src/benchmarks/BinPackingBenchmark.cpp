@@ -13,91 +13,6 @@
 using namespace pbt;
 using namespace pbt::bench;
 
-const char *bench::packGenName(PackGen G) {
-  switch (G) {
-  case PackGen::PerfectSplit:
-    return "perfect-split";
-  case PackGen::SmallUniform:
-    return "small-uniform";
-  case PackGen::WideUniform:
-    return "wide-uniform";
-  case PackGen::Bimodal:
-    return "bimodal";
-  case PackGen::Triplets:
-    return "triplets";
-  case PackGen::SortedAscending:
-    return "sorted-ascending";
-  case PackGen::Skewed:
-    return "skewed";
-  }
-  return "unknown";
-}
-
-std::vector<double> bench::generatePackInput(PackGen G, size_t N,
-                                             support::Rng &Rng) {
-  std::vector<double> V;
-  V.reserve(N);
-  switch (G) {
-  case PackGen::PerfectSplit: {
-    // Split unit bins into 2-4 parts until N items exist, then shuffle.
-    while (V.size() < N) {
-      unsigned Parts = 2 + static_cast<unsigned>(Rng.index(3));
-      double Remaining = 1.0;
-      for (unsigned P = 0; P + 1 < Parts; ++P) {
-        double Mean = Remaining / static_cast<double>(Parts - P);
-        double Part =
-            std::clamp(Rng.uniform(0.4 * Mean, 1.6 * Mean), 0.02, Remaining - 0.02 * (Parts - P - 1));
-        V.push_back(Part);
-        Remaining -= Part;
-      }
-      V.push_back(Remaining);
-    }
-    V.resize(N);
-    Rng.shuffle(V);
-    break;
-  }
-  case PackGen::SmallUniform:
-    for (size_t I = 0; I != N; ++I)
-      V.push_back(Rng.uniform(0.05, 0.35));
-    break;
-  case PackGen::WideUniform:
-    // The 0.5 upper bound keeps instances packable to high occupancy by
-    // good heuristics (mirroring the paper's setup, whose one-level
-    // baseline still reached 97.8% accuracy satisfaction) while spreading
-    // quality across algorithms.
-    for (size_t I = 0; I != N; ++I)
-      V.push_back(Rng.uniform(0.1, 0.5));
-    break;
-  case PackGen::Bimodal:
-    // Complementary pairs around 0.6/0.4: pairing-aware algorithms (BFD,
-    // MFFD) can approach occupancy 1, naive ones cannot.
-    for (size_t I = 0; I != N; ++I) {
-      double Big = Rng.uniform(0.56, 0.64);
-      V.push_back(Rng.chance(0.5) ? Big
-                                  : std::clamp(1.0 - Big +
-                                                   Rng.uniform(-0.015, 0.015),
-                                               0.02, 1.0));
-    }
-    break;
-  case PackGen::Triplets:
-    for (size_t I = 0; I != N; ++I)
-      V.push_back(Rng.uniform(0.32, 0.3334));
-    break;
-  case PackGen::SortedAscending:
-    for (size_t I = 0; I != N; ++I)
-      V.push_back(Rng.uniform(0.05, 0.4));
-    std::sort(V.begin(), V.end());
-    break;
-  case PackGen::Skewed:
-    for (size_t I = 0; I != N; ++I) {
-      double X = std::min(0.5, Rng.exponential(6.0) + 0.02);
-      V.push_back(X);
-    }
-    break;
-  }
-  return V;
-}
-
 BinPackingBenchmark::BinPackingBenchmark(const Options &Opts) : Opts(Opts) {
   AlgoParam = Space.addCategorical("binpacking.algorithm", NumPackAlgos);
 
@@ -198,3 +113,22 @@ BinPackingBenchmark::run(size_t Input, const runtime::Configuration &Config,
   R.Accuracy = P.averageOccupancy();
   return R;
 }
+
+//===----------------------------------------------------------------------===//
+// Registry entry: the paper's binpacking row.
+//===----------------------------------------------------------------------===//
+
+#include "registry/BenchmarkRegistry.h"
+
+static registry::RegisterBenchmark
+    RegBinPacking(std::make_unique<registry::SimpleBenchmarkFactory>(
+        "binpacking", "Bin packing over four heuristics, occupancy accuracy",
+        /*SuiteOrder=*/4, /*ProgramSeed=*/105, /*PipelineSeed=*/1005,
+        [](double Scale, uint64_t Seed) -> registry::ProgramPtr {
+          BinPackingBenchmark::Options O;
+          O.NumInputs = registry::scaledInputCount(Scale, 200);
+          O.MinItems = 64;
+          O.MaxItems = 384;
+          O.Seed = Seed;
+          return std::make_unique<BinPackingBenchmark>(O);
+        }));

@@ -27,31 +27,6 @@
 namespace pbt {
 namespace bench {
 
-/// Input generator families for binpacking.
-enum class PackGen : unsigned {
-  /// Items from splitting full bins into 2-4 parts: a perfect packing
-  /// exists, decreasing-family algorithms can approach occupancy 1.
-  PerfectSplit = 0,
-  /// Uniform small items in (0.05, 0.35): most algorithms pack well.
-  SmallUniform,
-  /// Uniform items in (0.2, 0.8): harder; quality spreads widely.
-  WideUniform,
-  /// Bimodal ~0.62 / ~0.36 items: pairing matters (BFD/MFFD shine).
-  Bimodal,
-  /// Near-identical items around 1/3: duplication-heavy.
-  Triplets,
-  /// Sorted ascending small items: sortedness feature lights up.
-  SortedAscending,
-  /// Exponential-ish skew towards small items.
-  Skewed,
-};
-inline constexpr unsigned NumPackGens = 7;
-
-const char *packGenName(PackGen G);
-
-/// Generates one item list of the given family.
-std::vector<double> generatePackInput(PackGen G, size_t N, support::Rng &Rng);
-
 class BinPackingBenchmark : public runtime::TunableProgram {
 public:
   struct Options {

@@ -328,3 +328,40 @@ ClusteringBenchmark::run(size_t Input, const runtime::Configuration &Config,
     R.Accuracy = std::min(5.0, Canon / Ours);
   return R;
 }
+
+//===----------------------------------------------------------------------===//
+// Registry entries: the paper's clustering1 (lattice/poker-hand-like) and
+// clustering2 (synthetic mixture) rows.
+//===----------------------------------------------------------------------===//
+
+#include "registry/BenchmarkRegistry.h"
+
+static registry::ProgramPtr
+makeClusteringProgram(ClusteringBenchmark::Dataset Data, double Scale,
+                      uint64_t Seed) {
+  ClusteringBenchmark::Options O;
+  O.Data = Data;
+  O.NumInputs = registry::scaledInputCount(Scale, 160);
+  O.MinPoints = 150;
+  O.MaxPoints = 500;
+  O.Seed = Seed;
+  return std::make_unique<ClusteringBenchmark>(O);
+}
+
+static registry::RegisterBenchmark
+    RegClustering1(std::make_unique<registry::SimpleBenchmarkFactory>(
+        "clustering1", "Clustering, lattice-mix discrete inputs (paper clustering1)",
+        /*SuiteOrder=*/2, /*ProgramSeed=*/103, /*PipelineSeed=*/1003,
+        [](double Scale, uint64_t Seed) {
+          return makeClusteringProgram(ClusteringBenchmark::Dataset::LatticeMix,
+                                       Scale, Seed);
+        }));
+
+static registry::RegisterBenchmark
+    RegClustering2(std::make_unique<registry::SimpleBenchmarkFactory>(
+        "clustering2", "Clustering, synthetic generator mixture (paper clustering2)",
+        /*SuiteOrder=*/3, /*ProgramSeed=*/104, /*PipelineSeed=*/1004,
+        [](double Scale, uint64_t Seed) {
+          return makeClusteringProgram(
+              ClusteringBenchmark::Dataset::SyntheticMix, Scale, Seed);
+        }));

@@ -251,3 +251,21 @@ Helmholtz3DBenchmark::run(size_t Input, const runtime::Configuration &Config,
     R.Accuracy = std::min(16.0, std::log10(ErrInitial / ErrFinal));
   return R;
 }
+
+//===----------------------------------------------------------------------===//
+// Registry entry: the paper's helmholtz3d row.
+//===----------------------------------------------------------------------===//
+
+#include "registry/BenchmarkRegistry.h"
+
+static registry::RegisterBenchmark
+    RegHelmholtz3D(std::make_unique<registry::SimpleBenchmarkFactory>(
+        "helmholtz3d", "3D Helmholtz solver selection (paper helmholtz3d)",
+        /*SuiteOrder=*/7, /*ProgramSeed=*/108, /*PipelineSeed=*/1008,
+        [](double Scale, uint64_t Seed) -> registry::ProgramPtr {
+          Helmholtz3DBenchmark::Options O;
+          O.NumInputs = registry::scaledInputCount(Scale, 100);
+          O.GridN = 9;
+          O.Seed = Seed;
+          return std::make_unique<Helmholtz3DBenchmark>(O);
+        }));

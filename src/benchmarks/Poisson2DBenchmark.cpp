@@ -216,3 +216,21 @@ Poisson2DBenchmark::run(size_t Input, const runtime::Configuration &Config,
     R.Accuracy = std::min(16.0, std::log10(ErrInitial / ErrFinal));
   return R;
 }
+
+//===----------------------------------------------------------------------===//
+// Registry entry: the paper's poisson2d row.
+//===----------------------------------------------------------------------===//
+
+#include "registry/BenchmarkRegistry.h"
+
+static registry::RegisterBenchmark
+    RegPoisson2D(std::make_unique<registry::SimpleBenchmarkFactory>(
+        "poisson2d", "2D Poisson solver selection (direct/SOR/multigrid)",
+        /*SuiteOrder=*/6, /*ProgramSeed=*/107, /*PipelineSeed=*/1007,
+        [](double Scale, uint64_t Seed) -> registry::ProgramPtr {
+          Poisson2DBenchmark::Options O;
+          O.NumInputs = registry::scaledInputCount(Scale, 100);
+          O.GridN = 33;
+          O.Seed = Seed;
+          return std::make_unique<Poisson2DBenchmark>(O);
+        }));

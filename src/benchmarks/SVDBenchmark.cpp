@@ -250,3 +250,22 @@ SVDBenchmark::run(size_t Input, const runtime::Configuration &Config,
     R.Accuracy = std::log10(ErrInitial / ErrFinal);
   return R;
 }
+
+//===----------------------------------------------------------------------===//
+// Registry entry: the paper's svd (matrix approximation) row.
+//===----------------------------------------------------------------------===//
+
+#include "registry/BenchmarkRegistry.h"
+
+static registry::RegisterBenchmark
+    RegSVD(std::make_unique<registry::SimpleBenchmarkFactory>(
+        "svd", "Low-rank matrix approximation via Jacobi/randomized SVD",
+        /*SuiteOrder=*/5, /*ProgramSeed=*/106, /*PipelineSeed=*/1006,
+        [](double Scale, uint64_t Seed) -> registry::ProgramPtr {
+          SVDBenchmark::Options O;
+          O.NumInputs = registry::scaledInputCount(Scale, 160);
+          O.MinDim = 20;
+          O.MaxDim = 36;
+          O.Seed = Seed;
+          return std::make_unique<SVDBenchmark>(O);
+        }));

@@ -23,6 +23,7 @@
 
 #include "runtime/Selector.h"
 #include "support/Cost.h"
+#include "support/Random.h"
 
 #include <cstddef>
 #include <vector>
@@ -83,6 +84,39 @@ private:
 /// \returns true if V[Lo, Hi) is non-decreasing (test helper; free of
 /// cost-model side effects).
 bool isSorted(const std::vector<double> &V, size_t Lo, size_t Hi);
+
+//===----------------------------------------------------------------------===//
+// Input generators. These live with the algorithms (not the benchmark
+// wrapper) so kernel micro-benchmarks and tests can synthesise inputs
+// without touching the TunableProgram layer.
+//===----------------------------------------------------------------------===//
+
+/// Input generator families for Sort.
+enum class SortGen : unsigned {
+  Uniform = 0,
+  Sorted,
+  Reverse,
+  AlmostSorted,
+  FewDistinct,
+  OrganPipe,
+  Gaussian,
+  Exponential,
+  Sawtooth,
+  Constant,
+};
+inline constexpr unsigned NumSortGens = 10;
+
+/// Name of a generator (for reports and tests).
+const char *sortGenName(SortGen G);
+
+/// Generates one input of the given family and size.
+std::vector<double> generateSortInput(SortGen G, size_t N,
+                                      support::Rng &Rng);
+
+/// Generates a registry-like input (the paper's sort1 real-world data
+/// stand-in): concatenated sorted runs over a small value pool with a
+/// fraction of out-of-order updates appended.
+std::vector<double> generateRegistryLikeInput(size_t N, support::Rng &Rng);
 
 } // namespace bench
 } // namespace pbt

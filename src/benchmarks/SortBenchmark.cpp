@@ -13,121 +13,6 @@
 using namespace pbt;
 using namespace pbt::bench;
 
-const char *bench::sortGenName(SortGen G) {
-  switch (G) {
-  case SortGen::Uniform:
-    return "uniform";
-  case SortGen::Sorted:
-    return "sorted";
-  case SortGen::Reverse:
-    return "reverse";
-  case SortGen::AlmostSorted:
-    return "almost-sorted";
-  case SortGen::FewDistinct:
-    return "few-distinct";
-  case SortGen::OrganPipe:
-    return "organ-pipe";
-  case SortGen::Gaussian:
-    return "gaussian";
-  case SortGen::Exponential:
-    return "exponential";
-  case SortGen::Sawtooth:
-    return "sawtooth";
-  case SortGen::Constant:
-    return "constant";
-  }
-  return "unknown";
-}
-
-std::vector<double> bench::generateSortInput(SortGen G, size_t N,
-                                             support::Rng &Rng) {
-  std::vector<double> V(N);
-  switch (G) {
-  case SortGen::Uniform:
-    for (double &X : V)
-      X = Rng.uniform(0.0, 1e6);
-    break;
-  case SortGen::Sorted:
-    for (size_t I = 0; I != N; ++I)
-      V[I] = static_cast<double>(I) + Rng.uniform(0.0, 0.5);
-    std::sort(V.begin(), V.end());
-    break;
-  case SortGen::Reverse:
-    for (size_t I = 0; I != N; ++I)
-      V[I] = static_cast<double>(N - I) + Rng.uniform(0.0, 0.5);
-    std::sort(V.begin(), V.end(), std::greater<double>());
-    break;
-  case SortGen::AlmostSorted: {
-    for (size_t I = 0; I != N; ++I)
-      V[I] = static_cast<double>(I);
-    // Perturb ~2% of positions with local swaps.
-    size_t Swaps = std::max<size_t>(1, N / 50);
-    for (size_t S = 0; S != Swaps; ++S) {
-      size_t I = Rng.index(N);
-      size_t J = std::min(N - 1, I + 1 + Rng.index(8));
-      std::swap(V[I], V[J]);
-    }
-    break;
-  }
-  case SortGen::FewDistinct: {
-    size_t Values = 2 + Rng.index(14);
-    for (double &X : V)
-      X = static_cast<double>(Rng.index(Values)) * 7.5;
-    break;
-  }
-  case SortGen::OrganPipe:
-    for (size_t I = 0; I != N; ++I)
-      V[I] = static_cast<double>(I < N / 2 ? I : N - I);
-    break;
-  case SortGen::Gaussian:
-    for (double &X : V)
-      X = Rng.gaussian(0.0, 1000.0);
-    break;
-  case SortGen::Exponential:
-    for (double &X : V)
-      X = Rng.exponential(1e-3);
-    break;
-  case SortGen::Sawtooth: {
-    size_t Runs = 4 + Rng.index(12);
-    size_t RunLen = std::max<size_t>(1, N / Runs);
-    for (size_t I = 0; I != N; ++I)
-      V[I] = static_cast<double>(I % RunLen) * 3.0 + Rng.uniform(0.0, 1.0);
-    break;
-  }
-  case SortGen::Constant: {
-    double C = Rng.uniform(0.0, 100.0);
-    for (double &X : V)
-      X = C;
-    break;
-  }
-  }
-  return V;
-}
-
-std::vector<double> bench::generateRegistryLikeInput(size_t N,
-                                                     support::Rng &Rng) {
-  // Registry extracts are dominated by records sorted by identifier, with
-  // a small pool of duplicated identifiers (renewed registrations) and a
-  // tail of recent, unsorted updates.
-  std::vector<double> V;
-  V.reserve(N);
-  size_t Pool = std::max<size_t>(8, N / 10);
-  size_t Runs = 2 + Rng.index(9);
-  size_t Tail = N / 20 + Rng.index(std::max<size_t>(1, N / 20));
-  size_t Body = N > Tail ? N - Tail : N;
-  for (size_t R = 0; R != Runs; ++R) {
-    size_t RunLen = Body / Runs + (R < Body % Runs ? 1 : 0);
-    std::vector<double> Run(RunLen);
-    for (double &X : Run)
-      X = static_cast<double>(Rng.index(Pool)) * 11.0;
-    std::sort(Run.begin(), Run.end());
-    V.insert(V.end(), Run.begin(), Run.end());
-  }
-  while (V.size() < N)
-    V.push_back(static_cast<double>(Rng.index(Pool)) * 11.0);
-  return V;
-}
-
 SortBenchmark::SortBenchmark(const Options &Opts) : Opts(Opts) {
   assert(Opts.MinSize >= 4 && Opts.MinSize <= Opts.MaxSize && "bad sizes");
   // Configuration space: the recursive selector over the five algorithms
@@ -268,3 +153,48 @@ runtime::RunResult SortBenchmark::run(size_t Input,
   R.Accuracy = 1.0;
   return R;
 }
+
+std::string SortBenchmark::describeInput(size_t Input) const {
+  return Tags[Input] + " n=" + std::to_string(Inputs[Input].size());
+}
+
+std::string
+SortBenchmark::describeConfiguration(const runtime::Configuration &Config) const {
+  return "selector " + sorterFor(Config).selector().str();
+}
+
+//===----------------------------------------------------------------------===//
+// Registry entries: the paper's sort1 (registry-like real-world inputs)
+// and sort2 (synthetic generator mixture) rows.
+//===----------------------------------------------------------------------===//
+
+#include "registry/BenchmarkRegistry.h"
+
+static registry::ProgramPtr makeSortProgram(SortBenchmark::Dataset Data,
+                                            double Scale, uint64_t Seed) {
+  SortBenchmark::Options O;
+  O.Data = Data;
+  O.NumInputs = registry::scaledInputCount(Scale, 160);
+  O.MinSize = 256;
+  O.MaxSize = 2048;
+  O.Seed = Seed;
+  return std::make_unique<SortBenchmark>(O);
+}
+
+static registry::RegisterBenchmark
+    RegSort1(std::make_unique<registry::SimpleBenchmarkFactory>(
+        "sort1", "Sort, registry-like real-world inputs (paper sort1)",
+        /*SuiteOrder=*/0, /*ProgramSeed=*/101, /*PipelineSeed=*/1001,
+        [](double Scale, uint64_t Seed) {
+          return makeSortProgram(SortBenchmark::Dataset::RegistryLike, Scale,
+                                 Seed);
+        }));
+
+static registry::RegisterBenchmark
+    RegSort2(std::make_unique<registry::SimpleBenchmarkFactory>(
+        "sort2", "Sort, synthetic generator mixture (paper sort2)",
+        /*SuiteOrder=*/1, /*ProgramSeed=*/102, /*PipelineSeed=*/1002,
+        [](double Scale, uint64_t Seed) {
+          return makeSortProgram(SortBenchmark::Dataset::SyntheticMix, Scale,
+                                 Seed);
+        }));

@@ -33,33 +33,6 @@
 namespace pbt {
 namespace bench {
 
-/// Input generator families for Sort.
-enum class SortGen : unsigned {
-  Uniform = 0,
-  Sorted,
-  Reverse,
-  AlmostSorted,
-  FewDistinct,
-  OrganPipe,
-  Gaussian,
-  Exponential,
-  Sawtooth,
-  Constant,
-};
-inline constexpr unsigned NumSortGens = 10;
-
-/// Name of a generator (for reports and tests).
-const char *sortGenName(SortGen G);
-
-/// Generates one input of the given family and size.
-std::vector<double> generateSortInput(SortGen G, size_t N,
-                                      support::Rng &Rng);
-
-/// Generates a registry-like input (the paper's sort1 real-world data
-/// stand-in): concatenated sorted runs over a small value pool with a
-/// fraction of out-of-order updates appended.
-std::vector<double> generateRegistryLikeInput(size_t N, support::Rng &Rng);
-
 class SortBenchmark : public runtime::TunableProgram {
 public:
   enum class Dataset {
@@ -93,6 +66,11 @@ public:
 
   /// Decodes the polyalgorithm a configuration describes (for reports).
   PolySorter sorterFor(const runtime::Configuration &Config) const;
+
+  // Report hooks: input tag + length, and the decoded selector rule.
+  std::string describeInput(size_t Input) const override;
+  std::string
+  describeConfiguration(const runtime::Configuration &Config) const override;
 
   const std::vector<double> &input(size_t I) const { return Inputs[I]; }
   const std::string &inputTag(size_t I) const { return Tags[I]; }

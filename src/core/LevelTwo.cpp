@@ -271,11 +271,13 @@ LevelTwoResult core::runLevelTwo(const runtime::TunableProgram &Program,
     R.Candidates.push_back(averageScores("max-apriori", FoldScores, Spec, Options.SelectionMargin));
   }
 
-  // --- Candidates (2)/(3): exhaustive per-property subset trees. ---
+  // --- Candidates (2)/(3): exhaustive per-property subset trees. Each
+  // subset's cross-validated fit is independent, so the sweep runs on the
+  // pool; scores land in a subset-indexed array and the selection below
+  // stays sequential, making pooled and serial runs identical. ---
   std::vector<std::vector<unsigned>> Subsets = enumerateFeatureSubsets(Index);
-  size_t BestSubsetIdx = 0;
-  double BestSubsetObjective = std::numeric_limits<double>::max();
-  for (size_t SI = 0; SI != Subsets.size(); ++SI) {
+  std::vector<CandidateScore> SubsetScores(Subsets.size());
+  auto ScoreSubset = [&](size_t SI) {
     const std::vector<unsigned> &Subset = Subsets[SI];
     std::string Name = subsetName(Index, Subset);
     ml::DecisionTreeOptions SubOpts = TreeOpts;
@@ -293,7 +295,19 @@ LevelTwoResult core::runLevelTwo(const runtime::TunableProgram &Program,
                 [&Probe](unsigned F) { return Probe.value(F); });
           }));
     }
-    CandidateScore S = averageScores(Name, FoldScores, Spec, Options.SelectionMargin);
+    SubsetScores[SI] =
+        averageScores(Name, FoldScores, Spec, Options.SelectionMargin);
+  };
+  if (Options.Pool)
+    Options.Pool->parallelFor(0, Subsets.size(), ScoreSubset);
+  else
+    for (size_t SI = 0; SI != Subsets.size(); ++SI)
+      ScoreSubset(SI);
+
+  size_t BestSubsetIdx = 0;
+  double BestSubsetObjective = std::numeric_limits<double>::max();
+  for (size_t SI = 0; SI != Subsets.size(); ++SI) {
+    CandidateScore &S = SubsetScores[SI];
     if (S.Valid && S.Objective < BestSubsetObjective) {
       BestSubsetObjective = S.Objective;
       BestSubsetIdx = SI;

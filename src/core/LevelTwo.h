@@ -52,6 +52,10 @@ struct LevelTwoOptions {
   double SelectionMargin = 0.0;
   ml::DecisionTreeOptions Tree;
   ml::IncrementalBayesOptions Bayes;
+  /// Optional pool parallelising the classifier zoo's cross-validated
+  /// subset-tree sweep ((z+1)^u - 1 candidates). Results are identical
+  /// with or without it.
+  support::ThreadPool *Pool = nullptr;
 };
 
 /// Cross-validated evaluation of one candidate classifier.

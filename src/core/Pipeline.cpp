@@ -27,8 +27,14 @@ TrainedSystem core::trainSystem(const runtime::TunableProgram &Program,
   S.TrainRows = std::move(Split.Train);
   S.TestRows = std::move(Split.Test);
 
-  S.L1 = runLevelOne(Program, S.TrainRows, Options.L1);
-  S.L2 = runLevelTwo(Program, S.L1, S.TrainRows, Options.L2);
+  LevelOneOptions L1Opts = Options.L1;
+  if (!L1Opts.Pool)
+    L1Opts.Pool = Options.Pool;
+  LevelTwoOptions L2Opts = Options.L2;
+  if (!L2Opts.Pool)
+    L2Opts.Pool = Options.Pool;
+  S.L1 = runLevelOne(Program, S.TrainRows, L1Opts);
+  S.L2 = runLevelTwo(Program, S.L1, S.TrainRows, L2Opts);
 
   std::optional<runtime::AccuracySpec> Spec = Program.accuracy();
   S.StaticOracleLandmark =
@@ -65,44 +71,77 @@ struct MethodStats {
 };
 } // namespace
 
+namespace {
+/// Everything measured for one test row; filled index-parallel so the
+/// pooled evaluation reduces in the exact sequential order.
+struct RowEval {
+  double StaticTime = 0.0;
+  bool StaticMet = false;
+  double DynamicTime = 0.0;
+  bool DynamicMet = false;
+  double TwoTime = 0.0, TwoCost = 0.0;
+  bool TwoMet = false;
+  double OneTime = 0.0, OneCost = 0.0;
+  bool OneMet = false;
+};
+} // namespace
+
 EvaluationResult core::evaluateSystem(const runtime::TunableProgram &Program,
-                                      const TrainedSystem &System) {
+                                      const TrainedSystem &System,
+                                      support::ThreadPool *Pool) {
   EvaluationResult R;
   std::optional<runtime::AccuracySpec> Spec = Program.accuracy();
   const LevelOneResult &L1 = System.L1;
   const std::vector<size_t> &Rows = System.TestRows;
   unsigned Static = System.StaticOracleLandmark;
 
-  MethodStats Dynamic, TwoLevel, OneLevel;
-  size_t StaticMeets = 0;
-
-  for (size_t Row : Rows) {
-    double StaticTime = L1.Time.at(Row, Static);
+  std::vector<RowEval> Evals(Rows.size());
+  auto EvalRow = [&](size_t I) {
+    size_t Row = Rows[I];
+    RowEval &E = Evals[I];
+    E.StaticTime = L1.Time.at(Row, Static);
     auto MeetsAt = [&](unsigned L) {
       return !Spec || L1.Acc.at(Row, L) >= Spec->AccuracyThreshold;
     };
-    if (MeetsAt(Static))
-      ++StaticMeets;
+    E.StaticMet = MeetsAt(Static);
 
     // Dynamic oracle: per-input best landmark, no feature cost.
     unsigned Best = bestLandmark(L1.Time, L1.Acc, Row, Spec);
-    Dynamic.add(StaticTime, L1.Time.at(Row, Best), 0.0, MeetsAt(Best));
+    E.DynamicTime = L1.Time.at(Row, Best);
+    E.DynamicMet = MeetsAt(Best);
 
     // Two-level production classifier.
     {
       FeatureProbe Probe = probeFromTable(L1.Features, L1.ExtractCosts, Row);
       unsigned Pred = System.L2.Production->classify(Probe);
-      TwoLevel.add(StaticTime, L1.Time.at(Row, Pred), Probe.totalCost(),
-                   MeetsAt(Pred));
+      E.TwoTime = L1.Time.at(Row, Pred);
+      E.TwoCost = Probe.totalCost();
+      E.TwoMet = MeetsAt(Pred);
     }
 
     // One-level baseline.
     {
       FeatureProbe Probe = probeFromTable(L1.Features, L1.ExtractCosts, Row);
       unsigned Pred = System.OneLevel->classify(Probe);
-      OneLevel.add(StaticTime, L1.Time.at(Row, Pred), Probe.totalCost(),
-                   MeetsAt(Pred));
+      E.OneTime = L1.Time.at(Row, Pred);
+      E.OneCost = Probe.totalCost();
+      E.OneMet = MeetsAt(Pred);
     }
+  };
+  if (Pool)
+    Pool->parallelFor(0, Rows.size(), EvalRow);
+  else
+    for (size_t I = 0; I != Rows.size(); ++I)
+      EvalRow(I);
+
+  MethodStats Dynamic, TwoLevel, OneLevel;
+  size_t StaticMeets = 0;
+  for (const RowEval &E : Evals) {
+    if (E.StaticMet)
+      ++StaticMeets;
+    Dynamic.add(E.StaticTime, E.DynamicTime, 0.0, E.DynamicMet);
+    TwoLevel.add(E.StaticTime, E.TwoTime, E.TwoCost, E.TwoMet);
+    OneLevel.add(E.StaticTime, E.OneTime, E.OneCost, E.OneMet);
   }
 
   size_t N = Rows.size();
@@ -140,22 +179,43 @@ std::vector<LandmarkSweepPoint>
 core::landmarkCountSweep(const runtime::TunableProgram &Program,
                          const TrainedSystem &System,
                          const std::vector<unsigned> &Counts, unsigned Trials,
-                         uint64_t Seed) {
+                         uint64_t Seed, support::ThreadPool *Pool) {
   unsigned K = static_cast<unsigned>(System.L1.Landmarks.size());
   support::Rng Rng(Seed);
-  std::vector<LandmarkSweepPoint> Sweep;
-  Sweep.reserve(Counts.size());
+
+  // Draw every subset up front (one sequential Rng stream, so results are
+  // independent of how the measurement below is scheduled), then measure
+  // the flat trial list in parallel.
+  std::vector<unsigned> ClampedCounts;
+  ClampedCounts.reserve(Counts.size());
+  std::vector<std::vector<unsigned>> Subsets;
+  Subsets.reserve(Counts.size() * Trials);
   for (unsigned Count : Counts) {
     unsigned C = std::max(1u, std::min(Count, K));
-    std::vector<double> Speedups;
-    Speedups.reserve(Trials);
+    ClampedCounts.push_back(C);
     for (unsigned T = 0; T != Trials; ++T) {
       std::vector<size_t> Picks = Rng.sampleWithoutReplacement(K, C);
-      std::vector<unsigned> Subset(Picks.begin(), Picks.end());
-      Speedups.push_back(subsetSpeedup(Program, System, Subset));
+      Subsets.emplace_back(Picks.begin(), Picks.end());
     }
+  }
+
+  std::vector<double> TrialSpeedups(Subsets.size());
+  auto MeasureTrial = [&](size_t I) {
+    TrialSpeedups[I] = subsetSpeedup(Program, System, Subsets[I]);
+  };
+  if (Pool)
+    Pool->parallelFor(0, Subsets.size(), MeasureTrial);
+  else
+    for (size_t I = 0; I != Subsets.size(); ++I)
+      MeasureTrial(I);
+
+  std::vector<LandmarkSweepPoint> Sweep;
+  Sweep.reserve(Counts.size());
+  for (size_t CI = 0; CI != ClampedCounts.size(); ++CI) {
+    std::vector<double> Speedups(TrialSpeedups.begin() + CI * Trials,
+                                 TrialSpeedups.begin() + (CI + 1) * Trials);
     LandmarkSweepPoint P;
-    P.NumLandmarks = C;
+    P.NumLandmarks = ClampedCounts[CI];
     P.Speedups = support::Summary::of(Speedups);
     Sweep.push_back(P);
   }

@@ -32,6 +32,11 @@ struct PipelineOptions {
   LevelTwoOptions L2;
   double TrainFraction = 0.5;
   uint64_t SplitSeed = 97;
+  /// Optional pool parallelising every hot stage of training (Level-1
+  /// feature extraction, landmark tuning, the measurement sweep, and the
+  /// Level-2 classifier zoo). Forwarded into L1.Pool/L2.Pool when those
+  /// are unset. Results are identical with or without it.
+  support::ThreadPool *Pool = nullptr;
 };
 
 /// A fully trained system plus everything needed to evaluate it.
@@ -70,9 +75,12 @@ struct EvaluationResult {
 TrainedSystem trainSystem(const runtime::TunableProgram &Program,
                           const PipelineOptions &Options);
 
-/// Evaluates a trained system on its test rows.
+/// Evaluates a trained system on its test rows. \p Pool, when given,
+/// parallelises the per-test-row measurement; results are identical to
+/// the sequential path.
 EvaluationResult evaluateSystem(const runtime::TunableProgram &Program,
-                                const TrainedSystem &System);
+                                const TrainedSystem &System,
+                                support::ThreadPool *Pool = nullptr);
 
 /// One point of the Figure 8 sweep: the mean speedup over the static
 /// oracle achievable with the best-in-subset rule over \p Subset of
@@ -91,7 +99,7 @@ std::vector<LandmarkSweepPoint>
 landmarkCountSweep(const runtime::TunableProgram &Program,
                    const TrainedSystem &System,
                    const std::vector<unsigned> &Counts, unsigned Trials,
-                   uint64_t Seed);
+                   uint64_t Seed, support::ThreadPool *Pool = nullptr);
 
 } // namespace core
 } // namespace pbt

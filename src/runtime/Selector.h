@@ -23,6 +23,7 @@
 
 #include "runtime/ConfigSpace.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -42,13 +43,24 @@ public:
   };
 
   Selector() = default;
-  explicit Selector(std::vector<Level> Levels) : Levels(std::move(Levels)) {}
+  explicit Selector(std::vector<Level> Levels) : Levels(std::move(Levels)) {
+    // choose() binary-searches the cutoffs, so they must be ascending.
+    // SelectorScheme::instantiate already sorts; this covers selectors
+    // built directly from unordered level lists.
+    std::stable_sort(this->Levels.begin(), this->Levels.end(),
+                     [](const Level &A, const Level &B) {
+                       return A.Cutoff < B.Cutoff;
+                     });
+  }
 
-  /// The algorithmic choice for problem size \p N.
+  /// The algorithmic choice for problem size \p N: the first level whose
+  /// cutoff exceeds N, found by binary search over the sorted cutoffs.
   unsigned choose(uint64_t N) const {
-    for (const Level &L : Levels)
-      if (N < L.Cutoff)
-        return L.Choice;
+    auto It = std::upper_bound(
+        Levels.begin(), Levels.end(), N,
+        [](uint64_t Size, const Level &L) { return Size < L.Cutoff; });
+    if (It != Levels.end())
+      return It->Choice;
     // Declared levels always end with an infinite cutoff; an empty selector
     // defaults to choice 0.
     return Levels.empty() ? 0 : Levels.back().Choice;

@@ -6,10 +6,36 @@
 
 #include "runtime/TunableProgram.h"
 
+#include <cstdio>
+
 using namespace pbt;
 using namespace pbt::runtime;
 
 TunableProgram::~TunableProgram() = default;
+
+std::string TunableProgram::describeInput(size_t Input) const {
+  return "input " + std::to_string(Input);
+}
+
+std::string
+TunableProgram::describeConfiguration(const Configuration &Config) const {
+  const ConfigSpace &S = space();
+  std::string Out;
+  for (unsigned I = 0; I != S.size() && I != Config.size(); ++I) {
+    if (I)
+      Out += " ";
+    const ParamSpec &P = S.param(I);
+    Out += P.Name + "=";
+    if (P.Kind == ParamKind::Real) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.3g", Config.real(I));
+      Out += Buf;
+    } else {
+      Out += std::to_string(Config.integer(I));
+    }
+  }
+  return Out;
+}
 
 unsigned TunableProgram::numMLFeatures() const {
   unsigned Total = 0;

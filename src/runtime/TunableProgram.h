@@ -87,6 +87,16 @@ public:
   virtual RunResult run(size_t Input, const Configuration &Config,
                         support::CostCounter &Cost) const = 0;
 
+  /// One-line human description of input \p Input for reports, e.g.
+  /// "sawtooth n=1024". Defaults to "input <i>". Harnesses use this
+  /// instead of downcasting to concrete benchmark types.
+  virtual std::string describeInput(size_t Input) const;
+
+  /// Human-readable decoding of \p Config, e.g. the selector rule a sort
+  /// configuration encodes. Defaults to "name=value ..." over the space's
+  /// parameters.
+  virtual std::string describeConfiguration(const Configuration &Config) const;
+
   /// Convenience: total number of ML features (sum of per-property levels).
   unsigned numMLFeatures() const;
 

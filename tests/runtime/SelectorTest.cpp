@@ -78,6 +78,66 @@ TEST(SelectorTest, RandomConfigsDecodeToValidSelectors) {
   }
 }
 
+TEST(SelectorTest, BinarySearchBoundaryCases) {
+  // choose() binary-searches the sorted cutoffs; exercise every boundary.
+  Selector S({{100, 7}, {1000, 3}, {UINT64_MAX, 1}});
+  EXPECT_EQ(S.choose(0), 7u);
+  EXPECT_EQ(S.choose(99), 7u);
+  EXPECT_EQ(S.choose(100), 3u);   // cutoff is exclusive
+  EXPECT_EQ(S.choose(999), 3u);
+  EXPECT_EQ(S.choose(1000), 1u);
+  EXPECT_EQ(S.choose(UINT64_MAX - 1), 1u);
+  // N == UINT64_MAX is past every finite cutoff and not < UINT64_MAX:
+  // falls through to the last level's choice.
+  EXPECT_EQ(S.choose(UINT64_MAX), 1u);
+}
+
+TEST(SelectorTest, OneLevelSelectorAlwaysChooses) {
+  Selector S({{UINT64_MAX, 4}});
+  EXPECT_EQ(S.choose(0), 4u);
+  EXPECT_EQ(S.choose(123456789), 4u);
+  EXPECT_EQ(S.choose(UINT64_MAX), 4u);
+}
+
+TEST(SelectorTest, FiniteLastCutoffFallsBackToLastChoice) {
+  // A selector whose declared levels all have finite cutoffs: sizes past
+  // the last cutoff take the last level's choice (the implicit infinite
+  // level).
+  Selector S({{10, 2}, {20, 5}});
+  EXPECT_EQ(S.choose(9), 2u);
+  EXPECT_EQ(S.choose(15), 5u);
+  EXPECT_EQ(S.choose(20), 5u);
+  EXPECT_EQ(S.choose(1000), 5u);
+}
+
+TEST(SelectorTest, ConstructorSortsUnorderedLevels) {
+  // Direct construction with unordered levels must behave like the
+  // decoded (sorted) form.
+  Selector S({{1000, 3}, {100, 7}, {UINT64_MAX, 1}});
+  EXPECT_EQ(S.choose(50), 7u);
+  EXPECT_EQ(S.choose(500), 3u);
+  EXPECT_EQ(S.choose(5000), 1u);
+  EXPECT_EQ(S.levels().front().Cutoff, 100u);
+}
+
+TEST(SelectorTest, MatchesLinearScanOnManyLevels) {
+  // Cross-check the binary search against a reference linear scan over a
+  // selector with many levels, including duplicate cutoffs.
+  std::vector<Selector::Level> Levels;
+  for (unsigned I = 0; I != 32; ++I)
+    Levels.push_back({static_cast<uint64_t>((I / 2 + 1) * 10), I % 5});
+  Levels.push_back({UINT64_MAX, 9});
+  Selector S(Levels);
+  auto Linear = [&](uint64_t N) -> unsigned {
+    for (const Selector::Level &L : S.levels())
+      if (N < L.Cutoff)
+        return L.Choice;
+    return S.levels().back().Choice;
+  };
+  for (uint64_t N = 0; N != 200; ++N)
+    EXPECT_EQ(S.choose(N), Linear(N)) << N;
+}
+
 TEST(SelectorTest, StrMentionsChoices) {
   Selector S({{600, 2}, {UINT64_MAX, 0}});
   std::string Str = S.str();
