@@ -54,14 +54,21 @@ static void printUsage() {
       "  ablation-landmarks   Section 3.1 landmark selection ablation\n"
       "  ablation-twolevel    Section 4.2 second-level evidence\n"
       "  kernels              substrate micro-benchmarks (google-benchmark)\n"
+      "  train                train once, persist models for `predict`\n"
+      "  predict              serve per-input decisions from a saved model\n"
       "\n"
       "options:\n"
       "  --scale=S            input-count scale (default: PBT_BENCH_SCALE or 1)\n"
       "  --only=a,b,c         restrict to named benchmarks (see `list`)\n"
       "  --threads=N          worker threads (default: hardware concurrency)\n"
       "  --sequential         disable the thread pool (reference path)\n"
-      "  --out-dir=DIR        directory for CSV series (default: .)\n"
+      "  --out-dir=DIR        directory for CSV series and models (default: .)\n"
       "  --trials=N           random subsets per fig8 landmark count\n"
+      "  --out=FILE           train: model path (single benchmark only)\n"
+      "  --model=FILE         predict: the model file to serve from\n"
+      "  --rows=WHICH         predict: test|train|all recorded rows\n"
+      "  --repeat=N           predict: passes over the rows (memo check)\n"
+      "  --csv=FILE           predict: write per-input decisions as CSV\n"
       "\n"
       "`kernels` ignores the options above; it takes google-benchmark\n"
       "flags (e.g. --benchmark_filter=...) instead.\n");
@@ -124,6 +131,21 @@ static ParseResult parseSharedOptions(std::vector<std::string> &Args,
       Opts.OutDir = V;
     } else if (const char *V = Value("--trials")) {
       Opts.Fig8Trials = std::max(1, std::atoi(V));
+    } else if (const char *V = Value("--out")) {
+      Opts.Out = V;
+    } else if (const char *V = Value("--model")) {
+      Opts.Model = V;
+    } else if (const char *V = Value("--rows")) {
+      Opts.Rows = V;
+    } else if (const char *V = Value("--repeat")) {
+      int N = std::atoi(V);
+      if (N < 1) {
+        std::fprintf(stderr, "pbt-bench: bad --repeat value '%s'\n", V);
+        return ParseResult::Error;
+      }
+      Opts.Repeat = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--csv")) {
+      Opts.Csv = V;
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return ParseResult::Help;
@@ -181,6 +203,9 @@ int main(int argc, char **argv) {
     } else if (Sub == "fig7") {
       // Pure model evaluation; no programs, no pool.
       return runFig7(Opts);
+    } else if (Sub == "predict") {
+      // Online serving is deliberately single-threaded and cheap.
+      return runPredict(Opts);
     } else if (Sub == "kernels") {
       // google-benchmark owns the remaining argv (argv[0] + passthrough).
       std::vector<char *> KArgv;
@@ -199,6 +224,8 @@ int main(int argc, char **argv) {
       Opts.Pool = &*Pool;
     }
 
+    if (Sub == "train")
+      return runTrain(Opts);
     if (Sub == "table1")
       return runTable1(Opts);
     if (Sub == "fig6")

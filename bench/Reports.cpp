@@ -7,6 +7,8 @@
 #include "Reports.h"
 
 #include "core/TheoreticalModel.h"
+#include "runtime/PredictionService.h"
+#include "serialize/ModelIO.h"
 #include "support/Cost.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
@@ -242,6 +244,139 @@ int benchharness::runFig8(const DriverOptions &Opts) {
               "landmarks and plateau, matching the Figure 7b model "
               "(PBT_BENCH_SCALE=%.2f).\n",
               Opts.Scale);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// train / predict
+//===----------------------------------------------------------------------===//
+
+int benchharness::runTrain(const DriverOptions &Opts) {
+  std::vector<registry::SuiteEntry> Suite = suiteFor(Opts);
+  if (!Opts.Out.empty() && Suite.size() != 1) {
+    std::fprintf(stderr,
+                 "pbt-bench train: --out targets a single model; use "
+                 "--only=<name> or --out-dir for a whole suite\n");
+    return 1;
+  }
+
+  support::TextTable Table;
+  Table.setHeader({"Benchmark", "landmarks", "selected classifier", "bytes",
+                   "model file"});
+  for (registry::SuiteEntry &E : Suite) {
+    support::WallTimer T;
+    core::TrainedSystem System = core::trainSystem(*E.Program, E.Options);
+    const registry::BenchmarkFactory &F =
+        registry::BenchmarkRegistry::instance().get(E.Name);
+    serialize::TrainedModel Model =
+        serialize::makeModel(E.Name, Opts.Scale, F.defaultProgramSeed(),
+                             *E.Program, std::move(System));
+    std::string Path =
+        Opts.Out.empty() ? csvPath(Opts, E.Name + ".pbt") : Opts.Out;
+    std::string Text = serialize::serializeModel(Model);
+    serialize::LoadStatus Saved = serialize::writeModelText(Path, Text);
+    if (!Saved) {
+      std::fprintf(stderr, "pbt-bench train: %s\n", Saved.Error.c_str());
+      return 1;
+    }
+    size_t Bytes = Text.size();
+    std::fprintf(stderr, "[train] %-12s trained+persisted in %.1fs\n",
+                 E.Name.c_str(), T.elapsedSeconds());
+    Table.addRow({E.Name,
+                  std::to_string(Model.System.L1.Landmarks.size()),
+                  Model.System.L2.SelectedName, std::to_string(Bytes), Path});
+  }
+  std::printf("Trained models (format v%u, PBT_BENCH_SCALE=%.2f):\n\n%s\n",
+              serialize::kFormatVersion, Opts.Scale, Table.format().c_str());
+  std::printf("Serve with: pbt-bench predict --model=<file>\n");
+  return 0;
+}
+
+int benchharness::runPredict(const DriverOptions &Opts) {
+  if (Opts.Model.empty()) {
+    std::fprintf(stderr, "pbt-bench predict: --model=FILE is required\n");
+    return 1;
+  }
+  runtime::PredictionService Service;
+  serialize::LoadStatus Loaded = Service.loadFile(Opts.Model);
+  if (!Loaded) {
+    std::fprintf(stderr, "pbt-bench predict: cannot load '%s': %s\n",
+                 Opts.Model.c_str(), Loaded.Error.c_str());
+    return 1;
+  }
+  const serialize::TrainedModel &Model = Service.model();
+
+  // Rebuild the exact program the model was trained on from its recorded
+  // provenance; the registry key, scale, and seed all live in the file.
+  const registry::BenchmarkFactory *Factory =
+      registry::BenchmarkRegistry::instance().lookup(Model.Meta.Benchmark);
+  if (!Factory) {
+    std::fprintf(stderr,
+                 "pbt-bench predict: model benchmark '%s' is not registered\n",
+                 Model.Meta.Benchmark.c_str());
+    return 1;
+  }
+  registry::ProgramPtr Program =
+      Factory->makeProgram(Model.Meta.Scale, Model.Meta.ProgramSeed);
+  serialize::LoadStatus Bound = Service.bind(*Program);
+  if (!Bound) {
+    std::fprintf(stderr, "pbt-bench predict: model/program mismatch: %s\n",
+                 Bound.Error.c_str());
+    return 1;
+  }
+
+  std::vector<size_t> Rows;
+  if (Opts.Rows == "test") {
+    Rows = Model.System.TestRows;
+  } else if (Opts.Rows == "train") {
+    Rows = Model.System.TrainRows;
+  } else if (Opts.Rows == "all") {
+    Rows = Model.System.TrainRows;
+    Rows.insert(Rows.end(), Model.System.TestRows.begin(),
+                Model.System.TestRows.end());
+    std::sort(Rows.begin(), Rows.end());
+  } else {
+    std::fprintf(stderr,
+                 "pbt-bench predict: bad --rows value '%s' "
+                 "(test|train|all)\n",
+                 Opts.Rows.c_str());
+    return 1;
+  }
+
+  support::TextTable Table;
+  Table.setHeader({"input", "landmark", "feat. cost", "configuration"});
+  support::CsvWriter Csv;
+  Csv.setHeader({"input", "landmark"});
+  unsigned Repeat = std::max(1u, Opts.Repeat);
+  for (unsigned Pass = 0; Pass != Repeat; ++Pass) {
+    for (size_t Row : Rows) {
+      runtime::PredictionService::Decision D = Service.decide(Row);
+      if (Pass != 0)
+        continue; // later passes only exercise the memo
+      Table.addRow({Program->describeInput(Row), std::to_string(D.Landmark),
+                    support::formatDouble(D.FeatureCost, 1),
+                    Program->describeConfiguration(*D.Config)});
+      Csv.addRow({std::to_string(Row), std::to_string(D.Landmark)});
+    }
+  }
+  if (!Opts.Csv.empty() && !Csv.writeFile(Opts.Csv)) {
+    std::fprintf(stderr, "pbt-bench predict: cannot write '%s'\n",
+                 Opts.Csv.c_str());
+    return 1;
+  }
+
+  const runtime::PredictionService::Stats &S = Service.stats();
+  std::printf("Online decisions from %s (benchmark %s, %zu rows, "
+              "%u pass%s, production classifier: %s)\n\n%s\n",
+              Opts.Model.c_str(), Model.Meta.Benchmark.c_str(), Rows.size(),
+              Repeat, Repeat == 1 ? "" : "es",
+              Model.System.L2.SelectedName.c_str(), Table.format().c_str());
+  std::printf("Service stats: %llu calls, %llu memoized, %llu features "
+              "extracted, total extraction cost %.1f units\n",
+              static_cast<unsigned long long>(S.Calls),
+              static_cast<unsigned long long>(S.MemoizedCalls),
+              static_cast<unsigned long long>(S.FeaturesExtracted),
+              S.FeatureCostPaid);
   return 0;
 }
 

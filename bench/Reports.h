@@ -38,6 +38,18 @@ struct DriverOptions {
   std::string OutDir = ".";
   /// Trials per landmark count in fig8 (--trials).
   unsigned Fig8Trials = 60;
+  /// `train` only: explicit model output path (single benchmark); when
+  /// empty each model lands in OutDir/<name>.pbt.
+  std::string Out;
+  /// `predict` only: the model file to serve from (--model).
+  std::string Model;
+  /// `predict` only: which recorded rows to serve (--rows=test|train|all).
+  std::string Rows = "test";
+  /// `predict` only: passes over the row set (--repeat); passes beyond
+  /// the first exercise the feature memo.
+  unsigned Repeat = 1;
+  /// `predict` only: optional CSV of per-input decisions (--csv).
+  std::string Csv;
   /// The pool built from Threads/Sequential; owned by main.
   support::ThreadPool *Pool = nullptr;
 };
@@ -65,6 +77,12 @@ int runAblationTwoLevel(const DriverOptions &Opts);
 /// plus the parallel-pipeline wall-clock comparison. Extra argv is passed
 /// through to google-benchmark (e.g. --benchmark_filter=...).
 int runKernels(const DriverOptions &Opts, int Argc, char **Argv);
+/// `train`: train the suite (or --only subset) and persist each trained
+/// system as a versioned model file for later `predict` processes.
+int runTrain(const DriverOptions &Opts);
+/// `predict`: load a persisted model in a fresh process and serve
+/// per-input configuration decisions through a PredictionService.
+int runPredict(const DriverOptions &Opts);
 
 } // namespace benchharness
 } // namespace pbt

@@ -66,6 +66,8 @@ public:
   std::vector<unsigned> referencedFeatures() const override { return {}; }
   std::string describe() const override { return "static-best"; }
 
+  unsigned landmark() const { return Landmark; }
+
 private:
   unsigned Landmark;
 };
@@ -79,6 +81,8 @@ public:
   unsigned classify(FeatureProbe &) const override { return Model.predict(); }
   std::vector<unsigned> referencedFeatures() const override { return {}; }
   std::string describe() const override { return "max-apriori"; }
+
+  const ml::MaxApriori &model() const { return Model; }
 
 private:
   ml::MaxApriori Model;
@@ -101,6 +105,7 @@ public:
   std::string describe() const override { return Name; }
 
   const ml::DecisionTree &tree() const { return Tree; }
+  const std::vector<unsigned> &subset() const { return Subset; }
 
 private:
   ml::DecisionTree Tree;
@@ -124,6 +129,8 @@ public:
     return Model.featureOrder();
   }
   std::string describe() const override { return Name; }
+
+  const ml::IncrementalBayes &model() const { return Model; }
 
 private:
   ml::IncrementalBayes Model;
@@ -157,6 +164,12 @@ public:
     return All;
   }
   std::string describe() const override { return "one-level"; }
+
+  const linalg::Matrix &centroids() const { return Centroids; }
+  const ml::Normalizer &norm() const { return Norm; }
+  const std::vector<unsigned> &clusterLandmark() const {
+    return ClusterLandmark;
+  }
 
 private:
   linalg::Matrix Centroids;

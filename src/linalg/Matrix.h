@@ -61,6 +61,16 @@ public:
   static Matrix identity(size_t N);
   /// Entries i.i.d. Gaussian(0, 1).
   static Matrix gaussian(size_t Rows, size_t Cols, support::Rng &Rng);
+  /// Adopts \p Data (row-major, size Rows*Cols) without zero-filling
+  /// first -- for loaders that already hold the backing store.
+  static Matrix fromData(size_t Rows, size_t Cols, std::vector<double> Data) {
+    assert(Data.size() == Rows * Cols && "backing store size mismatch");
+    Matrix M;
+    M.NumRows = Rows;
+    M.NumCols = Cols;
+    M.Data = std::move(Data);
+    return M;
+  }
 
   Matrix transposed() const;
   double frobeniusNorm() const;

@@ -1,0 +1,33 @@
+//===- ml/CostMatrix.cpp ---------------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/CostMatrix.h"
+
+#include "serialize/TextFormat.h"
+
+using namespace pbt;
+using namespace pbt::ml;
+
+void CostMatrix::saveTo(serialize::Writer &W) const {
+  W.key("cost-matrix").u64(K).end();
+  W.doubles("costs", C);
+}
+
+bool CostMatrix::loadFrom(serialize::Reader &R) {
+  if (!R.expect("cost-matrix"))
+    return false;
+  uint64_t Classes = R.count(1u << 12);
+  if (!R.endLine())
+    return false;
+  std::vector<double> Costs;
+  if (!R.doubles("costs", Costs, Classes * Classes))
+    return false;
+  if (Costs.size() != Classes * Classes)
+    return R.fail("cost matrix entry count mismatch");
+  K = static_cast<unsigned>(Classes);
+  C = std::move(Costs);
+  return true;
+}

@@ -21,6 +21,10 @@
 #include <vector>
 
 namespace pbt {
+namespace serialize {
+class Writer;
+class Reader;
+} // namespace serialize
 namespace ml {
 
 /// Square misclassification cost matrix with zero diagonal by convention
@@ -76,6 +80,10 @@ public:
       Sum += ClassCounts[I] * at(I, Predicted);
     return Sum;
   }
+
+  /// Serialization hooks for the model-persistence layer.
+  void saveTo(serialize::Writer &W) const;
+  bool loadFrom(serialize::Reader &R);
 
 private:
   unsigned K = 0;

@@ -6,6 +6,8 @@
 
 #include "ml/DecisionTree.h"
 
+#include "serialize/TextFormat.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -199,6 +201,73 @@ std::vector<unsigned> DecisionTree::usedFeatures() const {
     if (Seen[I])
       Out.push_back(static_cast<unsigned>(I));
   return Out;
+}
+
+void DecisionTree::saveTo(serialize::Writer &W) const {
+  W.key("decision-tree").u64(Nodes.size()).u64(NumFeatures).end();
+  for (const Node &N : Nodes) {
+    if (N.IsLeaf)
+      W.key("leaf").u64(N.Label).end();
+    else
+      W.key("split")
+          .u64(static_cast<uint64_t>(N.Feature))
+          .f(N.Threshold)
+          .u64(N.Left)
+          .u64(N.Right)
+          .end();
+  }
+}
+
+bool DecisionTree::loadFrom(serialize::Reader &R, unsigned NumClasses) {
+  if (!R.expect("decision-tree"))
+    return false;
+  uint64_t Count = R.count(1u << 24);
+  uint64_t Feats = R.count(1u << 20);
+  if (!R.endLine())
+    return false;
+  // Every trained tree has at least its root leaf; an empty node list
+  // would make prediction read past the vector.
+  if (Count == 0)
+    return R.fail("decision tree needs at least one node");
+  std::vector<Node> Loaded;
+  for (uint64_t I = 0; I != Count && R.ok(); ++I) {
+    std::string Key = R.nextKey();
+    Node N;
+    if (Key == "leaf") {
+      N.IsLeaf = true;
+      uint64_t Label = R.u64();
+      if (R.ok() && Label >= NumClasses)
+        return R.fail("leaf label out of range");
+      N.Label = static_cast<unsigned>(Label);
+    } else if (Key == "split") {
+      N.IsLeaf = false;
+      uint64_t Feature = R.u64();
+      N.Threshold = R.f();
+      uint64_t Left = R.u64();
+      uint64_t Right = R.u64();
+      if (!R.ok())
+        return false;
+      if (Feature >= Feats)
+        return R.fail("split feature out of range");
+      // Children are emplaced after their parent during training; the
+      // same invariant here guarantees prediction terminates.
+      if (Left <= I || Left >= Count || Right <= I || Right >= Count)
+        return R.fail("split child index out of range");
+      N.Feature = static_cast<int>(Feature);
+      N.Left = static_cast<unsigned>(Left);
+      N.Right = static_cast<unsigned>(Right);
+    } else {
+      return R.fail("expected 'leaf' or 'split', got '" + Key + "'");
+    }
+    if (!R.endLine())
+      return false;
+    Loaded.push_back(N);
+  }
+  if (!R.ok())
+    return false;
+  Nodes = std::move(Loaded);
+  NumFeatures = Feats;
+  return true;
 }
 
 unsigned DecisionTree::depth() const {

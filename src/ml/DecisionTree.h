@@ -24,6 +24,10 @@
 #include <vector>
 
 namespace pbt {
+namespace serialize {
+class Writer;
+class Reader;
+} // namespace serialize
 namespace ml {
 
 struct DecisionTreeOptions {
@@ -61,6 +65,13 @@ public:
   size_t numNodes() const { return Nodes.size(); }
   unsigned depth() const;
   bool trained() const { return !Nodes.empty(); }
+
+  /// Serialization hooks for the model-persistence layer. loadFrom
+  /// validates the structure (children strictly after their parent, so
+  /// prediction terminates; features within bounds; leaf labels below
+  /// \p NumClasses) and fails on anything inconsistent.
+  void saveTo(serialize::Writer &W) const;
+  bool loadFrom(serialize::Reader &R, unsigned NumClasses);
 
 private:
   struct Node {

@@ -6,6 +6,8 @@
 
 #include "ml/IncrementalBayes.h"
 
+#include "serialize/TextFormat.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -137,4 +139,69 @@ IncrementalBayes::predict(const std::vector<double> &Row) const {
     assert(F < Row.size() && "feature index out of range");
     return Row[F];
   });
+}
+
+void IncrementalBayes::saveTo(serialize::Writer &W) const {
+  W.key("incremental-bayes")
+      .u64(NumClasses)
+      .u64(Bins)
+      .f(PosteriorThreshold)
+      .u64(Order.size())
+      .end();
+  std::vector<uint64_t> O(Order.begin(), Order.end());
+  W.u64s("order", O);
+  for (const std::vector<double> &E : Edges)
+    W.doubles("edges", E);
+  for (const std::vector<double> &LP : LogProb)
+    W.doubles("logprob", LP);
+  W.doubles("priors", Priors);
+}
+
+bool IncrementalBayes::loadFrom(serialize::Reader &R, unsigned NumFeatures) {
+  if (!R.expect("incremental-bayes"))
+    return false;
+  uint64_t Classes = R.count(1u << 20);
+  uint64_t B = R.count(1u << 12);
+  double Threshold = R.f();
+  uint64_t Len = R.count(1u << 20);
+  if (!R.endLine())
+    return false;
+  if (B < 2)
+    return R.fail("incremental-bayes needs at least 2 bins");
+  if (Classes == 0 || Len == 0)
+    return R.fail("incremental-bayes needs classes and ordered features");
+  std::vector<uint64_t> O;
+  if (!R.u64s("order", O, Len))
+    return false;
+  if (O.size() != Len)
+    return R.fail("feature order length mismatch");
+  for (uint64_t F : O)
+    if (F >= NumFeatures)
+      return R.fail("ordered feature index out of range");
+  std::vector<std::vector<double>> E(Len), LP(Len);
+  for (uint64_t I = 0; I != Len && R.ok(); ++I) {
+    if (!R.doubles("edges", E[I], B - 1))
+      return false;
+    if (E[I].size() != B - 1)
+      return R.fail("edge count mismatch");
+  }
+  for (uint64_t I = 0; I != Len && R.ok(); ++I) {
+    if (!R.doubles("logprob", LP[I], Classes * B))
+      return false;
+    if (LP[I].size() != Classes * B)
+      return R.fail("log-prob table size mismatch");
+  }
+  std::vector<double> P;
+  if (!R.doubles("priors", P, Classes))
+    return false;
+  if (P.size() != Classes)
+    return R.fail("prior count mismatch");
+  NumClasses = static_cast<unsigned>(Classes);
+  Bins = static_cast<unsigned>(B);
+  PosteriorThreshold = Threshold;
+  Order.assign(O.begin(), O.end());
+  Edges = std::move(E);
+  LogProb = std::move(LP);
+  Priors = std::move(P);
+  return true;
 }

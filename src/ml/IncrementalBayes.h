@@ -24,6 +24,10 @@
 #include <vector>
 
 namespace pbt {
+namespace serialize {
+class Writer;
+class Reader;
+} // namespace serialize
 namespace ml {
 
 struct IncrementalBayesOptions {
@@ -65,7 +69,14 @@ public:
   IncrementalPrediction predict(const std::vector<double> &Row) const;
 
   const std::vector<unsigned> &featureOrder() const { return Order; }
+  unsigned numClasses() const { return NumClasses; }
   bool trained() const { return !Order.empty() || !Priors.empty(); }
+
+  /// Serialization hooks for the model-persistence layer. loadFrom
+  /// validates shapes (edges/log-prob tables sized by bins and classes)
+  /// and that every acquired feature index is below \p NumFeatures.
+  void saveTo(serialize::Writer &W) const;
+  bool loadFrom(serialize::Reader &R, unsigned NumFeatures);
 
 private:
   unsigned regionOf(unsigned OrderPos, double Value) const;

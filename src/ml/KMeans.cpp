@@ -6,6 +6,8 @@
 
 #include "ml/KMeans.h"
 
+#include "serialize/TextFormat.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -194,4 +196,37 @@ unsigned ml::nearestCentroid(const linalg::Matrix &Centroids,
     }
   }
   return BestK;
+}
+
+void ml::saveKMeansResult(serialize::Writer &W, const KMeansResult &Result) {
+  W.key("kmeans")
+      .f(Result.Inertia)
+      .u64(Result.IterationsRun)
+      .end();
+  W.matrix("centroids", Result.Centroids);
+  std::vector<uint64_t> A(Result.Assignment.begin(), Result.Assignment.end());
+  W.u64s("assignment", A);
+}
+
+bool ml::loadKMeansResult(serialize::Reader &R, KMeansResult &Result) {
+  if (!R.expect("kmeans"))
+    return false;
+  double Inertia = R.f();
+  uint64_t Iterations = R.count(1u << 30);
+  if (!R.endLine())
+    return false;
+  linalg::Matrix Centroids;
+  if (!R.matrix("centroids", Centroids))
+    return false;
+  std::vector<uint64_t> A;
+  if (!R.u64s("assignment", A, 1u << 24))
+    return false;
+  for (uint64_t C : A)
+    if (C >= Centroids.rows())
+      return R.fail("assignment refers to a missing centroid");
+  Result.Centroids = std::move(Centroids);
+  Result.Assignment.assign(A.begin(), A.end());
+  Result.Inertia = Inertia;
+  Result.IterationsRun = static_cast<unsigned>(Iterations);
+  return true;
 }

@@ -27,6 +27,10 @@
 #include <vector>
 
 namespace pbt {
+namespace serialize {
+class Writer;
+class Reader;
+} // namespace serialize
 namespace ml {
 
 enum class KMeansInit {
@@ -65,6 +69,12 @@ KMeansResult kMeans(const linalg::Matrix &Points, const KMeansOptions &Options,
 /// Index of the centroid nearest to \p Row (ties to the lowest index).
 unsigned nearestCentroid(const linalg::Matrix &Centroids,
                          const std::vector<double> &Row);
+
+/// Serialization hooks for the model-persistence layer: exact text round
+/// trip of a clustering result (centroids, assignment, inertia).
+void saveKMeansResult(serialize::Writer &W, const KMeansResult &Result);
+/// Validates that every assignment refers to a stored centroid.
+bool loadKMeansResult(serialize::Reader &R, KMeansResult &Result);
 
 } // namespace ml
 } // namespace pbt

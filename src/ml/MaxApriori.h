@@ -20,6 +20,10 @@
 #include <vector>
 
 namespace pbt {
+namespace serialize {
+class Writer;
+class Reader;
+} // namespace serialize
 namespace ml {
 
 /// Counts labels at fit time; predicts the modal label thereafter.
@@ -48,6 +52,11 @@ public:
 
   const std::vector<double> &priors() const { return Priors; }
   bool trained() const { return Trained; }
+
+  /// Serialization hooks for the model-persistence layer. Only the priors
+  /// are stored; the mode is recomputed on load exactly as fit() does.
+  void saveTo(serialize::Writer &W) const;
+  bool loadFrom(serialize::Reader &R);
 
 private:
   std::vector<double> Priors;

@@ -6,6 +6,8 @@
 
 #include "ml/Normalizer.h"
 
+#include "serialize/TextFormat.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -45,4 +47,26 @@ void Normalizer::transformRow(std::vector<double> &Row) const {
   assert(Row.size() == Mean.size() && "column count mismatch");
   for (size_t J = 0; J != Row.size(); ++J)
     Row[J] = Std[J] > 1e-12 ? (Row[J] - Mean[J]) / Std[J] : 0.0;
+}
+
+void Normalizer::saveTo(serialize::Writer &W) const {
+  W.key("normalizer").u64(Mean.size()).end();
+  W.doubles("mean", Mean);
+  W.doubles("std", Std);
+}
+
+bool Normalizer::loadFrom(serialize::Reader &R) {
+  if (!R.expect("normalizer"))
+    return false;
+  uint64_t D = R.count(1u << 20);
+  if (!R.endLine())
+    return false;
+  std::vector<double> M, S;
+  if (!R.doubles("mean", M, D) || !R.doubles("std", S, D))
+    return false;
+  if (M.size() != D || S.size() != D)
+    return R.fail("normalizer mean/std length mismatch");
+  Mean = std::move(M);
+  Std = std::move(S);
+  return true;
 }

@@ -19,6 +19,10 @@
 #include <vector>
 
 namespace pbt {
+namespace serialize {
+class Writer;
+class Reader;
+} // namespace serialize
 namespace ml {
 
 /// Fits per-column mean/stddev on a data matrix and maps rows into z-score
@@ -38,6 +42,11 @@ public:
   size_t numFeatures() const { return Mean.size(); }
   double mean(size_t Col) const { return Mean[Col]; }
   double stddev(size_t Col) const { return Std[Col]; }
+
+  /// Serialization hooks for the model-persistence layer (exact text
+  /// round trip; see serialize/TextFormat.h).
+  void saveTo(serialize::Writer &W) const;
+  bool loadFrom(serialize::Reader &R);
 
 private:
   std::vector<double> Mean;

@@ -1,0 +1,107 @@
+//===- runtime/PredictionService.cpp ----------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PredictionService.h"
+
+#include "core/FeatureProbe.h"
+
+#include <cassert>
+
+using namespace pbt;
+using namespace pbt::runtime;
+
+PredictionService::PredictionService(serialize::TrainedModel ModelIn)
+    : Model(std::move(ModelIn)) {
+  Index.emplace(Model.Meta.Features);
+}
+
+serialize::LoadStatus PredictionService::loadFile(const std::string &Path) {
+  serialize::TrainedModel Loaded;
+  serialize::LoadStatus Status = serialize::loadModelFile(Path, Loaded);
+  if (!Status) {
+    // The documented contract: a failed load empties the service rather
+    // than silently serving the previously loaded model.
+    *this = PredictionService();
+    return Status;
+  }
+  Model = std::move(Loaded);
+  Index.emplace(Model.Meta.Features);
+  Program = nullptr;
+  Bound = false;
+  Memo.clear();
+  Totals = Stats();
+  return serialize::LoadStatus::success();
+}
+
+serialize::LoadStatus PredictionService::bind(const TunableProgram &P) {
+  // The documented contract: a failed bind leaves the service unbound --
+  // it must not keep serving a previously bound program.
+  Program = nullptr;
+  Bound = false;
+  Memo.clear();
+  if (!Model.System.L2.Production)
+    return serialize::LoadStatus::failure("no model loaded");
+  serialize::LoadStatus Status = serialize::validateAgainst(Model, P);
+  if (!Status)
+    return Status;
+  Program = &P;
+  Bound = true;
+  return serialize::LoadStatus::success();
+}
+
+void PredictionService::clearMemo() { Memo.clear(); }
+
+PredictionService::Decision
+PredictionService::decideWith(const core::InputClassifier &Classifier,
+                              size_t Input) {
+  assert(ready() && "decide() before a successful loadFile()+bind()");
+  assert(Input < Program->numInputs() && "input out of range");
+
+  unsigned NumFlat = Index->numFlat();
+  MemoEntry &E = Memo[Input];
+  if (E.Values.empty()) {
+    E.Values.assign(NumFlat, 0.0);
+    E.Have.assign(NumFlat, 0);
+  }
+
+  Decision D;
+  core::FeatureProbe Probe(NumFlat, [this, &E, &D, Input](unsigned Flat) {
+    if (E.Have[Flat])
+      return std::make_pair(E.Values[Flat], 0.0);
+    support::CostCounter C;
+    double V = this->Program->extractFeature(
+        Input, this->Index->propertyOf(Flat), this->Index->levelOf(Flat), C);
+    E.Values[Flat] = V;
+    E.Have[Flat] = 1;
+    ++D.FeaturesExtracted;
+    return std::make_pair(V, C.units());
+  });
+
+  unsigned Landmark = Classifier.classify(Probe);
+  // Loaders bound every classifier's predictions by the landmark count,
+  // so this holds for any model that passed validation.
+  assert(Landmark < Model.System.L1.Landmarks.size() &&
+         "classifier predicted a missing landmark");
+  D.Landmark = Landmark;
+  D.Config = &Model.System.L1.Landmarks[Landmark];
+  D.FeatureCost = Probe.totalCost();
+  D.Memoized = D.FeaturesExtracted == 0;
+
+  ++Totals.Calls;
+  if (D.Memoized)
+    ++Totals.MemoizedCalls;
+  Totals.FeaturesExtracted += D.FeaturesExtracted;
+  Totals.FeatureCostPaid += D.FeatureCost;
+  return D;
+}
+
+PredictionService::Decision PredictionService::decide(size_t Input) {
+  return decideWith(*Model.System.L2.Production, Input);
+}
+
+PredictionService::Decision PredictionService::decideOneLevel(size_t Input) {
+  return decideWith(*Model.System.OneLevel, Input);
+}

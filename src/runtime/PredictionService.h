@@ -1,0 +1,118 @@
+//===- runtime/PredictionService.h - Online per-input selection -----------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online half of the offline-train / online-predict split: a
+/// PredictionService loads a persisted TrainedModel (serialize/ModelIO.h)
+/// and answers "which configuration should this input run under?" without
+/// retraining anything.
+///
+/// Serving is cheap by construction: the production classifier extracts
+/// only the features it examines, extracted feature values are memoized
+/// per input so repeated decisions for the same input pay the extraction
+/// cost exactly once, and every call reports its own cost (alongside
+/// service-lifetime totals) so a deployment can account for the overhead
+/// the paper's Figure 6 includes.
+///
+/// Not thread-safe: wrap decide() in external synchronisation or give
+/// each worker its own service (models are cheap to load).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_RUNTIME_PREDICTIONSERVICE_H
+#define PBT_RUNTIME_PREDICTIONSERVICE_H
+
+#include "serialize/ModelIO.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pbt {
+namespace runtime {
+
+class PredictionService {
+public:
+  /// One answered query.
+  struct Decision {
+    /// Chosen landmark index into the model's configurations.
+    unsigned Landmark = 0;
+    /// The configuration to run the input under. Points into the
+    /// service's loaded model: valid until the next loadFile() replaces
+    /// it (copy the Configuration when holding decisions across swaps).
+    const Configuration *Config = nullptr;
+    /// Extraction cost paid by THIS call (0 when every examined feature
+    /// was already memoized).
+    double FeatureCost = 0.0;
+    /// Features newly extracted by this call.
+    unsigned FeaturesExtracted = 0;
+    /// True when the call paid no extraction at all.
+    bool Memoized = false;
+  };
+
+  /// Service-lifetime accounting.
+  struct Stats {
+    uint64_t Calls = 0;
+    /// Calls that paid no extraction cost (memoized or feature-free).
+    uint64_t MemoizedCalls = 0;
+    uint64_t FeaturesExtracted = 0;
+    double FeatureCostPaid = 0.0;
+  };
+
+  PredictionService() = default;
+  explicit PredictionService(serialize::TrainedModel Model);
+
+  /// Loads a model file. On failure returns the loader's error and leaves
+  /// the service empty.
+  serialize::LoadStatus loadFile(const std::string &Path);
+
+  /// Binds the program inputs are drawn from. Fails (and leaves the
+  /// service unbound) unless the program matches the model's feature
+  /// declarations and configuration arity.
+  serialize::LoadStatus bind(const TunableProgram &Program);
+
+  bool ready() const { return Bound && !Model.System.L1.Landmarks.empty(); }
+
+  /// Answers "which configuration for input \p Input" through the
+  /// persisted production classifier, memoizing extracted features.
+  /// \p Input must be below the bound program's input count.
+  Decision decide(size_t Input);
+
+  /// The decision the persisted one-level baseline would make; exposed so
+  /// harnesses can compare methods online. Shares the feature memo.
+  Decision decideOneLevel(size_t Input);
+
+  /// Drops all memoized features (e.g. when the bound program's inputs
+  /// were regenerated).
+  void clearMemo();
+
+  const serialize::TrainedModel &model() const { return Model; }
+  const Stats &stats() const { return Totals; }
+
+private:
+  Decision decideWith(const core::InputClassifier &Classifier, size_t Input);
+
+  serialize::TrainedModel Model;
+  const TunableProgram *Program = nullptr;
+  bool Bound = false;
+  /// Flat-index decoder over Model.Meta.Features, built once per model so
+  /// the per-decision hot path does no allocation-heavy rebuilding.
+  std::optional<FeatureIndex> Index;
+  /// Flat-feature memo per input: value + extracted flag.
+  struct MemoEntry {
+    std::vector<double> Values;
+    std::vector<char> Have;
+  };
+  std::unordered_map<size_t, MemoEntry> Memo;
+  Stats Totals;
+};
+
+} // namespace runtime
+} // namespace pbt
+
+#endif // PBT_RUNTIME_PREDICTIONSERVICE_H

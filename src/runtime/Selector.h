@@ -47,10 +47,20 @@ public:
     // choose() binary-searches the cutoffs, so they must be ascending.
     // SelectorScheme::instantiate already sorts; this covers selectors
     // built directly from unordered level lists.
-    std::stable_sort(this->Levels.begin(), this->Levels.end(),
-                     [](const Level &A, const Level &B) {
-                       return A.Cutoff < B.Cutoff;
-                     });
+    //
+    // Ties are ordered by Choice: levels sharing a cutoff are a redundant
+    // encoding (only the first of the tied run is ever reachable from
+    // choose()), and sorting on (Cutoff, Choice) pins which one that is.
+    // A cutoff-only stable sort would instead let the *construction order*
+    // of the level list decide the winner, so two logically identical
+    // selectors built from permuted lists could choose differently --
+    // pinned by SelectorTest.TiedCutoffsAreConstructionOrderIndependent.
+    std::sort(this->Levels.begin(), this->Levels.end(),
+              [](const Level &A, const Level &B) {
+                if (A.Cutoff != B.Cutoff)
+                  return A.Cutoff < B.Cutoff;
+                return A.Choice < B.Choice;
+              });
   }
 
   /// The algorithmic choice for problem size \p N: the first level whose

@@ -1,0 +1,152 @@
+//===- tests/golden/GoldenFileTest.cpp ---------------------------------------=//
+//
+// Golden-file regression suite: serialized models for sort1 and
+// binpacking, trained at a fixed seed/scale, are committed under
+// tests/golden/. The suite asserts
+//
+//   (1) the committed bytes still load, and re-serialize byte-identically
+//       (format stability),
+//   (2) retraining from scratch at the recorded provenance reproduces the
+//       committed bytes exactly (catches silent behavioral drift anywhere
+//       in the two-level pipeline -- feature extraction, clustering,
+//       tuning, measurement, cost matrix, classifier selection), and
+//   (3) a fresh PredictionService serving the committed model makes
+//       exactly the per-input choices recorded in <name>.choices.csv.
+//
+// The committed bytes were generated on Linux/glibc (the CI platform).
+// Training is bit-deterministic for a given libm; a different libc may
+// differ in the last ulp of transcendentals -- regenerate there (see
+// README, "Golden-file regression suite") if (2) fails without any
+// behavioural change.
+//
+// Regenerate (deliberate behaviour changes only; see README):
+//
+//   build/pbt-bench train --only=sort1,binpacking --scale=0.1 \
+//       --sequential --out-dir=tests/golden
+//   build/pbt-bench predict --model=tests/golden/sort1.pbt \
+//       --csv=tests/golden/sort1.choices.csv
+//   build/pbt-bench predict --model=tests/golden/binpacking.pbt \
+//       --csv=tests/golden/binpacking.choices.csv
+//
+//===----------------------------------------------------------------------===//
+
+#include "registry/BenchmarkRegistry.h"
+#include "runtime/PredictionService.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace pbt;
+
+#ifndef PBT_GOLDEN_DIR
+#error "PBT_GOLDEN_DIR must point at the committed golden files"
+#endif
+
+namespace {
+
+std::string goldenPath(const std::string &File) {
+  return std::string(PBT_GOLDEN_DIR) + "/" + File;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "missing golden file " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Parses the `input,landmark` CSV committed next to each model.
+std::vector<std::pair<size_t, unsigned>> readChoices(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "missing golden choices " << Path;
+  std::vector<std::pair<size_t, unsigned>> Out;
+  std::string Line;
+  std::getline(In, Line); // header
+  EXPECT_EQ(Line, "input,landmark");
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    size_t Comma = Line.find(',');
+    if (Comma == std::string::npos) {
+      ADD_FAILURE() << "malformed choices line: " << Line;
+      break;
+    }
+    Out.emplace_back(std::stoull(Line.substr(0, Comma)),
+                     static_cast<unsigned>(std::stoul(Line.substr(Comma + 1))));
+  }
+  return Out;
+}
+
+class GoldenFileTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(GoldenFileTest, CommittedModelReserializesByteIdentically) {
+  std::string Name = GetParam();
+  std::string Bytes = readFile(goldenPath(Name + ".pbt"));
+  ASSERT_FALSE(Bytes.empty());
+
+  serialize::TrainedModel Model;
+  serialize::LoadStatus Status = serialize::loadModel(Bytes, Model);
+  ASSERT_TRUE(Status.Ok) << Status.Error;
+  EXPECT_EQ(serialize::serializeModel(Model), Bytes)
+      << "load+save of the committed model changed its bytes: the text "
+         "format drifted";
+}
+
+TEST_P(GoldenFileTest, RetrainingReproducesCommittedBytes) {
+  std::string Name = GetParam();
+  std::string Bytes = readFile(goldenPath(Name + ".pbt"));
+  serialize::TrainedModel Committed;
+  ASSERT_TRUE(serialize::loadModel(Bytes, Committed).Ok);
+
+  // Retrain from a clean slate at the provenance recorded in the file.
+  const registry::BenchmarkFactory &F =
+      registry::BenchmarkRegistry::instance().get(Name);
+  registry::ProgramPtr Program =
+      F.makeProgram(Committed.Meta.Scale, Committed.Meta.ProgramSeed);
+  core::TrainedSystem System =
+      core::trainSystem(*Program, F.defaultOptions(Committed.Meta.Scale));
+  serialize::TrainedModel Fresh = serialize::makeModel(
+      Name, Committed.Meta.Scale, Committed.Meta.ProgramSeed, *Program,
+      std::move(System));
+
+  EXPECT_EQ(serialize::serializeModel(Fresh), Bytes)
+      << "retraining " << Name
+      << " no longer reproduces the committed model: the training "
+         "pipeline's behaviour drifted (if intentional, regenerate the "
+         "goldens; see the file header)";
+}
+
+TEST_P(GoldenFileTest, PredictionServiceReproducesCommittedChoices) {
+  std::string Name = GetParam();
+  runtime::PredictionService Service;
+  serialize::LoadStatus Status = Service.loadFile(goldenPath(Name + ".pbt"));
+  ASSERT_TRUE(Status.Ok) << Status.Error;
+
+  const serialize::TrainedModel &Model = Service.model();
+  const registry::BenchmarkFactory &F =
+      registry::BenchmarkRegistry::instance().get(Model.Meta.Benchmark);
+  registry::ProgramPtr Program =
+      F.makeProgram(Model.Meta.Scale, Model.Meta.ProgramSeed);
+  serialize::LoadStatus Bound = Service.bind(*Program);
+  ASSERT_TRUE(Bound.Ok) << Bound.Error;
+
+  std::vector<std::pair<size_t, unsigned>> Expected =
+      readChoices(goldenPath(Name + ".choices.csv"));
+  ASSERT_EQ(Expected.size(), Model.System.TestRows.size());
+  for (const auto &[Input, Landmark] : Expected) {
+    runtime::PredictionService::Decision D = Service.decide(Input);
+    EXPECT_EQ(D.Landmark, Landmark)
+        << Name << " input " << Input
+        << ": online decision drifted from the committed choice";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, GoldenFileTest,
+                         ::testing::Values("sort1", "binpacking"));
+
+} // namespace

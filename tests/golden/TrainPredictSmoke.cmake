@@ -1,0 +1,53 @@
+# Runs the offline-train / online-predict workflow through the pbt-bench
+# CLI and pins it against the committed goldens:
+#
+#   1. `pbt-bench train` at the golden provenance (sort1, scale 0.1) must
+#      write a model byte-identical to tests/golden/sort1.pbt.
+#   2. `pbt-bench predict` in a fresh process must serve decisions whose
+#      CSV is byte-identical to tests/golden/sort1.choices.csv.
+#
+# Invoked by ctest (label: golden) with -DPBT_BENCH, -DGOLDEN_DIR and
+# -DWORK_DIR defined.
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${PBT_BENCH} train --only=sort1 --scale=0.1 --sequential
+          --out=${WORK_DIR}/sort1.pbt
+  RESULT_VARIABLE TRAIN_RESULT
+  OUTPUT_VARIABLE TRAIN_OUTPUT
+  ERROR_VARIABLE TRAIN_OUTPUT)
+if(NOT TRAIN_RESULT EQUAL 0)
+  message(FATAL_ERROR "pbt-bench train failed:\n${TRAIN_OUTPUT}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/sort1.pbt ${GOLDEN_DIR}/sort1.pbt
+  RESULT_VARIABLE MODEL_DIFF)
+if(NOT MODEL_DIFF EQUAL 0)
+  message(FATAL_ERROR
+    "pbt-bench train produced a model that differs from the committed "
+    "golden (tests/golden/sort1.pbt). If the behaviour change is "
+    "intentional, regenerate the goldens as documented in README.md.")
+endif()
+
+execute_process(
+  COMMAND ${PBT_BENCH} predict --model=${WORK_DIR}/sort1.pbt
+          --csv=${WORK_DIR}/sort1.choices.csv
+  RESULT_VARIABLE PREDICT_RESULT
+  OUTPUT_VARIABLE PREDICT_OUTPUT
+  ERROR_VARIABLE PREDICT_OUTPUT)
+if(NOT PREDICT_RESULT EQUAL 0)
+  message(FATAL_ERROR "pbt-bench predict failed:\n${PREDICT_OUTPUT}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/sort1.choices.csv ${GOLDEN_DIR}/sort1.choices.csv
+  RESULT_VARIABLE CSV_DIFF)
+if(NOT CSV_DIFF EQUAL 0)
+  message(FATAL_ERROR
+    "pbt-bench predict decisions differ from the committed golden "
+    "choices (tests/golden/sort1.choices.csv).")
+endif()

@@ -1,0 +1,230 @@
+//===- tests/runtime/PredictionServiceTest.cpp -------------------------------=//
+//
+// The offline-train / online-predict split: a PredictionService loaded
+// from serialized bytes must reproduce, for every test input, exactly the
+// configuration the in-process TrainedSystem chooses, while memoizing
+// feature extraction across repeated calls.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/PredictionService.h"
+
+#include "core/FeatureProbe.h"
+#include "registry/BenchmarkRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace pbt;
+
+namespace {
+
+constexpr double kScale = 0.1;
+
+struct Trained {
+  registry::ProgramPtr Program;
+  std::vector<unsigned> ProductionChoices; // in-process, per test row
+  std::vector<unsigned> OneLevelChoices;
+  std::vector<double> ProductionCosts;
+  std::string Text; // serialized model
+};
+
+/// Trains one registry benchmark and records the in-process decisions
+/// before the system is moved into its serialized form.
+Trained trainAndSerialize(const std::string &Name) {
+  const registry::BenchmarkFactory &F =
+      registry::BenchmarkRegistry::instance().get(Name);
+  Trained T;
+  T.Program = F.makeProgram(kScale, F.defaultProgramSeed());
+  core::TrainedSystem System =
+      core::trainSystem(*T.Program, F.defaultOptions(kScale));
+
+  for (size_t Row : System.TestRows) {
+    core::FeatureProbe Probe = core::probeFromTable(
+        System.L1.Features, System.L1.ExtractCosts, Row);
+    T.ProductionChoices.push_back(System.L2.Production->classify(Probe));
+    T.ProductionCosts.push_back(Probe.totalCost());
+    core::FeatureProbe OneProbe = core::probeFromTable(
+        System.L1.Features, System.L1.ExtractCosts, Row);
+    T.OneLevelChoices.push_back(System.OneLevel->classify(OneProbe));
+  }
+
+  serialize::TrainedModel Model = serialize::makeModel(
+      Name, kScale, F.defaultProgramSeed(), *T.Program, std::move(System));
+  T.Text = serialize::serializeModel(Model);
+  return T;
+}
+
+class PredictionServiceTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() { Sort = new Trained(trainAndSerialize("sort1")); }
+  static void TearDownTestSuite() {
+    delete Sort;
+    Sort = nullptr;
+  }
+  static Trained *Sort;
+};
+
+Trained *PredictionServiceTest::Sort = nullptr;
+
+TEST_F(PredictionServiceTest, SerializedTextRoundTripsByteIdentically) {
+  serialize::TrainedModel Loaded;
+  serialize::LoadStatus Status = serialize::loadModel(Sort->Text, Loaded);
+  ASSERT_TRUE(Status.Ok) << Status.Error;
+  EXPECT_EQ(serialize::serializeModel(Loaded), Sort->Text);
+}
+
+TEST_F(PredictionServiceTest, ReproducesInProcessChoicesOnFreshLoad) {
+  serialize::TrainedModel Loaded;
+  ASSERT_TRUE(serialize::loadModel(Sort->Text, Loaded).Ok);
+  runtime::PredictionService Service(std::move(Loaded));
+  serialize::LoadStatus Bound = Service.bind(*Sort->Program);
+  ASSERT_TRUE(Bound.Ok) << Bound.Error;
+  ASSERT_TRUE(Service.ready());
+
+  const std::vector<size_t> &Rows = Service.model().System.TestRows;
+  ASSERT_EQ(Rows.size(), Sort->ProductionChoices.size());
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    runtime::PredictionService::Decision D = Service.decide(Rows[I]);
+    EXPECT_EQ(D.Landmark, Sort->ProductionChoices[I]) << "row " << Rows[I];
+    ASSERT_NE(D.Config, nullptr);
+    EXPECT_EQ(D.Config->values(),
+              Service.model().System.L1.Landmarks[D.Landmark].values());
+    // Live extraction pays exactly what the precomputed tables recorded.
+    EXPECT_DOUBLE_EQ(D.FeatureCost, Sort->ProductionCosts[I]);
+  }
+}
+
+TEST_F(PredictionServiceTest, OneLevelBaselineServedFromTheSameModel) {
+  serialize::TrainedModel Loaded;
+  ASSERT_TRUE(serialize::loadModel(Sort->Text, Loaded).Ok);
+  runtime::PredictionService Service(std::move(Loaded));
+  ASSERT_TRUE(Service.bind(*Sort->Program).Ok);
+
+  const std::vector<size_t> &Rows = Service.model().System.TestRows;
+  for (size_t I = 0; I != Rows.size(); ++I)
+    EXPECT_EQ(Service.decideOneLevel(Rows[I]).Landmark,
+              Sort->OneLevelChoices[I]);
+}
+
+TEST_F(PredictionServiceTest, MemoizesFeatureExtractionPerInput) {
+  serialize::TrainedModel Loaded;
+  ASSERT_TRUE(serialize::loadModel(Sort->Text, Loaded).Ok);
+  runtime::PredictionService Service(std::move(Loaded));
+  ASSERT_TRUE(Service.bind(*Sort->Program).Ok);
+
+  size_t Row = Service.model().System.TestRows.front();
+  runtime::PredictionService::Decision First = Service.decide(Row);
+  runtime::PredictionService::Decision Second = Service.decide(Row);
+  EXPECT_EQ(First.Landmark, Second.Landmark);
+  EXPECT_EQ(Second.FeatureCost, 0.0);
+  EXPECT_EQ(Second.FeaturesExtracted, 0u);
+  EXPECT_TRUE(Second.Memoized);
+
+  // The one-level baseline extracts every feature; it reuses the memo the
+  // production classifier already populated where they overlap.
+  runtime::PredictionService::Decision One = Service.decideOneLevel(Row);
+  runtime::PredictionService::Decision OneAgain = Service.decideOneLevel(Row);
+  EXPECT_EQ(One.Landmark, OneAgain.Landmark);
+  EXPECT_TRUE(OneAgain.Memoized);
+
+  const runtime::PredictionService::Stats &S = Service.stats();
+  EXPECT_EQ(S.Calls, 4u);
+  EXPECT_GE(S.MemoizedCalls, 2u);
+  EXPECT_EQ(S.FeatureCostPaid, First.FeatureCost + One.FeatureCost);
+
+  // Clearing the memo makes the next call pay again.
+  Service.clearMemo();
+  runtime::PredictionService::Decision Third = Service.decide(Row);
+  EXPECT_EQ(Third.FeatureCost, First.FeatureCost);
+  EXPECT_EQ(Third.Landmark, First.Landmark);
+}
+
+TEST(PredictionServiceBinPackingTest, ReproducesInProcessChoices) {
+  // The variable-accuracy benchmark of the acceptance bar: serving from
+  // bytes must equal the in-process system on every test input.
+  Trained T = trainAndSerialize("binpacking");
+  serialize::TrainedModel Loaded;
+  ASSERT_TRUE(serialize::loadModel(T.Text, Loaded).Ok);
+  EXPECT_EQ(serialize::serializeModel(Loaded), T.Text);
+  runtime::PredictionService Service(std::move(Loaded));
+  ASSERT_TRUE(Service.bind(*T.Program).Ok);
+
+  const std::vector<size_t> &Rows = Service.model().System.TestRows;
+  ASSERT_EQ(Rows.size(), T.ProductionChoices.size());
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    EXPECT_EQ(Service.decide(Rows[I]).Landmark, T.ProductionChoices[I]);
+    EXPECT_EQ(Service.decideOneLevel(Rows[I]).Landmark, T.OneLevelChoices[I]);
+  }
+}
+
+TEST_F(PredictionServiceTest, BindRejectsMismatchedProgram) {
+  serialize::TrainedModel Loaded;
+  ASSERT_TRUE(serialize::loadModel(Sort->Text, Loaded).Ok);
+  runtime::PredictionService Service(std::move(Loaded));
+
+  const registry::BenchmarkFactory &F =
+      registry::BenchmarkRegistry::instance().get("binpacking");
+  registry::ProgramPtr Wrong = F.makeProgram(kScale, F.defaultProgramSeed());
+  serialize::LoadStatus Bound = Service.bind(*Wrong);
+  EXPECT_FALSE(Bound.Ok);
+  EXPECT_FALSE(Bound.Error.empty());
+  EXPECT_FALSE(Service.ready());
+}
+
+TEST_F(PredictionServiceTest, BindRejectsOutOfRangeLandmarkValues) {
+  // A structurally valid file whose landmark values fall outside the
+  // program's declared parameter ranges must not be served: the values
+  // feed enum casts and array indexing inside the benchmarks.
+  serialize::TrainedModel Loaded;
+  ASSERT_TRUE(serialize::loadModel(Sort->Text, Loaded).Ok);
+  Loaded.System.L1.Landmarks[0].set(0, 1e9);
+  runtime::PredictionService Service(std::move(Loaded));
+  serialize::LoadStatus Bound = Service.bind(*Sort->Program);
+  EXPECT_FALSE(Bound.Ok);
+  EXPECT_NE(Bound.Error.find("outside its declared range"),
+            std::string::npos)
+      << Bound.Error;
+}
+
+TEST_F(PredictionServiceTest, FailedLoadEmptiesTheService) {
+  std::string Path = ::testing::TempDir() + "pbt_service_goodload.pbt";
+  serialize::TrainedModel Model;
+  ASSERT_TRUE(serialize::loadModel(Sort->Text, Model).Ok);
+  ASSERT_TRUE(serialize::saveModelFile(Path, Model).Ok);
+
+  runtime::PredictionService Service;
+  ASSERT_TRUE(Service.loadFile(Path).Ok);
+  ASSERT_TRUE(Service.bind(*Sort->Program).Ok);
+  ASSERT_TRUE(Service.ready());
+
+  // A failed reload must not keep serving the previous model.
+  EXPECT_FALSE(Service.loadFile("/nonexistent/model.pbt").Ok);
+  EXPECT_FALSE(Service.ready());
+  std::remove(Path.c_str());
+}
+
+TEST_F(PredictionServiceTest, UnboundServiceReportsNotReady) {
+  runtime::PredictionService Service;
+  EXPECT_FALSE(Service.ready());
+  EXPECT_FALSE(Service.bind(*Sort->Program).Ok);
+}
+
+TEST_F(PredictionServiceTest, FileRoundTripThroughDisk) {
+  std::string Path = ::testing::TempDir() + "pbt_service_roundtrip.pbt";
+  serialize::TrainedModel Model;
+  ASSERT_TRUE(serialize::loadModel(Sort->Text, Model).Ok);
+  ASSERT_TRUE(serialize::saveModelFile(Path, Model).Ok);
+
+  runtime::PredictionService Service;
+  serialize::LoadStatus Status = Service.loadFile(Path);
+  ASSERT_TRUE(Status.Ok) << Status.Error;
+  ASSERT_TRUE(Service.bind(*Sort->Program).Ok);
+  const std::vector<size_t> &Rows = Service.model().System.TestRows;
+  for (size_t I = 0; I != Rows.size(); ++I)
+    EXPECT_EQ(Service.decide(Rows[I]).Landmark, Sort->ProductionChoices[I]);
+  std::remove(Path.c_str());
+}
+
+} // namespace

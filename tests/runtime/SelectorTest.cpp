@@ -138,6 +138,41 @@ TEST(SelectorTest, MatchesLinearScanOnManyLevels) {
     EXPECT_EQ(S.choose(N), Linear(N)) << N;
 }
 
+TEST(SelectorTest, TiedCutoffsAreConstructionOrderIndependent) {
+  // Levels sharing a cutoff are a redundant encoding: only the first of
+  // the tied run is reachable from choose(). The constructor pins the
+  // tie-break to the lowest Choice, so the decision rule cannot depend on
+  // the order the level list was built in (a cutoff-only stable sort
+  // would leak construction order into the decision).
+  std::vector<Selector::Level> Levels = {
+      {100, 3}, {100, 1}, {100, 2}, {500, 0}, {UINT64_MAX, 4}};
+  std::sort(Levels.begin(), Levels.end(),
+            [](const Selector::Level &A, const Selector::Level &B) {
+              if (A.Cutoff != B.Cutoff)
+                return A.Cutoff < B.Cutoff;
+              return A.Choice < B.Choice;
+            });
+  // Try every rotation of the input list (distinct construction orders).
+  std::vector<Selector::Level> Rotated = Levels;
+  for (size_t Rot = 0; Rot != Rotated.size(); ++Rot) {
+    std::rotate(Rotated.begin(), Rotated.begin() + 1, Rotated.end());
+    Selector S(Rotated);
+    // Canonical level order...
+    ASSERT_EQ(S.levels().size(), Levels.size());
+    for (size_t I = 0; I != Levels.size(); ++I) {
+      EXPECT_EQ(S.levels()[I].Cutoff, Levels[I].Cutoff) << "rotation " << Rot;
+      EXPECT_EQ(S.levels()[I].Choice, Levels[I].Choice) << "rotation " << Rot;
+    }
+    // ...and canonical decisions: below a tied cutoff the lowest choice
+    // of the tied run wins.
+    EXPECT_EQ(S.choose(0), 1u);
+    EXPECT_EQ(S.choose(99), 1u);
+    EXPECT_EQ(S.choose(100), 0u);
+    EXPECT_EQ(S.choose(499), 0u);
+    EXPECT_EQ(S.choose(500), 4u);
+  }
+}
+
 TEST(SelectorTest, StrMentionsChoices) {
   Selector S({{600, 2}, {UINT64_MAX, 0}});
   std::string Str = S.str();

@@ -1,0 +1,297 @@
+//===- tests/serialize/MalformedInputTest.cpp --------------------------------=//
+//
+// Property tests for the model deserializer on malformed input: truncated
+// files, unknown versions, out-of-range indices, corrupt counts, and
+// random byte fuzzing must all return errors -- never crash, hang, or
+// silently mis-load.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Classifiers.h"
+#include "core/FeatureProbe.h"
+#include "serialize/ModelIO.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace pbt;
+using namespace pbt::serialize;
+
+namespace {
+
+/// A small but complete hand-built model: 2 properties x 2 levels, 8
+/// inputs, 2 landmarks, a subset-tree production classifier.
+TrainedModel tinyModel() {
+  const size_t N = 8;
+  const unsigned Flat = 4, K = 2;
+
+  TrainedModel M;
+  M.Meta.Benchmark = "tiny";
+  M.Meta.Scale = 1.0;
+  M.Meta.ProgramSeed = 7;
+  M.Meta.Features = {{"alpha", 2}, {"beta", 2}};
+
+  core::TrainedSystem &S = M.System;
+  S.L1.Features = linalg::Matrix(N, Flat);
+  S.L1.ExtractCosts = linalg::Matrix(N, Flat, 1.0);
+  S.L1.Time = linalg::Matrix(N, K);
+  S.L1.Acc = linalg::Matrix(N, K, 1.0);
+  support::Rng Rng(13);
+  for (size_t R = 0; R != N; ++R) {
+    for (unsigned F = 0; F != Flat; ++F)
+      S.L1.Features.at(R, F) = Rng.gaussian(F, 1.0);
+    for (unsigned L = 0; L != K; ++L)
+      S.L1.Time.at(R, L) = 10.0 + Rng.uniform();
+  }
+  S.TrainRows = {0, 1, 2, 3};
+  S.TestRows = {4, 5, 6, 7};
+  S.StaticOracleLandmark = 1;
+  S.L1.Norm.fit(S.L1.Features);
+  ml::KMeansOptions KOpts;
+  KOpts.K = K;
+  KOpts.Seed = 5;
+  S.L1.Clusters = ml::kMeans(S.L1.Norm.transform(S.L1.Features), KOpts);
+  S.L1.Clusters.Assignment.resize(S.TrainRows.size());
+  S.L1.Representatives = {0, 3};
+  S.L1.Landmarks.emplace_back(std::vector<double>{1.0, 8.0, 0.5});
+  S.L1.Landmarks.emplace_back(std::vector<double>{0.0, 64.0, 0.25});
+
+  S.L2.TrainLabels = {0, 1, 1, 0};
+  S.L2.Costs = ml::CostMatrix::zeroOne(K);
+  S.L2.RefinementMoveFraction = 0.25;
+  core::CandidateScore C1;
+  C1.Name = "max-apriori";
+  C1.Objective = 11.5;
+  S.L2.Candidates.push_back(C1);
+  core::CandidateScore C2;
+  C2.Name = "tree{alpha@1}";
+  C2.Objective = 10.5;
+  S.L2.Candidates.push_back(C2);
+  S.L2.SelectedName = "tree{alpha@1}";
+
+  std::vector<unsigned> Y(N);
+  for (size_t R = 0; R != N; ++R)
+    Y[R] = S.L1.Features.at(R, 1) > 1.0 ? 1 : 0;
+  ml::DecisionTreeOptions TreeOpts;
+  TreeOpts.AllowedFeatures = {1};
+  TreeOpts.MinSamplesLeaf = 1;
+  TreeOpts.MinSamplesSplit = 2;
+  ml::DecisionTree Tree;
+  Tree.fit(S.L1.Features, Y, K, TreeOpts);
+  S.L2.Production = std::make_unique<core::SubsetTreeClassifier>(
+      std::move(Tree), std::vector<unsigned>{1}, "tree{alpha@1}");
+
+  S.OneLevel = std::make_unique<core::OneLevelClassifier>(
+      S.L1.Clusters.Centroids, S.L1.Norm, std::vector<unsigned>{0, 1});
+  return M;
+}
+
+const std::string &canonicalText() {
+  static const std::string Text = serializeModel(tinyModel());
+  return Text;
+}
+
+/// Replaces the first line starting with `Key ` (or equal to Key) by
+/// \p Replacement. Returns false when no such line exists.
+bool replaceLine(std::string &Text, const std::string &Key,
+                 const std::string &Replacement) {
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    if (Line == Key || Line.compare(0, Key.size() + 1, Key + " ") == 0) {
+      Text.replace(Pos, End - Pos, Replacement);
+      return true;
+    }
+    Pos = End + 1;
+  }
+  return false;
+}
+
+/// Loads \p Text expecting a clean failure.
+void expectLoadFails(const std::string &Text, const std::string &What) {
+  TrainedModel Out;
+  LoadStatus Status = loadModel(Text, Out);
+  EXPECT_FALSE(Status.Ok) << What;
+  EXPECT_FALSE(Status.Error.empty()) << What;
+}
+
+TEST(MalformedInputTest, CanonicalTextLoadsAndReserializesIdentically) {
+  TrainedModel Out;
+  LoadStatus Status = loadModel(canonicalText(), Out);
+  ASSERT_TRUE(Status.Ok) << Status.Error;
+  EXPECT_EQ(serializeModel(Out), canonicalText());
+}
+
+TEST(MalformedInputTest, EmptyAndGarbageInputs) {
+  expectLoadFails("", "empty input");
+  expectLoadFails("\n\n\n", "blank lines");
+  expectLoadFails("\n" + canonicalText(), "leading blank line");
+  expectLoadFails("not a model at all", "garbage");
+  expectLoadFails(std::string(4096, 'x'), "long garbage");
+  expectLoadFails(std::string("pbt-model v1\n") + std::string(100, '\n'),
+                  "header then blanks");
+}
+
+TEST(MalformedInputTest, UnknownVersionIsRejected) {
+  std::string Text = canonicalText();
+  ASSERT_TRUE(replaceLine(Text, "pbt-model", "pbt-model v999"));
+  TrainedModel Out;
+  LoadStatus Status = loadModel(Text, Out);
+  ASSERT_FALSE(Status.Ok);
+  EXPECT_NE(Status.Error.find("version"), std::string::npos) << Status.Error;
+
+  ASSERT_TRUE(replaceLine(Text, "pbt-model", "pbt-model"));
+  expectLoadFails(Text, "missing version token");
+}
+
+TEST(MalformedInputTest, TruncationAtEveryLineBoundaryFailsCleanly) {
+  const std::string &Text = canonicalText();
+  size_t Pos = 0;
+  size_t Boundaries = 0;
+  while ((Pos = Text.find('\n', Pos)) != std::string::npos) {
+    ++Pos;
+    if (Pos >= Text.size())
+      break; // the full text, which must load
+    expectLoadFails(Text.substr(0, Pos),
+                    "truncated at byte " + std::to_string(Pos));
+    ++Boundaries;
+  }
+  EXPECT_GT(Boundaries, 50u);
+}
+
+TEST(MalformedInputTest, TruncationAtArbitraryBytesFailsCleanly) {
+  // Every strict prefix must be rejected -- except the one that only
+  // drops the final newline, which is still a complete model.
+  const std::string &Text = canonicalText();
+  for (size_t Len = 0; Len + 1 < Text.size(); Len += 7) {
+    TrainedModel Out;
+    LoadStatus Status = loadModel(Text.substr(0, Len), Out);
+    EXPECT_FALSE(Status.Ok) << "prefix of length " << Len << " loaded";
+  }
+}
+
+TEST(MalformedInputTest, OutOfRangeIndicesAreRejected) {
+  struct Case {
+    const char *Key;
+    const char *Replacement;
+    const char *What;
+  };
+  const Case Cases[] = {
+      {"static-oracle", "static-oracle 99", "static oracle landmark"},
+      {"train-rows", "train-rows 4 0 1 2 999", "train row id"},
+      {"test-rows", "test-rows 4 4 5 6 12345", "test row id"},
+      {"train-labels", "train-labels 4 0 1 1 7", "train label"},
+      {"representatives", "representatives 2 0 9", "representative id"},
+      {"assignment", "assignment 4 0 1 0 5", "cluster assignment"},
+      {"landmarks", "landmarks 7", "landmark count"},
+      {"candidates", "candidates 18446744073709551615", "candidate count"},
+      {"features", "features 90000", "feature count"},
+      {"cost-matrix", "cost-matrix 3", "cost matrix size"},
+  };
+  for (const Case &C : Cases) {
+    std::string Text = canonicalText();
+    ASSERT_TRUE(replaceLine(Text, C.Key, C.Replacement)) << C.Key;
+    expectLoadFails(Text, C.What);
+  }
+}
+
+TEST(MalformedInputTest, ZeroNodeTreeIsRejected) {
+  // An empty node list would make prediction read past the vector.
+  std::string Text = canonicalText();
+  size_t Pos = Text.find("\ndecision-tree ");
+  ASSERT_NE(Pos, std::string::npos);
+  size_t End = Text.find('\n', Pos + 1);
+  Text.replace(Pos + 1, End - Pos - 1, "decision-tree 0 4");
+  expectLoadFails(Text, "zero-node tree");
+}
+
+TEST(MalformedInputTest, CorruptTreeStructureIsRejected) {
+  // Children referring backwards (cycles) or out of range must fail.
+  for (const char *Bad : {"split 1 0.5 0 2 ", "split 1 0.5 99 2 ",
+                          "split 99 0.5 1 2 "}) {
+    std::string Text = canonicalText();
+    size_t Pos = Text.find("\nsplit ");
+    ASSERT_NE(Pos, std::string::npos);
+    size_t End = Text.find('\n', Pos + 1);
+    Text.replace(Pos + 1, End - Pos - 1, Bad);
+    expectLoadFails(Text, Bad);
+  }
+  // Leaf label out of range.
+  std::string Text = canonicalText();
+  size_t Pos = Text.find("\nleaf ");
+  ASSERT_NE(Pos, std::string::npos);
+  size_t End = Text.find('\n', Pos + 1);
+  Text.replace(Pos + 1, End - Pos - 1, "leaf 42");
+  expectLoadFails(Text, "leaf label");
+}
+
+TEST(MalformedInputTest, HugeCountsDoNotAllocate) {
+  // A corrupt matrix header claiming astronomic dimensions must fail on
+  // the count guard (or missing data), not by attempting the allocation.
+  std::string Text = canonicalText();
+  ASSERT_TRUE(replaceLine(Text, "matrix",
+                          "matrix features 123456789012 123456789012"));
+  expectLoadFails(Text, "huge matrix dims");
+
+  Text = canonicalText();
+  ASSERT_TRUE(
+      replaceLine(Text, "train-rows", "train-rows 18446744073709551615 0"));
+  expectLoadFails(Text, "huge row count");
+}
+
+TEST(MalformedInputTest, NonNumericTokensAreRejected) {
+  const char *Lines[] = {"scale banana", "program-seed -3",
+                         "static-oracle 1.5x", "refinement-moved 0..5"};
+  const char *Keys[] = {"scale", "program-seed", "static-oracle",
+                        "refinement-moved"};
+  for (size_t I = 0; I != 4; ++I) {
+    std::string Text = canonicalText();
+    ASSERT_TRUE(replaceLine(Text, Keys[I], Lines[I]));
+    expectLoadFails(Text, Lines[I]);
+  }
+}
+
+TEST(MalformedInputTest, TrailingContentIsRejected) {
+  expectLoadFails(canonicalText() + "surprise\n", "trailing line");
+}
+
+TEST(MalformedInputTest, RandomSingleCharFuzzNeverCrashes) {
+  // Mutate one character at a random position; the loader must either
+  // reject the text or produce a model whose classifiers stay in bounds.
+  const std::string &Canonical = canonicalText();
+  support::Rng Rng(0xF022);
+  const char Alphabet[] = "0123456789 .-abcz\n";
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    std::string Text = Canonical;
+    size_t Pos = Rng.index(Text.size());
+    Text[Pos] = Alphabet[Rng.index(sizeof(Alphabet) - 1)];
+    TrainedModel Out;
+    LoadStatus Status = loadModel(Text, Out);
+    if (!Status.Ok)
+      continue;
+    // A loaded model must be safely usable end to end.
+    const core::TrainedSystem &S = Out.System;
+    for (size_t Row : S.TestRows) {
+      core::FeatureProbe Probe =
+          core::probeFromTable(S.L1.Features, S.L1.ExtractCosts, Row);
+      unsigned Pred = S.L2.Production->classify(Probe);
+      EXPECT_LT(Pred, S.L1.Landmarks.size());
+    }
+    EXPECT_FALSE(serializeModel(Out).empty());
+  }
+}
+
+TEST(MalformedInputTest, MissingFileReportsError) {
+  TrainedModel Out;
+  LoadStatus Status = loadModelFile("/nonexistent/path/model.pbt", Out);
+  EXPECT_FALSE(Status.Ok);
+  EXPECT_NE(Status.Error.find("cannot open"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,329 @@
+//===- tests/serialize/RoundTripTest.cpp -------------------------------------=//
+//
+// Round-trip serialization of every learner: deserialize(serialize(x))
+// produces identical predictions on a probe grid, and re-serialization is
+// byte-identical (the invariant the golden-file suite relies on).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Classifiers.h"
+#include "core/FeatureProbe.h"
+#include "ml/CostMatrix.h"
+#include "ml/DecisionTree.h"
+#include "ml/IncrementalBayes.h"
+#include "ml/KMeans.h"
+#include "ml/MaxApriori.h"
+#include "ml/Normalizer.h"
+#include "serialize/ModelIO.h"
+#include "serialize/TextFormat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+using namespace pbt;
+
+namespace {
+
+/// Deterministic feature matrix with varied scales per column.
+linalg::Matrix probeMatrix(size_t Rows, size_t Cols, uint64_t Seed) {
+  support::Rng Rng(Seed);
+  linalg::Matrix X(Rows, Cols);
+  for (size_t R = 0; R != Rows; ++R)
+    for (size_t C = 0; C != Cols; ++C)
+      X.at(R, C) = Rng.gaussian(static_cast<double>(C), 1.0 + 0.5 * C);
+  return X;
+}
+
+/// Labels correlated with the features so trees actually split.
+std::vector<unsigned> probeLabels(const linalg::Matrix &X,
+                                  unsigned NumClasses) {
+  std::vector<unsigned> Y(X.rows());
+  for (size_t R = 0; R != X.rows(); ++R) {
+    double S = X.at(R, 0) + 0.5 * X.at(R, X.cols() - 1);
+    Y[R] = static_cast<unsigned>(std::abs(static_cast<long>(S * 2))) %
+           NumClasses;
+  }
+  return Y;
+}
+
+TEST(RoundTripTest, DoubleFormattingIsExact) {
+  const double Cases[] = {0.0,
+                          -0.0,
+                          1.0,
+                          -1.5,
+                          1.0 / 3.0,
+                          1e-300,
+                          -1e300,
+                          0.10000000000000001,
+                          3.1415926535897931};
+  for (double V : Cases) {
+    std::string Text = serialize::formatDouble(V);
+    double Back = std::strtod(Text.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&V, &Back, sizeof V), 0) << Text;
+  }
+}
+
+TEST(RoundTripTest, Normalizer) {
+  linalg::Matrix X = probeMatrix(40, 5, 1);
+  ml::Normalizer Norm;
+  Norm.fit(X);
+
+  serialize::Writer W;
+  Norm.saveTo(W);
+  serialize::Reader R(W.str());
+  ml::Normalizer Back;
+  ASSERT_TRUE(Back.loadFrom(R)) << R.error();
+
+  serialize::Writer W2;
+  Back.saveTo(W2);
+  EXPECT_EQ(W.str(), W2.str());
+
+  linalg::Matrix Grid = probeMatrix(20, 5, 2);
+  for (size_t I = 0; I != Grid.rows(); ++I) {
+    std::vector<double> A(Grid.rowPtr(I), Grid.rowPtr(I) + Grid.cols());
+    std::vector<double> B = A;
+    Norm.transformRow(A);
+    Back.transformRow(B);
+    EXPECT_EQ(A, B);
+  }
+}
+
+TEST(RoundTripTest, DecisionTree) {
+  linalg::Matrix X = probeMatrix(120, 6, 3);
+  std::vector<unsigned> Y = probeLabels(X, 4);
+  ml::DecisionTree Tree;
+  Tree.fit(X, Y, 4);
+  ASSERT_TRUE(Tree.trained());
+
+  serialize::Writer W;
+  Tree.saveTo(W);
+  serialize::Reader R(W.str());
+  ml::DecisionTree Back;
+  ASSERT_TRUE(Back.loadFrom(R, 4)) << R.error();
+
+  serialize::Writer W2;
+  Back.saveTo(W2);
+  EXPECT_EQ(W.str(), W2.str());
+  EXPECT_EQ(Tree.numNodes(), Back.numNodes());
+  EXPECT_EQ(Tree.depth(), Back.depth());
+  EXPECT_EQ(Tree.usedFeatures(), Back.usedFeatures());
+
+  linalg::Matrix Grid = probeMatrix(200, 6, 4);
+  for (size_t I = 0; I != Grid.rows(); ++I) {
+    std::vector<double> Row(Grid.rowPtr(I), Grid.rowPtr(I) + Grid.cols());
+    EXPECT_EQ(Tree.predict(Row), Back.predict(Row));
+  }
+}
+
+TEST(RoundTripTest, DecisionTreeCostSensitiveLeaves) {
+  linalg::Matrix X = probeMatrix(80, 4, 5);
+  std::vector<unsigned> Y = probeLabels(X, 3);
+  ml::CostMatrix Costs(3);
+  Costs.at(0, 1) = 5.0;
+  Costs.at(1, 0) = 0.25;
+  Costs.at(2, 1) = 2.0;
+  ml::DecisionTreeOptions Opts;
+  Opts.Costs = &Costs;
+  ml::DecisionTree Tree;
+  Tree.fit(X, Y, 3, Opts);
+
+  serialize::Writer W;
+  Tree.saveTo(W);
+  serialize::Reader R(W.str());
+  ml::DecisionTree Back;
+  ASSERT_TRUE(Back.loadFrom(R, 3)) << R.error();
+  linalg::Matrix Grid = probeMatrix(100, 4, 6);
+  for (size_t I = 0; I != Grid.rows(); ++I) {
+    std::vector<double> Row(Grid.rowPtr(I), Grid.rowPtr(I) + Grid.cols());
+    EXPECT_EQ(Tree.predict(Row), Back.predict(Row));
+  }
+}
+
+TEST(RoundTripTest, IncrementalBayes) {
+  linalg::Matrix X = probeMatrix(150, 5, 7);
+  std::vector<unsigned> Y = probeLabels(X, 3);
+  ml::IncrementalBayes Model;
+  Model.fit(X, Y, 3, {4, 0, 2, 1, 3});
+  ASSERT_TRUE(Model.trained());
+
+  serialize::Writer W;
+  Model.saveTo(W);
+  serialize::Reader R(W.str());
+  ml::IncrementalBayes Back;
+  ASSERT_TRUE(Back.loadFrom(R, 5)) << R.error();
+
+  serialize::Writer W2;
+  Back.saveTo(W2);
+  EXPECT_EQ(W.str(), W2.str());
+  EXPECT_EQ(Model.featureOrder(), Back.featureOrder());
+  EXPECT_EQ(Model.numClasses(), Back.numClasses());
+
+  linalg::Matrix Grid = probeMatrix(200, 5, 8);
+  for (size_t I = 0; I != Grid.rows(); ++I) {
+    std::vector<double> Row(Grid.rowPtr(I), Grid.rowPtr(I) + Grid.cols());
+    ml::IncrementalPrediction A = Model.predict(Row);
+    ml::IncrementalPrediction B = Back.predict(Row);
+    EXPECT_EQ(A.Label, B.Label);
+    EXPECT_EQ(A.FeaturesUsed, B.FeaturesUsed);
+    EXPECT_EQ(A.Confidence, B.Confidence);
+  }
+}
+
+TEST(RoundTripTest, KMeansResult) {
+  linalg::Matrix Points = probeMatrix(60, 4, 9);
+  ml::KMeansOptions Opts;
+  Opts.K = 5;
+  Opts.Seed = 3;
+  ml::KMeansResult Result = ml::kMeans(Points, Opts);
+
+  serialize::Writer W;
+  ml::saveKMeansResult(W, Result);
+  serialize::Reader R(W.str());
+  ml::KMeansResult Back;
+  ASSERT_TRUE(ml::loadKMeansResult(R, Back)) << R.error();
+
+  serialize::Writer W2;
+  ml::saveKMeansResult(W2, Back);
+  EXPECT_EQ(W.str(), W2.str());
+  EXPECT_EQ(Result.Assignment, Back.Assignment);
+  EXPECT_EQ(Result.Inertia, Back.Inertia);
+  EXPECT_EQ(Result.IterationsRun, Back.IterationsRun);
+
+  linalg::Matrix Grid = probeMatrix(50, 4, 10);
+  for (size_t I = 0; I != Grid.rows(); ++I) {
+    std::vector<double> Row(Grid.rowPtr(I), Grid.rowPtr(I) + Grid.cols());
+    EXPECT_EQ(ml::nearestCentroid(Result.Centroids, Row),
+              ml::nearestCentroid(Back.Centroids, Row));
+  }
+}
+
+TEST(RoundTripTest, MaxApriori) {
+  ml::MaxApriori Model;
+  Model.fit({0, 1, 1, 2, 1, 0, 1}, 4);
+
+  serialize::Writer W;
+  Model.saveTo(W);
+  serialize::Reader R(W.str());
+  ml::MaxApriori Back;
+  ASSERT_TRUE(Back.loadFrom(R)) << R.error();
+
+  serialize::Writer W2;
+  Back.saveTo(W2);
+  EXPECT_EQ(W.str(), W2.str());
+  EXPECT_EQ(Model.predict(), Back.predict());
+  EXPECT_EQ(Model.priors(), Back.priors());
+}
+
+TEST(RoundTripTest, CostMatrix) {
+  ml::CostMatrix Costs(3);
+  for (unsigned I = 0; I != 3; ++I)
+    for (unsigned J = 0; J != 3; ++J)
+      Costs.at(I, J) = I == J ? 0.0 : 0.125 * (I * 3 + J + 1);
+
+  serialize::Writer W;
+  Costs.saveTo(W);
+  serialize::Reader R(W.str());
+  ml::CostMatrix Back;
+  ASSERT_TRUE(Back.loadFrom(R)) << R.error();
+
+  serialize::Writer W2;
+  Back.saveTo(W2);
+  EXPECT_EQ(W.str(), W2.str());
+  ASSERT_EQ(Back.numClasses(), 3u);
+  for (unsigned I = 0; I != 3; ++I)
+    for (unsigned J = 0; J != 3; ++J)
+      EXPECT_EQ(Costs.at(I, J), Back.at(I, J));
+}
+
+TEST(RoundTripTest, SelectorAndConfiguration) {
+  runtime::Selector Sel({{600, 2}, {1420, 1}, {UINT64_MAX, 0}});
+  serialize::Writer W;
+  serialize::saveSelector(W, Sel);
+  serialize::Reader R(W.str());
+  runtime::Selector BackSel;
+  ASSERT_TRUE(serialize::loadSelector(R, BackSel)) << R.error();
+  ASSERT_EQ(BackSel.levels().size(), Sel.levels().size());
+  for (uint64_t N = 0; N < 4000; N += 13)
+    EXPECT_EQ(Sel.choose(N), BackSel.choose(N));
+  EXPECT_EQ(Sel.choose(UINT64_MAX), BackSel.choose(UINT64_MAX));
+
+  runtime::Configuration Config(
+      std::vector<double>{1.0, 0.25, 1e-7, 4096.0, -3.5});
+  serialize::Writer WC;
+  serialize::saveConfiguration(WC, Config);
+  serialize::Reader RC(WC.str());
+  runtime::Configuration BackConfig;
+  ASSERT_TRUE(serialize::loadConfiguration(RC, BackConfig)) << RC.error();
+  EXPECT_EQ(Config.values(), BackConfig.values());
+}
+
+/// Classifies every row of \p X through a table-backed probe.
+std::vector<unsigned> classifyAll(const core::InputClassifier &C,
+                                  const linalg::Matrix &X,
+                                  const linalg::Matrix &Costs) {
+  std::vector<unsigned> Out;
+  for (size_t R = 0; R != X.rows(); ++R) {
+    core::FeatureProbe Probe = core::probeFromTable(X, Costs, R);
+    Out.push_back(C.classify(Probe));
+  }
+  return Out;
+}
+
+/// Round-trips a polymorphic classifier and checks behavioural equality.
+void expectClassifierRoundTrip(const core::InputClassifier &C,
+                               unsigned NumClasses, const linalg::Matrix &X) {
+  serialize::Writer W;
+  serialize::saveClassifier(W, C);
+  serialize::Reader R(W.str());
+  std::unique_ptr<core::InputClassifier> Back = serialize::loadClassifier(
+      R, NumClasses, static_cast<unsigned>(X.cols()));
+  ASSERT_NE(Back, nullptr) << R.error();
+
+  serialize::Writer W2;
+  serialize::saveClassifier(W2, *Back);
+  EXPECT_EQ(W.str(), W2.str());
+  EXPECT_EQ(C.describe(), Back->describe());
+  EXPECT_EQ(C.referencedFeatures(), Back->referencedFeatures());
+
+  linalg::Matrix Costs(X.rows(), X.cols(), 1.0);
+  EXPECT_EQ(classifyAll(C, X, Costs), classifyAll(*Back, X, Costs));
+}
+
+TEST(RoundTripTest, EveryClassifierKind) {
+  linalg::Matrix X = probeMatrix(90, 6, 11);
+  std::vector<unsigned> Y = probeLabels(X, 3);
+
+  expectClassifierRoundTrip(core::ConstantClassifier(2), 3, X);
+
+  ml::MaxApriori Prior;
+  Prior.fit(Y, 3);
+  expectClassifierRoundTrip(core::MaxAprioriClassifier(std::move(Prior)), 3,
+                            X);
+
+  ml::DecisionTreeOptions TreeOpts;
+  TreeOpts.AllowedFeatures = {1, 4};
+  ml::DecisionTree Tree;
+  Tree.fit(X, Y, 3, TreeOpts);
+  expectClassifierRoundTrip(
+      core::SubsetTreeClassifier(std::move(Tree), {1, 4}, "tree{a@1,b@0}"), 3,
+      X);
+
+  ml::IncrementalBayes Bayes;
+  Bayes.fit(X, Y, 3, {0, 1, 2, 3, 4, 5});
+  expectClassifierRoundTrip(
+      core::IncrementalClassifier(std::move(Bayes), "incremental{all}"), 3,
+      X);
+
+  ml::Normalizer Norm;
+  Norm.fit(X);
+  ml::KMeansOptions KOpts;
+  KOpts.K = 3;
+  ml::KMeansResult Clusters = ml::kMeans(Norm.transform(X), KOpts);
+  expectClassifierRoundTrip(
+      core::OneLevelClassifier(Clusters.Centroids, Norm, {2, 0, 1}), 3, X);
+}
+
+} // namespace
