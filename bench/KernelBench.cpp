@@ -22,17 +22,21 @@
 
 #include "benchmarks/BinPackingAlgorithms.h"
 #include "benchmarks/SortAlgorithms.h"
+#include "core/FeatureProbe.h"
 #include "core/Pipeline.h"
 #include "linalg/SVD.h"
 #include "ml/DecisionTree.h"
 #include "ml/KMeans.h"
 #include "pde/Poisson2D.h"
 #include "registry/BenchmarkRegistry.h"
+#include "runtime/PredictionService.h"
+#include "serialize/ModelIO.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <optional>
+#include <string>
 #include <vector>
 
 using namespace pbt;
@@ -230,6 +234,134 @@ static void BM_DecisionTreePredict(benchmark::State &State) {
 }
 BENCHMARK(BM_DecisionTreePredict);
 
+/// Tree training over a multi-class table: the timing that pins the
+/// build() hot-loop rewrite (scratch (value, label) sort + sweep instead
+/// of per-(node, feature) index re-sorts through Matrix::at).
+static void BM_DecisionTreeFit(benchmark::State &State) {
+  support::Rng Rng(9);
+  size_t N = static_cast<size_t>(State.range(0));
+  linalg::Matrix X(N, 12);
+  std::vector<unsigned> Y(N);
+  for (size_t I = 0; I != N; ++I) {
+    for (size_t J = 0; J != 12; ++J)
+      X.at(I, J) = Rng.uniform(0, 1);
+    Y[I] = static_cast<unsigned>(X.at(I, 0) * 2.0) * 2 +
+           (X.at(I, 1) > 0.6 ? 1 : 0);
+  }
+  for (auto _ : State) {
+    ml::DecisionTree T;
+    T.fit(X, Y, 4);
+    benchmark::DoNotOptimize(T.numNodes());
+  }
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+static void BM_MatrixTranspose(benchmark::State &State) {
+  support::Rng Rng(10);
+  size_t N = static_cast<size_t>(State.range(0));
+  linalg::Matrix A = linalg::Matrix::gaussian(N, N, Rng);
+  for (auto _ : State) {
+    linalg::Matrix T = A.transposed();
+    benchmark::DoNotOptimize(T.data().data());
+  }
+}
+BENCHMARK(BM_MatrixTranspose)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+//===----------------------------------------------------------------------===//
+// Serving kernels: compiled vs interpreted decisions from one trained
+// sort1 model (memoized features -- the steady serving state the
+// acceptance bar measures; `pbt-bench serve` reports the same ratio over
+// whole batches).
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct ServeFixture {
+  registry::ProgramPtr Program;
+  runtime::PredictionService Service;
+  std::vector<size_t> Rows;
+};
+
+ServeFixture &serveFixture() {
+  static ServeFixture *F = [] {
+    auto *S = new ServeFixture();
+    const registry::BenchmarkFactory &Fac =
+        registry::BenchmarkRegistry::instance().get("sort1");
+    const double Scale = 0.1;
+    S->Program = Fac.makeProgram(Scale, Fac.defaultProgramSeed());
+    core::TrainedSystem System =
+        core::trainSystem(*S->Program, Fac.defaultOptions(Scale));
+    serialize::TrainedModel Model =
+        serialize::makeModel("sort1", Scale, Fac.defaultProgramSeed(),
+                             *S->Program, std::move(System));
+    S->Service = runtime::PredictionService(std::move(Model));
+    S->Service.bind(*S->Program);
+    S->Rows = S->Service.model().System.TestRows;
+    for (size_t Row : S->Rows)
+      S->Service.decide(Row); // warm the feature memo
+    return S;
+  }();
+  return *F;
+}
+} // namespace
+
+/// The served hot path: decide() on warm inputs, i.e. decision-cache
+/// hits. This is what a deployment pays for repeat traffic.
+static void BM_ServeDecideCompiled(benchmark::State &State) {
+  ServeFixture &F = serveFixture();
+  size_t I = 0;
+  for (auto _ : State) {
+    runtime::PredictionService::Decision D =
+        F.Service.decide(F.Rows[I++ % F.Rows.size()]);
+    benchmark::DoNotOptimize(D.Landmark);
+  }
+}
+BENCHMARK(BM_ServeDecideCompiled);
+
+static void BM_ServeDecideInterpreted(benchmark::State &State) {
+  ServeFixture &F = serveFixture();
+  size_t I = 0;
+  for (auto _ : State) {
+    runtime::PredictionService::Decision D =
+        F.Service.decideInterpreted(F.Rows[I++ % F.Rows.size()]);
+    benchmark::DoNotOptimize(D.Landmark);
+  }
+}
+BENCHMARK(BM_ServeDecideInterpreted);
+
+/// Classifier-only pair (decision cache bypassed): the compiled arena
+/// walk vs the polymorphic classifier over the same recorded feature
+/// table -- the regression signal for the lowering itself.
+static void BM_ClassifyCompiled(benchmark::State &State) {
+  ServeFixture &F = serveFixture();
+  const runtime::CompiledModel &M = F.Service.compiled();
+  const linalg::Matrix &Features = F.Service.model().System.L1.Features;
+  runtime::CompiledModel::Scratch S = M.makeScratch();
+  size_t I = 0;
+  for (auto _ : State) {
+    size_t Row = F.Rows[I++ % F.Rows.size()];
+    unsigned L = M.decideProduction(
+        S, [&Features, Row](unsigned Flat) { return Features.at(Row, Flat); });
+    benchmark::DoNotOptimize(L);
+  }
+}
+BENCHMARK(BM_ClassifyCompiled);
+
+static void BM_ClassifyInterpreted(benchmark::State &State) {
+  ServeFixture &F = serveFixture();
+  const core::TrainedSystem &System = F.Service.model().System;
+  size_t I = 0;
+  for (auto _ : State) {
+    size_t Row = F.Rows[I++ % F.Rows.size()];
+    core::FeatureProbe Probe =
+        core::probeFromTable(System.L1.Features, System.L1.ExtractCosts, Row);
+    unsigned L = System.L2.Production->classify(Probe);
+    benchmark::DoNotOptimize(L);
+  }
+}
+BENCHMARK(BM_ClassifyInterpreted);
+
 //===----------------------------------------------------------------------===//
 // Pipeline parallelism: sequential vs ThreadPool-backed training and
 // evaluation of a small registry suite entry. The pooled variant must be
@@ -261,10 +393,32 @@ BENCHMARK_CAPTURE(BM_PipelineTrain, sequential, false)
 BENCHMARK_CAPTURE(BM_PipelineTrain, pooled, true)
     ->Unit(benchmark::kMillisecond);
 
-int pbt::benchharness::runKernels(const DriverOptions &, int Argc,
+/// OutDir-qualified path of the machine-readable kernels record.
+static std::string kernelsJsonPath(const benchharness::DriverOptions &Opts) {
+  if (Opts.OutDir.empty() || Opts.OutDir == ".")
+    return "BENCH_kernels.json";
+  return Opts.OutDir + "/BENCH_kernels.json";
+}
+
+int pbt::benchharness::runKernels(const DriverOptions &Opts, int Argc,
                                   char **Argv) {
-  benchmark::Initialize(&Argc, Argv);
-  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+  // --json lowers to google-benchmark's own JSON reporter so the file
+  // carries full per-benchmark timings. google-benchmark's flag parsing
+  // is last-occurrence-wins, so our flags are inserted *before* the
+  // user's passthrough args: an explicit --benchmark_out still wins.
+  std::vector<char *> Args;
+  Args.push_back(Argv[0]);
+  std::string OutFlag, FormatFlag;
+  if (Opts.Json) {
+    OutFlag = "--benchmark_out=" + kernelsJsonPath(Opts);
+    FormatFlag = "--benchmark_out_format=json";
+    Args.push_back(OutFlag.data());
+    Args.push_back(FormatFlag.data());
+  }
+  Args.insert(Args.end(), Argv + 1, Argv + Argc);
+  int N = static_cast<int>(Args.size());
+  benchmark::Initialize(&N, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(N, Args.data()))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
@@ -274,12 +428,27 @@ int pbt::benchharness::runKernels(const DriverOptions &, int Argc,
 #else // !PBT_HAVE_GOOGLE_BENCHMARK
 
 #include <cstdio>
+#include <string>
 
-int pbt::benchharness::runKernels(const DriverOptions &, int, char **) {
+int pbt::benchharness::runKernels(const DriverOptions &Opts, int, char **) {
   std::fprintf(stderr,
                "pbt-bench kernels: built without google-benchmark; install "
                "libbenchmark-dev and reconfigure to enable this "
                "subcommand.\n");
+  if (Opts.Json) {
+    // Perf-trajectory pipelines expect the artifact to exist; emit an
+    // explicit "not available" marker instead of silently nothing.
+    std::string Path = (Opts.OutDir.empty() || Opts.OutDir == ".")
+                           ? std::string("BENCH_kernels.json")
+                           : Opts.OutDir + "/BENCH_kernels.json";
+    if (FILE *Out = std::fopen(Path.c_str(), "wb")) {
+      std::fputs("{\"available\": false, "
+                 "\"reason\": \"built without google-benchmark\"}\n",
+                 Out);
+      std::fclose(Out);
+      return 0;
+    }
+  }
   return 2;
 }
 

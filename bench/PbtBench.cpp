@@ -56,6 +56,7 @@ static void printUsage() {
       "  kernels              substrate micro-benchmarks (google-benchmark)\n"
       "  train                train once, persist models for `predict`\n"
       "  predict              serve per-input decisions from a saved model\n"
+      "  serve                compiled-path serving throughput/latency report\n"
       "\n"
       "options:\n"
       "  --scale=S            input-count scale (default: PBT_BENCH_SCALE or 1)\n"
@@ -66,12 +67,16 @@ static void printUsage() {
       "  --trials=N           random subsets per fig8 landmark count\n"
       "  --out=FILE           train: model path (single benchmark only)\n"
       "  --model=FILE         predict: the model file to serve from\n"
-      "  --rows=WHICH         predict: test|train|all recorded rows\n"
+      "  --rows=WHICH         predict/serve: test|train|all recorded rows\n"
       "  --repeat=N           predict: passes over the rows (memo check)\n"
       "  --csv=FILE           predict: write per-input decisions as CSV\n"
+      "  --batch=N            serve: decisions per decideBatch call\n"
+      "  --seconds=S          serve: wall-clock budget per phase\n"
+      "  --json               serve/kernels: also write BENCH_serve.json /\n"
+      "                       BENCH_kernels.json into --out-dir\n"
       "\n"
-      "`kernels` ignores the options above; it takes google-benchmark\n"
-      "flags (e.g. --benchmark_filter=...) instead.\n");
+      "`kernels` ignores the other options above; it takes\n"
+      "google-benchmark flags (e.g. --benchmark_filter=...) instead.\n");
 }
 
 static std::vector<std::string> splitCommas(const std::string &Text) {
@@ -146,6 +151,22 @@ static ParseResult parseSharedOptions(std::vector<std::string> &Args,
       Opts.Repeat = static_cast<unsigned>(N);
     } else if (const char *V = Value("--csv")) {
       Opts.Csv = V;
+    } else if (const char *V = Value("--batch")) {
+      int N = std::atoi(V);
+      if (N < 1) {
+        std::fprintf(stderr, "pbt-bench: bad --batch value '%s'\n", V);
+        return ParseResult::Error;
+      }
+      Opts.Batch = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--seconds")) {
+      double S = std::atof(V);
+      if (S <= 0.0) {
+        std::fprintf(stderr, "pbt-bench: bad --seconds value '%s'\n", V);
+        return ParseResult::Error;
+      }
+      Opts.Seconds = S;
+    } else if (Arg == "--json") {
+      Opts.Json = true;
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return ParseResult::Help;
@@ -216,14 +237,16 @@ int main(int argc, char **argv) {
       return runKernels(Opts, KArgc, KArgv.data());
     }
 
-    // The remaining subcommands train pipelines: give them the pool
-    // (not constructed at all under --sequential).
+    // The remaining subcommands train pipelines or serve batches: give
+    // them the pool (not constructed at all under --sequential).
     std::optional<support::ThreadPool> Pool;
     if (!Opts.Sequential) {
       Pool.emplace(Opts.Threads);
       Opts.Pool = &*Pool;
     }
 
+    if (Sub == "serve")
+      return runServe(Opts);
     if (Sub == "train")
       return runTrain(Opts);
     if (Sub == "table1")

@@ -6,6 +6,7 @@
 
 #include "Reports.h"
 
+#include "core/FeatureProbe.h"
 #include "core/TheoreticalModel.h"
 #include "runtime/PredictionService.h"
 #include "serialize/ModelIO.h"
@@ -14,7 +15,9 @@
 #include "support/Table.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <string>
 
 using namespace pbt;
 using namespace pbt::benchharness;
@@ -292,40 +295,47 @@ int benchharness::runTrain(const DriverOptions &Opts) {
   return 0;
 }
 
-int benchharness::runPredict(const DriverOptions &Opts) {
+/// Shared by predict/serve: load --model, rebuild the exact program the
+/// model was trained on from its recorded provenance (the registry key,
+/// scale, and seed all live in the file), and bind. Returns a nonzero
+/// exit code on failure, 0 on success.
+static int loadAndBind(const DriverOptions &Opts, const char *Sub,
+                       runtime::PredictionService &Service,
+                       registry::ProgramPtr &Program) {
   if (Opts.Model.empty()) {
-    std::fprintf(stderr, "pbt-bench predict: --model=FILE is required\n");
+    std::fprintf(stderr, "pbt-bench %s: --model=FILE is required\n", Sub);
     return 1;
   }
-  runtime::PredictionService Service;
   serialize::LoadStatus Loaded = Service.loadFile(Opts.Model);
   if (!Loaded) {
-    std::fprintf(stderr, "pbt-bench predict: cannot load '%s': %s\n",
+    std::fprintf(stderr, "pbt-bench %s: cannot load '%s': %s\n", Sub,
                  Opts.Model.c_str(), Loaded.Error.c_str());
     return 1;
   }
   const serialize::TrainedModel &Model = Service.model();
-
-  // Rebuild the exact program the model was trained on from its recorded
-  // provenance; the registry key, scale, and seed all live in the file.
   const registry::BenchmarkFactory *Factory =
       registry::BenchmarkRegistry::instance().lookup(Model.Meta.Benchmark);
   if (!Factory) {
     std::fprintf(stderr,
-                 "pbt-bench predict: model benchmark '%s' is not registered\n",
-                 Model.Meta.Benchmark.c_str());
+                 "pbt-bench %s: model benchmark '%s' is not registered\n",
+                 Sub, Model.Meta.Benchmark.c_str());
     return 1;
   }
-  registry::ProgramPtr Program =
-      Factory->makeProgram(Model.Meta.Scale, Model.Meta.ProgramSeed);
+  Program = Factory->makeProgram(Model.Meta.Scale, Model.Meta.ProgramSeed);
   serialize::LoadStatus Bound = Service.bind(*Program);
   if (!Bound) {
-    std::fprintf(stderr, "pbt-bench predict: model/program mismatch: %s\n",
+    std::fprintf(stderr, "pbt-bench %s: model/program mismatch: %s\n", Sub,
                  Bound.Error.c_str());
     return 1;
   }
+  return 0;
+}
 
-  std::vector<size_t> Rows;
+/// Decodes --rows (test|train|all) against a loaded model. Returns false
+/// (with a message) on a bad value.
+static bool selectRows(const DriverOptions &Opts, const char *Sub,
+                       const serialize::TrainedModel &Model,
+                       std::vector<size_t> &Rows) {
   if (Opts.Rows == "test") {
     Rows = Model.System.TestRows;
   } else if (Opts.Rows == "train") {
@@ -337,11 +347,23 @@ int benchharness::runPredict(const DriverOptions &Opts) {
     std::sort(Rows.begin(), Rows.end());
   } else {
     std::fprintf(stderr,
-                 "pbt-bench predict: bad --rows value '%s' "
-                 "(test|train|all)\n",
-                 Opts.Rows.c_str());
-    return 1;
+                 "pbt-bench %s: bad --rows value '%s' (test|train|all)\n",
+                 Sub, Opts.Rows.c_str());
+    return false;
   }
+  return true;
+}
+
+int benchharness::runPredict(const DriverOptions &Opts) {
+  runtime::PredictionService Service;
+  registry::ProgramPtr Program;
+  if (int Failed = loadAndBind(Opts, "predict", Service, Program))
+    return Failed;
+  const serialize::TrainedModel &Model = Service.model();
+
+  std::vector<size_t> Rows;
+  if (!selectRows(Opts, "predict", Model, Rows))
+    return 1;
 
   support::TextTable Table;
   Table.setHeader({"input", "landmark", "feat. cost", "configuration"});
@@ -378,6 +400,328 @@ int benchharness::runPredict(const DriverOptions &Opts) {
               static_cast<unsigned long long>(S.FeaturesExtracted),
               S.FeatureCostPaid);
   return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// serve
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// One measured serving mode.
+struct ServePhase {
+  double DecisionsPerSec = 0.0;
+  double P50BatchUs = 0.0;
+  double P99BatchUs = 0.0;
+  uint64_t Decisions = 0;
+  uint64_t Batches = 0;
+};
+} // namespace
+
+/// Runs decideBatch over \p Batch repeatedly for ~\p Seconds of wall
+/// clock, recording each call's latency.
+static ServePhase measureCompiled(runtime::PredictionService &Service,
+                                  const std::vector<size_t> &Batch,
+                                  support::ThreadPool *Pool, double Seconds) {
+  ServePhase P;
+  std::vector<double> Latencies;
+  support::WallTimer Total;
+  double Elapsed = 0.0;
+  do {
+    support::WallTimer T;
+    std::vector<runtime::PredictionService::Decision> D =
+        Service.decideBatch(Batch, Pool);
+    Latencies.push_back(T.elapsedSeconds());
+    P.Decisions += D.size();
+    Elapsed = Total.elapsedSeconds();
+  } while (Elapsed < Seconds);
+  P.Batches = Latencies.size();
+  P.DecisionsPerSec =
+      Elapsed > 0.0 ? static_cast<double>(P.Decisions) / Elapsed : 0.0;
+  P.P50BatchUs = support::quantile(Latencies, 0.5) * 1e6;
+  P.P99BatchUs = support::quantile(Latencies, 0.99) * 1e6;
+  return P;
+}
+
+/// Cold serving: every pass drops the memo first, so each decision pays
+/// feature extraction -- the fresh-traffic regime where batching across
+/// the pool actually amortises (hot repeat decisions are one cached load
+/// and too cheap to shard profitably).
+static ServePhase measureCold(runtime::PredictionService &Service,
+                              const std::vector<size_t> &Batch,
+                              support::ThreadPool *Pool, double Seconds) {
+  ServePhase P;
+  std::vector<double> Latencies;
+  support::WallTimer Total;
+  double Elapsed = 0.0;
+  double Spent = 0.0;
+  do {
+    // The memo teardown is serving-infrastructure bookkeeping, not
+    // per-batch serving work: exclude it from the batch latency but
+    // count it against the phase budget.
+    Service.clearMemo();
+    support::WallTimer T;
+    std::vector<runtime::PredictionService::Decision> D =
+        Service.decideBatch(Batch, Pool);
+    Latencies.push_back(T.elapsedSeconds());
+    Spent += Latencies.back();
+    P.Decisions += D.size();
+    Elapsed = Total.elapsedSeconds();
+  } while (Elapsed < Seconds);
+  P.Batches = Latencies.size();
+  P.DecisionsPerSec =
+      Spent > 0.0 ? static_cast<double>(P.Decisions) / Spent : 0.0;
+  P.P50BatchUs = support::quantile(Latencies, 0.5) * 1e6;
+  P.P99BatchUs = support::quantile(Latencies, 0.99) * 1e6;
+  return P;
+}
+
+/// Classifier-only phases: drive the lowered production classifier (and
+/// its interpreted twin) directly over the model's recorded feature
+/// table, bypassing the service's decision cache. This is the pure
+/// "arena walk vs polymorphic walk over memoized features" ratio -- the
+/// regression signal for the compiled subsystem itself, independent of
+/// how effective decision caching is.
+static ServePhase measureClassifyCompiled(
+    const runtime::CompiledModel &Compiled, const linalg::Matrix &Features,
+    const std::vector<size_t> &Batch, double Seconds) {
+  ServePhase P;
+  std::vector<double> Latencies;
+  runtime::CompiledModel::Scratch S = Compiled.makeScratch();
+  support::WallTimer Total;
+  double Elapsed = 0.0;
+  do {
+    support::WallTimer T;
+    for (size_t Row : Batch) {
+      unsigned L = Compiled.decideProduction(
+          S, [&Features, Row](unsigned F) { return Features.at(Row, F); });
+      (void)L;
+    }
+    Latencies.push_back(T.elapsedSeconds());
+    P.Decisions += Batch.size();
+    Elapsed = Total.elapsedSeconds();
+  } while (Elapsed < Seconds);
+  P.Batches = Latencies.size();
+  P.DecisionsPerSec =
+      Elapsed > 0.0 ? static_cast<double>(P.Decisions) / Elapsed : 0.0;
+  P.P50BatchUs = support::quantile(Latencies, 0.5) * 1e6;
+  P.P99BatchUs = support::quantile(Latencies, 0.99) * 1e6;
+  return P;
+}
+
+static ServePhase measureClassifyInterpreted(
+    const core::InputClassifier &Classifier, const linalg::Matrix &Features,
+    const linalg::Matrix &Costs, const std::vector<size_t> &Batch,
+    double Seconds) {
+  ServePhase P;
+  std::vector<double> Latencies;
+  support::WallTimer Total;
+  double Elapsed = 0.0;
+  do {
+    support::WallTimer T;
+    for (size_t Row : Batch) {
+      core::FeatureProbe Probe = core::probeFromTable(Features, Costs, Row);
+      unsigned L = Classifier.classify(Probe);
+      (void)L;
+    }
+    Latencies.push_back(T.elapsedSeconds());
+    P.Decisions += Batch.size();
+    Elapsed = Total.elapsedSeconds();
+  } while (Elapsed < Seconds);
+  P.Batches = Latencies.size();
+  P.DecisionsPerSec =
+      Elapsed > 0.0 ? static_cast<double>(P.Decisions) / Elapsed : 0.0;
+  P.P50BatchUs = support::quantile(Latencies, 0.5) * 1e6;
+  P.P99BatchUs = support::quantile(Latencies, 0.99) * 1e6;
+  return P;
+}
+
+/// The pre-compile baseline: a plain single-threaded decideInterpreted()
+/// loop over \p Batch, timed per pass so the two paths see identical
+/// work per "batch".
+static ServePhase measureInterpreted(runtime::PredictionService &Service,
+                                     const std::vector<size_t> &Batch,
+                                     double Seconds) {
+  ServePhase P;
+  std::vector<double> Latencies;
+  support::WallTimer Total;
+  double Elapsed = 0.0;
+  do {
+    support::WallTimer T;
+    for (size_t Row : Batch)
+      Service.decideInterpreted(Row);
+    Latencies.push_back(T.elapsedSeconds());
+    P.Decisions += Batch.size();
+    Elapsed = Total.elapsedSeconds();
+  } while (Elapsed < Seconds);
+  P.Batches = Latencies.size();
+  P.DecisionsPerSec =
+      Elapsed > 0.0 ? static_cast<double>(P.Decisions) / Elapsed : 0.0;
+  P.P50BatchUs = support::quantile(Latencies, 0.5) * 1e6;
+  P.P99BatchUs = support::quantile(Latencies, 0.99) * 1e6;
+  return P;
+}
+
+static std::string jsonNumber(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+/// Escapes a string for embedding in a JSON literal (paths and names are
+/// user-controlled; a quote or backslash must not corrupt the report).
+static std::string jsonString(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+static std::string jsonPhase(const ServePhase &P) {
+  return "{\"decisions_per_sec\": " + jsonNumber(P.DecisionsPerSec) +
+         ", \"p50_batch_us\": " + jsonNumber(P.P50BatchUs) +
+         ", \"p99_batch_us\": " + jsonNumber(P.P99BatchUs) +
+         ", \"decisions\": " + std::to_string(P.Decisions) +
+         ", \"batches\": " + std::to_string(P.Batches) + "}";
+}
+
+int benchharness::runServe(const DriverOptions &Opts) {
+  runtime::PredictionService Service;
+  registry::ProgramPtr Program;
+  if (int Failed = loadAndBind(Opts, "serve", Service, Program))
+    return Failed;
+  const serialize::TrainedModel &Model = Service.model();
+
+  std::vector<size_t> Rows;
+  if (!selectRows(Opts, "serve", Model, Rows))
+    return 1;
+  if (Rows.empty()) {
+    std::fprintf(stderr, "pbt-bench serve: the model records no %s rows\n",
+                 Opts.Rows.c_str());
+    return 1;
+  }
+
+  // The request stream: the recorded rows cycled up to the batch size.
+  unsigned BatchSize = std::max(1u, Opts.Batch);
+  std::vector<size_t> Batch(BatchSize);
+  for (unsigned I = 0; I != BatchSize; ++I)
+    Batch[I] = Rows[I % Rows.size()];
+
+  // Warm the feature memo once so every phase measures pure decision
+  // throughput (the steady serving state; extraction is paid exactly
+  // once per input either way and reported by `predict`).
+  Service.decideBatch(Rows, nullptr);
+
+  // Parity gate: the compiled path must agree with the interpreted
+  // classifier on every row before any number is reported.
+  bool ChoicesMatch = true;
+  for (size_t Row : Rows)
+    if (Service.decide(Row).Landmark !=
+        Service.decideInterpreted(Row).Landmark)
+      ChoicesMatch = false;
+
+  double Seconds = std::max(0.01, Opts.Seconds);
+  ServePhase Interpreted = measureInterpreted(Service, Batch, Seconds);
+  ServePhase Single = measureCompiled(Service, Batch, nullptr, Seconds);
+  ServePhase Batched = measureCompiled(Service, Batch, Opts.Pool, Seconds);
+  ServePhase ColdSingle = measureCold(Service, Batch, nullptr, Seconds);
+  ServePhase ColdBatched = measureCold(Service, Batch, Opts.Pool, Seconds);
+  // Leave the memo warm again for anyone extending this harness.
+  Service.decideBatch(Rows, nullptr);
+  // Classifier-only ratio (decision cache bypassed): the compiled arena
+  // walk vs the polymorphic classifier over the same recorded features.
+  ServePhase ClassifyCompiled = measureClassifyCompiled(
+      Service.compiled(), Model.System.L1.Features, Batch, Seconds);
+  ServePhase ClassifyInterpreted = measureClassifyInterpreted(
+      *Model.System.L2.Production, Model.System.L1.Features,
+      Model.System.L1.ExtractCosts, Batch, Seconds);
+  unsigned Threads = Opts.Pool ? Opts.Pool->numThreads() : 1;
+
+  double Speedup = Interpreted.DecisionsPerSec > 0.0
+                       ? Single.DecisionsPerSec / Interpreted.DecisionsPerSec
+                       : 0.0;
+  double Scaling = Single.DecisionsPerSec > 0.0
+                       ? Batched.DecisionsPerSec / Single.DecisionsPerSec
+                       : 0.0;
+  double ColdScaling =
+      ColdSingle.DecisionsPerSec > 0.0
+          ? ColdBatched.DecisionsPerSec / ColdSingle.DecisionsPerSec
+          : 0.0;
+  double ClassifySpeedup =
+      ClassifyInterpreted.DecisionsPerSec > 0.0
+          ? ClassifyCompiled.DecisionsPerSec /
+                ClassifyInterpreted.DecisionsPerSec
+          : 0.0;
+
+  std::string Json =
+      std::string("{\n") +
+      "  \"subcommand\": \"serve\",\n" +
+      "  \"model\": \"" + jsonString(Opts.Model) + "\",\n" +
+      "  \"benchmark\": \"" + jsonString(Model.Meta.Benchmark) + "\",\n" +
+      "  \"classifier\": \"" + jsonString(Model.System.L2.SelectedName) +
+      "\",\n" +
+      "  \"rows\": " + std::to_string(Rows.size()) + ",\n" +
+      "  \"batch\": " + std::to_string(BatchSize) + ",\n" +
+      "  \"threads\": " + std::to_string(Threads) + ",\n" +
+      "  \"seconds_per_phase\": " + jsonNumber(Seconds) + ",\n" +
+      "  \"arena_bytes\": " +
+      std::to_string(Service.compiled().arenaBytes()) + ",\n" +
+      "  \"choices_match_interpreted\": " +
+      (ChoicesMatch ? "true" : "false") + ",\n" +
+      "  \"interpreted_single\": " + jsonPhase(Interpreted) + ",\n" +
+      "  \"compiled_single\": " + jsonPhase(Single) + ",\n" +
+      "  \"compiled_batched\": " + jsonPhase(Batched) + ",\n" +
+      "  \"compiled_cold_single\": " + jsonPhase(ColdSingle) + ",\n" +
+      "  \"compiled_cold_batched\": " + jsonPhase(ColdBatched) + ",\n" +
+      "  \"classify_compiled_single\": " + jsonPhase(ClassifyCompiled) +
+      ",\n" +
+      "  \"classify_interpreted_single\": " + jsonPhase(ClassifyInterpreted) +
+      ",\n" +
+      "  \"compiled_vs_interpreted_speedup\": " + jsonNumber(Speedup) +
+      ",\n" +
+      "  \"classify_compiled_vs_interpreted_speedup\": " +
+      jsonNumber(ClassifySpeedup) + ",\n" +
+      "  \"batched_vs_single_scaling\": " + jsonNumber(Scaling) + ",\n" +
+      "  \"cold_batched_vs_single_scaling\": " + jsonNumber(ColdScaling) +
+      "\n" +
+      "}\n";
+
+  std::fputs(Json.c_str(), stdout);
+  if (Opts.Json) {
+    std::string Path = csvPath(Opts, "BENCH_serve.json");
+    FILE *Out = std::fopen(Path.c_str(), "wb");
+    if (!Out || std::fwrite(Json.data(), 1, Json.size(), Out) != Json.size()) {
+      if (Out)
+        std::fclose(Out);
+      std::fprintf(stderr, "pbt-bench serve: cannot write '%s'\n",
+                   Path.c_str());
+      return 1;
+    }
+    std::fclose(Out);
+  }
+  return ChoicesMatch ? 0 : 1;
 }
 
 //===----------------------------------------------------------------------===//

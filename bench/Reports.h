@@ -50,6 +50,14 @@ struct DriverOptions {
   unsigned Repeat = 1;
   /// `predict` only: optional CSV of per-input decisions (--csv).
   std::string Csv;
+  /// `serve` only: decisions per decideBatch call (--batch).
+  unsigned Batch = 256;
+  /// `serve` only: wall-clock budget per measurement phase (--seconds).
+  double Seconds = 1.0;
+  /// `serve`/`kernels`: also write BENCH_serve.json / BENCH_kernels.json
+  /// into OutDir (--json), the machine-readable perf-trajectory record
+  /// CI uploads as artifacts.
+  bool Json = false;
   /// The pool built from Threads/Sequential; owned by main.
   support::ThreadPool *Pool = nullptr;
 };
@@ -83,6 +91,13 @@ int runTrain(const DriverOptions &Opts);
 /// `predict`: load a persisted model in a fresh process and serve
 /// per-input configuration decisions through a PredictionService.
 int runPredict(const DriverOptions &Opts);
+/// `serve`: the serving-throughput harness. Loads a model, compiles it,
+/// warms the feature memo, then measures the interpreted baseline, the
+/// compiled single-thread path, and the compiled batched path over the
+/// thread pool, reporting decisions/sec and p50/p99 batch latency as
+/// machine-readable JSON (stdout; also OutDir/BENCH_serve.json with
+/// --json).
+int runServe(const DriverOptions &Opts);
 
 } // namespace benchharness
 } // namespace pbt

@@ -22,6 +22,7 @@
 #define PBT_CORE_CLASSIFIERS_H
 
 #include "core/FeatureProbe.h"
+#include "ml/CompiledArena.h"
 #include "ml/DecisionTree.h"
 #include "ml/IncrementalBayes.h"
 #include "ml/KMeans.h"
@@ -51,6 +52,12 @@ public:
 
   /// Human-readable description for reports.
   virtual std::string describe() const = 0;
+
+  /// Lowers this classifier into the pointer-free arena form served by
+  /// runtime::CompiledModel. Decisions over the lowered form must be
+  /// bit-identical to classify() given the same feature values.
+  virtual void compileInto(ml::CompiledArena &A,
+                           ml::CompiledClassifier &Out) const = 0;
 };
 
 /// (0) Constant: always predicts one fixed landmark, extracting no
@@ -65,6 +72,11 @@ public:
   unsigned classify(FeatureProbe &) const override { return Landmark; }
   std::vector<unsigned> referencedFeatures() const override { return {}; }
   std::string describe() const override { return "static-best"; }
+  void compileInto(ml::CompiledArena &,
+                   ml::CompiledClassifier &Out) const override {
+    Out.Kind = ml::CompiledKind::Constant;
+    Out.Landmark = Landmark;
+  }
 
   unsigned landmark() const { return Landmark; }
 
@@ -81,6 +93,10 @@ public:
   unsigned classify(FeatureProbe &) const override { return Model.predict(); }
   std::vector<unsigned> referencedFeatures() const override { return {}; }
   std::string describe() const override { return "max-apriori"; }
+  void compileInto(ml::CompiledArena &A,
+                   ml::CompiledClassifier &Out) const override {
+    Model.compileInto(A, Out);
+  }
 
   const ml::MaxApriori &model() const { return Model; }
 
@@ -103,6 +119,10 @@ public:
   }
   std::vector<unsigned> referencedFeatures() const override { return Subset; }
   std::string describe() const override { return Name; }
+  void compileInto(ml::CompiledArena &A,
+                   ml::CompiledClassifier &Out) const override {
+    Tree.compileInto(A, Out);
+  }
 
   const ml::DecisionTree &tree() const { return Tree; }
   const std::vector<unsigned> &subset() const { return Subset; }
@@ -129,6 +149,10 @@ public:
     return Model.featureOrder();
   }
   std::string describe() const override { return Name; }
+  void compileInto(ml::CompiledArena &A,
+                   ml::CompiledClassifier &Out) const override {
+    Model.compileInto(A, Out);
+  }
 
   const ml::IncrementalBayes &model() const { return Model; }
 
@@ -164,6 +188,8 @@ public:
     return All;
   }
   std::string describe() const override { return "one-level"; }
+  void compileInto(ml::CompiledArena &A,
+                   ml::CompiledClassifier &Out) const override;
 
   const linalg::Matrix &centroids() const { return Centroids; }
   const ml::Normalizer &norm() const { return Norm; }

@@ -6,6 +6,7 @@
 
 #include "ml/DecisionTree.h"
 
+#include "ml/CompiledArena.h"
 #include "serialize/TextFormat.h"
 
 #include <algorithm>
@@ -47,7 +48,8 @@ unsigned DecisionTree::build(const linalg::Matrix &X,
                              unsigned NumClasses,
                              const DecisionTreeOptions &Options,
                              std::vector<size_t> &Indices, size_t Begin,
-                             size_t End, unsigned Depth) {
+                             size_t End, unsigned Depth,
+                             std::vector<std::pair<double, unsigned>> &Scratch) {
   assert(End > Begin && "empty node");
   double Total = static_cast<double>(End - Begin);
   std::vector<double> Counts(NumClasses, 0.0);
@@ -70,20 +72,31 @@ unsigned DecisionTree::build(const linalg::Matrix &X,
   int BestFeature = -1;
   double BestThreshold = 0.0;
 
-  std::vector<size_t> Sorted(Indices.begin() + Begin, Indices.begin() + End);
+  // Copy (value, label) pairs into the reused scratch buffer and sort
+  // that, instead of re-sorting an index vector with a Matrix::at
+  // comparator per (node, feature): the sweep below only reads counts of
+  // labels on each side of a value boundary, which are invariant to the
+  // order within equal-value runs, so a plain value sort of the pairs
+  // finds exactly the same (feature, threshold) split as the old
+  // stable_sort-by-index scan.
   std::vector<double> LeftCounts(NumClasses);
   for (size_t CI = 0, CE = Candidates.empty() ? NumFeatures
                                               : Candidates.size();
        CI != CE; ++CI) {
     unsigned F = Candidates.empty() ? static_cast<unsigned>(CI)
                                     : Candidates[CI];
-    std::stable_sort(Sorted.begin(), Sorted.end(), [&](size_t A, size_t B) {
-      return X.at(A, F) < X.at(B, F);
-    });
+    Scratch.clear();
+    for (size_t I = Begin; I != End; ++I)
+      Scratch.emplace_back(X.at(Indices[I], F), Y[Indices[I]]);
+    std::sort(Scratch.begin(), Scratch.end(),
+              [](const std::pair<double, unsigned> &A,
+                 const std::pair<double, unsigned> &B) {
+                return A.first < B.first;
+              });
     std::fill(LeftCounts.begin(), LeftCounts.end(), 0.0);
-    for (size_t I = 0; I + 1 < Sorted.size(); ++I) {
-      LeftCounts[Y[Sorted[I]]] += 1.0;
-      double Va = X.at(Sorted[I], F), Vb = X.at(Sorted[I + 1], F);
+    for (size_t I = 0; I + 1 < Scratch.size(); ++I) {
+      LeftCounts[Scratch[I].second] += 1.0;
+      double Va = Scratch[I].first, Vb = Scratch[I + 1].first;
       if (Va == Vb)
         continue;
       double NLeft = static_cast<double>(I + 1);
@@ -127,10 +140,10 @@ unsigned DecisionTree::build(const linalg::Matrix &X,
   Nodes[Self].IsLeaf = false;
   Nodes[Self].Feature = BestFeature;
   Nodes[Self].Threshold = BestThreshold;
-  unsigned Left =
-      build(X, Y, NumClasses, Options, Indices, Begin, MidPos, Depth + 1);
-  unsigned Right =
-      build(X, Y, NumClasses, Options, Indices, MidPos, End, Depth + 1);
+  unsigned Left = build(X, Y, NumClasses, Options, Indices, Begin, MidPos,
+                        Depth + 1, Scratch);
+  unsigned Right = build(X, Y, NumClasses, Options, Indices, MidPos, End,
+                         Depth + 1, Scratch);
   Nodes[Self].Left = Left;
   Nodes[Self].Right = Right;
   return Self;
@@ -157,7 +170,9 @@ void DecisionTree::fit(const linalg::Matrix &X, const std::vector<unsigned> &Y,
   for (size_t I : Indices)
     assert(I < X.rows() && Y[I] < NumClasses && "bad sample index or label");
 #endif
-  build(X, Y, NumClasses, Options, Indices, 0, Indices.size(), 0);
+  std::vector<std::pair<double, unsigned>> Scratch;
+  Scratch.reserve(Indices.size());
+  build(X, Y, NumClasses, Options, Indices, 0, Indices.size(), 0, Scratch);
 }
 
 unsigned DecisionTree::predict(const double *Row, size_t Width) const {
@@ -268,6 +283,34 @@ bool DecisionTree::loadFrom(serialize::Reader &R, unsigned NumClasses) {
   Nodes = std::move(Loaded);
   NumFeatures = Feats;
   return true;
+}
+
+void DecisionTree::compileInto(CompiledArena &A,
+                               CompiledClassifier &Out) const {
+  assert(trained() && "compileInto() before fit()/loadFrom()");
+  Out.Kind = CompiledKind::Tree;
+  Out.NumNodes = static_cast<uint32_t>(Nodes.size());
+  std::vector<int32_t> Feature(Nodes.size()), Left(Nodes.size()),
+      Right(Nodes.size());
+  std::vector<double> Threshold(Nodes.size());
+  for (size_t I = 0; I != Nodes.size(); ++I) {
+    const Node &N = Nodes[I];
+    if (N.IsLeaf) {
+      Feature[I] = -1;
+      Left[I] = static_cast<int32_t>(N.Label);
+      Right[I] = static_cast<int32_t>(N.Label);
+      Threshold[I] = 0.0;
+    } else {
+      Feature[I] = N.Feature;
+      Left[I] = static_cast<int32_t>(N.Left);
+      Right[I] = static_cast<int32_t>(N.Right);
+      Threshold[I] = N.Threshold;
+    }
+  }
+  Out.TreeFeature = A.appendI32(Feature.data(), Feature.size());
+  Out.TreeLeft = A.appendI32(Left.data(), Left.size());
+  Out.TreeRight = A.appendI32(Right.data(), Right.size());
+  Out.TreeThreshold = A.appendF64(Threshold.data(), Threshold.size());
 }
 
 unsigned DecisionTree::depth() const {

@@ -21,6 +21,7 @@
 #include "ml/CostMatrix.h"
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 namespace pbt {
@@ -29,6 +30,9 @@ class Writer;
 class Reader;
 } // namespace serialize
 namespace ml {
+
+struct CompiledArena;
+struct CompiledClassifier;
 
 struct DecisionTreeOptions {
   unsigned MaxDepth = 12;
@@ -73,6 +77,11 @@ public:
   void saveTo(serialize::Writer &W) const;
   bool loadFrom(serialize::Reader &R, unsigned NumClasses);
 
+  /// Compile hook for the serving path: lowers the trained tree into
+  /// \p A as struct-of-arrays node vectors (ml/CompiledArena.h).
+  /// Decisions over the lowered form are bit-identical to predictLazy().
+  void compileInto(CompiledArena &A, CompiledClassifier &Out) const;
+
 private:
   struct Node {
     /// -1 for leaves.
@@ -89,7 +98,8 @@ private:
   unsigned build(const linalg::Matrix &X, const std::vector<unsigned> &Y,
                  unsigned NumClasses, const DecisionTreeOptions &Options,
                  std::vector<size_t> &Indices, size_t Begin, size_t End,
-                 unsigned Depth);
+                 unsigned Depth,
+                 std::vector<std::pair<double, unsigned>> &Scratch);
   unsigned makeLeaf(const std::vector<double> &ClassCounts,
                     const DecisionTreeOptions &Options);
 

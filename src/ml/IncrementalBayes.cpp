@@ -6,6 +6,7 @@
 
 #include "ml/IncrementalBayes.h"
 
+#include "ml/CompiledArena.h"
 #include "serialize/TextFormat.h"
 
 #include <algorithm>
@@ -139,6 +140,37 @@ IncrementalBayes::predict(const std::vector<double> &Row) const {
     assert(F < Row.size() && "feature index out of range");
     return Row[F];
   });
+}
+
+void IncrementalBayes::compileInto(CompiledArena &A,
+                                   CompiledClassifier &Out) const {
+  assert(trained() && "compileInto() before fit()/loadFrom()");
+  Out.Kind = CompiledKind::Bayes;
+  Out.OrderLen = static_cast<uint32_t>(Order.size());
+  Out.Bins = Bins;
+  Out.Classes = NumClasses;
+  Out.PosteriorThreshold = PosteriorThreshold;
+
+  std::vector<int32_t> O(Order.begin(), Order.end());
+  Out.OrderBase = A.appendI32(O.data(), O.size());
+
+  Out.EdgeBase = static_cast<uint32_t>(A.F64.size());
+  for (const std::vector<double> &E : Edges) {
+    assert(E.size() == Bins - 1 && "edge table shape mismatch");
+    A.appendF64(E.data(), E.size());
+  }
+  Out.LogProbBase = static_cast<uint32_t>(A.F64.size());
+  for (const std::vector<double> &LP : LogProb) {
+    assert(LP.size() == static_cast<size_t>(NumClasses) * Bins &&
+           "log-prob table shape mismatch");
+    A.appendF64(LP.data(), LP.size());
+  }
+  // predictLazy starts from log(max(prior, 1e-300)); precompute the exact
+  // same values once so the per-decision loop begins with plain loads.
+  std::vector<double> LogPriors(Priors.size());
+  for (size_t C = 0; C != Priors.size(); ++C)
+    LogPriors[C] = std::log(std::max(Priors[C], 1e-300));
+  Out.LogPriorBase = A.appendF64(LogPriors.data(), LogPriors.size());
 }
 
 void IncrementalBayes::saveTo(serialize::Writer &W) const {

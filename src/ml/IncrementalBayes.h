@@ -30,6 +30,9 @@ class Reader;
 } // namespace serialize
 namespace ml {
 
+struct CompiledArena;
+struct CompiledClassifier;
+
 struct IncrementalBayesOptions {
   /// Number of decision regions (quantile bins) per feature.
   unsigned Bins = 8;
@@ -77,6 +80,12 @@ public:
   /// and that every acquired feature index is below \p NumFeatures.
   void saveTo(serialize::Writer &W) const;
   bool loadFrom(serialize::Reader &R, unsigned NumFeatures);
+
+  /// Compile hook for the serving path: flattens the acquisition order,
+  /// the per-position quantile edges, and the log-probability tables into
+  /// \p A, pre-logging the priors so a decision needs no setup work.
+  /// Decisions over the lowered form are bit-identical to predictLazy().
+  void compileInto(CompiledArena &A, CompiledClassifier &Out) const;
 
 private:
   unsigned regionOf(unsigned OrderPos, double Value) const;

@@ -25,6 +25,24 @@ static double squaredDistance(const double *A, const double *B, size_t D) {
   return Sum;
 }
 
+/// Partial-distance variant: bails out as soon as the running sum reaches
+/// \p Bound. This is exact with respect to "is the full distance < Bound":
+/// the terms are non-negative, so an early return only happens when the
+/// full sum could not beat Bound either; and when the loop completes, the
+/// additions are the same, in the same order, as squaredDistance -- so
+/// argmin decisions (and the winning distance's bits) never change.
+static double squaredDistanceBounded(const double *A, const double *B,
+                                     size_t D, double Bound) {
+  double Sum = 0.0;
+  for (size_t I = 0; I != D; ++I) {
+    double Delta = A[I] - B[I];
+    Sum += Delta * Delta;
+    if (Sum >= Bound)
+      return Sum;
+  }
+  return Sum;
+}
+
 /// Chooses K initial centroids according to the requested strategy.
 static linalg::Matrix initCentroids(const linalg::Matrix &Points, unsigned K,
                                     KMeansInit Init, support::Rng &Rng,
@@ -97,18 +115,25 @@ KMeansResult ml::kMeans(const linalg::Matrix &Points,
   R.Centroids = initCentroids(Points, K, Options.Init, Rng, Cost);
   R.Assignment.assign(N, 0);
 
+  // Buffers reused across iterations: the accumulator matrix swaps with
+  // the centroid matrix instead of being reallocated every pass.
   std::vector<double> ClusterSize(K, 0.0);
+  linalg::Matrix NewC(K, D, 0.0);
   for (unsigned Iter = 0; Iter != std::max(1u, Options.MaxIterations);
        ++Iter) {
     R.IterationsRun = Iter + 1;
-    // Assignment step.
+    // Assignment step. The partial-distance early exit skips tail
+    // dimensions of centroids that already lost; the charged flops stay
+    // the nominal 2*N*K*D of the deterministic cost model (the *model*
+    // of this kernel's work must not depend on a wall-clock
+    // optimisation, or every trained system downstream would drift).
     bool Changed = false;
     for (size_t I = 0; I != N; ++I) {
       double Best = std::numeric_limits<double>::max();
       unsigned BestK = 0;
       for (unsigned C = 0; C != K; ++C) {
-        double D2 =
-            squaredDistance(Points.rowPtr(I), R.Centroids.rowPtr(C), D);
+        double D2 = squaredDistanceBounded(Points.rowPtr(I),
+                                           R.Centroids.rowPtr(C), D, Best);
         if (D2 < Best) {
           Best = D2;
           BestK = C;
@@ -124,7 +149,7 @@ KMeansResult ml::kMeans(const linalg::Matrix &Points,
                      static_cast<double>(D));
 
     // Update step.
-    linalg::Matrix NewC(K, D, 0.0);
+    std::fill(NewC.data().begin(), NewC.data().end(), 0.0);
     std::fill(ClusterSize.begin(), ClusterSize.end(), 0.0);
     for (size_t I = 0; I != N; ++I) {
       unsigned C = R.Assignment[I];
@@ -155,19 +180,23 @@ KMeansResult ml::kMeans(const linalg::Matrix &Points,
     }
     if (Cost)
       Cost->addFlops(static_cast<double>(N) * static_cast<double>(D));
-    R.Centroids = std::move(NewC);
+    std::swap(R.Centroids, NewC);
 
     if (Options.EarlyStop && !Changed && Iter > 0)
       break;
   }
 
-  // Final inertia (and assignment consistent with final centroids).
+  // Final inertia (and assignment consistent with final centroids). The
+  // bounded distance is safe here too: the winning centroid's distance is
+  // always fully summed (it was < Best when computed), so Inertia's bits
+  // match the unbounded computation.
   R.Inertia = 0.0;
   for (size_t I = 0; I != N; ++I) {
     double Best = std::numeric_limits<double>::max();
     unsigned BestK = 0;
     for (unsigned C = 0; C != K; ++C) {
-      double D2 = squaredDistance(Points.rowPtr(I), R.Centroids.rowPtr(C), D);
+      double D2 = squaredDistanceBounded(Points.rowPtr(I),
+                                         R.Centroids.rowPtr(C), D, Best);
       if (D2 < Best) {
         Best = D2;
         BestK = C;

@@ -6,10 +6,17 @@
 
 #include "ml/MaxApriori.h"
 
+#include "ml/CompiledArena.h"
 #include "serialize/TextFormat.h"
 
 using namespace pbt;
 using namespace pbt::ml;
+
+void MaxApriori::compileInto(CompiledArena &, CompiledClassifier &Out) const {
+  assert(Trained && "compileInto() before fit()/loadFrom()");
+  Out.Kind = CompiledKind::MaxApriori;
+  Out.Landmark = Mode;
+}
 
 void MaxApriori::saveTo(serialize::Writer &W) const {
   W.doubles("max-apriori", Priors);

@@ -26,6 +26,9 @@ class Reader;
 } // namespace serialize
 namespace ml {
 
+struct CompiledArena;
+struct CompiledClassifier;
+
 /// Counts labels at fit time; predicts the modal label thereafter.
 class MaxApriori {
 public:
@@ -57,6 +60,10 @@ public:
   /// are stored; the mode is recomputed on load exactly as fit() does.
   void saveTo(serialize::Writer &W) const;
   bool loadFrom(serialize::Reader &R);
+
+  /// Compile hook for the serving path: the lowered form is just the
+  /// modal label (no feature access, no tables).
+  void compileInto(CompiledArena &A, CompiledClassifier &Out) const;
 
 private:
   std::vector<double> Priors;

@@ -1,0 +1,59 @@
+//===- runtime/CompiledModel.cpp --------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/CompiledModel.h"
+
+#include "core/Classifiers.h"
+#include "serialize/ModelIO.h"
+
+#include <algorithm>
+
+using namespace pbt;
+using namespace pbt::runtime;
+
+CompiledModel CompiledModel::compileClassifiers(
+    const core::InputClassifier &Production,
+    const core::InputClassifier *OneLevel, unsigned NumFlat,
+    unsigned NumLandmarks) {
+  CompiledModel M;
+  M.NumFlat = NumFlat;
+  M.NumLandmarks = NumLandmarks;
+  Production.compileInto(M.Arena, M.Production);
+  if (OneLevel) {
+    OneLevel->compileInto(M.Arena, M.Baseline);
+    M.HasOneLevel = true;
+  }
+  M.Ready = true;
+  return M;
+}
+
+CompiledModel CompiledModel::compile(const serialize::TrainedModel &Model) {
+  const core::TrainedSystem &S = Model.System;
+  if (!S.L2.Production || S.L1.Landmarks.empty())
+    return CompiledModel();
+  CompiledModel M = compileClassifiers(
+      *S.L2.Production, S.OneLevel.get(), Model.Meta.numFlatFeatures(),
+      static_cast<unsigned>(S.L1.Landmarks.size()));
+  // Inline the landmark configurations: a flat values-by-arity table so
+  // decision -> configuration is one multiply-add away.
+  M.Arity = static_cast<unsigned>(S.L1.Landmarks.front().size());
+  M.LandmarkBase = static_cast<uint32_t>(M.Arena.F64.size());
+  for (const Configuration &C : S.L1.Landmarks) {
+    assert(C.size() == M.Arity && "landmark arity mismatch");
+    M.Arena.appendF64(C.values().data(), C.values().size());
+  }
+  return M;
+}
+
+CompiledModel::Scratch CompiledModel::makeScratch() const {
+  Scratch S;
+  unsigned Classes = std::max(
+      {NumLandmarks, Production.Classes, Baseline.Classes, 1u});
+  unsigned Dim = std::max({NumFlat, Production.Dim, Baseline.Dim, 1u});
+  S.LogPost.assign(Classes, 0.0);
+  S.Row.assign(Dim, 0.0);
+  return S;
+}

@@ -8,6 +8,7 @@
 
 #include "core/FeatureProbe.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace pbt;
@@ -16,11 +17,15 @@ using namespace pbt::runtime;
 PredictionService::PredictionService(serialize::TrainedModel ModelIn)
     : Model(std::move(ModelIn)) {
   Index.emplace(Model.Meta.Features);
+  Compiled = CompiledModel::compile(Model);
+  MainScratch = Compiled.makeScratch();
 }
 
 serialize::LoadStatus PredictionService::loadFile(const std::string &Path) {
   serialize::TrainedModel Loaded;
-  serialize::LoadStatus Status = serialize::loadModelFile(Path, Loaded);
+  CompiledModel LoadedCompiled;
+  serialize::LoadStatus Status =
+      serialize::loadCompiledModelFile(Path, Loaded, LoadedCompiled);
   if (!Status) {
     // The documented contract: a failed load empties the service rather
     // than silently serving the previously loaded model.
@@ -28,6 +33,8 @@ serialize::LoadStatus PredictionService::loadFile(const std::string &Path) {
     return Status;
   }
   Model = std::move(Loaded);
+  Compiled = std::move(LoadedCompiled);
+  MainScratch = Compiled.makeScratch();
   Index.emplace(Model.Meta.Features);
   Program = nullptr;
   Bound = false;
@@ -49,19 +56,135 @@ serialize::LoadStatus PredictionService::bind(const TunableProgram &P) {
     return Status;
   Program = &P;
   Bound = true;
+  // One slot per program input: batch shards index this concurrently, so
+  // it must never grow (or rehash) on the serving path.
+  Memo.assign(P.numInputs(), MemoEntry());
+  InterpMemo.clear();
   return serialize::LoadStatus::success();
 }
 
-void PredictionService::clearMemo() { Memo.clear(); }
+void PredictionService::clearMemo() {
+  Memo.assign(Memo.size(), MemoEntry());
+  InterpMemo.clear();
+}
+
+void PredictionService::recordTotals(const Decision &D) {
+  ++Totals.Calls;
+  if (D.Memoized)
+    ++Totals.MemoizedCalls;
+  Totals.FeaturesExtracted += D.FeaturesExtracted;
+  Totals.FeatureCostPaid += D.FeatureCost;
+}
 
 PredictionService::Decision
-PredictionService::decideWith(const core::InputClassifier &Classifier,
-                              size_t Input) {
+PredictionService::decideCompiled(size_t Input, bool OneLevelPath,
+                                  CompiledModel::Scratch &S) {
   assert(ready() && "decide() before a successful loadFile()+bind()");
-  assert(Input < Program->numInputs() && "input out of range");
+  assert(Input < Memo.size() && "input out of range");
 
   unsigned NumFlat = Index->numFlat();
   MemoEntry &E = Memo[Input];
+  // Repeat decision: the choice was already derived from this input's
+  // memoized features, and re-running the classifier over a memo is
+  // deterministic -- serve the cached landmark with the exact Decision a
+  // re-classification over memoized features would produce.
+  int32_t Cached = E.Decided[OneLevelPath ? 1 : 0];
+  if (Cached >= 0) {
+    Decision D;
+    D.Landmark = static_cast<unsigned>(Cached);
+    D.Config = &Model.System.L1.Landmarks[D.Landmark];
+    D.Memoized = true;
+    return D;
+  }
+  if (E.Have.empty()) {
+    E.Values.assign(NumFlat, 0.0);
+    E.Have.assign(NumFlat, 0);
+  }
+
+  Decision D;
+  // Memo-backed extractor, inlined into the compiled walk (no
+  // std::function, no probe allocation). Costs accumulate in examination
+  // order, exactly like the interpreted probe, so the per-call cost is
+  // bit-identical across the two paths.
+  auto Get = [&](unsigned Flat) -> double {
+    if (E.Have[Flat])
+      return E.Values[Flat];
+    support::CostCounter C;
+    double V = Program->extractFeature(Input, Index->propertyOf(Flat),
+                                       Index->levelOf(Flat), C);
+    E.Values[Flat] = V;
+    E.Have[Flat] = 1;
+    D.FeatureCost += C.units();
+    ++D.FeaturesExtracted;
+    return V;
+  };
+
+  unsigned Landmark = OneLevelPath ? Compiled.decideOneLevel(S, Get)
+                                   : Compiled.decideProduction(S, Get);
+  // Loaders bound every classifier's predictions by the landmark count,
+  // so this holds for any model that passed validation.
+  assert(Landmark < Model.System.L1.Landmarks.size() &&
+         "classifier predicted a missing landmark");
+  D.Landmark = Landmark;
+  D.Config = &Model.System.L1.Landmarks[Landmark];
+  D.Memoized = D.FeaturesExtracted == 0;
+  E.Decided[OneLevelPath ? 1 : 0] = static_cast<int32_t>(Landmark);
+  return D;
+}
+
+PredictionService::Decision PredictionService::decide(size_t Input) {
+  Decision D = decideCompiled(Input, /*OneLevelPath=*/false, MainScratch);
+  recordTotals(D);
+  return D;
+}
+
+PredictionService::Decision PredictionService::decideOneLevel(size_t Input) {
+  Decision D = decideCompiled(Input, /*OneLevelPath=*/true, MainScratch);
+  recordTotals(D);
+  return D;
+}
+
+std::vector<PredictionService::Decision>
+PredictionService::decideBatch(const std::vector<size_t> &Inputs,
+                               support::ThreadPool *Pool) {
+  assert(ready() && "decideBatch() before a successful loadFile()+bind()");
+  std::vector<Decision> Out(Inputs.size());
+  unsigned Shards = Pool ? std::max(1u, Pool->numThreads()) : 1u;
+  if (Shards <= 1 || Inputs.size() <= 1) {
+    for (size_t I = 0; I != Inputs.size(); ++I)
+      Out[I] = decideCompiled(Inputs[I], false, MainScratch);
+  } else {
+    // Shard by input id, not by batch position: every occurrence of one
+    // input lands in the same shard, so its memo entry (and the order
+    // duplicates are served in) is owned by exactly one worker -- the
+    // lock-free invariant, and why decisions cannot depend on the shard
+    // count.
+    std::vector<CompiledModel::Scratch> Scratches;
+    Scratches.reserve(Shards);
+    for (unsigned S = 0; S != Shards; ++S)
+      Scratches.push_back(Compiled.makeScratch());
+    Pool->parallelFor(0, Shards, [&](size_t Shard) {
+      CompiledModel::Scratch &S = Scratches[Shard];
+      for (size_t I = 0; I != Inputs.size(); ++I)
+        if (Inputs[I] % Shards == Shard)
+          Out[I] = decideCompiled(Inputs[I], false, S);
+    });
+  }
+  // Lifetime totals accumulate in batch order -- not shard completion
+  // order -- so Stats are deterministic for every thread count.
+  for (const Decision &D : Out)
+    recordTotals(D);
+  return Out;
+}
+
+PredictionService::Decision
+PredictionService::decideInterpretedWith(const core::InputClassifier &Classifier,
+                                         size_t Input) {
+  assert(ready() && "decide() before a successful loadFile()+bind()");
+  assert(Input < Memo.size() && "input out of range");
+
+  unsigned NumFlat = Index->numFlat();
+  InterpMemoEntry &E = InterpMemo[Input];
   if (E.Values.empty()) {
     E.Values.assign(NumFlat, 0.0);
     E.Have.assign(NumFlat, 0);
@@ -81,27 +204,21 @@ PredictionService::decideWith(const core::InputClassifier &Classifier,
   });
 
   unsigned Landmark = Classifier.classify(Probe);
-  // Loaders bound every classifier's predictions by the landmark count,
-  // so this holds for any model that passed validation.
   assert(Landmark < Model.System.L1.Landmarks.size() &&
          "classifier predicted a missing landmark");
   D.Landmark = Landmark;
   D.Config = &Model.System.L1.Landmarks[Landmark];
   D.FeatureCost = Probe.totalCost();
   D.Memoized = D.FeaturesExtracted == 0;
-
-  ++Totals.Calls;
-  if (D.Memoized)
-    ++Totals.MemoizedCalls;
-  Totals.FeaturesExtracted += D.FeaturesExtracted;
-  Totals.FeatureCostPaid += D.FeatureCost;
+  recordTotals(D);
   return D;
 }
 
-PredictionService::Decision PredictionService::decide(size_t Input) {
-  return decideWith(*Model.System.L2.Production, Input);
+PredictionService::Decision PredictionService::decideInterpreted(size_t Input) {
+  return decideInterpretedWith(*Model.System.L2.Production, Input);
 }
 
-PredictionService::Decision PredictionService::decideOneLevel(size_t Input) {
-  return decideWith(*Model.System.OneLevel, Input);
+PredictionService::Decision
+PredictionService::decideOneLevelInterpreted(size_t Input) {
+  return decideInterpretedWith(*Model.System.OneLevel, Input);
 }

@@ -10,22 +10,37 @@
 /// and answers "which configuration should this input run under?" without
 /// retraining anything.
 ///
-/// Serving is cheap by construction: the production classifier extracts
-/// only the features it examines, extracted feature values are memoized
-/// per input so repeated decisions for the same input pay the extraction
-/// cost exactly once, and every call reports its own cost (alongside
-/// service-lifetime totals) so a deployment can account for the overhead
-/// the paper's Figure 6 includes.
+/// Serving is cheap by construction: straight after load the model is
+/// lowered into a CompiledModel (one contiguous pointer-free arena; see
+/// runtime/CompiledModel.h), so decide() is array walks with zero virtual
+/// dispatch and zero per-call allocation. The production classifier
+/// extracts only the features it examines, extracted feature values are
+/// memoized per input so repeated decisions for the same input pay the
+/// extraction cost exactly once, and every call reports its own cost
+/// (alongside service-lifetime totals) so a deployment can account for
+/// the overhead the paper's Figure 6 includes.
 ///
-/// Not thread-safe: wrap decide() in external synchronisation or give
-/// each worker its own service (models are cheap to load).
+/// decideBatch() serves many inputs per call, sharding them across a
+/// support::ThreadPool by input id: each memo entry is only ever touched
+/// by the shard that owns its input, so the feature-memo hot path needs
+/// no lock, and the decisions (landmarks *and* per-call costs) are
+/// bit-identical for every thread count -- including Pool == nullptr.
+///
+/// The interpreted (polymorphic InputClassifier) path stays available
+/// through decideInterpreted() for parity checks and as the baseline the
+/// `pbt-bench serve` report measures the compiled path against.
+///
+/// Single-input calls are not thread-safe; decideBatch is the one entry
+/// point that may use worker threads internally.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef PBT_RUNTIME_PREDICTIONSERVICE_H
 #define PBT_RUNTIME_PREDICTIONSERVICE_H
 
+#include "runtime/CompiledModel.h"
 #include "serialize/ModelIO.h"
+#include "support/ThreadPool.h"
 
 #include <cstdint>
 #include <optional>
@@ -67,8 +82,8 @@ public:
   PredictionService() = default;
   explicit PredictionService(serialize::TrainedModel Model);
 
-  /// Loads a model file. On failure returns the loader's error and leaves
-  /// the service empty.
+  /// Loads a model file and compiles it for serving. On failure returns
+  /// the loader's error and leaves the service empty.
   serialize::LoadStatus loadFile(const std::string &Path);
 
   /// Binds the program inputs are drawn from. Fails (and leaves the
@@ -76,39 +91,83 @@ public:
   /// declarations and configuration arity.
   serialize::LoadStatus bind(const TunableProgram &Program);
 
-  bool ready() const { return Bound && !Model.System.L1.Landmarks.empty(); }
+  bool ready() const {
+    return Bound && Compiled.ready() && !Model.System.L1.Landmarks.empty();
+  }
 
   /// Answers "which configuration for input \p Input" through the
-  /// persisted production classifier, memoizing extracted features.
+  /// compiled production classifier, memoizing extracted features.
   /// \p Input must be below the bound program's input count.
   Decision decide(size_t Input);
 
-  /// The decision the persisted one-level baseline would make; exposed so
-  /// harnesses can compare methods online. Shares the feature memo.
+  /// The decision the persisted one-level baseline would make (compiled);
+  /// exposed so harnesses can compare methods online. Shares the memo.
   Decision decideOneLevel(size_t Input);
+
+  /// Batched serving: Out[i] answers Inputs[i]. With a pool, inputs are
+  /// sharded by input id across its workers (lock-free memo, see file
+  /// comment); without one (or with a 1-thread pool) the loop runs
+  /// inline. Decisions are identical for every thread count.
+  std::vector<Decision> decideBatch(const std::vector<size_t> &Inputs,
+                                    support::ThreadPool *Pool = nullptr);
+
+  /// The pre-compile reference path, frozen as PR 2 shipped it: the
+  /// polymorphic classifier chain, a std::function-backed FeatureProbe,
+  /// and its own hash-map feature memo. Kept byte-for-byte so parity
+  /// tests compare against -- and `pbt-bench serve` measures against --
+  /// the implementation the compiled path replaced, not a half-upgraded
+  /// hybrid.
+  Decision decideInterpreted(size_t Input);
+  Decision decideOneLevelInterpreted(size_t Input);
 
   /// Drops all memoized features (e.g. when the bound program's inputs
   /// were regenerated).
   void clearMemo();
 
   const serialize::TrainedModel &model() const { return Model; }
+  const CompiledModel &compiled() const { return Compiled; }
   const Stats &stats() const { return Totals; }
 
 private:
-  Decision decideWith(const core::InputClassifier &Classifier, size_t Input);
+  /// Flat-feature memo per input: value + extracted flag, plus the
+  /// decisions already derived from those features. A landmark choice is
+  /// a pure function of the input (via its memoized features), so once a
+  /// path has decided an input, the repeat decision is one cached load --
+  /// with the exact observable behaviour of re-classifying over memoized
+  /// features (zero cost, zero extractions, Memoized = true). Entries
+  /// are lazily sized on first touch; the vector itself is sized to the
+  /// bound program's input count so concurrent shards never rehash.
+  struct MemoEntry {
+    std::vector<double> Values;
+    std::vector<char> Have;
+    /// Cached landmark per compiled path (-1 = not yet decided);
+    /// [0] = production, [1] = one-level baseline.
+    int32_t Decided[2] = {-1, -1};
+  };
+  /// Interpreted-path feature memo (the PR 2 structure, see
+  /// decideInterpreted above).
+  struct InterpMemoEntry {
+    std::vector<double> Values;
+    std::vector<char> Have;
+  };
+
+  Decision decideCompiled(size_t Input, bool OneLevelPath,
+                          CompiledModel::Scratch &S);
+  Decision decideInterpretedWith(const core::InputClassifier &Classifier,
+                                 size_t Input);
+  void recordTotals(const Decision &D);
 
   serialize::TrainedModel Model;
+  CompiledModel Compiled;
   const TunableProgram *Program = nullptr;
   bool Bound = false;
   /// Flat-index decoder over Model.Meta.Features, built once per model so
   /// the per-decision hot path does no allocation-heavy rebuilding.
   std::optional<FeatureIndex> Index;
-  /// Flat-feature memo per input: value + extracted flag.
-  struct MemoEntry {
-    std::vector<double> Values;
-    std::vector<char> Have;
-  };
-  std::unordered_map<size_t, MemoEntry> Memo;
+  std::vector<MemoEntry> Memo;
+  std::unordered_map<size_t, InterpMemoEntry> InterpMemo;
+  /// Working memory for single-input calls (batch shards make their own).
+  CompiledModel::Scratch MainScratch;
   Stats Totals;
 };
 

@@ -7,6 +7,7 @@
 #include "serialize/ModelIO.h"
 
 #include "core/Classifiers.h"
+#include "runtime/CompiledModel.h"
 
 #include <cmath>
 #include <fstream>
@@ -543,6 +544,22 @@ LoadStatus serialize::loadModelFile(const std::string &Path,
   if (In.bad())
     return LoadStatus::failure("read error on '" + Path + "'");
   return loadModel(SS.str(), Out);
+}
+
+LoadStatus serialize::loadCompiledModelFile(const std::string &Path,
+                                            TrainedModel &Out,
+                                            runtime::CompiledModel &Compiled) {
+  TrainedModel Loaded;
+  LoadStatus Status = loadModelFile(Path, Loaded);
+  if (!Status)
+    return Status;
+  // The loader's bounds checks (labels below the landmark count, features
+  // below the flat count, children after parents) are exactly the
+  // invariants the lowering relies on, so compiling a freshly loaded
+  // model cannot produce out-of-arena offsets.
+  Compiled = runtime::CompiledModel::compile(Loaded);
+  Out = std::move(Loaded);
+  return LoadStatus::success();
 }
 
 LoadStatus serialize::validateAgainst(const TrainedModel &Model,

@@ -35,6 +35,9 @@
 #include <vector>
 
 namespace pbt {
+namespace runtime {
+class CompiledModel;
+} // namespace runtime
 namespace serialize {
 
 /// Current format version; bump when the schema changes shape. Loaders
@@ -120,6 +123,14 @@ LoadStatus loadModel(const std::string &Text, TrainedModel &Out);
 LoadStatus writeModelText(const std::string &Path, const std::string &Text);
 LoadStatus saveModelFile(const std::string &Path, const TrainedModel &Model);
 LoadStatus loadModelFile(const std::string &Path, TrainedModel &Out);
+
+/// Loads a model file and, on success, lowers it straight into its
+/// compiled serving form (runtime/CompiledModel.h) -- the one-step path
+/// PredictionService and `pbt-bench serve` use so a freshly loaded model
+/// is immediately servable at arena speed. On failure both outputs are
+/// untouched.
+LoadStatus loadCompiledModelFile(const std::string &Path, TrainedModel &Out,
+                                 runtime::CompiledModel &Compiled);
 
 /// Checks that \p Model matches \p Program (feature declarations,
 /// configuration arity, input count covering the recorded rows) -- the
