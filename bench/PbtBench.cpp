@@ -57,6 +57,7 @@ static void printUsage() {
       "  train                train once, persist models for `predict`\n"
       "  predict              serve per-input decisions from a saved model\n"
       "  serve                compiled-path serving throughput/latency report\n"
+      "  stream               nonstationary-traffic adaptation report\n"
       "\n"
       "options:\n"
       "  --scale=S            input-count scale (default: PBT_BENCH_SCALE or 1)\n"
@@ -71,9 +72,20 @@ static void printUsage() {
       "  --repeat=N           predict: passes over the rows (memo check)\n"
       "  --csv=FILE           predict: write per-input decisions as CSV\n"
       "  --batch=N            serve: decisions per decideBatch call\n"
-      "  --seconds=S          serve: wall-clock budget per phase\n"
-      "  --json               serve/kernels: also write BENCH_serve.json /\n"
-      "                       BENCH_kernels.json into --out-dir\n"
+      "  --seconds=S          serve: wall-clock budget per phase;\n"
+      "                       stream: wall-clock cap per serving loop\n"
+      "  --json               serve/stream/kernels: also write\n"
+      "                       BENCH_<sub>.json into --out-dir\n"
+      "  --schedule=KIND      stream: abrupt|ramp|periodic mixture\n"
+      "  --requests=N         stream: request count (the deterministic\n"
+      "                       bound; default 2000)\n"
+      "  --stream-seed=N      stream: request-sequence seed\n"
+      "  --key=P              stream: drift-key feature property index\n"
+      "  --period=N           stream: periodic half-period in requests\n"
+      "  --window=N           stream: drift-monitor window length\n"
+      "  --reservoir=N        stream: retrain reservoir capacity\n"
+      "                       (stream --scale overrides the model's\n"
+      "                       recorded scale for the traffic universe)\n"
       "\n"
       "`kernels` ignores the other options above; it takes\n"
       "google-benchmark flags (e.g. --benchmark_filter=...) instead.\n");
@@ -115,6 +127,7 @@ static ParseResult parseSharedOptions(std::vector<std::string> &Args,
         return ParseResult::Error;
       }
       Opts.Scale = std::clamp(S, 0.1, 100.0);
+      Opts.ScaleExplicit = true;
     } else if (const char *V = Value("--only")) {
       Opts.Only = splitCommas(V);
       if (Opts.Only.empty()) {
@@ -167,6 +180,48 @@ static ParseResult parseSharedOptions(std::vector<std::string> &Args,
       Opts.Seconds = S;
     } else if (Arg == "--json") {
       Opts.Json = true;
+    } else if (const char *V = Value("--schedule")) {
+      Opts.StreamSchedule = V;
+    } else if (const char *V = Value("--requests")) {
+      int N = std::atoi(V);
+      if (N < 1) {
+        std::fprintf(stderr, "pbt-bench: bad --requests value '%s'\n", V);
+        return ParseResult::Error;
+      }
+      Opts.StreamRequests = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--stream-seed")) {
+      Opts.StreamSeed = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--key")) {
+      int N = std::atoi(V);
+      if (N < 0 || (N == 0 && std::strcmp(V, "0") != 0)) {
+        std::fprintf(stderr, "pbt-bench: bad --key value '%s'\n", V);
+        return ParseResult::Error;
+      }
+      Opts.StreamKey = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--period")) {
+      int N = std::atoi(V);
+      if (N < 0) {
+        std::fprintf(stderr, "pbt-bench: bad --period value '%s'\n", V);
+        return ParseResult::Error;
+      }
+      Opts.StreamPeriod = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--window")) {
+      int N = std::atoi(V);
+      if (N < 8) {
+        std::fprintf(stderr,
+                     "pbt-bench: bad --window value '%s' (minimum 8)\n", V);
+        return ParseResult::Error;
+      }
+      Opts.StreamWindow = static_cast<unsigned>(N);
+    } else if (const char *V = Value("--reservoir")) {
+      int N = std::atoi(V);
+      if (N < 8) {
+        std::fprintf(stderr,
+                     "pbt-bench: bad --reservoir value '%s' (minimum 8)\n",
+                     V);
+        return ParseResult::Error;
+      }
+      Opts.StreamReservoir = static_cast<unsigned>(N);
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return ParseResult::Help;
@@ -247,6 +302,8 @@ int main(int argc, char **argv) {
 
     if (Sub == "serve")
       return runServe(Opts);
+    if (Sub == "stream")
+      return runStream(Opts);
     if (Sub == "train")
       return runTrain(Opts);
     if (Sub == "table1")

@@ -8,8 +8,10 @@
 
 #include "core/FeatureProbe.h"
 #include "core/TheoreticalModel.h"
+#include "runtime/AdaptiveService.h"
 #include "runtime/PredictionService.h"
 #include "serialize/ModelIO.h"
+#include "streams/WorkloadStream.h"
 #include "support/Cost.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
@@ -17,6 +19,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <map>
+#include <stdexcept>
 #include <string>
 
 using namespace pbt;
@@ -722,6 +726,311 @@ int benchharness::runServe(const DriverOptions &Opts) {
     std::fclose(Out);
   }
   return ChoicesMatch ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// stream
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Per-request record of one serving loop over the stream.
+struct StreamTrace {
+  std::vector<unsigned> Landmarks;
+  std::vector<uint64_t> Epochs;
+  std::vector<double> Costs;
+  std::vector<size_t> DetectTicks;
+  std::vector<size_t> SwapTicks;
+  /// Every distinct epoch encountered, kept alive for oracle evaluation.
+  std::map<uint64_t, runtime::AdaptiveService::EpochPtr> EpochsSeen;
+  double ServeSeconds = 0.0;
+  size_t Served = 0;
+};
+
+/// Replays the stream through \p Service. \p Adapt selects serve() (the
+/// full observe-and-adapt loop) vs decide() (the frozen control). Only
+/// the decide/serve call itself is timed; running the input under the
+/// decision -- the cost measurement -- happens off the clock.
+StreamTrace replayStream(const streams::WorkloadStream &Stream,
+                         const runtime::TunableProgram &Universe,
+                         runtime::AdaptiveService &Service, bool Adapt,
+                         double SecondsBudget, size_t MaxRequests) {
+  StreamTrace T;
+  support::WallTimer Budget;
+  for (size_t Tick = 0; Tick != Stream.length() && Tick != MaxRequests;
+       ++Tick) {
+    size_t Input = Stream.inputAt(Tick);
+    support::WallTimer Timer;
+    runtime::AdaptiveService::Decision D =
+        Adapt ? Service.serve(Input) : Service.decide(Input);
+    T.ServeSeconds += Timer.elapsedSeconds();
+    T.Landmarks.push_back(D.Landmark);
+    T.Epochs.push_back(D.Epoch);
+    T.Costs.push_back(Universe.runOnce(Input, *D.Config).TimeUnits);
+    if (D.DriftFlagged)
+      T.DetectTicks.push_back(Tick);
+    if (D.Swapped)
+      T.SwapTicks.push_back(Tick);
+    T.EpochsSeen.emplace(D.Epoch, D.Hold);
+    ++T.Served;
+    if (Budget.elapsedSeconds() > SecondsBudget)
+      break; // wall-clock cap; --requests is the deterministic bound
+  }
+  return T;
+}
+
+/// Mean cost of the best landmark of \p Epoch's model for \p Input (the
+/// dynamic oracle restricted to what that model could have chosen).
+double oracleCostFor(const runtime::TunableProgram &Universe,
+                     const runtime::AdaptiveService::ModelEpoch &Epoch,
+                     size_t Input,
+                     std::map<std::pair<uint64_t, size_t>, double> &Cache) {
+  auto Key = std::make_pair(Epoch.Model.Meta.Epoch, Input);
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  double Best = 0.0;
+  bool First = true;
+  for (const runtime::Configuration &C : Epoch.Model.System.L1.Landmarks) {
+    double Cost = Universe.runOnce(Input, C).TimeUnits;
+    if (First || Cost < Best)
+      Best = Cost;
+    First = false;
+  }
+  Cache[Key] = Best;
+  return Best;
+}
+
+struct SegmentStats {
+  size_t From = 0, To = 0;
+  uint64_t Epoch = 0;
+  double AdaptiveMeanCost = 0.0, FrozenMeanCost = 0.0;
+  double AdaptiveRegret = 0.0, FrozenRegret = 0.0;
+};
+} // namespace
+
+int benchharness::runStream(const DriverOptions &Opts) {
+  if (Opts.Model.empty()) {
+    std::fprintf(stderr, "pbt-bench stream: --model=FILE is required\n");
+    return 1;
+  }
+  streams::Schedule Kind;
+  if (!streams::parseSchedule(Opts.StreamSchedule, Kind)) {
+    std::fprintf(stderr,
+                 "pbt-bench stream: bad --schedule '%s' "
+                 "(abrupt|ramp|periodic)\n",
+                 Opts.StreamSchedule.c_str());
+    return 1;
+  }
+
+  serialize::TrainedModel Initial;
+  serialize::LoadStatus Loaded = serialize::loadModelFile(Opts.Model, Initial);
+  if (!Loaded) {
+    std::fprintf(stderr, "pbt-bench stream: cannot load '%s': %s\n",
+                 Opts.Model.c_str(), Loaded.Error.c_str());
+    return 1;
+  }
+  const registry::BenchmarkFactory *Factory =
+      registry::BenchmarkRegistry::instance().lookup(Initial.Meta.Benchmark);
+  if (!Factory) {
+    std::fprintf(stderr,
+                 "pbt-bench stream: model benchmark '%s' is not registered\n",
+                 Initial.Meta.Benchmark.c_str());
+    return 1;
+  }
+
+  // The traffic universe: the model's own provenance, optionally
+  // stretched to a larger --scale (the same generator produces a
+  // superset population, so the model still binds).
+  double UniverseScale =
+      Opts.ScaleExplicit ? Opts.Scale : Initial.Meta.Scale;
+  registry::ProgramPtr Universe =
+      Factory->makeProgram(UniverseScale, Initial.Meta.ProgramSeed);
+
+  streams::WorkloadStreamOptions SO;
+  SO.Kind = Kind;
+  SO.Requests = std::max(1u, Opts.StreamRequests);
+  SO.Seed = Opts.StreamSeed;
+  SO.KeyProperty = Opts.StreamKey;
+  SO.Period = Opts.StreamPeriod;
+  std::unique_ptr<streams::WorkloadStream> Stream;
+  try {
+    Stream = std::make_unique<streams::WorkloadStream>(*Universe, SO);
+  } catch (const std::invalid_argument &E) {
+    std::fprintf(stderr, "pbt-bench stream: %s\n", E.what());
+    return 1;
+  }
+
+  runtime::AdaptiveServiceOptions AO;
+  AO.Monitor.Window = std::max(8u, Opts.StreamWindow);
+  AO.Monitor.MinSamples = AO.Monitor.Window / 2;
+  AO.Monitor.Cooldown = AO.Monitor.Window;
+  AO.ReservoirSize = std::max(8u, Opts.StreamReservoir);
+  AO.MinRetrainInputs = std::min<size_t>(16, AO.ReservoirSize);
+  AO.Retrain = registry::reservoirRetrainOptions(*Factory, UniverseScale,
+                                                 AO.ReservoirSize, Opts.Pool);
+  AO.Pool = Opts.Pool;
+
+  // Frozen control: a second service from the same bytes, never adapted.
+  serialize::TrainedModel FrozenInitial;
+  if (!serialize::loadModelFile(Opts.Model, FrozenInitial)) {
+    std::fprintf(stderr, "pbt-bench stream: cannot reload '%s'\n",
+                 Opts.Model.c_str());
+    return 1;
+  }
+  runtime::AdaptiveServiceOptions FO = AO;
+  FO.AutoAdapt = false;
+
+  runtime::AdaptiveService Adaptive(*Universe, std::move(Initial), AO);
+  if (!Adaptive.ready()) {
+    std::fprintf(stderr, "pbt-bench stream: model/universe mismatch: %s\n",
+                 Adaptive.status().Error.c_str());
+    return 1;
+  }
+  runtime::AdaptiveService Frozen(*Universe, std::move(FrozenInitial), FO);
+  if (!Frozen.ready()) {
+    std::fprintf(stderr, "pbt-bench stream: %s\n",
+                 Frozen.status().Error.c_str());
+    return 1;
+  }
+
+  double Seconds = std::max(0.01, Opts.Seconds);
+  StreamTrace Ada = replayStream(*Stream, *Universe, Adaptive, true, Seconds,
+                                 Stream->length());
+  // The control replays exactly the prefix the adaptive run served.
+  StreamTrace Frz = replayStream(*Stream, *Universe, Frozen, false, Seconds,
+                                 Ada.Served);
+
+  size_t Served = std::min(Ada.Served, Frz.Served);
+  runtime::AdaptiveService::StatsSnapshot AStats = Adaptive.stats();
+  std::vector<runtime::AdaptiveService::SwapRecord> History =
+      Adaptive.history();
+
+  // Inter-swap segments with mean cost and regret vs each model's own
+  // dynamic oracle.
+  std::map<std::pair<uint64_t, size_t>, double> OracleCache;
+  std::vector<SegmentStats> Segments;
+  std::vector<size_t> Bounds;
+  Bounds.push_back(0);
+  for (size_t Tick : Ada.SwapTicks)
+    if (Tick + 1 < Served)
+      Bounds.push_back(Tick + 1);
+  Bounds.push_back(Served);
+  for (size_t B = 0; B + 1 < Bounds.size(); ++B) {
+    SegmentStats Seg;
+    Seg.From = Bounds[B];
+    Seg.To = Bounds[B + 1];
+    if (Seg.From >= Seg.To)
+      continue;
+    Seg.Epoch = Ada.Epochs[Seg.From];
+    double N = static_cast<double>(Seg.To - Seg.From);
+    for (size_t T = Seg.From; T != Seg.To; ++T) {
+      size_t Input = Stream->inputAt(T);
+      Seg.AdaptiveMeanCost += Ada.Costs[T];
+      Seg.FrozenMeanCost += Frz.Costs[T];
+      Seg.AdaptiveRegret +=
+          Ada.Costs[T] - oracleCostFor(*Universe,
+                                       *Ada.EpochsSeen.at(Ada.Epochs[T]),
+                                       Input, OracleCache);
+      Seg.FrozenRegret +=
+          Frz.Costs[T] - oracleCostFor(*Universe,
+                                       *Frz.EpochsSeen.at(Frz.Epochs[T]),
+                                       Input, OracleCache);
+    }
+    Seg.AdaptiveMeanCost /= N;
+    Seg.FrozenMeanCost /= N;
+    Seg.AdaptiveRegret /= N;
+    Seg.FrozenRegret /= N;
+    Segments.push_back(Seg);
+  }
+
+  auto MeanCost = [Served](const StreamTrace &T) {
+    double Sum = 0.0;
+    for (size_t I = 0; I != Served; ++I)
+      Sum += T.Costs[I];
+    return Served ? Sum / static_cast<double>(Served) : 0.0;
+  };
+
+  std::string Json =
+      std::string("{\n") + "  \"subcommand\": \"stream\",\n" +
+      "  \"model\": \"" + jsonString(Opts.Model) + "\",\n" +
+      "  \"benchmark\": \"" +
+      jsonString(Adaptive.currentEpoch()->Model.Meta.Benchmark) + "\",\n" +
+      "  \"schedule\": \"" + streams::scheduleName(Kind) + "\",\n" +
+      "  \"requests\": " + std::to_string(Stream->length()) + ",\n" +
+      "  \"served\": " + std::to_string(Served) + ",\n" +
+      "  \"universe_scale\": " + jsonNumber(UniverseScale) + ",\n" +
+      "  \"universe_inputs\": " + std::to_string(Universe->numInputs()) +
+      ",\n" +
+      "  \"key_property\": " + std::to_string(SO.KeyProperty) + ",\n" +
+      "  \"first_shift_tick\": " + std::to_string(Stream->firstShiftTick()) +
+      ",\n" +
+      "  \"threads\": " +
+      std::to_string(Opts.Pool ? Opts.Pool->numThreads() : 1) + ",\n" +
+      "  \"window\": " + std::to_string(AO.Monitor.Window) + ",\n" +
+      "  \"reservoir\": " + std::to_string(AO.ReservoirSize) + ",\n" +
+      "  \"decisions_per_sec\": " +
+      jsonNumber(Ada.ServeSeconds > 0.0
+                     ? static_cast<double>(Ada.Served) / Ada.ServeSeconds
+                     : 0.0) +
+      ",\n" +
+      "  \"frozen_decisions_per_sec\": " +
+      jsonNumber(Frz.ServeSeconds > 0.0
+                     ? static_cast<double>(Frz.Served) / Frz.ServeSeconds
+                     : 0.0) +
+      ",\n" +
+      "  \"drift_detections\": " + std::to_string(AStats.DriftDetections) +
+      ",\n" +
+      "  \"retrains\": " + std::to_string(AStats.Retrains) + ",\n" +
+      "  \"swaps\": " + std::to_string(AStats.Swaps) + ",\n" +
+      "  \"rejected_candidates\": " +
+      std::to_string(AStats.RejectedCandidates) + ",\n" +
+      "  \"skipped_retrains\": " + std::to_string(AStats.SkippedRetrains) +
+      ",\n" +
+      "  \"final_epoch\": " + std::to_string(Adaptive.epoch()) + ",\n" +
+      "  \"adaptive_mean_cost\": " + jsonNumber(MeanCost(Ada)) + ",\n" +
+      "  \"frozen_mean_cost\": " + jsonNumber(MeanCost(Frz)) + ",\n";
+  Json += "  \"swap_history\": [";
+  for (size_t I = 0; I != History.size(); ++I) {
+    const runtime::AdaptiveService::SwapRecord &R = History[I];
+    Json += std::string(I ? "," : "") + "\n    {\"from_epoch\": " +
+            std::to_string(R.FromEpoch) +
+            ", \"to_epoch\": " + std::to_string(R.ToEpoch) +
+            ", \"at_decision\": " + std::to_string(R.AtDecision) +
+            ", \"champion_shadow_cost\": " +
+            jsonNumber(R.ChampionShadowCost) +
+            ", \"candidate_shadow_cost\": " +
+            jsonNumber(R.CandidateShadowCost) + ", \"accepted\": " +
+            (R.Accepted ? "true" : "false") + "}";
+  }
+  Json += History.empty() ? "],\n" : "\n  ],\n";
+  Json += "  \"segments\": [";
+  for (size_t I = 0; I != Segments.size(); ++I) {
+    const SegmentStats &S = Segments[I];
+    Json += std::string(I ? "," : "") + "\n    {\"from\": " +
+            std::to_string(S.From) + ", \"to\": " + std::to_string(S.To) +
+            ", \"epoch\": " + std::to_string(S.Epoch) +
+            ", \"adaptive_mean_cost\": " + jsonNumber(S.AdaptiveMeanCost) +
+            ", \"frozen_mean_cost\": " + jsonNumber(S.FrozenMeanCost) +
+            ", \"adaptive_regret\": " + jsonNumber(S.AdaptiveRegret) +
+            ", \"frozen_regret\": " + jsonNumber(S.FrozenRegret) + "}";
+  }
+  Json += Segments.empty() ? "]\n" : "\n  ]\n";
+  Json += "}\n";
+
+  std::fputs(Json.c_str(), stdout);
+  if (Opts.Json) {
+    std::string Path = csvPath(Opts, "BENCH_stream.json");
+    FILE *Out = std::fopen(Path.c_str(), "wb");
+    if (!Out || std::fwrite(Json.data(), 1, Json.size(), Out) != Json.size()) {
+      if (Out)
+        std::fclose(Out);
+      std::fprintf(stderr, "pbt-bench stream: cannot write '%s'\n",
+                   Path.c_str());
+      return 1;
+    }
+    std::fclose(Out);
+  }
+  return 0;
 }
 
 //===----------------------------------------------------------------------===//

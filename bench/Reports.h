@@ -54,10 +54,28 @@ struct DriverOptions {
   unsigned Batch = 256;
   /// `serve` only: wall-clock budget per measurement phase (--seconds).
   double Seconds = 1.0;
-  /// `serve`/`kernels`: also write BENCH_serve.json / BENCH_kernels.json
-  /// into OutDir (--json), the machine-readable perf-trajectory record
-  /// CI uploads as artifacts.
+  /// `serve`/`stream`/`kernels`: also write BENCH_<sub>.json into OutDir
+  /// (--json), the machine-readable perf-trajectory record CI uploads as
+  /// artifacts.
   bool Json = false;
+  /// True when --scale was given explicitly (stream: overrides the
+  /// model's recorded scale for the traffic universe).
+  bool ScaleExplicit = false;
+  /// `stream` only: mixture schedule (--schedule=abrupt|ramp|periodic).
+  std::string StreamSchedule = "abrupt";
+  /// `stream` only: requests in the generated stream (--requests).
+  unsigned StreamRequests = 2000;
+  /// `stream` only: stream seed (--stream-seed).
+  uint64_t StreamSeed = 0xD81F7;
+  /// `stream` only: drift-key property index (--key).
+  unsigned StreamKey = 0;
+  /// `stream` only: periodic half-period in requests (--period; 0 =
+  /// requests/4).
+  unsigned StreamPeriod = 0;
+  /// `stream` only: drift-monitor window (--window).
+  unsigned StreamWindow = 64;
+  /// `stream` only: retrain reservoir capacity (--reservoir).
+  unsigned StreamReservoir = 48;
   /// The pool built from Threads/Sequential; owned by main.
   support::ThreadPool *Pool = nullptr;
 };
@@ -98,6 +116,14 @@ int runPredict(const DriverOptions &Opts);
 /// machine-readable JSON (stdout; also OutDir/BENCH_serve.json with
 /// --json).
 int runServe(const DriverOptions &Opts);
+/// `stream`: the nonstationary-traffic harness. Loads a model, replays a
+/// seeded mixture-schedule request stream (streams/WorkloadStream.h)
+/// against an AdaptiveService AND a frozen no-adaptation control of the
+/// same model, and reports decisions/sec, drift detections, swap history
+/// and mean-cost/regret-vs-oracle per inter-swap segment as JSON (stdout;
+/// also OutDir/BENCH_stream.json with --json). --seconds caps the wall
+/// clock of each serving loop; --requests bounds it deterministically.
+int runStream(const DriverOptions &Opts);
 
 } // namespace benchharness
 } // namespace pbt

@@ -1,0 +1,65 @@
+//===- ml/Reservoir.cpp -----------------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Reservoir.h"
+
+#include <algorithm>
+
+using namespace pbt;
+using namespace pbt::ml;
+
+Reservoir::Reservoir(size_t Capacity, uint64_t Seed, ReservoirPolicy Policy)
+    : Capacity(Capacity), Policy(Policy), Seed(Seed), Rng(Seed) {
+  Items.reserve(Capacity);
+}
+
+void Reservoir::add(size_t Item) {
+  if (Capacity == 0)
+    return;
+  ++Seen;
+  if (Items.size() < Capacity) {
+    Items.push_back(Item);
+    return;
+  }
+  if (Policy == ReservoirPolicy::Recent) {
+    // Ring overwrite: the oldest item leaves, arrival order is recovered
+    // by sample() from the cursor.
+    Items[Next] = Item;
+    Next = (Next + 1) % Capacity;
+    return;
+  }
+  // Algorithm R: the i-th item (1-based) replaces a uniformly random slot
+  // with probability Capacity / i.
+  uint64_t Slot = Rng.next() % Seen;
+  if (Slot < Capacity)
+    Items[static_cast<size_t>(Slot)] = Item;
+}
+
+std::vector<size_t> Reservoir::sample() const {
+  if (Policy != ReservoirPolicy::Recent || Items.size() < Capacity ||
+      Next == 0)
+    return Items;
+  // Unroll the ring so the caller sees oldest-to-newest arrival order.
+  std::vector<size_t> Out;
+  Out.reserve(Items.size());
+  Out.insert(Out.end(), Items.begin() + static_cast<long>(Next), Items.end());
+  Out.insert(Out.end(), Items.begin(), Items.begin() + static_cast<long>(Next));
+  return Out;
+}
+
+size_t Reservoir::distinctCount() const {
+  std::vector<size_t> Sorted = Items;
+  std::sort(Sorted.begin(), Sorted.end());
+  return static_cast<size_t>(
+      std::unique(Sorted.begin(), Sorted.end()) - Sorted.begin());
+}
+
+void Reservoir::reset() {
+  Items.clear();
+  Seen = 0;
+  Next = 0;
+  Rng = support::Rng(Seed);
+}

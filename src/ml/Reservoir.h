@@ -1,0 +1,88 @@
+//===- ml/Reservoir.h - Deterministic stream sampling -----------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sampling over an unbounded request stream, the training-set source of
+/// the adaptive serving loop (runtime/AdaptiveService.h): when drift is
+/// detected, the shadow pipeline retrains on the sampler's current
+/// contents instead of the full (unavailable) live distribution.
+///
+/// Two policies share one class:
+///
+///   * Recent  -- a sliding-window reservoir: the sample is exactly the
+///                last `Capacity` stream items. This is the adaptation
+///                default: after a distribution shift the window fills
+///                with post-shift traffic, so the retrain sees the new
+///                regime, not a uniform mix dominated by history.
+///   * Uniform -- Vitter's algorithm R: each item seen since the last
+///                reset() is retained with equal probability. Used when
+///                the goal is a summary of everything served.
+///
+/// Both are deterministic: the same seed and the same add() sequence
+/// produce the same sample on every platform (support/Random).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_ML_RESERVOIR_H
+#define PBT_ML_RESERVOIR_H
+
+#include "support/Random.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pbt {
+namespace ml {
+
+enum class ReservoirPolicy {
+  Recent,  ///< sliding window: the last Capacity items
+  Uniform, ///< algorithm R: uniform over items since the last reset()
+};
+
+class Reservoir {
+public:
+  Reservoir() = default;
+  Reservoir(size_t Capacity, uint64_t Seed,
+            ReservoirPolicy Policy = ReservoirPolicy::Recent);
+
+  /// Offers one stream item to the sampler.
+  void add(size_t Item);
+
+  /// The retained items. Recent policy: arrival order (oldest first).
+  /// Uniform policy: slot order (an unordered uniform sample).
+  std::vector<size_t> sample() const;
+
+  /// Number of distinct item values currently retained (the retrain
+  /// feasibility check: a window full of one hot input cannot train).
+  size_t distinctCount() const;
+
+  /// Items offered since construction or the last reset().
+  uint64_t seen() const { return Seen; }
+  size_t size() const { return Items.size(); }
+  size_t capacity() const { return Capacity; }
+  bool full() const { return Items.size() == Capacity; }
+  ReservoirPolicy policy() const { return Policy; }
+
+  /// Empties the sampler and restarts its deterministic stream state, so
+  /// the next fill reflects only post-reset traffic (called after every
+  /// model swap).
+  void reset();
+
+private:
+  size_t Capacity = 0;
+  ReservoirPolicy Policy = ReservoirPolicy::Recent;
+  uint64_t Seed = 0;
+  uint64_t Seen = 0;
+  size_t Next = 0; ///< Recent policy: ring cursor.
+  support::Rng Rng{0};
+  std::vector<size_t> Items;
+};
+
+} // namespace ml
+} // namespace pbt
+
+#endif // PBT_ML_RESERVOIR_H

@@ -6,6 +6,8 @@
 
 #include "registry/BenchmarkRegistry.h"
 
+#include "runtime/AdaptiveService.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -123,6 +125,16 @@ core::PipelineOptions registry::paperPipelineOptions(double Scale,
   O.L2.Tree.MinSamplesLeaf = 3;
   O.TrainFraction = 0.5;
   O.SplitSeed = PipelineSeed * 31 + 7;
+  return O;
+}
+
+core::PipelineOptions
+registry::reservoirRetrainOptions(const BenchmarkFactory &Factory,
+                                  double Scale, size_t SampleSize,
+                                  support::ThreadPool *Pool) {
+  core::PipelineOptions O = Factory.defaultOptions(Scale);
+  O.Pool = Pool;
+  runtime::AdaptiveService::clampRetrainOptions(O, SampleSize);
   return O;
 }
 

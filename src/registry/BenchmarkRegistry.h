@@ -136,6 +136,16 @@ private:
 /// with sqrt(Scale), the tuner budget, shallow trees, 50/50 split.
 core::PipelineOptions paperPipelineOptions(double Scale, uint64_t PipelineSeed);
 
+/// Pipeline options for (re)training on a live-traffic sample of
+/// \p SampleSize inputs: the factory's defaults at \p Scale with the
+/// landmark count, CV folds and tuning neighbourhood clamped to what the
+/// sample supports, and \p Pool wired in. This is what the adaptive
+/// serving loop (runtime/AdaptiveService.h) and the `pbt-bench stream`
+/// harness hand to every shadow retrain.
+core::PipelineOptions reservoirRetrainOptions(const BenchmarkFactory &Factory,
+                                              double Scale, size_t SampleSize,
+                                              support::ThreadPool *Pool);
+
 /// Scales a base input count, clamped to a floor that keeps train/test
 /// splits meaningful.
 size_t scaledInputCount(double Scale, size_t Base);

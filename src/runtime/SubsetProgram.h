@@ -1,0 +1,92 @@
+//===- runtime/SubsetProgram.h - Row-subset view of a program ---------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TunableProgram view exposing a chosen subset of another program's
+/// inputs, re-indexed to [0, n). Everything else (configuration space,
+/// feature declarations, accuracy spec, the run/extract semantics)
+/// delegates to the base program, so the view is exactly "the same
+/// workload restricted to these inputs".
+///
+/// This is what lets the two-level training pipeline run unchanged on a
+/// reservoir sample of live traffic: runtime::AdaptiveService wraps the
+/// sampled universe indices in a SubsetProgram and hands it straight to
+/// core::trainSystem. Duplicate rows are allowed and meaningful -- a
+/// request served twice appears twice, weighting training towards the
+/// traffic actually observed.
+///
+/// The view borrows the base program; keep the base alive while the view
+/// (or anything trained against it) is in use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_RUNTIME_SUBSETPROGRAM_H
+#define PBT_RUNTIME_SUBSETPROGRAM_H
+
+#include "runtime/TunableProgram.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace pbt {
+namespace runtime {
+
+class SubsetProgram : public TunableProgram {
+public:
+  SubsetProgram(const TunableProgram &Base, std::vector<size_t> Rows)
+      : Base(Base), Rows(std::move(Rows)) {
+#ifndef NDEBUG
+    for (size_t Row : this->Rows)
+      assert(Row < Base.numInputs() && "subset row out of range");
+#endif
+  }
+
+  std::string name() const override { return Base.name(); }
+  const ConfigSpace &space() const override { return Base.space(); }
+  std::vector<FeatureInfo> features() const override {
+    return Base.features();
+  }
+  std::optional<AccuracySpec> accuracy() const override {
+    return Base.accuracy();
+  }
+  size_t numInputs() const override { return Rows.size(); }
+
+  double extractFeature(size_t Input, unsigned Feature, unsigned Level,
+                        support::CostCounter &Cost) const override {
+    assert(Input < Rows.size() && "input out of range");
+    return Base.extractFeature(Rows[Input], Feature, Level, Cost);
+  }
+
+  RunResult run(size_t Input, const Configuration &Config,
+                support::CostCounter &Cost) const override {
+    assert(Input < Rows.size() && "input out of range");
+    return Base.run(Rows[Input], Config, Cost);
+  }
+
+  std::string describeInput(size_t Input) const override {
+    assert(Input < Rows.size() && "input out of range");
+    return Base.describeInput(Rows[Input]);
+  }
+  std::string
+  describeConfiguration(const Configuration &Config) const override {
+    return Base.describeConfiguration(Config);
+  }
+
+  /// The base-program input id behind view row \p Input.
+  size_t baseRow(size_t Input) const { return Rows[Input]; }
+  const std::vector<size_t> &rows() const { return Rows; }
+  const TunableProgram &base() const { return Base; }
+
+private:
+  const TunableProgram &Base;
+  std::vector<size_t> Rows;
+};
+
+} // namespace runtime
+} // namespace pbt
+
+#endif // PBT_RUNTIME_SUBSETPROGRAM_H

@@ -281,6 +281,7 @@ std::string serialize::serializeModel(const TrainedModel &Model) {
   W.key("benchmark").text(Model.Meta.Benchmark).end();
   W.key("scale").f(Model.Meta.Scale).end();
   W.key("program-seed").u64(Model.Meta.ProgramSeed).end();
+  W.key("epoch").u64(Model.Meta.Epoch).end();
   W.key("features").u64(Model.Meta.Features.size()).end();
   for (const runtime::FeatureInfo &F : Model.Meta.Features)
     W.key("feature").u64(F.Levels).text(F.Name).end();
@@ -355,6 +356,9 @@ LoadStatus serialize::loadModel(const std::string &Text, TrainedModel &Out) {
   if (!R.endLine() || !R.expect("program-seed"))
     return Failure("missing program-seed");
   M.Meta.ProgramSeed = R.u64();
+  if (!R.endLine() || !R.expect("epoch"))
+    return Failure("missing epoch");
+  M.Meta.Epoch = R.u64();
   if (!R.endLine() || !R.expect("features"))
     return Failure("missing features");
   uint64_t NumProps = R.count(kMaxProperties);

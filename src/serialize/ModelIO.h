@@ -42,7 +42,9 @@ namespace serialize {
 
 /// Current format version; bump when the schema changes shape. Loaders
 /// reject any other version outright (no silent best-effort parsing).
-inline constexpr unsigned kFormatVersion = 1;
+/// v2: adds the model-epoch tag (the adaptive serving loop's hot-swap
+/// generation counter; 0 for offline-trained models).
+inline constexpr unsigned kFormatVersion = 2;
 
 /// Schema caps shared by the writer and the loader, so everything the
 /// writer accepts loads back. The loader uses them to reject corrupt
@@ -61,6 +63,10 @@ struct ModelMeta {
   double Scale = 1.0;
   /// Input-generation seed of the training program.
   uint64_t ProgramSeed = 0;
+  /// Model generation in an adaptive serving loop: 0 for offline-trained
+  /// models, incremented by every runtime::AdaptiveService hot-swap so a
+  /// persisted snapshot records which adaptation round produced it.
+  uint64_t Epoch = 0;
   /// The program's input_feature declarations (names + sampling levels).
   std::vector<runtime::FeatureInfo> Features;
 

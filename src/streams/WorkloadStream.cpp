@@ -1,0 +1,118 @@
+//===- streams/WorkloadStream.cpp -------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "streams/WorkloadStream.h"
+
+#include "support/Cost.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+using namespace pbt;
+using namespace pbt::streams;
+
+bool streams::parseSchedule(const std::string &Name, Schedule &Out) {
+  if (Name == "abrupt")
+    Out = Schedule::Abrupt;
+  else if (Name == "ramp")
+    Out = Schedule::Ramp;
+  else if (Name == "periodic")
+    Out = Schedule::Periodic;
+  else
+    return false;
+  return true;
+}
+
+const char *streams::scheduleName(Schedule Kind) {
+  switch (Kind) {
+  case Schedule::Abrupt:
+    return "abrupt";
+  case Schedule::Ramp:
+    return "ramp";
+  case Schedule::Periodic:
+    return "periodic";
+  }
+  return "unknown";
+}
+
+WorkloadStream::WorkloadStream(const runtime::TunableProgram &Universe,
+                               const WorkloadStreamOptions &Options)
+    : Opts(Options) {
+  size_t N = Universe.numInputs();
+  if (N < 2)
+    throw std::invalid_argument(
+        "workload stream needs a universe of at least two inputs");
+  std::vector<runtime::FeatureInfo> Features = Universe.features();
+  if (Opts.KeyProperty >= Features.size())
+    throw std::invalid_argument("drift-key property " +
+                                std::to_string(Opts.KeyProperty) +
+                                " out of range (program declares " +
+                                std::to_string(Features.size()) + ")");
+  if (Opts.KeyLevel >= Features[Opts.KeyProperty].Levels)
+    throw std::invalid_argument("drift-key level out of range");
+  if (Opts.Requests == 0)
+    throw std::invalid_argument("workload stream needs at least one request");
+  Opts.SwitchFraction = std::clamp(Opts.SwitchFraction, 0.0, 1.0);
+  if (Opts.Period == 0)
+    Opts.Period = std::max<size_t>(1, Opts.Requests / 4);
+
+  // The drift key: one cheap feature probe per universe input. Key
+  // extraction is stream setup, not serving; its cost is discarded.
+  Keys.resize(N);
+  for (size_t I = 0; I != N; ++I) {
+    support::CostCounter Scratch;
+    Keys[I] =
+        Universe.extractFeature(I, Opts.KeyProperty, Opts.KeyLevel, Scratch);
+  }
+
+  // Split at the key median. Stable order on ties keeps the split (and
+  // hence every stream) independent of sort implementation details.
+  std::vector<size_t> ByKey(N);
+  std::iota(ByKey.begin(), ByKey.end(), 0);
+  std::stable_sort(ByKey.begin(), ByKey.end(), [this](size_t A, size_t B) {
+    return Keys[A] < Keys[B];
+  });
+  size_t Half = N / 2;
+  Base.assign(ByKey.begin(), ByKey.begin() + static_cast<long>(Half));
+  Shifted.assign(ByKey.begin() + static_cast<long>(Half), ByKey.end());
+
+  // Materialise the whole request sequence now: one Rng, two draws per
+  // tick, so replays are bit-identical whatever the consumer does.
+  support::Rng Rng(Opts.Seed);
+  Sequence.resize(Opts.Requests);
+  for (size_t T = 0; T != Opts.Requests; ++T) {
+    bool FromShifted = Rng.uniform() < mixtureWeight(T);
+    const std::vector<size_t> &Pool = FromShifted ? Shifted : Base;
+    Sequence[T] = Pool[Rng.index(Pool.size())];
+  }
+}
+
+double WorkloadStream::mixtureWeight(size_t T) const {
+  switch (Opts.Kind) {
+  case Schedule::Abrupt: {
+    size_t Switch = static_cast<size_t>(
+        static_cast<double>(Opts.Requests) * Opts.SwitchFraction);
+    return T < Switch ? 0.0 : 1.0;
+  }
+  case Schedule::Ramp:
+    return Opts.Requests > 1
+               ? static_cast<double>(T) /
+                     static_cast<double>(Opts.Requests - 1)
+               : 1.0;
+  case Schedule::Periodic:
+    return (T / Opts.Period) % 2 == 0 ? 0.0 : 1.0;
+  }
+  return 0.0;
+}
+
+size_t WorkloadStream::firstShiftTick() const {
+  for (size_t T = 0; T != Opts.Requests; ++T)
+    if (mixtureWeight(T) > 0.0)
+      return T;
+  return Opts.Requests;
+}

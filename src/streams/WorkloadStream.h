@@ -1,0 +1,106 @@
+//===- streams/WorkloadStream.h - Nonstationary request-stream generator ---==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable nonstationary traffic over any registered
+/// benchmark: the thing the adaptive serving loop is tested against.
+///
+/// A WorkloadStream takes a "universe" program (built by the benchmark's
+/// own registered input generator) and splits its input population into
+/// two pools by a cheap drift key -- one input_feature property sampled
+/// at a chosen level -- so the pools genuinely differ in feature space:
+/// the base pool holds the inputs below the key's median, the shifted
+/// pool those above it. A mixture schedule then says, for every request
+/// tick, with what probability the request is drawn from the shifted
+/// pool:
+///
+///   * Abrupt   -- 0 until the switch point, 1 after (a regime change),
+///   * Ramp     -- linear 0 -> 1 across the run (gradual migration),
+///   * Periodic -- square wave with a configurable period (daily cycle).
+///
+/// The entire request sequence is materialised at construction from one
+/// seed, so every scenario replays bit-identically: an adaptive run and
+/// its frozen-baseline control see exactly the same requests, and reruns
+/// at any thread count agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_STREAMS_WORKLOADSTREAM_H
+#define PBT_STREAMS_WORKLOADSTREAM_H
+
+#include "runtime/TunableProgram.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace streams {
+
+enum class Schedule {
+  Abrupt,   ///< regime change at SwitchFraction of the run
+  Ramp,     ///< linear migration from base to shifted
+  Periodic, ///< alternating regimes with period Period
+};
+
+/// Parses "abrupt" / "ramp" / "periodic"; returns false on anything else.
+bool parseSchedule(const std::string &Name, Schedule &Out);
+const char *scheduleName(Schedule Kind);
+
+struct WorkloadStreamOptions {
+  Schedule Kind = Schedule::Abrupt;
+  /// Number of requests in the stream.
+  size_t Requests = 2000;
+  uint64_t Seed = 0xD81F7;
+  /// The drift key: this input_feature property, sampled at KeyLevel,
+  /// splits the universe into the two pools.
+  unsigned KeyProperty = 0;
+  unsigned KeyLevel = 0;
+  /// Abrupt schedule: the regime change happens at
+  /// floor(Requests * SwitchFraction).
+  double SwitchFraction = 0.5;
+  /// Periodic schedule: half-period length in requests (0 = Requests/4).
+  size_t Period = 0;
+};
+
+class WorkloadStream {
+public:
+  /// Builds the pools and materialises the request sequence. \p Universe
+  /// must outlive the stream. Throws std::invalid_argument when the
+  /// universe is too small to split or KeyProperty is out of range.
+  WorkloadStream(const runtime::TunableProgram &Universe,
+                 const WorkloadStreamOptions &Options);
+
+  size_t length() const { return Sequence.size(); }
+  /// The universe input id served at request tick \p T.
+  size_t inputAt(size_t T) const { return Sequence[T]; }
+  const std::vector<size_t> &sequence() const { return Sequence; }
+
+  /// Probability request \p T draws from the shifted pool.
+  double mixtureWeight(size_t T) const;
+  /// First tick at which the mixture weight becomes nonzero (the earliest
+  /// moment drift can exist; Requests when it never does).
+  size_t firstShiftTick() const;
+
+  /// Universe input ids below / above the key median.
+  const std::vector<size_t> &basePool() const { return Base; }
+  const std::vector<size_t> &shiftedPool() const { return Shifted; }
+  /// The drift-key value of a universe input (diagnostics).
+  double keyOf(size_t Input) const { return Keys[Input]; }
+
+  const WorkloadStreamOptions &options() const { return Opts; }
+
+private:
+  WorkloadStreamOptions Opts;
+  std::vector<double> Keys;
+  std::vector<size_t> Base, Shifted, Sequence;
+};
+
+} // namespace streams
+} // namespace pbt
+
+#endif // PBT_STREAMS_WORKLOADSTREAM_H

@@ -1,0 +1,106 @@
+//===- tests/core/ConcurrentRetrainTest.cpp ----------------------------------=//
+//
+// Regression test for the parallel-ctest artifact collision and for the
+// training path's thread-safety: two full retrains running concurrently
+// (as `ctest -j` schedules golden/CLI tests, and as the adaptive
+// service shadow-retrains while other pipelines train) must each
+// reproduce a sequentially trained reference byte-for-byte, writing
+// their artifacts into private scratch directories that stay intact.
+//
+// Lives under the `integration` label (not `golden`) deliberately: the
+// sanitizer CI matrix runs unit+integration, so the race between the
+// two trainSystem() calls is exercised under TSan/ASan on every commit.
+// Byte-equality against the committed goldens is GoldenFileTest's job.
+//
+//===----------------------------------------------------------------------===//
+
+#include "registry/BenchmarkRegistry.h"
+#include "serialize/ModelIO.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace pbt;
+
+namespace {
+
+constexpr double kScale = 0.1;
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << "missing file " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// One full train-and-serialize at the golden provenance.
+std::string trainOnce() {
+  const registry::BenchmarkFactory &F =
+      registry::BenchmarkRegistry::instance().get("sort1");
+  registry::ProgramPtr Program = F.makeProgram(kScale, F.defaultProgramSeed());
+  core::TrainedSystem System =
+      core::trainSystem(*Program, F.defaultOptions(kScale));
+  serialize::TrainedModel Fresh = serialize::makeModel(
+      "sort1", kScale, F.defaultProgramSeed(), *Program, std::move(System));
+  return serialize::serializeModel(Fresh);
+}
+
+TEST(ConcurrentRetrainTest, ConcurrentRetrainsMatchSequentialReference) {
+  const std::string Reference = trainOnce();
+  ASSERT_FALSE(Reference.empty());
+
+  // Each retrain gets its own scratch directory -- the discipline every
+  // golden/CLI test follows so `ctest -j` cannot interleave artifacts.
+  const std::filesystem::path Scratch =
+      std::filesystem::path(::testing::TempDir()) / "pbt_concurrent_retrain";
+  std::filesystem::remove_all(Scratch);
+
+  constexpr unsigned kRetrains = 2;
+  std::vector<std::string> Produced(kRetrains);
+  std::vector<std::string> Errors(kRetrains);
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W != kRetrains; ++W) {
+    Workers.emplace_back([&, W] {
+      std::string Bytes = trainOnce();
+
+      std::filesystem::path Dir = Scratch / ("worker" + std::to_string(W));
+      std::error_code EC;
+      std::filesystem::create_directories(Dir, EC);
+      if (EC) {
+        Errors[W] = "cannot create " + Dir.string() + ": " + EC.message();
+        return;
+      }
+      serialize::LoadStatus Written =
+          serialize::writeModelText((Dir / "sort1.pbt").string(), Bytes);
+      if (!Written) {
+        Errors[W] = Written.Error;
+        return;
+      }
+      Produced[W] = Bytes;
+    });
+  }
+  for (std::thread &T : Workers)
+    T.join();
+
+  for (unsigned W = 0; W != kRetrains; ++W) {
+    ASSERT_TRUE(Errors[W].empty()) << "worker " << W << ": " << Errors[W];
+    EXPECT_EQ(Produced[W], Reference)
+        << "worker " << W
+        << ": a concurrent retrain diverged from the sequential reference";
+    // And the artifact written to this worker's private scratch is intact
+    // (nobody else wrote over it).
+    std::filesystem::path File =
+        Scratch / ("worker" + std::to_string(W)) / "sort1.pbt";
+    EXPECT_EQ(readFile(File.string()), Reference);
+  }
+  std::filesystem::remove_all(Scratch);
+}
+
+} // namespace

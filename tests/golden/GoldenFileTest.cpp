@@ -1,8 +1,8 @@
 //===- tests/golden/GoldenFileTest.cpp ---------------------------------------=//
 //
-// Golden-file regression suite: serialized models for sort1 and
-// binpacking, trained at a fixed seed/scale, are committed under
-// tests/golden/. The suite asserts
+// Golden-file regression suite: serialized models for sort1, binpacking,
+// clustering1 and poisson2d, trained at a fixed seed/scale, are
+// committed under tests/golden/. The suite asserts
 //
 //   (1) the committed bytes still load, and re-serialize byte-identically
 //       (format stability),
@@ -21,12 +21,11 @@
 //
 // Regenerate (deliberate behaviour changes only; see README):
 //
-//   build/pbt-bench train --only=sort1,binpacking --scale=0.1 \
-//       --sequential --out-dir=tests/golden
-//   build/pbt-bench predict --model=tests/golden/sort1.pbt \
-//       --csv=tests/golden/sort1.choices.csv
-//   build/pbt-bench predict --model=tests/golden/binpacking.pbt \
-//       --csv=tests/golden/binpacking.choices.csv
+//   build/pbt-bench train --only=sort1,binpacking,clustering1,poisson2d \
+//       --scale=0.1 --sequential --out-dir=tests/golden
+//   for m in sort1 binpacking clustering1 poisson2d; do \
+//     build/pbt-bench predict --model=tests/golden/$m.pbt \
+//         --csv=tests/golden/$m.choices.csv; done
 //
 //===----------------------------------------------------------------------===//
 
@@ -147,6 +146,7 @@ TEST_P(GoldenFileTest, PredictionServiceReproducesCommittedChoices) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Workloads, GoldenFileTest,
-                         ::testing::Values("sort1", "binpacking"));
+                         ::testing::Values("sort1", "binpacking",
+                                           "clustering1", "poisson2d"));
 
 } // namespace

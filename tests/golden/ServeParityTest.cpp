@@ -199,6 +199,7 @@ TEST_P(ServeParityTest, RepeatDecisionsAreCachedAndIdentical) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Workloads, ServeParityTest,
-                         ::testing::Values("sort1", "binpacking"));
+                         ::testing::Values("sort1", "binpacking",
+                                           "clustering1", "poisson2d"));
 
 } // namespace

@@ -1,0 +1,97 @@
+//===- tests/ml/ReservoirTest.cpp --------------------------------------------=//
+//
+// The stream sampler feeding the adaptive retrain loop: the Recent
+// policy must be exactly the last-Capacity sliding window (arrival
+// order), the Uniform policy a deterministic, roughly uniform algorithm-R
+// sample, and reset() must restart the deterministic state bit-for-bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ml/Reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+using namespace pbt;
+using namespace pbt::ml;
+
+namespace {
+
+TEST(ReservoirTest, RecentPolicyKeepsLastCapacityInArrivalOrder) {
+  Reservoir R(4, 99, ReservoirPolicy::Recent);
+  EXPECT_EQ(R.sample(), std::vector<size_t>());
+  for (size_t I = 0; I != 3; ++I)
+    R.add(I);
+  EXPECT_FALSE(R.full());
+  EXPECT_EQ(R.sample(), (std::vector<size_t>{0, 1, 2}));
+  for (size_t I = 3; I != 10; ++I)
+    R.add(I);
+  EXPECT_TRUE(R.full());
+  EXPECT_EQ(R.seen(), 10u);
+  EXPECT_EQ(R.sample(), (std::vector<size_t>{6, 7, 8, 9}));
+}
+
+TEST(ReservoirTest, RecentPolicyAfterShiftHoldsOnlyPostShiftTraffic) {
+  // The property the adaptation loop relies on: once the window length
+  // has passed since a regime change, nothing pre-change remains.
+  Reservoir R(8, 1, ReservoirPolicy::Recent);
+  for (size_t I = 0; I != 100; ++I)
+    R.add(1); // old regime
+  for (size_t I = 0; I != 8; ++I)
+    R.add(2); // new regime
+  std::vector<size_t> S = R.sample();
+  EXPECT_EQ(S.size(), 8u);
+  EXPECT_TRUE(std::all_of(S.begin(), S.end(),
+                          [](size_t V) { return V == 2; }));
+  EXPECT_EQ(R.distinctCount(), 1u);
+}
+
+TEST(ReservoirTest, UniformPolicyIsDeterministicAndCoversTheStream) {
+  Reservoir A(16, 7, ReservoirPolicy::Uniform);
+  Reservoir B(16, 7, ReservoirPolicy::Uniform);
+  for (size_t I = 0; I != 1000; ++I) {
+    A.add(I);
+    B.add(I);
+  }
+  EXPECT_EQ(A.sample(), B.sample());
+  EXPECT_EQ(A.size(), 16u);
+  // A uniform sample of 0..999 should not be the last 16 items: some
+  // early item survives with overwhelming probability for this seed.
+  std::vector<size_t> S = A.sample();
+  EXPECT_TRUE(std::any_of(S.begin(), S.end(),
+                          [](size_t V) { return V < 500; }));
+  // Different seed, different sample.
+  Reservoir C(16, 8, ReservoirPolicy::Uniform);
+  for (size_t I = 0; I != 1000; ++I)
+    C.add(I);
+  EXPECT_NE(C.sample(), A.sample());
+}
+
+TEST(ReservoirTest, ResetRestartsTheDeterministicState) {
+  Reservoir A(8, 3, ReservoirPolicy::Uniform);
+  for (size_t I = 0; I != 200; ++I)
+    A.add(I);
+  std::vector<size_t> First = A.sample();
+  A.reset();
+  EXPECT_EQ(A.size(), 0u);
+  EXPECT_EQ(A.seen(), 0u);
+  for (size_t I = 0; I != 200; ++I)
+    A.add(I);
+  EXPECT_EQ(A.sample(), First);
+}
+
+TEST(ReservoirTest, DistinctCountAndZeroCapacity) {
+  Reservoir R(6, 5);
+  for (size_t V : {3u, 1u, 3u, 2u, 1u, 3u})
+    R.add(V);
+  EXPECT_EQ(R.distinctCount(), 3u);
+
+  Reservoir Zero(0, 5);
+  Zero.add(1);
+  EXPECT_EQ(Zero.size(), 0u);
+  EXPECT_EQ(Zero.seen(), 0u);
+}
+
+} // namespace

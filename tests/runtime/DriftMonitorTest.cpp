@@ -1,0 +1,175 @@
+//===- tests/runtime/DriftMonitorTest.cpp ------------------------------------=//
+//
+// The two-window divergence test behind the adaptive serving loop:
+// stationary traffic must stay quiet, each of the three signals (feature
+// mean shift, cluster-histogram TV, decision-mix TV) must fire on its
+// own, and the interval/cooldown/rebase mechanics must behave as
+// documented.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/DriftMonitor.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace pbt;
+using namespace pbt::runtime;
+
+namespace {
+
+constexpr unsigned kFeatures = 3;
+constexpr unsigned kClusters = 2;
+constexpr unsigned kDecisions = 2;
+
+DriftMonitorOptions tightOptions() {
+  DriftMonitorOptions O;
+  O.Window = 32;
+  O.MinSamples = 16;
+  O.CheckInterval = 4;
+  O.Cooldown = 16;
+  O.MeanShiftThreshold = 2.0;
+  O.ClusterTVThreshold = 0.45;
+  O.DecisionTVThreshold = 0.45;
+  return O;
+}
+
+DriftMonitor referenceMonitor() {
+  DriftMonitor M(kFeatures, kClusters, kDecisions, tightOptions());
+  // Reference: features ~ N(0, 1), both clusters and decisions 50/50.
+  M.setReference({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}, {10.0, 10.0},
+                 {10.0, 10.0});
+  return M;
+}
+
+/// Feeds \p N stationary observations (drawn to match the reference) and
+/// returns true when any of them flagged drift.
+bool feedStationary(DriftMonitor &M, support::Rng &Rng, size_t N) {
+  bool Flagged = false;
+  for (size_t I = 0; I != N; ++I) {
+    double F[kFeatures] = {Rng.gaussian(), Rng.gaussian(), Rng.gaussian()};
+    Flagged |= M.observe(F, Rng.chance(0.5) ? 1u : 0u,
+                         Rng.chance(0.5) ? 1u : 0u);
+  }
+  return Flagged;
+}
+
+TEST(DriftMonitorTest, StationaryTrafficStaysQuiet) {
+  DriftMonitor M = referenceMonitor();
+  support::Rng Rng(7);
+  EXPECT_FALSE(feedStationary(M, Rng, 500));
+  EXPECT_EQ(M.observations(), 500u);
+  EXPECT_FALSE(M.lastSignal().Drifted);
+}
+
+TEST(DriftMonitorTest, FeatureMeanShiftFlags) {
+  DriftMonitor M = referenceMonitor();
+  support::Rng Rng(8);
+  bool Flagged = false;
+  for (size_t I = 0; I != 64 && !Flagged; ++I) {
+    // Feature 1 jumps four reference sigmas; the rest stay put.
+    double F[kFeatures] = {Rng.gaussian(), 4.0 + Rng.gaussian(),
+                           Rng.gaussian()};
+    Flagged = M.observe(F, Rng.chance(0.5) ? 1u : 0u,
+                        Rng.chance(0.5) ? 1u : 0u);
+  }
+  ASSERT_TRUE(Flagged);
+  EXPECT_TRUE(M.lastSignal().Drifted);
+  EXPECT_EQ(M.lastSignal().MeanShiftFeature, 1u);
+  EXPECT_GT(M.lastSignal().MeanShift, 2.0);
+}
+
+TEST(DriftMonitorTest, ClusterHistogramShiftFlags) {
+  DriftMonitor M = referenceMonitor();
+  support::Rng Rng(9);
+  bool Flagged = false;
+  for (size_t I = 0; I != 64 && !Flagged; ++I) {
+    double F[kFeatures] = {Rng.gaussian(), Rng.gaussian(), Rng.gaussian()};
+    // Every input suddenly lands in cluster 0 (reference: 50/50, TV 0.5).
+    Flagged = M.observe(F, 0u, Rng.chance(0.5) ? 1u : 0u);
+  }
+  ASSERT_TRUE(Flagged);
+  EXPECT_GT(M.lastSignal().ClusterTV, 0.45);
+  EXPECT_LE(M.lastSignal().MeanShift, 2.0);
+}
+
+TEST(DriftMonitorTest, DecisionMixShiftFlags) {
+  DriftMonitor M = referenceMonitor();
+  support::Rng Rng(10);
+  bool Flagged = false;
+  for (size_t I = 0; I != 64 && !Flagged; ++I) {
+    double F[kFeatures] = {Rng.gaussian(), Rng.gaussian(), Rng.gaussian()};
+    Flagged = M.observe(F, Rng.chance(0.5) ? 1u : 0u, 1u);
+  }
+  ASSERT_TRUE(Flagged);
+  EXPECT_GT(M.lastSignal().DecisionTV, 0.45);
+}
+
+TEST(DriftMonitorTest, NoTestBeforeMinSamplesAndOnlyOnTheInterval) {
+  DriftMonitor M = referenceMonitor();
+  // Massively drifted data, but fewer than MinSamples observations:
+  // observe() must not test yet, and check() must stay quiet too.
+  for (size_t I = 0; I != 15; ++I) {
+    double F[kFeatures] = {50.0, 50.0, 50.0};
+    EXPECT_FALSE(M.observe(F, 0u, 0u)) << "flagged before MinSamples";
+  }
+  EXPECT_FALSE(M.check().Drifted);
+  // The 16th observation reaches MinSamples; the next interval boundary
+  // (a multiple of CheckInterval = 4) runs the test and flags.
+  double F[kFeatures] = {50.0, 50.0, 50.0};
+  EXPECT_TRUE(M.observe(F, 0u, 0u));
+}
+
+TEST(DriftMonitorTest, RebaseToWindowAdoptsTheNewRegime) {
+  DriftMonitor M = referenceMonitor();
+  support::Rng Rng(11);
+  // Drift into a new regime around mean 4.
+  bool Flagged = false;
+  for (size_t I = 0; I != 64 && !Flagged; ++I) {
+    double F[kFeatures] = {4.0 + Rng.gaussian(), Rng.gaussian(),
+                           Rng.gaussian()};
+    Flagged = M.observe(F, 0u, 0u);
+  }
+  ASSERT_TRUE(Flagged);
+  M.rebaseToWindow();
+  EXPECT_EQ(M.windowFill(), 0u);
+  // The same regime is now the null hypothesis: no more flags, even far
+  // past the cooldown.
+  bool Reflagged = false;
+  for (size_t I = 0; I != 200; ++I) {
+    double F[kFeatures] = {4.0 + Rng.gaussian(), Rng.gaussian(),
+                           Rng.gaussian()};
+    Reflagged |= M.observe(F, 0u, 0u);
+  }
+  EXPECT_FALSE(Reflagged) << "rebased monitor re-flagged its own reference";
+}
+
+TEST(DriftMonitorTest, CooldownSuppressesImmediateReflagging) {
+  DriftMonitorOptions O = tightOptions();
+  O.Cooldown = 1000;
+  DriftMonitor M(kFeatures, kClusters, kDecisions, O);
+  M.setReference({0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}, {10.0, 10.0},
+                 {10.0, 10.0});
+  M.rebaseToWindow(); // arms the cooldown at observation 0
+  bool Flagged = false;
+  for (size_t I = 0; I != 500; ++I) {
+    double F[kFeatures] = {50.0, 50.0, 50.0};
+    Flagged |= M.observe(F, 0u, 0u);
+  }
+  EXPECT_FALSE(Flagged) << "flagged during cooldown";
+  // check() ignores the cooldown by design (an explicit probe).
+  EXPECT_TRUE(M.check().Drifted);
+}
+
+TEST(DriftMonitorTest, TotalVariationBasics) {
+  EXPECT_DOUBLE_EQ(totalVariation({1.0, 1.0}, {1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(totalVariation({2.0, 0.0}, {0.0, 2.0}), 1.0);
+  EXPECT_NEAR(totalVariation({3.0, 1.0}, {1.0, 1.0}), 0.25, 1e-12);
+  // All-zero histograms are treated as uniform.
+  EXPECT_DOUBLE_EQ(totalVariation({0.0, 0.0}, {5.0, 5.0}), 0.0);
+}
+
+} // namespace

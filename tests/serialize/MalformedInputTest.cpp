@@ -134,7 +134,9 @@ TEST(MalformedInputTest, EmptyAndGarbageInputs) {
   expectLoadFails("\n" + canonicalText(), "leading blank line");
   expectLoadFails("not a model at all", "garbage");
   expectLoadFails(std::string(4096, 'x'), "long garbage");
-  expectLoadFails(std::string("pbt-model v1\n") + std::string(100, '\n'),
+  expectLoadFails(std::string("pbt-model v") +
+                      std::to_string(kFormatVersion) + "\n" +
+                      std::string(100, '\n'),
                   "header then blanks");
 }
 

@@ -1,0 +1,154 @@
+//===- tests/streams/WorkloadStreamTest.cpp ----------------------------------=//
+//
+// The nonstationary traffic generator: pools must partition the universe
+// at the drift-key median, every schedule must emit its documented
+// mixture weights, and the materialised request sequence must be a pure
+// function of (universe, options) -- the reproducibility the adaptive
+// serving tests stand on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "streams/WorkloadStream.h"
+
+#include "registry/BenchmarkRegistry.h"
+#include "support/Cost.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+using namespace pbt;
+using namespace pbt::streams;
+
+namespace {
+
+registry::ProgramPtr makeUniverse() {
+  const registry::BenchmarkFactory &F =
+      registry::BenchmarkRegistry::instance().get("sort1");
+  return F.makeProgram(0.2, F.defaultProgramSeed());
+}
+
+TEST(WorkloadStreamTest, PoolsPartitionTheUniverseAtTheKeyMedian) {
+  registry::ProgramPtr U = makeUniverse();
+  WorkloadStreamOptions O;
+  O.Requests = 10;
+  O.KeyProperty = 2;
+  WorkloadStream S(*U, O);
+
+  EXPECT_EQ(S.basePool().size() + S.shiftedPool().size(), U->numInputs());
+  std::set<size_t> All(S.basePool().begin(), S.basePool().end());
+  All.insert(S.shiftedPool().begin(), S.shiftedPool().end());
+  EXPECT_EQ(All.size(), U->numInputs()) << "pools overlap or drop inputs";
+
+  double MaxBase = -1e300, MinShifted = 1e300;
+  for (size_t I : S.basePool())
+    MaxBase = std::max(MaxBase, S.keyOf(I));
+  for (size_t I : S.shiftedPool())
+    MinShifted = std::min(MinShifted, S.keyOf(I));
+  EXPECT_LE(MaxBase, MinShifted) << "pools are not split by the key";
+
+  // The key really is the declared feature probe.
+  size_t Probe = S.basePool().front();
+  support::CostCounter C;
+  EXPECT_EQ(S.keyOf(Probe), U->extractFeature(Probe, 2, 0, C));
+}
+
+TEST(WorkloadStreamTest, SequencesAreSeedDeterministic) {
+  registry::ProgramPtr U = makeUniverse();
+  WorkloadStreamOptions O;
+  O.Requests = 500;
+  O.Seed = 42;
+  WorkloadStream A(*U, O), B(*U, O);
+  EXPECT_EQ(A.sequence(), B.sequence());
+
+  O.Seed = 43;
+  WorkloadStream C(*U, O);
+  EXPECT_NE(C.sequence(), A.sequence());
+  EXPECT_EQ(A.length(), 500u);
+}
+
+TEST(WorkloadStreamTest, AbruptScheduleSwitchesPoolsExactlyOnce) {
+  registry::ProgramPtr U = makeUniverse();
+  WorkloadStreamOptions O;
+  O.Kind = Schedule::Abrupt;
+  O.Requests = 400;
+  O.SwitchFraction = 0.25;
+  WorkloadStream S(*U, O);
+
+  EXPECT_EQ(S.firstShiftTick(), 100u);
+  std::set<size_t> Base(S.basePool().begin(), S.basePool().end());
+  for (size_t T = 0; T != S.length(); ++T) {
+    bool InBase = Base.count(S.inputAt(T)) != 0;
+    EXPECT_EQ(InBase, T < 100) << "tick " << T;
+    EXPECT_EQ(S.mixtureWeight(T), T < 100 ? 0.0 : 1.0);
+  }
+}
+
+TEST(WorkloadStreamTest, RampScheduleMigratesGradually) {
+  registry::ProgramPtr U = makeUniverse();
+  WorkloadStreamOptions O;
+  O.Kind = Schedule::Ramp;
+  O.Requests = 1000;
+  WorkloadStream S(*U, O);
+
+  EXPECT_EQ(S.mixtureWeight(0), 0.0);
+  EXPECT_EQ(S.mixtureWeight(999), 1.0);
+  EXPECT_NEAR(S.mixtureWeight(500), 0.5, 1e-3);
+
+  // Early requests come (almost) only from the base pool, late ones
+  // (almost) only from the shifted pool.
+  std::set<size_t> Base(S.basePool().begin(), S.basePool().end());
+  size_t EarlyShifted = 0, LateShifted = 0;
+  for (size_t T = 0; T != 200; ++T)
+    EarlyShifted += Base.count(S.inputAt(T)) == 0;
+  for (size_t T = 800; T != 1000; ++T)
+    LateShifted += Base.count(S.inputAt(T)) == 0;
+  EXPECT_LT(EarlyShifted, 40u);
+  EXPECT_GT(LateShifted, 160u);
+}
+
+TEST(WorkloadStreamTest, PeriodicScheduleAlternatesRegimes) {
+  registry::ProgramPtr U = makeUniverse();
+  WorkloadStreamOptions O;
+  O.Kind = Schedule::Periodic;
+  O.Requests = 400;
+  O.Period = 50;
+  WorkloadStream S(*U, O);
+
+  for (size_t T = 0; T != 400; ++T) {
+    double W = (T / 50) % 2 == 0 ? 0.0 : 1.0;
+    ASSERT_EQ(S.mixtureWeight(T), W) << "tick " << T;
+  }
+  EXPECT_EQ(S.firstShiftTick(), 50u);
+}
+
+TEST(WorkloadStreamTest, RejectsBadOptions) {
+  registry::ProgramPtr U = makeUniverse();
+  WorkloadStreamOptions O;
+  O.KeyProperty = 99;
+  EXPECT_THROW(WorkloadStream(*U, O), std::invalid_argument);
+  O.KeyProperty = 0;
+  O.KeyLevel = 99;
+  EXPECT_THROW(WorkloadStream(*U, O), std::invalid_argument);
+  O.KeyLevel = 0;
+  O.Requests = 0;
+  EXPECT_THROW(WorkloadStream(*U, O), std::invalid_argument);
+}
+
+TEST(WorkloadStreamTest, ScheduleNamesRoundTrip) {
+  Schedule K;
+  EXPECT_TRUE(parseSchedule("abrupt", K));
+  EXPECT_EQ(K, Schedule::Abrupt);
+  EXPECT_TRUE(parseSchedule("ramp", K));
+  EXPECT_EQ(K, Schedule::Ramp);
+  EXPECT_TRUE(parseSchedule("periodic", K));
+  EXPECT_EQ(K, Schedule::Periodic);
+  EXPECT_FALSE(parseSchedule("sudden", K));
+  EXPECT_STREQ(scheduleName(Schedule::Abrupt), "abrupt");
+  EXPECT_STREQ(scheduleName(Schedule::Ramp), "ramp");
+  EXPECT_STREQ(scheduleName(Schedule::Periodic), "periodic");
+}
+
+} // namespace
