@@ -25,6 +25,7 @@
 #include "core/FeatureProbe.h"
 #include "core/Pipeline.h"
 #include "linalg/SVD.h"
+#include "ml/CrossValidation.h"
 #include "ml/DecisionTree.h"
 #include "ml/KMeans.h"
 #include "pde/Poisson2D.h"
@@ -369,28 +370,73 @@ BENCHMARK(BM_ClassifyInterpreted);
 // wall-clock effect on multi-core hosts.
 //===----------------------------------------------------------------------===//
 
-static void BM_PipelineTrain(benchmark::State &State, bool Pooled) {
+static void BM_PipelineTrain(benchmark::State &State, bool Pooled,
+                             bool FastPath) {
   const double Scale = 0.2; // small: ~32 inputs, 5 landmarks
   // Pool lives outside the timed loop (and only for the pooled variant)
   // so the comparison measures the pipeline, not thread startup.
   std::optional<support::ThreadPool> Pool;
   if (Pooled)
     Pool.emplace();
+  bench::setSortSimulation(FastPath);
   for (auto _ : State) {
     std::vector<registry::SuiteEntry> Suite = registry::makeSuite(
         {"sort2"}, Scale, Pooled ? &*Pool : nullptr);
     registry::SuiteEntry &E = Suite.front();
+    E.Options.L1.Tuner.Memoize = FastPath;
+    E.Options.L1.DedupMeasurementSweep = FastPath;
+    E.Options.L2.UseDataset = FastPath;
     core::TrainedSystem System = core::trainSystem(*E.Program, E.Options);
     core::EvaluationResult R =
         core::evaluateSystem(*E.Program, System, E.Options.Pool);
     benchmark::DoNotOptimize(R.TwoLevelWithFeat);
   }
+  bench::setSortSimulation(true);
   State.counters["threads"] =
       Pooled ? support::ThreadPool::hardwareThreads() : 1;
 }
-BENCHMARK_CAPTURE(BM_PipelineTrain, sequential, false)
+BENCHMARK_CAPTURE(BM_PipelineTrain, sequential, false, true)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK_CAPTURE(BM_PipelineTrain, pooled, true)
+BENCHMARK_CAPTURE(BM_PipelineTrain, pooled, true, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PipelineTrain, sequential_legacy, false, false)
+    ->Unit(benchmark::kMillisecond);
+
+/// The Level-2 classifier zoo alone (the tentpole's core refactor): one
+/// trained Level-1 fixture, the full cross-validated candidate sweep per
+/// iteration -- row-major reference vs the columnar ml::Dataset path
+/// (presorted tree fits, direct-column scoring, fitted-tree eval cache).
+static void BM_LevelTwoZoo(benchmark::State &State, bool UseDataset) {
+  struct ZooFixture {
+    registry::ProgramPtr Program;
+    core::PipelineOptions Options;
+    std::vector<size_t> TrainRows;
+    core::LevelOneResult L1;
+  };
+  static ZooFixture *F = [] {
+    auto *Z = new ZooFixture();
+    std::vector<registry::SuiteEntry> Suite =
+        registry::makeSuite({"sort2"}, 0.2, nullptr);
+    Z->Program = std::move(Suite.front().Program);
+    Z->Options = Suite.front().Options;
+    support::Rng SplitRng(Z->Options.SplitSeed);
+    ml::FoldSplit Split = ml::trainTestSplit(
+        Z->Program->numInputs(), Z->Options.TrainFraction, SplitRng);
+    Z->TrainRows = std::move(Split.Train);
+    Z->L1 = core::runLevelOne(*Z->Program, Z->TrainRows, Z->Options.L1);
+    return Z;
+  }();
+  core::LevelTwoOptions L2 = F->Options.L2;
+  L2.UseDataset = UseDataset;
+  for (auto _ : State) {
+    core::LevelTwoResult R =
+        core::runLevelTwo(*F->Program, F->L1, F->TrainRows, L2);
+    benchmark::DoNotOptimize(R.SelectedName.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_LevelTwoZoo, dataset, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LevelTwoZoo, legacy, false)
     ->Unit(benchmark::kMillisecond);
 
 /// OutDir-qualified path of the machine-readable kernels record.

@@ -58,6 +58,8 @@ static void printUsage() {
       "  predict              serve per-input decisions from a saved model\n"
       "  serve                compiled-path serving throughput/latency report\n"
       "  stream               nonstationary-traffic adaptation report\n"
+      "  trainbench           training-performance report: fast vs\n"
+      "                       pre-optimisation path, byte-identity gated\n"
       "\n"
       "options:\n"
       "  --scale=S            input-count scale (default: PBT_BENCH_SCALE or 1)\n"
@@ -69,7 +71,8 @@ static void printUsage() {
       "  --out=FILE           train: model path (single benchmark only)\n"
       "  --model=FILE         predict: the model file to serve from\n"
       "  --rows=WHICH         predict/serve: test|train|all recorded rows\n"
-      "  --repeat=N           predict: passes over the rows (memo check)\n"
+      "  --repeat=N           predict: passes over the rows (memo check);\n"
+      "                       trainbench: timing passes per path (best-of)\n"
       "  --csv=FILE           predict: write per-input decisions as CSV\n"
       "  --batch=N            serve: decisions per decideBatch call\n"
       "  --seconds=S          serve: wall-clock budget per phase;\n"
@@ -306,6 +309,8 @@ int main(int argc, char **argv) {
       return runStream(Opts);
     if (Sub == "train")
       return runTrain(Opts);
+    if (Sub == "trainbench")
+      return runTrainBench(Opts);
     if (Sub == "table1")
       return runTable1(Opts);
     if (Sub == "fig6")

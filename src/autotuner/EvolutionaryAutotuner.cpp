@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 
 using namespace pbt;
 using namespace pbt::autotuner;
@@ -58,6 +59,13 @@ EvolutionaryAutotuner::tune(const runtime::TunableProgram &Program,
   support::Rng Rng(Options.Seed);
   unsigned Evaluations = 0;
 
+  // (configuration values -> measured outcome) within this tune() call.
+  // The program runs are deterministic, so a repeat of an already measured
+  // configuration (elite clones, no-op mutations, crossover of converged
+  // parents) replays its outcome exactly. Hits still count as Evaluations
+  // -- that counter reports the search effort, not the run budget.
+  std::map<std::vector<double>, runtime::RunResult> Memo;
+
   auto EvaluateAll = [&](std::vector<Candidate> &Pop, size_t Begin) {
     auto EvalOne = [&](size_t I) {
       // Mean time, worst-case accuracy over the tuning inputs.
@@ -72,11 +80,32 @@ EvolutionaryAutotuner::tune(const runtime::TunableProgram &Program,
       Pop[I].Outcome.TimeUnits = TimeSum / static_cast<double>(Inputs.size());
       Pop[I].Outcome.Accuracy = AccMin;
     };
-    if (Options.Pool)
+    if (Options.Memoize) {
+      // Resolve hits sequentially, evaluate only the misses (in parallel
+      // when pooled), then record them. Misses within one batch that share
+      // a configuration are evaluated redundantly but identically.
+      std::vector<size_t> Misses;
+      for (size_t I = Begin; I != Pop.size(); ++I) {
+        auto It = Memo.find(Pop[I].Config.values());
+        if (It != Memo.end())
+          Pop[I].Outcome = It->second;
+        else
+          Misses.push_back(I);
+      }
+      if (Options.Pool)
+        Options.Pool->parallelFor(0, Misses.size(),
+                                  [&](size_t M) { EvalOne(Misses[M]); });
+      else
+        for (size_t M : Misses)
+          EvalOne(M);
+      for (size_t I : Misses)
+        Memo.emplace(Pop[I].Config.values(), Pop[I].Outcome);
+    } else if (Options.Pool) {
       Options.Pool->parallelFor(Begin, Pop.size(), EvalOne);
-    else
+    } else {
       for (size_t I = Begin; I != Pop.size(); ++I)
         EvalOne(I);
+    }
     Evaluations += static_cast<unsigned>(Pop.size() - Begin);
   };
 

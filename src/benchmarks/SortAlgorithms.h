@@ -41,6 +41,21 @@ enum class SortAlgo : unsigned {
 };
 inline constexpr unsigned NumSortAlgos = 5;
 
+/// Charge-exact simulation mode for the sort kernels (default: enabled).
+///
+/// The pipeline consumes only the deterministic cost charges and the
+/// sorted output of a run, so kernels whose physical execution is
+/// asymptotically slower than their *accounting* can be simulated: the
+/// charges are computed by a cheaper exact formula (insertion sort via
+/// inversion counting, quicksort's sorted-range degeneration in closed
+/// form) and the output produced by an equivalent sort. Charges and
+/// output bytes are identical to the physical execution -- pinned by
+/// SortSimulationParity tests and the golden retrain suite. Disabling
+/// restores the physical reference path (used by parity tests and the
+/// `pbt-bench trainbench` pre-optimisation baseline).
+bool sortSimulationEnabled();
+void setSortSimulation(bool Enabled);
+
 /// In-place insertion sort of V[Lo, Hi).
 void insertionSort(std::vector<double> &V, size_t Lo, size_t Hi,
                    support::CostCounter &Cost);

@@ -7,13 +7,29 @@
 #include "benchmarks/SortBenchmark.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <optional>
+#include <utility>
 
 using namespace pbt;
 using namespace pbt::bench;
 
+namespace {
+/// Bumped by every SortBenchmark construction and destruction so the
+/// per-thread run memos below can never serve a stale entry after a
+/// benchmark at the same address is destroyed and another allocated
+/// there (the destructor bump alone would suffice -- address reuse
+/// requires an intervening destruction -- but bumping on both sides
+/// keeps the invariant robust to unconventional allocation schemes).
+std::atomic<uint64_t> BenchGeneration{1};
+std::atomic<uint64_t> MemoHits{0}, MemoMisses{0};
+} // namespace
+
 SortBenchmark::SortBenchmark(const Options &Opts) : Opts(Opts) {
+  BenchGeneration.fetch_add(1, std::memory_order_relaxed);
   assert(Opts.MinSize >= 4 && Opts.MinSize <= Opts.MaxSize && "bad sizes");
   // Configuration space: the recursive selector over the five algorithms
   // plus the merge-way count.
@@ -139,18 +155,180 @@ PolySorter SortBenchmark::sorterFor(const runtime::Configuration &Config) const 
   return PolySorter(std::move(Sel), Ways);
 }
 
+namespace {
+/// The category breakdown of one memoized run. All sort-kernel charges
+/// are integer-valued doubles, so re-adding them as one lump per category
+/// reproduces the physical accumulation bit-exactly.
+struct RunOutcome {
+  double Compares = 0.0, Moves = 0.0, Other = 0.0;
+};
+
+/// Per-thread run scratch: the work copy every run sorts, the last decoded
+/// sorter, and the canonical-configuration run memo. The autotuner
+/// evaluates one configuration over a whole tuning neighbourhood back to
+/// back, so caching the (benchmark, config) -> PolySorter decode turns
+/// most runs' selector instantiation into a vector compare; the memo
+/// recognises that *distinct* configurations frequently decode to the
+/// same effective polyalgorithm on this benchmark's bounded size domain
+/// (cutoffs beyond MaxSize, levels shadowed by earlier ones, mergeWays
+/// with merge unreachable) and replays their recorded charges instead of
+/// re-running the program. Decoding and the kernels are deterministic, so
+/// both reuses are exact.
+struct SortRunScratch {
+  std::vector<double> Work;
+  const void *Bench = nullptr;
+  uint64_t Generation = 0;
+  std::vector<double> ConfigValues;
+  std::optional<PolySorter> Sorter;
+  std::vector<uint64_t> Key;     // canonical segments up to MaxSize
+  std::vector<uint64_t> RunKey;  // Key truncated to one input's length
+  std::map<std::pair<std::vector<uint64_t>, size_t>, RunOutcome> Memo;
+};
+
+/// Canonical form of (selector, mergeWays) restricted to sizes [0, MaxN]:
+/// the segment-choice step function with adjacent equal-choice segments
+/// merged, plus the merge-way count only when merge is reachable. Two
+/// configurations with equal canonical keys choose identically at every
+/// reachable size, hence run identically on every input.
+void canonicalConfigKey(const runtime::Selector &Sel, uint64_t Ways,
+                        uint64_t MaxN, std::vector<uint64_t> &Key) {
+  Key.clear();
+  bool MergeReachable = false;
+  uint64_t Prev = 0;
+  auto Emit = [&](uint64_t End, unsigned Choice) {
+    if (End <= Prev)
+      return;
+    if (!Key.empty() &&
+        (Key.back() & 0x7u) == Choice) // extend the previous segment
+      Key.back() = (End << 3) | Choice;
+    else
+      Key.push_back((End << 3) | Choice);
+    if (Choice == static_cast<unsigned>(SortAlgo::Merge))
+      MergeReachable = true;
+    Prev = End;
+  };
+  for (const runtime::Selector::Level &L : Sel.levels()) {
+    if (Prev > MaxN)
+      break;
+    Emit(std::min<uint64_t>(L.Cutoff, MaxN + 1), L.Choice);
+  }
+  if (Prev <= MaxN) // sizes above every cutoff fall back to the last level
+    Emit(MaxN + 1, Sel.levels().empty() ? 0u : Sel.levels().back().Choice);
+  if (MergeReachable)
+    Key.push_back((1ull << 62) | Ways);
+}
+
+/// Clips a canonical key to one input's size domain [0, N]: a run on an
+/// input of length N never consults the selector above N, so segments
+/// beyond it (and the merge-way tag when merge only becomes reachable
+/// above N) are invisible -- dropping them lets configurations that
+/// differ only at larger sizes share one memo entry.
+void truncateKeyTo(const std::vector<uint64_t> &Key, uint64_t N,
+                   std::vector<uint64_t> &Out) {
+  Out.clear();
+  bool MergeReachable = false;
+  for (uint64_t Seg : Key) {
+    if (Seg >> 62) // the merge-way tag; re-derived below
+      break;
+    uint64_t End = Seg >> 3;
+    unsigned Choice = static_cast<unsigned>(Seg & 0x7u);
+    if (End > N) {
+      Out.push_back(((N + 1) << 3) | Choice);
+      if (Choice == static_cast<unsigned>(SortAlgo::Merge))
+        MergeReachable = true;
+      break;
+    }
+    Out.push_back(Seg);
+    if (Choice == static_cast<unsigned>(SortAlgo::Merge))
+      MergeReachable = true;
+  }
+  if (MergeReachable && !Key.empty() && (Key.back() >> 62))
+    Out.push_back(Key.back());
+}
+} // namespace
+
+SortRunMemoStats bench::sortRunMemoStats() {
+  SortRunMemoStats S;
+  S.Hits = MemoHits.load(std::memory_order_relaxed);
+  S.Misses = MemoMisses.load(std::memory_order_relaxed);
+  return S;
+}
+
+SortBenchmark::~SortBenchmark() {
+  BenchGeneration.fetch_add(1, std::memory_order_relaxed);
+}
+
 runtime::RunResult SortBenchmark::run(size_t Input,
                                       const runtime::Configuration &Config,
                                       support::CostCounter &Cost) const {
   assert(Input < Inputs.size() && "input out of range");
-  double Before = Cost.units();
-  std::vector<double> Work = Inputs[Input];
-  Cost.addMoves(static_cast<double>(Work.size())); // initial copy
-  PolySorter Sorter = sorterFor(Config);
-  Sorter.sort(Work, Cost);
   runtime::RunResult R;
-  R.TimeUnits = Cost.units() - Before;
   R.Accuracy = 1.0;
+  if (!sortSimulationEnabled()) {
+    double Before = Cost.units();
+    std::vector<double> Work = Inputs[Input];
+    Cost.addMoves(static_cast<double>(Work.size())); // initial copy
+    PolySorter Sorter = sorterFor(Config);
+    Sorter.sort(Work, Cost);
+    R.TimeUnits = Cost.units() - Before;
+    return R;
+  }
+
+  thread_local SortRunScratch S;
+  uint64_t Gen = BenchGeneration.load(std::memory_order_relaxed);
+  if (S.Bench != this || S.Generation != Gen) {
+    S.Memo.clear();
+    S.ConfigValues.clear();
+    S.Sorter.reset();
+    S.Bench = this;
+    S.Generation = Gen;
+  }
+  if (!S.Sorter || S.ConfigValues != Config.values()) {
+    S.Sorter.emplace(sorterFor(Config));
+    S.ConfigValues = Config.values();
+    uint64_t Ways = std::max<uint64_t>(
+        2, static_cast<uint64_t>(Config.integer(MergeWaysParam)));
+    canonicalConfigKey(S.Sorter->selector(), Ways, Opts.MaxSize, S.Key);
+  }
+
+  // The strongest collapse first: when the top-level choice is a terminal
+  // algorithm (insertion / radix / bitonic), the kernels never consult the
+  // selector again, so the outcome depends on nothing but (input, choice)
+  // -- cutoffs and merge-ways are invisible. Quick and merge tops recurse
+  // through the selector and key on the input-truncated canonical form.
+  unsigned Top = S.Sorter->selector().choose(Inputs[Input].size());
+  if (Top != static_cast<unsigned>(SortAlgo::Quick) &&
+      Top != static_cast<unsigned>(SortAlgo::Merge)) {
+    S.RunKey.assign(1, (1ull << 63) | Top);
+  } else {
+    truncateKeyTo(S.Key, Inputs[Input].size(), S.RunKey);
+  }
+  auto MemoKey = std::make_pair(S.RunKey, Input);
+  auto It = S.Memo.find(MemoKey);
+  if (It != S.Memo.end()) {
+    MemoHits.fetch_add(1, std::memory_order_relaxed);
+    const RunOutcome &O = It->second;
+    Cost.addCompares(O.Compares);
+    Cost.addMoves(O.Moves);
+    Cost.addOther(O.Other);
+    R.TimeUnits = O.Compares + O.Moves + O.Other;
+    return R;
+  }
+
+  MemoMisses.fetch_add(1, std::memory_order_relaxed);
+  support::CostCounter Local;
+  S.Work = Inputs[Input];
+  Local.addMoves(static_cast<double>(S.Work.size())); // initial copy
+  S.Sorter->sort(S.Work, Local);
+  Cost.merge(Local);
+  R.TimeUnits = Local.units();
+  if (S.Memo.size() >= (1u << 17)) // unbounded streams: cap, then refill
+    S.Memo.clear();
+  RunOutcome O;
+  O.Compares = Local.compares();
+  O.Moves = Local.moves();
+  O.Other = Local.other();
+  S.Memo.emplace(std::move(MemoKey), O);
   return R;
 }
 

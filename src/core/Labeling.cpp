@@ -65,6 +65,16 @@ core::labelRows(const linalg::Matrix &Time, const linalg::Matrix &Acc,
   return Labels;
 }
 
+std::vector<unsigned>
+core::labelAllRows(const linalg::Matrix &Time, const linalg::Matrix &Acc,
+                   const std::optional<runtime::AccuracySpec> &Spec) {
+  std::vector<unsigned> Labels;
+  Labels.reserve(Time.rows());
+  for (size_t Row = 0; Row != Time.rows(); ++Row)
+    Labels.push_back(bestLandmark(Time, Acc, Row, Spec));
+  return Labels;
+}
+
 double
 core::satisfactionOf(const linalg::Matrix &Acc, const std::vector<size_t> &Rows,
                      unsigned Landmark,

@@ -42,6 +42,14 @@ labelRows(const linalg::Matrix &Time, const linalg::Matrix &Acc,
           const std::vector<size_t> &Rows,
           const std::optional<runtime::AccuracySpec> &Spec);
 
+/// Labels for *every* table row: the ml::Dataset label column. Computed
+/// once per training run and then shared by the Level-2 refinement, the
+/// dynamic oracle, and evaluation (all of which would otherwise re-derive
+/// the same rule row by row).
+std::vector<unsigned>
+labelAllRows(const linalg::Matrix &Time, const linalg::Matrix &Acc,
+             const std::optional<runtime::AccuracySpec> &Spec);
+
 /// Fraction of \p Rows whose accuracy under landmark \p Landmark meets the
 /// threshold. Returns 1.0 for exact programs.
 double satisfactionOf(const linalg::Matrix &Acc,

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <map>
 
 using namespace pbt;
 using namespace pbt::core;
@@ -128,17 +129,36 @@ LevelOneResult core::runLevelOne(const runtime::TunableProgram &Program,
     for (unsigned C = 0; C != K; ++C)
       TuneOne(C);
 
-  // Step 4: performance measurement -- every landmark on every input.
+  // Step 4: performance measurement -- every landmark on every input,
+  // with each *distinct* configuration measured once per input and its
+  // column copied to duplicate landmarks (runs are deterministic, so the
+  // duplicates' sweeps would repeat bit-identically).
   size_t N = Program.numInputs();
   R.Time = linalg::Matrix(N, K);
   R.Acc = linalg::Matrix(N, K);
+  std::vector<unsigned> MeasureAs(K);
+  for (unsigned L = 0; L != K; ++L)
+    MeasureAs[L] = L;
+  if (Options.DedupMeasurementSweep) {
+    std::map<std::vector<double>, unsigned> Seen;
+    for (unsigned L = 0; L != K; ++L)
+      MeasureAs[L] =
+          Seen.emplace(R.Landmarks[L].values(), L).first->second;
+  }
   auto MeasureRow = [&](size_t I) {
     for (unsigned L = 0; L != K; ++L) {
+      if (MeasureAs[L] != L)
+        continue;
       support::CostCounter C;
       runtime::RunResult Res = Program.run(I, R.Landmarks[L], C);
       R.Time.at(I, L) = Res.TimeUnits;
       R.Acc.at(I, L) = Res.Accuracy;
     }
+    for (unsigned L = 0; L != K; ++L)
+      if (MeasureAs[L] != L) {
+        R.Time.at(I, L) = R.Time.at(I, MeasureAs[L]);
+        R.Acc.at(I, L) = R.Acc.at(I, MeasureAs[L]);
+      }
   };
   if (Options.Pool)
     Options.Pool->parallelFor(0, N, MeasureRow);

@@ -62,6 +62,11 @@ struct LevelOneOptions {
   /// Optional pool parallelising landmark tuning and the measurement
   /// sweep. Results are identical with or without it.
   support::ThreadPool *Pool = nullptr;
+  /// Measure one sweep column per *distinct* landmark configuration and
+  /// copy it to duplicates (clusters routinely converge to the same
+  /// config; the duplicate runs would repeat bit-identically). Disabled
+  /// by the `pbt-bench trainbench` pre-optimisation baseline.
+  bool DedupMeasurementSweep = true;
 };
 
 struct LevelOneResult {

@@ -7,12 +7,17 @@
 #include "core/LevelTwo.h"
 #include "core/Labeling.h"
 #include "ml/CrossValidation.h"
+#include "ml/DecisionTree.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <optional>
 
 using namespace pbt;
 using namespace pbt::core;
@@ -94,7 +99,73 @@ struct ScoringContext {
   const linalg::Matrix &Acc;
   const std::optional<runtime::AccuracySpec> &Spec;
 };
+
+/// Direct-column feature reader for the dataset path: replays
+/// FeatureProbe's accounting -- each feature's extraction cost charged
+/// exactly once, at first touch, in touch order -- against the columnar
+/// tables, without the per-row vector allocations and std::function
+/// dispatch probeFromTable pays.
+class ColumnProbe {
+public:
+  explicit ColumnProbe(const ml::Dataset &D)
+      : D(D), Touched(D.numFeatures(), 0) {
+    TouchedList.reserve(D.numFeatures());
+  }
+  void beginRow(size_t NewRow) {
+    for (unsigned F : TouchedList)
+      Touched[F] = 0;
+    TouchedList.clear();
+    RowCost = 0.0;
+    Row = NewRow;
+  }
+  double operator()(unsigned F) {
+    if (!Touched[F]) {
+      Touched[F] = 1;
+      TouchedList.push_back(F);
+      RowCost += D.costCol(F)[Row];
+    }
+    return D.featureCol(F)[Row];
+  }
+  double totalCost() const { return RowCost; }
+
+private:
+  const ml::Dataset &D;
+  std::vector<uint8_t> Touched;
+  std::vector<unsigned> TouchedList;
+  double RowCost = 0.0;
+  size_t Row = 0;
+};
 } // namespace
+
+/// scoreOnRows' twin over dataset columns: identical accumulation order,
+/// so every score is bit-identical to the row-major path.
+template <class PredictFn>
+static CandidateScore
+scoreOnColumns(const ml::Dataset &D,
+               const std::optional<runtime::AccuracySpec> &Spec,
+               const std::vector<size_t> &Rows, const std::string &Name,
+               ColumnProbe &Probe, PredictFn &&Predict) {
+  CandidateScore S;
+  S.Name = Name;
+  if (Rows.empty())
+    return S;
+  double SumWith = 0.0, SumWithout = 0.0;
+  size_t Meets = 0;
+  for (size_t Row : Rows) {
+    Probe.beginRow(Row);
+    unsigned Pred = Predict(Row, Probe);
+    SumWithout += D.timeCol(Pred)[Row];
+    SumWith += D.timeCol(Pred)[Row] + Probe.totalCost();
+    if (!Spec || D.meets(Row, Pred))
+      ++Meets;
+  }
+  S.Objective = SumWith / static_cast<double>(Rows.size());
+  S.ObjectiveNoFeat = SumWithout / static_cast<double>(Rows.size());
+  S.Satisfaction =
+      static_cast<double>(Meets) / static_cast<double>(Rows.size());
+  S.Valid = !Spec || S.Satisfaction >= Spec->SatisfactionThreshold;
+  return S;
+}
 
 /// Scores \p Predict (returning a landmark and accumulating feature cost
 /// via the probe) over table rows \p Rows.
@@ -189,14 +260,37 @@ cheapestFirstOrder(const linalg::Matrix &ExtractCosts,
 LevelTwoResult core::runLevelTwo(const runtime::TunableProgram &Program,
                                  const LevelOneResult &L1,
                                  const std::vector<size_t> &TrainRows,
-                                 const LevelTwoOptions &Options) {
+                                 const LevelTwoOptions &Options,
+                                 const ml::Dataset *Data) {
   LevelTwoResult R;
   std::optional<runtime::AccuracySpec> Spec = Program.accuracy();
   unsigned K = static_cast<unsigned>(L1.Landmarks.size());
   runtime::FeatureIndex Index(Program.features());
 
+  // The columnar substrate: passed through by the pipeline (extracted
+  // once per training run), columnarized locally for direct callers, or
+  // absent entirely on the row-major reference path.
+  std::optional<ml::Dataset> LocalData;
+  if (Options.UseDataset && !Data) {
+    LocalData.emplace(L1.Features, L1.ExtractCosts, L1.Time, L1.Acc,
+                      Spec ? std::optional<double>(Spec->AccuracyThreshold)
+                           : std::nullopt);
+    LocalData->setLabels(labelAllRows(L1.Time, L1.Acc, Spec));
+    Data = &*LocalData;
+  }
+  if (!Options.UseDataset)
+    Data = nullptr;
+  assert((!Data || Data->hasLabels()) &&
+         "dataset must carry its label column");
+
   // --- Cluster refinement: performance-based re-labelling. ---
-  R.TrainLabels = labelRows(L1.Time, L1.Acc, TrainRows, Spec);
+  if (Data) {
+    R.TrainLabels.reserve(TrainRows.size());
+    for (size_t Row : TrainRows)
+      R.TrainLabels.push_back(Data->label(Row));
+  } else {
+    R.TrainLabels = labelRows(L1.Time, L1.Acc, TrainRows, Spec);
+  }
   size_t Moved = 0;
   for (size_t I = 0; I != TrainRows.size(); ++I)
     if (R.TrainLabels[I] != L1.Clusters.Assignment[I])
@@ -217,18 +311,19 @@ LevelTwoResult core::runLevelTwo(const runtime::TunableProgram &Program,
   for (size_t I = 0; I != TrainRows.size(); ++I)
     LabelOfRow[TrainRows[I]] = R.TrainLabels[I];
 
-  // Cross-validation folds over positions in TrainRows.
+  // Cross-validation folds over positions in TrainRows, materialised to
+  // global row ids exactly once (the row-major path used to re-gather
+  // them per candidate per fold).
   support::Rng Rng(Options.Seed);
   unsigned Folds = std::max(2u, Options.CVFolds);
   std::vector<ml::FoldSplit> Splits =
       ml::kFoldSplits(TrainRows.size(), Folds, Rng);
-  auto GlobalRows = [&](const std::vector<size_t> &Positions) {
-    std::vector<size_t> Rows;
-    Rows.reserve(Positions.size());
-    for (size_t P : Positions)
-      Rows.push_back(TrainRows[P]);
-    return Rows;
-  };
+  size_t NumFolds = Splits.size();
+  std::vector<std::vector<size_t>> FoldTrain(NumFolds), FoldTest(NumFolds);
+  for (size_t FI = 0; FI != NumFolds; ++FI) {
+    FoldTrain[FI] = ml::gatherRows(TrainRows, Splits[FI].Train);
+    FoldTest[FI] = ml::gatherRows(TrainRows, Splits[FI].Test);
+  }
 
   ml::DecisionTreeOptions TreeOpts = Options.Tree;
   TreeOpts.Costs = &R.Costs;
@@ -240,13 +335,19 @@ LevelTwoResult core::runLevelTwo(const runtime::TunableProgram &Program,
   // inputs. ---
   {
     std::vector<CandidateScore> FoldScores;
-    for (const ml::FoldSplit &Split : Splits) {
-      std::vector<size_t> TrainG = GlobalRows(Split.Train);
-      std::vector<size_t> TestG = GlobalRows(Split.Test);
-      unsigned Static = selectStaticOracle(L1.Time, L1.Acc, TrainG, Spec);
-      FoldScores.push_back(scoreOnRows(
-          Ctx, TestG, "static-best",
-          [&](FeatureProbe &, size_t) { return Static; }));
+    for (size_t FI = 0; FI != NumFolds; ++FI) {
+      unsigned Static =
+          selectStaticOracle(L1.Time, L1.Acc, FoldTrain[FI], Spec);
+      if (Data) {
+        ColumnProbe Probe(*Data);
+        FoldScores.push_back(scoreOnColumns(
+            *Data, Spec, FoldTest[FI], "static-best", Probe,
+            [&](size_t, ColumnProbe &) { return Static; }));
+      } else {
+        FoldScores.push_back(scoreOnRows(
+            Ctx, FoldTest[FI], "static-best",
+            [&](FeatureProbe &, size_t) { return Static; }));
+      }
     }
     R.Candidates.push_back(averageScores("static-best", FoldScores, Spec,
                                          Options.SelectionMargin));
@@ -255,54 +356,126 @@ LevelTwoResult core::runLevelTwo(const runtime::TunableProgram &Program,
   // --- Candidate (1): max-a-priori. ---
   {
     std::vector<CandidateScore> FoldScores;
-    for (const ml::FoldSplit &Split : Splits) {
-      std::vector<size_t> TrainG = GlobalRows(Split.Train);
-      std::vector<size_t> TestG = GlobalRows(Split.Test);
+    for (size_t FI = 0; FI != NumFolds; ++FI) {
       ml::MaxApriori Prior;
       std::vector<unsigned> Y;
-      Y.reserve(TrainG.size());
-      for (size_t Row : TrainG)
+      Y.reserve(FoldTrain[FI].size());
+      for (size_t Row : FoldTrain[FI])
         Y.push_back(LabelOfRow[Row]);
       Prior.fit(Y, K);
-      FoldScores.push_back(scoreOnRows(
-          Ctx, TestG, "max-apriori",
-          [&](FeatureProbe &, size_t) { return Prior.predict(); }));
+      if (Data) {
+        ColumnProbe Probe(*Data);
+        FoldScores.push_back(scoreOnColumns(
+            *Data, Spec, FoldTest[FI], "max-apriori", Probe,
+            [&](size_t, ColumnProbe &) { return Prior.predict(); }));
+      } else {
+        FoldScores.push_back(scoreOnRows(
+            Ctx, FoldTest[FI], "max-apriori",
+            [&](FeatureProbe &, size_t) { return Prior.predict(); }));
+      }
     }
     R.Candidates.push_back(averageScores("max-apriori", FoldScores, Spec, Options.SelectionMargin));
   }
 
   // --- Candidates (2)/(3): exhaustive per-property subset trees. Each
-  // subset's cross-validated fit is independent, so the sweep runs on the
-  // pool; scores land in a subset-indexed array and the selection below
+  // (subset, fold) fit is independent, so the sweep runs on the pool;
+  // scores land in an index-addressed array and the selection below
   // stays sequential, making pooled and serial runs identical. ---
   std::vector<std::vector<unsigned>> Subsets = enumerateFeatureSubsets(Index);
   std::vector<CandidateScore> SubsetScores(Subsets.size());
-  auto ScoreSubset = [&](size_t SI) {
-    const std::vector<unsigned> &Subset = Subsets[SI];
-    std::string Name = subsetName(Index, Subset);
-    ml::DecisionTreeOptions SubOpts = TreeOpts;
-    SubOpts.AllowedFeatures = Subset;
 
-    std::vector<CandidateScore> FoldScores;
-    for (const ml::FoldSplit &Split : Splits) {
-      std::vector<size_t> TrainG = GlobalRows(Split.Train);
-      std::vector<size_t> TestG = GlobalRows(Split.Test);
+  if (Data) {
+    // Dataset path: one presorted base per fold feeds every subset's
+    // SPRINT-style tree fit; the flattened (subset x fold) task list
+    // keeps small retrain reservoirs from serialising behind a handful
+    // of coarse subset tasks; and a per-fold fitted-tree cache exploits
+    // the zoo's heavy overlap -- subsets whose extra features never
+    // split fit the *same* tree, whose held-out score depends only on
+    // the fitted structure, so one evaluation serves them all. Fold row
+    // sets compose as views of the training view.
+    ml::RowView TrainView = ml::RowView::of(*Data, TrainRows);
+    std::vector<std::unique_ptr<ml::PresortedBase>> FoldBases(NumFolds);
+    for (size_t FI = 0; FI != NumFolds; ++FI)
+      FoldBases[FI] = std::make_unique<ml::PresortedBase>(
+          *Data, TrainView.subset(Splits[FI].Train));
+
+    struct FoldCache {
+      std::mutex Lock;
+      std::map<std::string, CandidateScore> Scores;
+    };
+    std::vector<FoldCache> Caches(NumFolds);
+
+    size_t NumTasks = Subsets.size() * NumFolds;
+    std::vector<CandidateScore> TaskScores(NumTasks);
+    auto ScoreTask = [&](size_t TI) {
+      size_t SI = TI / NumFolds, FI = TI % NumFolds;
+      ml::PresortedView View(*FoldBases[FI], Subsets[SI]);
       ml::DecisionTree Tree;
-      Tree.fit(L1.Features, LabelOfRow, K, SubOpts, TrainG);
-      FoldScores.push_back(
-          scoreOnRows(Ctx, TestG, Name, [&](FeatureProbe &Probe, size_t) {
-            return Tree.predictLazy(
-                [&Probe](unsigned F) { return Probe.value(F); });
-          }));
+      Tree.fit(*Data, LabelOfRow, K, TreeOpts, View);
+      std::string TreeKey = Tree.structuralKey();
+      FoldCache &Cache = Caches[FI];
+      {
+        std::lock_guard<std::mutex> Lock(Cache.Lock);
+        auto It = Cache.Scores.find(TreeKey);
+        if (It != Cache.Scores.end()) {
+          TaskScores[TI] = It->second;
+          return;
+        }
+      }
+      ColumnProbe Probe(*Data);
+      CandidateScore S = scoreOnColumns(
+          *Data, Spec, FoldTest[FI], std::string(), Probe,
+          [&Tree](size_t, ColumnProbe &P) {
+            return Tree.predictWith([&P](unsigned F) { return P(F); });
+          });
+      {
+        std::lock_guard<std::mutex> Lock(Cache.Lock);
+        Cache.Scores.emplace(std::move(TreeKey), S);
+      }
+      TaskScores[TI] = S;
+    };
+    if (Options.Pool) {
+      size_t Grain = std::max<size_t>(
+          1, NumTasks / (static_cast<size_t>(Options.Pool->numThreads()) * 8));
+      Options.Pool->parallelFor(0, NumTasks, ScoreTask, Grain);
+    } else {
+      for (size_t TI = 0; TI != NumTasks; ++TI)
+        ScoreTask(TI);
     }
-    SubsetScores[SI] =
-        averageScores(Name, FoldScores, Spec, Options.SelectionMargin);
-  };
-  if (Options.Pool)
-    Options.Pool->parallelFor(0, Subsets.size(), ScoreSubset);
-  else
-    for (size_t SI = 0; SI != Subsets.size(); ++SI)
-      ScoreSubset(SI);
+    for (size_t SI = 0; SI != Subsets.size(); ++SI) {
+      std::string Name = subsetName(Index, Subsets[SI]);
+      std::vector<CandidateScore> FoldScores(
+          TaskScores.begin() + SI * NumFolds,
+          TaskScores.begin() + (SI + 1) * NumFolds);
+      SubsetScores[SI] =
+          averageScores(Name, FoldScores, Spec, Options.SelectionMargin);
+    }
+  } else {
+    auto ScoreSubset = [&](size_t SI) {
+      const std::vector<unsigned> &Subset = Subsets[SI];
+      std::string Name = subsetName(Index, Subset);
+      ml::DecisionTreeOptions SubOpts = TreeOpts;
+      SubOpts.AllowedFeatures = Subset;
+
+      std::vector<CandidateScore> FoldScores;
+      for (size_t FI = 0; FI != NumFolds; ++FI) {
+        ml::DecisionTree Tree;
+        Tree.fit(L1.Features, LabelOfRow, K, SubOpts, FoldTrain[FI]);
+        FoldScores.push_back(scoreOnRows(
+            Ctx, FoldTest[FI], Name, [&](FeatureProbe &Probe, size_t) {
+              return Tree.predictLazy(
+                  [&Probe](unsigned F) { return Probe.value(F); });
+            }));
+      }
+      SubsetScores[SI] =
+          averageScores(Name, FoldScores, Spec, Options.SelectionMargin);
+    };
+    if (Options.Pool)
+      Options.Pool->parallelFor(0, Subsets.size(), ScoreSubset);
+    else
+      for (size_t SI = 0; SI != Subsets.size(); ++SI)
+        ScoreSubset(SI);
+  }
 
   size_t BestSubsetIdx = 0;
   double BestSubsetObjective = std::numeric_limits<double>::max();
@@ -327,17 +500,27 @@ LevelTwoResult core::runLevelTwo(const runtime::TunableProgram &Program,
                            Subsets[BestSubsetIdx])}};
   for (const auto &[Name, Order] : IncrementalRuns) {
     std::vector<CandidateScore> FoldScores;
-    for (const ml::FoldSplit &Split : Splits) {
-      std::vector<size_t> TrainG = GlobalRows(Split.Train);
-      std::vector<size_t> TestG = GlobalRows(Split.Test);
+    for (size_t FI = 0; FI != NumFolds; ++FI) {
       ml::IncrementalBayes Bayes;
-      Bayes.fit(L1.Features, LabelOfRow, K, Order, Options.Bayes, TrainG);
-      FoldScores.push_back(
-          scoreOnRows(Ctx, TestG, Name, [&](FeatureProbe &Probe, size_t) {
-            return Bayes
-                .predictLazy([&Probe](unsigned F) { return Probe.value(F); })
-                .Label;
-          }));
+      Bayes.fit(L1.Features, LabelOfRow, K, Order, Options.Bayes,
+                FoldTrain[FI]);
+      if (Data) {
+        ColumnProbe Probe(*Data);
+        FoldScores.push_back(scoreOnColumns(
+            *Data, Spec, FoldTest[FI], Name, Probe,
+            [&Bayes](size_t, ColumnProbe &P) {
+              return Bayes.predictWith([&P](unsigned F) { return P(F); })
+                  .Label;
+            }));
+      } else {
+        FoldScores.push_back(
+            scoreOnRows(Ctx, FoldTest[FI], Name, [&](FeatureProbe &Probe,
+                                                     size_t) {
+              return Bayes
+                  .predictLazy([&Probe](unsigned F) { return Probe.value(F); })
+                  .Label;
+            }));
+      }
     }
     R.Candidates.push_back(averageScores(Name, FoldScores, Spec, Options.SelectionMargin));
   }
@@ -392,7 +575,13 @@ LevelTwoResult core::runLevelTwo(const runtime::TunableProgram &Program,
     ml::DecisionTreeOptions SubOpts = TreeOpts;
     SubOpts.AllowedFeatures = Subsets[SubsetIdx];
     ml::DecisionTree Tree;
-    Tree.fit(L1.Features, LabelOfRow, K, SubOpts, TrainRows);
+    if (Data) {
+      ml::PresortedBase TrainBase(*Data, ml::RowView::of(*Data, TrainRows));
+      ml::PresortedView View(TrainBase, Subsets[SubsetIdx]);
+      Tree.fit(*Data, LabelOfRow, K, SubOpts, View);
+    } else {
+      Tree.fit(L1.Features, LabelOfRow, K, SubOpts, TrainRows);
+    }
     R.Production = std::make_unique<SubsetTreeClassifier>(
         std::move(Tree), Subsets[SubsetIdx], R.SelectedName);
   }

@@ -34,9 +34,21 @@ TrainedSystem core::trainSystem(const runtime::TunableProgram &Program,
   if (!L2Opts.Pool)
     L2Opts.Pool = Options.Pool;
   S.L1 = runLevelOne(Program, S.TrainRows, L1Opts);
-  S.L2 = runLevelTwo(Program, S.L1, S.TrainRows, L2Opts);
 
+  // Columnarize the evidence exactly once; Level 2 and evaluation share
+  // this substrate (row-index views) instead of re-reading the row-major
+  // tables. The label column is attached here so the labelling rule runs
+  // once per training run.
   std::optional<runtime::AccuracySpec> Spec = Program.accuracy();
+  if (L2Opts.UseDataset) {
+    auto Data = std::make_shared<ml::Dataset>(
+        S.L1.Features, S.L1.ExtractCosts, S.L1.Time, S.L1.Acc,
+        Spec ? std::optional<double>(Spec->AccuracyThreshold) : std::nullopt);
+    Data->setLabels(labelAllRows(S.L1.Time, S.L1.Acc, Spec));
+    S.Data = std::move(Data);
+  }
+  S.L2 = runLevelTwo(Program, S.L1, S.TrainRows, L2Opts, S.Data.get());
+
   S.StaticOracleLandmark =
       selectStaticOracle(S.L1.Time, S.L1.Acc, S.TrainRows, Spec);
 
@@ -92,6 +104,7 @@ EvaluationResult core::evaluateSystem(const runtime::TunableProgram &Program,
   EvaluationResult R;
   std::optional<runtime::AccuracySpec> Spec = Program.accuracy();
   const LevelOneResult &L1 = System.L1;
+  const ml::Dataset *Data = System.Data.get();
   const std::vector<size_t> &Rows = System.TestRows;
   unsigned Static = System.StaticOracleLandmark;
 
@@ -100,13 +113,17 @@ EvaluationResult core::evaluateSystem(const runtime::TunableProgram &Program,
     size_t Row = Rows[I];
     RowEval &E = Evals[I];
     E.StaticTime = L1.Time.at(Row, Static);
+    // The dataset's precomputed meets bits and label column reproduce the
+    // row-major predicates exactly (same threshold, same labelling rule).
     auto MeetsAt = [&](unsigned L) {
-      return !Spec || L1.Acc.at(Row, L) >= Spec->AccuracyThreshold;
+      return Data ? Data->meets(Row, L)
+                  : !Spec || L1.Acc.at(Row, L) >= Spec->AccuracyThreshold;
     };
     E.StaticMet = MeetsAt(Static);
 
     // Dynamic oracle: per-input best landmark, no feature cost.
-    unsigned Best = bestLandmark(L1.Time, L1.Acc, Row, Spec);
+    unsigned Best =
+        Data ? Data->label(Row) : bestLandmark(L1.Time, L1.Acc, Row, Spec);
     E.DynamicTime = L1.Time.at(Row, Best);
     E.DynamicMet = MeetsAt(Best);
 

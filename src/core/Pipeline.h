@@ -49,6 +49,12 @@ struct TrainedSystem {
   unsigned StaticOracleLandmark = 0;
   /// The traditional one-level baseline classifier.
   std::unique_ptr<InputClassifier> OneLevel;
+  /// The columnar training substrate, extracted once per training run
+  /// from the L1 evidence tables (label column attached) and threaded
+  /// through Level 2 and evaluation. Never serialized -- it is a pure
+  /// reorganisation of L1; absent when L2.UseDataset was disabled or the
+  /// system was loaded from a model file.
+  std::shared_ptr<const ml::Dataset> Data;
 };
 
 /// Per-method evaluation summary on the test rows: the paper's Table 1

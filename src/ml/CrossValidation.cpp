@@ -71,6 +71,17 @@ ml::stratifiedKFoldSplits(const std::vector<unsigned> &Y, unsigned NumClasses,
   return Folds;
 }
 
+std::vector<size_t> ml::gatherRows(const std::vector<size_t> &Rows,
+                                   const std::vector<size_t> &Positions) {
+  std::vector<size_t> Out;
+  Out.reserve(Positions.size());
+  for (size_t P : Positions) {
+    assert(P < Rows.size() && "fold position out of range");
+    Out.push_back(Rows[P]);
+  }
+  return Out;
+}
+
 FoldSplit ml::trainTestSplit(size_t N, double TrainFraction,
                              support::Rng &Rng) {
   assert(N >= 2 && "need at least two samples to split");

@@ -46,6 +46,14 @@ std::vector<FoldSplit> stratifiedKFoldSplits(const std::vector<unsigned> &Y,
 /// split of each benchmark's inputs.
 FoldSplit trainTestSplit(size_t N, double TrainFraction, support::Rng &Rng);
 
+/// Materialises fold positions into the ids they select from: Out[i] =
+/// Rows[Positions[i]]. This is the composition step between a fold split
+/// (positions within the training set) and the global row ids the
+/// columnar Dataset views address; shared so every Level-2 consumer
+/// gathers fold rows exactly once instead of per candidate.
+std::vector<size_t> gatherRows(const std::vector<size_t> &Rows,
+                               const std::vector<size_t> &Positions);
+
 } // namespace ml
 } // namespace pbt
 

@@ -7,11 +7,13 @@
 #include "ml/DecisionTree.h"
 
 #include "ml/CompiledArena.h"
+#include "ml/Dataset.h"
 #include "serialize/TextFormat.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
@@ -149,6 +151,131 @@ unsigned DecisionTree::build(const linalg::Matrix &X,
   return Self;
 }
 
+/// The presorted (SPRINT-style) twin of build(): candidate sweeps walk
+/// the view's value-ordered row lists, so the per-(node, feature) sort
+/// disappears; the boundary scan, gain arithmetic and tie rules are
+/// copied verbatim from build(), which is what makes the produced tree
+/// bit-identical (the sweep only reads label counts on each side of a
+/// value boundary, invariant to order within equal-value runs).
+unsigned DecisionTree::buildPresorted(const ml::Dataset &Data,
+                                      const std::vector<unsigned> &Y,
+                                      unsigned NumClasses,
+                                      const DecisionTreeOptions &Options,
+                                      ml::PresortedView &View, size_t Begin,
+                                      size_t End, unsigned Depth,
+                                      std::vector<uint32_t> &Scratch) {
+  assert(End > Begin && "empty node");
+  double Total = static_cast<double>(End - Begin);
+  const uint32_t *AnyCol = View.column(0);
+  std::vector<double> Counts(NumClasses, 0.0);
+  for (size_t I = Begin; I != End; ++I)
+    Counts[Y[AnyCol[I]]] += 1.0;
+
+  bool Pure = false;
+  for (double C : Counts)
+    if (C == Total)
+      Pure = true;
+
+  if (Pure || Depth >= Options.MaxDepth ||
+      End - Begin < Options.MinSamplesSplit)
+    return makeLeaf(Counts, Options);
+
+  double ParentImpurity = gini(Counts, Total);
+  double BestGain = 1e-12;
+  int BestFeature = -1;
+  double BestThreshold = 0.0;
+
+  std::vector<double> LeftCounts(NumClasses);
+  for (unsigned CI = 0, CE = View.numFeatures(); CI != CE; ++CI) {
+    unsigned F = View.featureAt(CI);
+    const uint32_t *Col = View.column(CI);
+    const double *Vals = Data.featureCol(F);
+    std::fill(LeftCounts.begin(), LeftCounts.end(), 0.0);
+    for (size_t I = Begin; I + 1 < End; ++I) {
+      LeftCounts[Y[Col[I]]] += 1.0;
+      double Va = Vals[Col[I]], Vb = Vals[Col[I + 1]];
+      if (Va == Vb)
+        continue;
+      double NLeft = static_cast<double>(I - Begin + 1);
+      double NRight = Total - NLeft;
+      if (NLeft < Options.MinSamplesLeaf || NRight < Options.MinSamplesLeaf)
+        continue;
+      double RightImpurity;
+      {
+        // Right counts = Counts - LeftCounts.
+        double SumSq = 0.0;
+        for (unsigned C = 0; C != NumClasses; ++C) {
+          double R = Counts[C] - LeftCounts[C];
+          SumSq += R * R;
+        }
+        RightImpurity = 1.0 - SumSq / (NRight * NRight);
+      }
+      double Gain = ParentImpurity - (NLeft / Total) * gini(LeftCounts, NLeft) -
+                    (NRight / Total) * RightImpurity;
+      if (Gain > BestGain) {
+        BestGain = Gain;
+        BestFeature = static_cast<int>(F);
+        BestThreshold = (Va + Vb) / 2.0;
+      }
+    }
+  }
+
+  if (BestFeature < 0)
+    return makeLeaf(Counts, Options);
+
+  // Stable in-place partition of every candidate column by the chosen
+  // split: left rows compact forward (overwriting only positions already
+  // read), right rows stage in the scratch buffer and copy back. Each
+  // column stays value-ordered for its own feature, so children need no
+  // re-sorting.
+  const double *SplitVals = Data.featureCol(static_cast<unsigned>(BestFeature));
+  size_t MidPos = Begin;
+  for (unsigned CI = 0, CE = View.numFeatures(); CI != CE; ++CI) {
+    uint32_t *Col = View.column(CI);
+    Scratch.clear();
+    size_t Write = Begin;
+    for (size_t I = Begin; I != End; ++I) {
+      uint32_t Row = Col[I];
+      if (SplitVals[Row] <= BestThreshold)
+        Col[Write++] = Row;
+      else
+        Scratch.push_back(Row);
+    }
+    std::copy(Scratch.begin(), Scratch.end(), Col + Write);
+    MidPos = Write;
+  }
+  if (MidPos == Begin || MidPos == End)
+    return makeLeaf(Counts, Options); // Degenerate split; should not happen.
+
+  unsigned Self = static_cast<unsigned>(Nodes.size());
+  Nodes.emplace_back();
+  Nodes[Self].IsLeaf = false;
+  Nodes[Self].Feature = BestFeature;
+  Nodes[Self].Threshold = BestThreshold;
+  unsigned Left = buildPresorted(Data, Y, NumClasses, Options, View, Begin,
+                                 MidPos, Depth + 1, Scratch);
+  unsigned Right = buildPresorted(Data, Y, NumClasses, Options, View, MidPos,
+                                  End, Depth + 1, Scratch);
+  Nodes[Self].Left = Left;
+  Nodes[Self].Right = Right;
+  return Self;
+}
+
+void DecisionTree::fit(const ml::Dataset &Data, const std::vector<unsigned> &Y,
+                       unsigned NumClasses, const DecisionTreeOptions &Options,
+                       ml::PresortedView &View) {
+  assert(Y.size() == Data.numRows() && "labels must cover every dataset row");
+  assert(NumClasses >= 1 && "need at least one class");
+  assert(View.size() > 0 && "cannot train on zero samples");
+  assert(View.numFeatures() > 0 && "need at least one candidate feature");
+  Nodes.clear();
+  NumFeatures = Data.numFeatures();
+  std::vector<uint32_t> Scratch;
+  Scratch.reserve(View.size());
+  buildPresorted(Data, Y, NumClasses, Options, View, 0, View.size(), 0,
+                 Scratch);
+}
+
 void DecisionTree::fit(const linalg::Matrix &X, const std::vector<unsigned> &Y,
                        unsigned NumClasses,
                        const DecisionTreeOptions &Options,
@@ -195,15 +322,32 @@ unsigned DecisionTree::predict(const std::vector<double> &Row) const {
 
 unsigned DecisionTree::predictLazy(
     const std::function<double(unsigned)> &GetFeature) const {
-  assert(trained() && "predictLazy() before fit()");
-  unsigned N = 0;
-  while (!Nodes[N].IsLeaf) {
-    const Node &Cur = Nodes[N];
-    N = GetFeature(static_cast<unsigned>(Cur.Feature)) <= Cur.Threshold
-            ? Cur.Left
-            : Cur.Right;
+  return predictWith(GetFeature);
+}
+
+std::string DecisionTree::structuralKey() const {
+  std::string Key;
+  Key.reserve(Nodes.size() * 21 + 8);
+  auto AppendU32 = [&Key](uint32_t V) {
+    char Buf[4];
+    std::memcpy(Buf, &V, 4);
+    Key.append(Buf, 4);
+  };
+  AppendU32(static_cast<uint32_t>(Nodes.size()));
+  for (const Node &N : Nodes) {
+    Key.push_back(N.IsLeaf ? 1 : 0);
+    if (N.IsLeaf) {
+      AppendU32(N.Label);
+    } else {
+      AppendU32(static_cast<uint32_t>(N.Feature));
+      char Buf[8];
+      std::memcpy(Buf, &N.Threshold, 8);
+      Key.append(Buf, 8);
+      AppendU32(N.Left);
+      AppendU32(N.Right);
+    }
   }
-  return Nodes[N].Label;
+  return Key;
 }
 
 std::vector<unsigned> DecisionTree::usedFeatures() const {

@@ -20,9 +20,12 @@
 #include "linalg/Matrix.h"
 #include "ml/CostMatrix.h"
 
+#include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
+
+#include <string>
 
 namespace pbt {
 namespace serialize {
@@ -33,6 +36,8 @@ namespace ml {
 
 struct CompiledArena;
 struct CompiledClassifier;
+class Dataset;
+class PresortedView;
 
 struct DecisionTreeOptions {
   unsigned MaxDepth = 12;
@@ -54,6 +59,19 @@ public:
            unsigned NumClasses, const DecisionTreeOptions &Options = {},
            const std::vector<size_t> &SampleIndices = {});
 
+  /// Trains over a columnar ml::Dataset through a presorted view: node
+  /// sweeps walk the per-feature value-ordered row lists and the chosen
+  /// split stably partitions them in place (SPRINT-style), so the build
+  /// performs no sorting at all. Produces exactly the tree fit() would on
+  /// the equivalent row-major inputs -- same splits, same node order,
+  /// same serialized bytes (pinned by DatasetTest and the golden suite).
+  /// \p Y holds one label per *global* dataset row; \p View's features
+  /// are the split candidates (Options.AllowedFeatures is ignored here).
+  /// \p View is consumed (its columns end up partitioned).
+  void fit(const ml::Dataset &Data, const std::vector<unsigned> &Y,
+           unsigned NumClasses, const DecisionTreeOptions &Options,
+           ml::PresortedView &View);
+
   /// Predicted class for a dense feature row.
   unsigned predict(const std::vector<double> &Row) const;
   unsigned predict(const double *Row, size_t Width) const;
@@ -62,6 +80,26 @@ public:
   /// only for features on the root-to-leaf path, enabling per-input
   /// feature-extraction cost accounting in the production classifier.
   unsigned predictLazy(const std::function<double(unsigned)> &GetFeature) const;
+
+  /// predictLazy without the std::function indirection: the hot training
+  /// scorers instantiate this directly with a column reader. Identical
+  /// arithmetic to predictLazy (which delegates here).
+  template <class GetFn> unsigned predictWith(GetFn &&GetFeature) const {
+    assert(trained() && "predictWith() before fit()");
+    unsigned N = 0;
+    while (!Nodes[N].IsLeaf) {
+      const Node &Cur = Nodes[N];
+      N = GetFeature(static_cast<unsigned>(Cur.Feature)) <= Cur.Threshold
+              ? Cur.Left
+              : Cur.Right;
+    }
+    return Nodes[N].Label;
+  }
+
+  /// Stable byte encoding of the fitted structure (nodes in emission
+  /// order). Two trees with equal keys decide identically on every input,
+  /// which is what the Level-2 zoo's fold evaluation cache keys on.
+  std::string structuralKey() const;
 
   /// Features actually referenced by at least one internal node.
   std::vector<unsigned> usedFeatures() const;
@@ -100,6 +138,11 @@ private:
                  std::vector<size_t> &Indices, size_t Begin, size_t End,
                  unsigned Depth,
                  std::vector<std::pair<double, unsigned>> &Scratch);
+  unsigned buildPresorted(const ml::Dataset &Data,
+                          const std::vector<unsigned> &Y, unsigned NumClasses,
+                          const DecisionTreeOptions &Options,
+                          ml::PresortedView &View, size_t Begin, size_t End,
+                          unsigned Depth, std::vector<uint32_t> &Scratch);
   unsigned makeLeaf(const std::vector<double> &ClassCounts,
                     const DecisionTreeOptions &Options);
 

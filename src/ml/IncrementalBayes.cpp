@@ -105,33 +105,7 @@ unsigned IncrementalBayes::regionOf(unsigned OrderPos, double Value) const {
 
 IncrementalPrediction IncrementalBayes::predictLazy(
     const std::function<double(unsigned)> &GetFeature) const {
-  assert(!Priors.empty() && "predict() before fit()");
-  std::vector<double> LogPost(NumClasses);
-  for (unsigned C = 0; C != NumClasses; ++C)
-    LogPost[C] = std::log(std::max(Priors[C], 1e-300));
-
-  IncrementalPrediction Out;
-  for (size_t Pos = 0; Pos != Order.size(); ++Pos) {
-    double Value = GetFeature(Order[Pos]);
-    ++Out.FeaturesUsed;
-    unsigned R = regionOf(static_cast<unsigned>(Pos), Value);
-    for (unsigned C = 0; C != NumClasses; ++C)
-      LogPost[C] += LogProb[Pos][static_cast<size_t>(C) * Bins + R];
-
-    // Normalised posterior of the current best class (Equation 1).
-    double MaxLog = *std::max_element(LogPost.begin(), LogPost.end());
-    double Z = 0.0;
-    for (double L : LogPost)
-      Z += std::exp(L - MaxLog);
-    unsigned Best = static_cast<unsigned>(std::distance(
-        LogPost.begin(), std::max_element(LogPost.begin(), LogPost.end())));
-    double Posterior = std::exp(LogPost[Best] - MaxLog) / Z;
-    Out.Label = Best;
-    Out.Confidence = Posterior;
-    if (Posterior > PosteriorThreshold)
-      return Out; // Enough evidence; stop acquiring features.
-  }
-  return Out;
+  return predictWith(GetFeature);
 }
 
 IncrementalPrediction

@@ -115,10 +115,20 @@ KMeansResult ml::kMeans(const linalg::Matrix &Points,
   R.Centroids = initCentroids(Points, K, Options.Init, Rng, Cost);
   R.Assignment.assign(N, 0);
 
-  // Buffers reused across iterations: the accumulator matrix swaps with
-  // the centroid matrix instead of being reallocated every pass.
-  std::vector<double> ClusterSize(K, 0.0);
-  linalg::Matrix NewC(K, D, 0.0);
+  // Buffers reused across iterations *and across calls*: the accumulator
+  // matrix swaps with the centroid matrix instead of being reallocated
+  // every pass, and both it and the cluster-size vector persist per
+  // thread -- the adaptive loop retrains (and the clustering benchmark
+  // runs) K-means thousands of times, and the per-call allocation churn
+  // showed up under the drift-response profile. Both buffers are fully
+  // overwritten below, so reuse is invisible to results.
+  thread_local std::vector<double> ClusterSizeTL;
+  thread_local linalg::Matrix NewCTL;
+  std::vector<double> &ClusterSize = ClusterSizeTL;
+  ClusterSize.assign(K, 0.0);
+  if (NewCTL.rows() != K || NewCTL.cols() != D)
+    NewCTL = linalg::Matrix(K, D, 0.0);
+  linalg::Matrix &NewC = NewCTL;
   for (unsigned Iter = 0; Iter != std::max(1u, Options.MaxIterations);
        ++Iter) {
     R.IterationsRun = Iter + 1;

@@ -39,22 +39,29 @@ void Reservoir::add(size_t Item) {
 }
 
 std::vector<size_t> Reservoir::sample() const {
-  if (Policy != ReservoirPolicy::Recent || Items.size() < Capacity ||
-      Next == 0)
-    return Items;
-  // Unroll the ring so the caller sees oldest-to-newest arrival order.
   std::vector<size_t> Out;
-  Out.reserve(Items.size());
-  Out.insert(Out.end(), Items.begin() + static_cast<long>(Next), Items.end());
-  Out.insert(Out.end(), Items.begin(), Items.begin() + static_cast<long>(Next));
+  sampleInto(Out);
   return Out;
 }
 
+void Reservoir::sampleInto(std::vector<size_t> &Out) const {
+  Out.clear();
+  Out.reserve(Items.size());
+  if (Policy != ReservoirPolicy::Recent || Items.size() < Capacity ||
+      Next == 0) {
+    Out.insert(Out.end(), Items.begin(), Items.end());
+    return;
+  }
+  // Unroll the ring so the caller sees oldest-to-newest arrival order.
+  Out.insert(Out.end(), Items.begin() + static_cast<long>(Next), Items.end());
+  Out.insert(Out.end(), Items.begin(), Items.begin() + static_cast<long>(Next));
+}
+
 size_t Reservoir::distinctCount() const {
-  std::vector<size_t> Sorted = Items;
-  std::sort(Sorted.begin(), Sorted.end());
+  Scratch.assign(Items.begin(), Items.end());
+  std::sort(Scratch.begin(), Scratch.end());
   return static_cast<size_t>(
-      std::unique(Sorted.begin(), Sorted.end()) - Sorted.begin());
+      std::unique(Scratch.begin(), Scratch.end()) - Scratch.begin());
 }
 
 void Reservoir::reset() {

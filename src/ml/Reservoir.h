@@ -56,8 +56,14 @@ public:
   /// Uniform policy: slot order (an unordered uniform sample).
   std::vector<size_t> sample() const;
 
+  /// sample() into a caller-owned buffer (cleared first). The adaptive
+  /// loop keeps one buffer across retrain rounds, so the per-drift sample
+  /// materialisation stops allocating.
+  void sampleInto(std::vector<size_t> &Out) const;
+
   /// Number of distinct item values currently retained (the retrain
   /// feasibility check: a window full of one hot input cannot train).
+  /// Uses an internal scratch buffer reused across calls.
   size_t distinctCount() const;
 
   /// Items offered since construction or the last reset().
@@ -80,6 +86,8 @@ private:
   size_t Next = 0; ///< Recent policy: ring cursor.
   support::Rng Rng{0};
   std::vector<size_t> Items;
+  /// distinctCount() scratch, reused across retrain rounds.
+  mutable std::vector<size_t> Scratch;
 };
 
 } // namespace ml

@@ -44,6 +44,9 @@ AdaptiveService::AdaptiveService(const TunableProgram &Program,
 
   auto First = std::make_shared<ModelEpoch>();
   First->Model = std::move(Initial);
+  // Serving never reads the columnar training substrate; don't let an
+  // in-memory-trained initial model pin it for the service's lifetime.
+  First->Model.System.Data.reset();
   First->Compiled = CompiledModel::compile(First->Model);
   if (!First->Compiled.ready()) {
     Status = serialize::LoadStatus::failure("initial model failed to compile");
@@ -273,8 +276,13 @@ void AdaptiveService::clampRetrainOptions(core::PipelineOptions &Opt,
 
 bool AdaptiveService::adaptNow() {
   assert(Ok && "adaptNow() on a non-ready AdaptiveService");
+  // serve() invokes the drift response synchronously at the detection, so
+  // this timer spans the whole drift-to-swap window: the stretch of time
+  // during which live traffic keeps being served by the stale champion.
+  support::WallTimer Window;
   EpochPtr Ep = currentEpoch();
-  std::vector<size_t> Sample = Traffic.sample();
+  Traffic.sampleInto(SampleBuf);
+  const std::vector<size_t> &Sample = SampleBuf;
   if (Sample.size() < Opts.MinRetrainInputs ||
       Traffic.distinctCount() < std::max<size_t>(4, Opts.MinRetrainInputs / 2)) {
     // Too little (or too repetitive) evidence to retrain on: accept the
@@ -288,6 +296,7 @@ bool AdaptiveService::adaptNow() {
   Attempt.FromEpoch = Ep->Model.Meta.Epoch;
   Attempt.AtDecision = DecisionCount.load(std::memory_order_relaxed);
 
+  support::WallTimer RetrainTimer;
   auto Candidate = std::make_shared<ModelEpoch>();
   try {
     SubsetProgram View(Program, Sample);
@@ -299,6 +308,10 @@ bool AdaptiveService::adaptNow() {
     Candidate->Model = serialize::makeModel(
         Ep->Model.Meta.Benchmark, Ep->Model.Meta.Scale,
         Ep->Model.Meta.ProgramSeed, View, std::move(Sys));
+    // The columnar substrate is training-only state; a published epoch
+    // lives as long as serving (and any outstanding Decision) holds it,
+    // so drop the dead weight before publishing.
+    Candidate->Model.System.Data.reset();
     Candidate->Model.Meta.Epoch = Ep->Model.Meta.Epoch + 1;
     Candidate->Compiled = CompiledModel::compile(Candidate->Model);
   } catch (const std::exception &) {
@@ -309,6 +322,7 @@ bool AdaptiveService::adaptNow() {
     Monitor.rebaseToWindow();
     return false;
   }
+  Attempt.RetrainSeconds = RetrainTimer.elapsedSeconds();
   RetrainCount.fetch_add(1, std::memory_order_relaxed);
   if (!Candidate->Compiled.ready()) {
     RejectCount.fetch_add(1, std::memory_order_relaxed);
@@ -318,13 +332,16 @@ bool AdaptiveService::adaptNow() {
 
   // Shadow evaluation: champion and candidate serve the same recent
   // traffic; the measured mean run cost decides.
+  support::WallTimer ShadowTimer;
   Attempt.ChampionShadowCost = shadowScore(*Ep, Sample);
   Attempt.CandidateShadowCost = shadowScore(*Candidate, Sample);
+  Attempt.ShadowSeconds = ShadowTimer.elapsedSeconds();
   Attempt.Accepted = Attempt.CandidateShadowCost <
                      Attempt.ChampionShadowCost * (1.0 - Opts.SwapMargin);
 
   if (!Attempt.Accepted) {
     RejectCount.fetch_add(1, std::memory_order_relaxed);
+    Attempt.DriftToSwapSeconds = Window.elapsedSeconds();
     {
       std::lock_guard<std::mutex> Lock(SwapMutex);
       Attempt.ToEpoch = Candidate->Model.Meta.Epoch;
@@ -337,6 +354,7 @@ bool AdaptiveService::adaptNow() {
     return false;
   }
 
+  Attempt.DriftToSwapSeconds = Window.elapsedSeconds();
   publish(std::move(Candidate), &Attempt);
   SwapCount.fetch_add(1, std::memory_order_relaxed);
   EpochPtr Now = currentEpoch();
@@ -359,6 +377,7 @@ serialize::LoadStatus AdaptiveService::swapModel(serialize::TrainedModel Next) {
         "pushed model has no production classifier or no landmarks");
   auto Ep = std::make_shared<ModelEpoch>();
   Ep->Model = std::move(Next);
+  Ep->Model.System.Data.reset(); // training-only state; see constructor
   Ep->Compiled = CompiledModel::compile(Ep->Model);
   if (!Ep->Compiled.ready())
     return serialize::LoadStatus::failure("pushed model failed to compile");

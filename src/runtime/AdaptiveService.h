@@ -112,6 +112,15 @@ public:
     double ChampionShadowCost = 0.0;
     double CandidateShadowCost = 0.0;
     bool Accepted = false;
+    /// Wall seconds of the shadow retrain (pipeline + compile).
+    double RetrainSeconds = 0.0;
+    /// Wall seconds of the champion + candidate shadow scoring.
+    double ShadowSeconds = 0.0;
+    /// Wall seconds from the drift response starting (the detection --
+    /// serve() invokes the response synchronously at the flag) to the
+    /// epoch swap publishing, i.e. how long live traffic was served by
+    /// the stale champion. For rejected attempts: time to the verdict.
+    double DriftToSwapSeconds = 0.0;
   };
 
   struct StatsSnapshot {
@@ -247,6 +256,8 @@ private:
   /// Internal epoch Id the monitor's reference was rebased to.
   uint64_t MonitorEpochId = 0;
   ml::Reservoir Traffic;
+  /// Reservoir sample buffer, reused across retrain rounds.
+  std::vector<size_t> SampleBuf;
 
   // Lifetime accounting; atomics because swapModel() updates SwapCount
   // from a foreign thread while the serving thread reads/writes the rest.

@@ -8,7 +8,6 @@
 
 #include <cassert>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 using namespace pbt;
@@ -76,9 +75,12 @@ std::string support::formatPercent(double Fraction) {
   return formatDouble(Fraction * 100.0, 2) + "%";
 }
 
+static bool needsCsvQuote(const std::string &Cell) {
+  return Cell.find_first_of(",\"\n") != std::string::npos;
+}
+
 static std::string escapeCsv(const std::string &Cell) {
-  bool NeedsQuote = Cell.find_first_of(",\"\n") != std::string::npos;
-  if (!NeedsQuote)
+  if (!needsCsvQuote(Cell))
     return Cell;
   std::string Out = "\"";
   for (char C : Cell) {
@@ -99,26 +101,49 @@ void CsvWriter::addRow(std::vector<std::string> Cells) {
 }
 
 std::string CsvWriter::str() const {
-  std::ostringstream OS;
+  // One pre-sized string built by plain appends. The previous
+  // ostringstream emitter paid a formatted-stream insertion per cell,
+  // which dominated fig6/fig8 report generation at large --scale (one row
+  // per test input per benchmark).
+  size_t Bytes = 0;
+  auto Measure = [&](const std::vector<std::string> &Row) {
+    for (const std::string &Cell : Row)
+      Bytes += Cell.size() + 1; // separator or newline
+    Bytes += 2; // quoting slack
+  };
+  if (!Header.empty())
+    Measure(Header);
+  for (const auto &Row : Rows)
+    Measure(Row);
+
+  std::string Out;
+  Out.reserve(Bytes);
   auto Emit = [&](const std::vector<std::string> &Row) {
     for (size_t I = 0; I != Row.size(); ++I) {
-      OS << escapeCsv(Row[I]);
+      const std::string &Cell = Row[I];
+      if (!needsCsvQuote(Cell))
+        Out += Cell;
+      else
+        Out += escapeCsv(Cell);
       if (I + 1 != Row.size())
-        OS << ',';
+        Out += ',';
     }
-    OS << '\n';
+    Out += '\n';
   };
   if (!Header.empty())
     Emit(Header);
   for (const auto &Row : Rows)
     Emit(Row);
-  return OS.str();
+  return Out;
 }
 
 bool CsvWriter::writeFile(const std::string &Path) const {
-  std::ofstream OS(Path);
-  if (!OS)
+  // Single buffered write: build the whole file in memory, hand it to the
+  // OS in one call.
+  std::string Text = str();
+  FILE *Out = std::fopen(Path.c_str(), "wb");
+  if (!Out)
     return false;
-  OS << str();
-  return static_cast<bool>(OS);
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), Out) == Text.size();
+  return std::fclose(Out) == 0 && Ok;
 }

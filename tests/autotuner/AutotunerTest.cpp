@@ -166,4 +166,33 @@ TEST(AutotunerTest, ParallelEvaluationMatchesSequential) {
   EXPECT_EQ(A.Best, B.Best) << "cost model determinism is scheduling-proof";
 }
 
+TEST(AutotunerTest, MemoizedEvaluationMatchesUnmemoized) {
+  // The run memo only replays deterministic outcomes, so the whole search
+  // trajectory -- not just the winner -- must be unchanged, with and
+  // without a pool in the mix.
+  for (bool WithAccuracy : {false, true}) {
+    QuadraticProgram P(WithAccuracy);
+    AutotunerOptions O;
+    O.PopulationSize = 14;
+    O.Generations = 10;
+    O.Seed = 17;
+    O.Memoize = false;
+    TuneResult Plain = EvolutionaryAutotuner(O).tune(P, 0);
+    O.Memoize = true;
+    TuneResult Memo = EvolutionaryAutotuner(O).tune(P, 0);
+    EXPECT_EQ(Plain.Best, Memo.Best);
+    EXPECT_EQ(Plain.BestOutcome.TimeUnits, Memo.BestOutcome.TimeUnits);
+    EXPECT_EQ(Plain.BestOutcome.Accuracy, Memo.BestOutcome.Accuracy);
+    EXPECT_EQ(Plain.History, Memo.History);
+    EXPECT_EQ(Plain.Evaluations, Memo.Evaluations)
+        << "hits still count as search effort";
+
+    support::ThreadPool Pool(3);
+    O.Pool = &Pool;
+    TuneResult Pooled = EvolutionaryAutotuner(O).tune(P, 0);
+    EXPECT_EQ(Plain.Best, Pooled.Best);
+    EXPECT_EQ(Plain.History, Pooled.History);
+  }
+}
+
 } // namespace

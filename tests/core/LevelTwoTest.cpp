@@ -178,4 +178,37 @@ TEST_F(LevelTwoPipelineTest, RefinementMoveFractionInUnitRange) {
   EXPECT_LE(L2->RefinementMoveFraction, 1.0);
 }
 
+// The tentpole exactness contract: the columnar ml::Dataset zoo (the
+// default, which the fixture above ran) and the row-major reference path
+// agree bit-for-bit -- every candidate score, the refinement labels, the
+// selection, and the production classifier's decision on every row.
+TEST_F(LevelTwoPipelineTest, DatasetPathMatchesRowMajorPathExactly) {
+  LevelTwoOptions O2;
+  O2.CVFolds = 3;
+  O2.UseDataset = false;
+  LevelTwoResult Ref = runLevelTwo(*Program, *L1, TrainRows, O2);
+
+  EXPECT_EQ(L2->TrainLabels, Ref.TrainLabels);
+  EXPECT_EQ(L2->RefinementMoveFraction, Ref.RefinementMoveFraction);
+  EXPECT_EQ(L2->SelectedName, Ref.SelectedName);
+  ASSERT_EQ(L2->Candidates.size(), Ref.Candidates.size());
+  for (size_t I = 0; I != Ref.Candidates.size(); ++I) {
+    EXPECT_EQ(L2->Candidates[I].Name, Ref.Candidates[I].Name) << I;
+    EXPECT_EQ(L2->Candidates[I].Objective, Ref.Candidates[I].Objective) << I;
+    EXPECT_EQ(L2->Candidates[I].ObjectiveNoFeat,
+              Ref.Candidates[I].ObjectiveNoFeat)
+        << I;
+    EXPECT_EQ(L2->Candidates[I].Satisfaction, Ref.Candidates[I].Satisfaction)
+        << I;
+    EXPECT_EQ(L2->Candidates[I].Valid, Ref.Candidates[I].Valid) << I;
+  }
+  for (size_t Row = 0; Row != Program->numInputs(); ++Row) {
+    FeatureProbe A = probeFromTable(L1->Features, L1->ExtractCosts, Row);
+    FeatureProbe B = probeFromTable(L1->Features, L1->ExtractCosts, Row);
+    EXPECT_EQ(L2->Production->classify(A), Ref.Production->classify(B))
+        << Row;
+    EXPECT_EQ(A.totalCost(), B.totalCost()) << Row;
+  }
+}
+
 } // namespace

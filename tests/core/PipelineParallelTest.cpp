@@ -7,9 +7,13 @@
 
 #include "core/Pipeline.h"
 #include "registry/BenchmarkRegistry.h"
+#include "serialize/ModelIO.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
 
 using namespace pbt;
 using namespace pbt::core;
@@ -93,6 +97,39 @@ TEST(PipelineParallelTest, PooledLandmarkSweepMatchesSequential) {
     EXPECT_EQ(Seq[I].Speedups.Max, Par[I].Speedups.Max);
     EXPECT_EQ(Seq[I].Speedups.Median, Par[I].Speedups.Median);
   }
+}
+
+// The columnar Dataset path's chunked fold x subset scheduling must be
+// invisible in the trained artifact: training at 0 (no pool), 1, 2 and 8
+// threads serializes to byte-identical model files.
+TEST(PipelineParallelTest, ModelBytesInvariantAcrossThreadCounts) {
+  const registry::BenchmarkFactory &F =
+      registry::BenchmarkRegistry::instance().get("sort2");
+  PipelineOptions Options = F.defaultOptions(0.15);
+  Options.L1.Tuner.PopulationSize = 8;
+  Options.L1.Tuner.Generations = 3;
+
+  std::vector<std::string> Serialized;
+  for (unsigned Threads : {0u, 1u, 2u, 8u}) {
+    registry::ProgramPtr Program =
+        F.makeProgram(0.15, F.defaultProgramSeed());
+    std::optional<support::ThreadPool> Pool;
+    PipelineOptions Opt = Options;
+    if (Threads > 0) {
+      Pool.emplace(Threads);
+      Opt.Pool = &*Pool;
+    } else {
+      Opt.Pool = nullptr;
+    }
+    TrainedSystem System = trainSystem(*Program, Opt);
+    serialize::TrainedModel Model = serialize::makeModel(
+        "sort2", 0.15, F.defaultProgramSeed(), *Program, std::move(System));
+    Serialized.push_back(serialize::serializeModel(Model));
+  }
+  for (size_t I = 1; I != Serialized.size(); ++I)
+    EXPECT_EQ(Serialized[0], Serialized[I])
+        << "thread-count " << (I == 1 ? 1 : I == 2 ? 2 : 8)
+        << " diverged from the sequential bytes";
 }
 
 } // namespace

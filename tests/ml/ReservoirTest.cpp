@@ -94,4 +94,25 @@ TEST(ReservoirTest, DistinctCountAndZeroCapacity) {
   EXPECT_EQ(Zero.seen(), 0u);
 }
 
+TEST(ReservoirTest, SampleIntoMatchesSampleAndReusesTheBuffer) {
+  Reservoir R(4, 9);
+  std::vector<size_t> Buf;
+  for (size_t V = 0; V != 11; ++V) {
+    R.add(V);
+    R.sampleInto(Buf);
+    EXPECT_EQ(Buf, R.sample()) << "after " << V + 1 << " adds";
+  }
+  // The buffer keeps its capacity across rounds (the adaptive loop's
+  // allocation-churn fix); refills never grow past the reservoir.
+  size_t Cap = Buf.capacity();
+  R.sampleInto(Buf);
+  EXPECT_EQ(Buf.capacity(), Cap);
+
+  Reservoir U(5, 9, ReservoirPolicy::Uniform);
+  for (size_t V = 0; V != 40; ++V)
+    U.add(V);
+  U.sampleInto(Buf);
+  EXPECT_EQ(Buf, U.sample());
+}
+
 } // namespace

@@ -155,8 +155,18 @@ TEST(AdaptiveStreamTest, AbruptShiftDetectSwapAndBeatFrozenBaseline) {
   ASSERT_GE(Ada.Stats.Swaps, 1u);
   ASSERT_FALSE(Ada.SwapTicks.empty());
   bool AnyAccepted = false;
-  for (const auto &Rec : Ada.History)
+  for (const auto &Rec : Ada.History) {
     AnyAccepted |= Rec.Accepted;
+    // The drift-to-swap window (what `pbt-bench stream` reports) must be
+    // populated and contain its retrain component.
+    EXPECT_GE(Rec.RetrainSeconds, 0.0);
+    EXPECT_GE(Rec.ShadowSeconds, 0.0);
+    EXPECT_GE(Rec.DriftToSwapSeconds, 0.0);
+    if (Rec.Accepted) {
+      EXPECT_GT(Rec.DriftToSwapSeconds, 0.0);
+      EXPECT_GE(Rec.DriftToSwapSeconds, Rec.RetrainSeconds);
+    }
+  }
   EXPECT_TRUE(AnyAccepted);
   // The served epoch actually advanced.
   EXPECT_GT(Ada.Epochs.back(), Ada.Epochs.front());
