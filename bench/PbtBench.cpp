@@ -69,7 +69,8 @@ static void printUsage() {
       "  --out-dir=DIR        directory for CSV series and models (default: .)\n"
       "  --trials=N           random subsets per fig8 landmark count\n"
       "  --out=FILE           train: model path (single benchmark only)\n"
-      "  --model=FILE         predict: the model file to serve from\n"
+      "  --model=FILE[,FILE]  predict/serve: model file(s) to serve from\n"
+      "                       (serve accepts a comma-separated list)\n"
       "  --rows=WHICH         predict/serve: test|train|all recorded rows\n"
       "  --repeat=N           predict: passes over the rows (memo check);\n"
       "                       trainbench: timing passes per path (best-of)\n"

@@ -12,9 +12,11 @@
 #include "core/TheoreticalModel.h"
 #include "runtime/AdaptiveService.h"
 #include "runtime/PredictionService.h"
+#include "runtime/SimdLanes.h"
 #include "serialize/ModelIO.h"
 #include "streams/WorkloadStream.h"
 #include "support/Cost.h"
+#include "support/SimdDispatch.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
 
@@ -430,6 +432,10 @@ static ServePhase measureCompiled(runtime::PredictionService &Service,
                                   support::ThreadPool *Pool, double Seconds) {
   ServePhase P;
   std::vector<double> Latencies;
+  // One untimed warm-up pass: first-touch faults, pool wake-up and any
+  // one-time setup never land in a latency sample (the percentiles must
+  // reflect steady-state serving).
+  Service.decideBatch(Batch, Pool);
   support::WallTimer Total;
   double Elapsed = 0.0;
   do {
@@ -457,6 +463,9 @@ static ServePhase measureCold(runtime::PredictionService &Service,
                               support::ThreadPool *Pool, double Seconds) {
   ServePhase P;
   std::vector<double> Latencies;
+  // Untimed warm-up pass (see measureCompiled).
+  Service.clearMemo();
+  Service.decideBatch(Batch, Pool);
   support::WallTimer Total;
   double Elapsed = 0.0;
   double Spent = 0.0;
@@ -481,6 +490,46 @@ static ServePhase measureCold(runtime::PredictionService &Service,
   return P;
 }
 
+/// Decision-classification phases with the feature memo warm AND
+/// complete: every pass drops only the cached decisions -- outside the
+/// timed region, like measureCold's teardown -- so each timed batch
+/// re-classifies every input from memoized features, through the
+/// dispatched SIMD lanes or (with \p LaneServing off) the frozen scalar
+/// compiled path. The scalar-vs-SIMD ratio of this phase at the pool's
+/// thread count is the number BENCH_serve.json pins.
+static ServePhase measureDecide(runtime::PredictionService &Service,
+                                const std::vector<size_t> &Batch,
+                                support::ThreadPool *Pool, double Seconds,
+                                bool LaneServing) {
+  bool Restore = Service.laneServing();
+  Service.setLaneServing(LaneServing);
+  ServePhase P;
+  std::vector<double> Latencies;
+  // Untimed warm-up pass (see measureCompiled).
+  Service.clearDecisions();
+  Service.decideBatch(Batch, Pool);
+  support::WallTimer Total;
+  double Elapsed = 0.0;
+  double Spent = 0.0;
+  do {
+    Service.clearDecisions();
+    support::WallTimer T;
+    std::vector<runtime::PredictionService::Decision> D =
+        Service.decideBatch(Batch, Pool);
+    Latencies.push_back(T.elapsedSeconds());
+    Spent += Latencies.back();
+    P.Decisions += D.size();
+    Elapsed = Total.elapsedSeconds();
+  } while (Elapsed < Seconds);
+  Service.setLaneServing(Restore);
+  P.Batches = Latencies.size();
+  P.DecisionsPerSec =
+      Spent > 0.0 ? static_cast<double>(P.Decisions) / Spent : 0.0;
+  P.P50BatchUs = support::quantile(Latencies, 0.5) * 1e6;
+  P.P99BatchUs = support::quantile(Latencies, 0.99) * 1e6;
+  return P;
+}
+
 /// Classifier-only phases: drive the lowered production classifier (and
 /// its interpreted twin) directly over the model's recorded feature
 /// table, bypassing the service's decision cache. This is the pure
@@ -493,6 +542,10 @@ static ServePhase measureClassifyCompiled(
   ServePhase P;
   std::vector<double> Latencies;
   runtime::CompiledModel::Scratch S = Compiled.makeScratch();
+  // Untimed warm-up pass (see measureCompiled).
+  for (size_t Row : Batch)
+    (void)Compiled.decideProduction(
+        S, [&Features, Row](unsigned F) { return Features.at(Row, F); });
   support::WallTimer Total;
   double Elapsed = 0.0;
   do {
@@ -514,12 +567,64 @@ static ServePhase measureClassifyCompiled(
   return P;
 }
 
+/// Lane twin of measureClassifyCompiled: the same rows from the same
+/// recorded feature table, classified a lane at a time through the
+/// dispatched engine's classifyProductionBlock. Against the scalar
+/// compiled phase this is the pure kernel ratio, with feature plumbing
+/// and the decision cache held constant.
+static ServePhase measureClassifyLanes(const runtime::CompiledModel &Compiled,
+                                       const runtime::LaneEngine &Engine,
+                                       const linalg::Matrix &Features,
+                                       const std::vector<size_t> &Batch,
+                                       double Seconds) {
+  ServePhase P;
+  std::vector<double> Latencies;
+  runtime::CompiledModel::Scratch S = Compiled.makeScratch();
+  const std::vector<uint32_t> &Reads = Compiled.productionReads();
+  const unsigned W = Engine.Width;
+  unsigned Labels[runtime::kMaxLaneWidth];
+  auto Pass = [&]() {
+    for (size_t Base = 0; Base < Batch.size(); Base += W) {
+      unsigned Count =
+          static_cast<unsigned>(std::min<size_t>(W, Batch.size() - Base));
+      for (unsigned L = 0; L != Count; ++L) {
+        size_t Row = Batch[Base + L];
+        for (uint32_t F : Reads)
+          S.LaneBlock[static_cast<size_t>(F) * W + L] = Features.at(Row, F);
+      }
+      Compiled.classifyProductionBlock(Engine, S, Count, Labels);
+    }
+  };
+  // Untimed warm-up pass (see measureCompiled).
+  Pass();
+  support::WallTimer Total;
+  double Elapsed = 0.0;
+  do {
+    support::WallTimer T;
+    Pass();
+    Latencies.push_back(T.elapsedSeconds());
+    P.Decisions += Batch.size();
+    Elapsed = Total.elapsedSeconds();
+  } while (Elapsed < Seconds);
+  P.Batches = Latencies.size();
+  P.DecisionsPerSec =
+      Elapsed > 0.0 ? static_cast<double>(P.Decisions) / Elapsed : 0.0;
+  P.P50BatchUs = support::quantile(Latencies, 0.5) * 1e6;
+  P.P99BatchUs = support::quantile(Latencies, 0.99) * 1e6;
+  return P;
+}
+
 static ServePhase measureClassifyInterpreted(
     const core::InputClassifier &Classifier, const linalg::Matrix &Features,
     const linalg::Matrix &Costs, const std::vector<size_t> &Batch,
     double Seconds) {
   ServePhase P;
   std::vector<double> Latencies;
+  // Untimed warm-up pass (see measureCompiled).
+  for (size_t Row : Batch) {
+    core::FeatureProbe Probe = core::probeFromTable(Features, Costs, Row);
+    (void)Classifier.classify(Probe);
+  }
   support::WallTimer Total;
   double Elapsed = 0.0;
   do {
@@ -549,6 +654,9 @@ static ServePhase measureInterpreted(runtime::PredictionService &Service,
                                      double Seconds) {
   ServePhase P;
   std::vector<double> Latencies;
+  // Untimed warm-up pass (see measureCompiled).
+  for (size_t Row : Batch)
+    Service.decideInterpreted(Row);
   support::WallTimer Total;
   double Elapsed = 0.0;
   do {
@@ -613,19 +721,54 @@ static std::string jsonPhase(const ServePhase &P) {
          ", \"batches\": " + std::to_string(P.Batches) + "}";
 }
 
-int benchharness::runServe(const DriverOptions &Opts) {
+/// Splits a comma-separated --model value: `serve` accepts a list so one
+/// run (and one BENCH_serve.json) covers every golden model.
+static std::vector<std::string> splitModels(const std::string &Value) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= Value.size()) {
+    size_t Comma = Value.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = Value.size();
+    if (Comma > Start)
+      Out.push_back(Value.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Out;
+}
+
+/// Ratio of two phase throughputs (0 when the denominator is empty).
+static double speedupOf(const ServePhase &Num, const ServePhase &Den) {
+  return Den.DecisionsPerSec > 0.0
+             ? Num.DecisionsPerSec / Den.DecisionsPerSec
+             : 0.0;
+}
+
+/// Benchmarks one model file end to end and appends its JSON object
+/// (one entry of the report's "models" array) to \p Json. Returns a
+/// nonzero exit code when the model cannot be loaded; a parity failure
+/// clears \p ChoicesMatch but still reports the numbers.
+static int serveOneModel(const DriverOptions &Opts, const std::string &Path,
+                         std::string &Json, bool &ChoicesMatch) {
+  DriverOptions ModelOpts = Opts;
+  ModelOpts.Model = Path;
   runtime::PredictionService Service;
   registry::ProgramPtr Program;
-  if (int Failed = loadAndBind(Opts, "serve", Service, Program))
+  // Load + arena lowering is a one-time cost, reported on its own line:
+  // it must never land inside a measured region, so no latency
+  // percentile (in particular no cold-phase p99) includes compile time.
+  support::WallTimer LoadTimer;
+  if (int Failed = loadAndBind(ModelOpts, "serve", Service, Program))
     return Failed;
+  double LoadCompileSeconds = LoadTimer.elapsedSeconds();
   const serialize::TrainedModel &Model = Service.model();
 
   std::vector<size_t> Rows;
-  if (!selectRows(Opts, "serve", Model, Rows))
+  if (!selectRows(ModelOpts, "serve", Model, Rows))
     return 1;
   if (Rows.empty()) {
-    std::fprintf(stderr, "pbt-bench serve: the model records no %s rows\n",
-                 Opts.Rows.c_str());
+    std::fprintf(stderr, "pbt-bench serve: '%s' records no %s rows\n",
+                 Path.c_str(), Opts.Rows.c_str());
     return 1;
   }
 
@@ -642,7 +785,6 @@ int benchharness::runServe(const DriverOptions &Opts) {
 
   // Parity gate: the compiled path must agree with the interpreted
   // classifier on every row before any number is reported.
-  bool ChoicesMatch = true;
   for (size_t Row : Rows)
     if (Service.decide(Row).Landmark !=
         Service.decideInterpreted(Row).Landmark)
@@ -654,65 +796,125 @@ int benchharness::runServe(const DriverOptions &Opts) {
   ServePhase Batched = measureCompiled(Service, Batch, Opts.Pool, Seconds);
   ServePhase ColdSingle = measureCold(Service, Batch, nullptr, Seconds);
   ServePhase ColdBatched = measureCold(Service, Batch, Opts.Pool, Seconds);
-  // Leave the memo warm again for anyone extending this harness.
+
+  // Decision-classification phases, scalar vs SIMD side by side. The
+  // cold phases above dropped the memo; rebuild it feature-complete so
+  // every model kind is lane-eligible (steady-state serving keeps the
+  // memo warm anyway -- this is the regime the tentpole targets).
   Service.decideBatch(Rows, nullptr);
-  // Classifier-only ratio (decision cache bypassed): the compiled arena
-  // walk vs the polymorphic classifier over the same recorded features.
+  for (size_t Row : Rows)
+    Service.warmFeatureMemo(Row);
+  ServePhase DecideScalarSingle =
+      measureDecide(Service, Batch, nullptr, Seconds, /*LaneServing=*/false);
+  ServePhase DecideSimdSingle =
+      measureDecide(Service, Batch, nullptr, Seconds, /*LaneServing=*/true);
+  ServePhase DecideScalarThreads =
+      measureDecide(Service, Batch, Opts.Pool, Seconds, /*LaneServing=*/false);
+  ServePhase DecideSimdThreads =
+      measureDecide(Service, Batch, Opts.Pool, Seconds, /*LaneServing=*/true);
+
+  // Classifier-only ratios (decision cache bypassed): the compiled arena
+  // walk and its lane twin vs the polymorphic classifier, all over the
+  // same recorded features.
   ServePhase ClassifyCompiled = measureClassifyCompiled(
       Service.compiled(), Model.System.L1.Features, Batch, Seconds);
+  ServePhase ClassifyLanes = measureClassifyLanes(
+      Service.compiled(), runtime::laneEngine(Service.simdTier()),
+      Model.System.L1.Features, Batch, Seconds);
   ServePhase ClassifyInterpreted = measureClassifyInterpreted(
       *Model.System.L2.Production, Model.System.L1.Features,
       Model.System.L1.ExtractCosts, Batch, Seconds);
-  unsigned Threads = Opts.Pool ? Opts.Pool->numThreads() : 1;
 
-  double Speedup = Interpreted.DecisionsPerSec > 0.0
-                       ? Single.DecisionsPerSec / Interpreted.DecisionsPerSec
-                       : 0.0;
-  double Scaling = Single.DecisionsPerSec > 0.0
-                       ? Batched.DecisionsPerSec / Single.DecisionsPerSec
-                       : 0.0;
-  double ColdScaling =
-      ColdSingle.DecisionsPerSec > 0.0
-          ? ColdBatched.DecisionsPerSec / ColdSingle.DecisionsPerSec
-          : 0.0;
-  double ClassifySpeedup =
-      ClassifyInterpreted.DecisionsPerSec > 0.0
-          ? ClassifyCompiled.DecisionsPerSec /
-                ClassifyInterpreted.DecisionsPerSec
-          : 0.0;
+  Json += std::string("    {\n") +
+          "      \"model\": \"" + jsonString(Path) + "\",\n" +
+          "      \"benchmark\": \"" + jsonString(Model.Meta.Benchmark) +
+          "\",\n" +
+          "      \"classifier\": \"" + jsonString(Model.System.L2.SelectedName) +
+          "\",\n" +
+          "      \"rows\": " + std::to_string(Rows.size()) + ",\n" +
+          "      \"arena_bytes\": " +
+          std::to_string(Service.compiled().arenaBytes()) + ",\n" +
+          "      \"load_compile_seconds\": " + jsonNumber(LoadCompileSeconds) +
+          ",\n" +
+          "      \"choices_match_interpreted\": " +
+          (ChoicesMatch ? "true" : "false") + ",\n" +
+          "      \"interpreted_single\": " + jsonPhase(Interpreted) + ",\n" +
+          "      \"compiled_single\": " + jsonPhase(Single) + ",\n" +
+          "      \"compiled_batched\": " + jsonPhase(Batched) + ",\n" +
+          "      \"compiled_cold_single\": " + jsonPhase(ColdSingle) + ",\n" +
+          "      \"compiled_cold_batched\": " + jsonPhase(ColdBatched) +
+          ",\n" +
+          "      \"decide_scalar_single\": " + jsonPhase(DecideScalarSingle) +
+          ",\n" +
+          "      \"decide_simd_single\": " + jsonPhase(DecideSimdSingle) +
+          ",\n" +
+          "      \"decide_scalar_threads\": " + jsonPhase(DecideScalarThreads) +
+          ",\n" +
+          "      \"decide_simd_threads\": " + jsonPhase(DecideSimdThreads) +
+          ",\n" +
+          "      \"classify_compiled_single\": " + jsonPhase(ClassifyCompiled) +
+          ",\n" +
+          "      \"classify_lanes_single\": " + jsonPhase(ClassifyLanes) +
+          ",\n" +
+          "      \"classify_interpreted_single\": " +
+          jsonPhase(ClassifyInterpreted) + ",\n" +
+          "      \"compiled_vs_interpreted_speedup\": " +
+          jsonNumber(speedupOf(Single, Interpreted)) + ",\n" +
+          "      \"classify_compiled_vs_interpreted_speedup\": " +
+          jsonNumber(speedupOf(ClassifyCompiled, ClassifyInterpreted)) +
+          ",\n" +
+          "      \"classify_lanes_vs_compiled_speedup\": " +
+          jsonNumber(speedupOf(ClassifyLanes, ClassifyCompiled)) + ",\n" +
+          "      \"batched_vs_single_scaling\": " +
+          jsonNumber(speedupOf(Batched, Single)) + ",\n" +
+          "      \"cold_batched_vs_single_scaling\": " +
+          jsonNumber(speedupOf(ColdBatched, ColdSingle)) + ",\n" +
+          "      \"simd_vs_scalar_single_speedup\": " +
+          jsonNumber(speedupOf(DecideSimdSingle, DecideScalarSingle)) + ",\n" +
+          "      \"simd_vs_scalar_threads_speedup\": " +
+          jsonNumber(speedupOf(DecideSimdThreads, DecideScalarThreads)) +
+          "\n" +
+          "    }";
+  std::fprintf(stderr,
+               "[serve] %-12s simd/scalar %.2fx single, %.2fx pooled "
+               "(%s lanes)\n",
+               Model.Meta.Benchmark.c_str(),
+               speedupOf(DecideSimdSingle, DecideScalarSingle),
+               speedupOf(DecideSimdThreads, DecideScalarThreads),
+               support::simdTierName(Service.simdTier()));
+  return 0;
+}
+
+int benchharness::runServe(const DriverOptions &Opts) {
+  std::vector<std::string> Models = splitModels(Opts.Model);
+  if (Models.empty()) {
+    std::fprintf(stderr,
+                 "pbt-bench serve: --model=FILE[,FILE...] is required\n");
+    return 1;
+  }
+  unsigned Threads = Opts.Pool ? Opts.Pool->numThreads() : 1;
+  const runtime::LaneEngine &Active =
+      runtime::laneEngine(support::activeSimdTier());
 
   std::string Json =
       std::string("{\n") +
       "  \"subcommand\": \"serve\",\n" +
-      "  \"model\": \"" + jsonString(Opts.Model) + "\",\n" +
-      "  \"benchmark\": \"" + jsonString(Model.Meta.Benchmark) + "\",\n" +
-      "  \"classifier\": \"" + jsonString(Model.System.L2.SelectedName) +
-      "\",\n" +
-      "  \"rows\": " + std::to_string(Rows.size()) + ",\n" +
-      "  \"batch\": " + std::to_string(BatchSize) + ",\n" +
       "  \"threads\": " + std::to_string(Threads) + ",\n" +
-      "  \"seconds_per_phase\": " + jsonNumber(Seconds) + ",\n" +
-      "  \"arena_bytes\": " +
-      std::to_string(Service.compiled().arenaBytes()) + ",\n" +
-      "  \"choices_match_interpreted\": " +
-      (ChoicesMatch ? "true" : "false") + ",\n" +
-      "  \"interpreted_single\": " + jsonPhase(Interpreted) + ",\n" +
-      "  \"compiled_single\": " + jsonPhase(Single) + ",\n" +
-      "  \"compiled_batched\": " + jsonPhase(Batched) + ",\n" +
-      "  \"compiled_cold_single\": " + jsonPhase(ColdSingle) + ",\n" +
-      "  \"compiled_cold_batched\": " + jsonPhase(ColdBatched) + ",\n" +
-      "  \"classify_compiled_single\": " + jsonPhase(ClassifyCompiled) +
-      ",\n" +
-      "  \"classify_interpreted_single\": " + jsonPhase(ClassifyInterpreted) +
-      ",\n" +
-      "  \"compiled_vs_interpreted_speedup\": " + jsonNumber(Speedup) +
-      ",\n" +
-      "  \"classify_compiled_vs_interpreted_speedup\": " +
-      jsonNumber(ClassifySpeedup) + ",\n" +
-      "  \"batched_vs_single_scaling\": " + jsonNumber(Scaling) + ",\n" +
-      "  \"cold_batched_vs_single_scaling\": " + jsonNumber(ColdScaling) +
-      "\n" +
-      "}\n";
+      "  \"batch\": " + std::to_string(std::max(1u, Opts.Batch)) + ",\n" +
+      "  \"seconds_per_phase\": " +
+      jsonNumber(std::max(0.01, Opts.Seconds)) + ",\n" +
+      "  \"simd_tier\": \"" + support::simdTierName(Active.Tier) + "\",\n" +
+      "  \"simd_lane_width\": " + std::to_string(Active.Width) + ",\n" +
+      "  \"models\": [\n";
+  bool AllMatch = true;
+  for (size_t I = 0; I != Models.size(); ++I) {
+    bool ChoicesMatch = true;
+    if (int Failed = serveOneModel(Opts, Models[I], Json, ChoicesMatch))
+      return Failed;
+    AllMatch = AllMatch && ChoicesMatch;
+    Json += I + 1 != Models.size() ? ",\n" : "\n";
+  }
+  Json += "  ]\n}\n";
 
   std::fputs(Json.c_str(), stdout);
   if (Opts.Json) {
@@ -727,7 +929,7 @@ int benchharness::runServe(const DriverOptions &Opts) {
     }
     std::fclose(Out);
   }
-  return ChoicesMatch ? 0 : 1;
+  return AllMatch ? 0 : 1;
 }
 
 //===----------------------------------------------------------------------===//

@@ -41,7 +41,9 @@ struct DriverOptions {
   /// `train` only: explicit model output path (single benchmark); when
   /// empty each model lands in OutDir/<name>.pbt.
   std::string Out;
-  /// `predict` only: the model file to serve from (--model).
+  /// `predict`/`serve`/`stream`: the model file to serve from (--model).
+  /// `serve` accepts a comma-separated list and reports every entry in
+  /// one JSON "models" array.
   std::string Model;
   /// `predict` only: which recorded rows to serve (--rows=test|train|all).
   std::string Rows = "test";

@@ -35,19 +35,22 @@
 #ifndef PBT_ML_COMPILEDARENA_H
 #define PBT_ML_COMPILEDARENA_H
 
+#include "support/AlignedAlloc.h"
+
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 namespace pbt {
 namespace ml {
 
 /// Append-only backing store shared by every classifier lowered into one
 /// CompiledModel. Offsets (not pointers) address into it, so the arena
-/// can be moved/copied freely and stays cache-dense.
+/// can be moved/copied freely and stays cache-dense. Storage is 64-byte
+/// aligned so the SIMD serving tiers can use full-width aligned loads
+/// over it without ever splitting a cache line.
 struct CompiledArena {
-  std::vector<double> F64;
-  std::vector<int32_t> I32;
+  support::CacheAlignedVector<double> F64;
+  support::CacheAlignedVector<int32_t> I32;
 
   /// Appends \p N doubles and returns the offset of the first.
   uint32_t appendF64(const double *V, size_t N) {

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
 
 using namespace pbt;
 using namespace pbt::runtime;
@@ -68,6 +69,35 @@ void PredictionService::clearMemo() {
   InterpMemo.clear();
 }
 
+void PredictionService::clearDecisions() {
+  for (MemoEntry &E : Memo)
+    E.Decided[0] = E.Decided[1] = -1;
+}
+
+void PredictionService::setSimdTier(support::SimdTier Tier) {
+  Lanes = &laneEngine(
+      support::clampSimdTier(Tier, support::detectSimdTier()));
+}
+
+void PredictionService::warmFeatureMemo(size_t Input) {
+  assert(ready() && "warmFeatureMemo() before loadFile()+bind()");
+  assert(Input < Memo.size() && "input out of range");
+  const unsigned NumFlat = Index->numFlat();
+  MemoEntry &E = Memo[Input];
+  if (E.Have.empty()) {
+    E.Values.assign(NumFlat, 0.0);
+    E.Have.assign(NumFlat, 0);
+  }
+  for (unsigned F = 0; F != NumFlat; ++F)
+    if (!E.Have[F]) {
+      support::CostCounter C;
+      E.Values[F] = Program->extractFeature(Input, Index->propertyOf(F),
+                                            Index->levelOf(F), C);
+      E.Have[F] = 1;
+      ++E.HaveCount;
+    }
+}
+
 void PredictionService::recordTotals(const Decision &D) {
   ++Totals.Calls;
   if (D.Memoized)
@@ -114,6 +144,7 @@ PredictionService::decideCompiled(size_t Input, bool OneLevelPath,
                                        Index->levelOf(Flat), C);
     E.Values[Flat] = V;
     E.Have[Flat] = 1;
+    ++E.HaveCount;
     D.FeatureCost += C.units();
     ++D.FeaturesExtracted;
     return V;
@@ -144,15 +175,144 @@ PredictionService::Decision PredictionService::decideOneLevel(size_t Input) {
   return D;
 }
 
+void PredictionService::decideShard(const std::vector<size_t> &Inputs,
+                                    std::vector<Decision> &Out,
+                                    unsigned Shards, unsigned Shard,
+                                    CompiledModel::Scratch &S) {
+  const unsigned NumFlat = Index->numFlat();
+  const unsigned W = Lanes->Width;
+  // A OneLevel production classifier reads every flat feature in
+  // [0, Dim) unconditionally, so even cold inputs are lane-eligible:
+  // pre-extracting that range IS the scalar extraction sequence. Tree /
+  // Bayes examine a value-dependent subset, so their cold inputs stay
+  // on the scalar path (pre-extraction would change what gets charged).
+  const bool ColdEligible =
+      Compiled.productionKind() == ml::CompiledKind::OneLevel;
+  const unsigned ProdDim = Compiled.productionDim();
+  const std::vector<uint32_t> &Reads = Compiled.productionReads();
+
+  struct PendingLane {
+    size_t Input;
+    size_t Pos;
+  };
+  PendingLane Lane[kMaxLaneWidth];
+  unsigned Queued = 0;
+
+  auto flushLane = [&] {
+    if (Queued == 0)
+      return;
+    double *Block = S.LaneBlock.data();
+    for (unsigned L = 0; L != Queued; ++L) {
+      MemoEntry &E = Memo[Lane[L].Input];
+      Decision &D = Out[Lane[L].Pos];
+      D = Decision();
+      if (E.Have.empty()) {
+        E.Values.assign(NumFlat, 0.0);
+        E.Have.assign(NumFlat, 0);
+      }
+      // Cold one-level elements extract their missing features here, in
+      // flat order -- the same calls, order and costs as the scalar
+      // path's memo-backed Get, charged to the same Decision.
+      if (ColdEligible)
+        for (unsigned F = 0; F != ProdDim; ++F)
+          if (!E.Have[F]) {
+            support::CostCounter C;
+            double V = Program->extractFeature(Lane[L].Input,
+                                               Index->propertyOf(F),
+                                               Index->levelOf(F), C);
+            E.Values[F] = V;
+            E.Have[F] = 1;
+            ++E.HaveCount;
+            D.FeatureCost += C.units();
+            ++D.FeaturesExtracted;
+          }
+      // Stage only the classifier's read set: features outside it are
+      // never examined by any kernel, so for subset classifiers (trees,
+      // best-subset Bayes) this is far fewer copies than NumFlat.
+      for (uint32_t F : Reads)
+        Block[static_cast<size_t>(F) * W + L] = E.Values[F];
+    }
+    unsigned Labels[kMaxLaneWidth];
+    Compiled.classifyProductionBlock(*Lanes, S, Queued, Labels);
+    for (unsigned L = 0; L != Queued; ++L) {
+      assert(Labels[L] < Model.System.L1.Landmarks.size() &&
+             "lane engine predicted a missing landmark");
+      Decision &D = Out[Lane[L].Pos];
+      D.Landmark = Labels[L];
+      D.Config = &Model.System.L1.Landmarks[Labels[L]];
+      D.Memoized = D.FeaturesExtracted == 0;
+      Memo[Lane[L].Input].Decided[0] = static_cast<int32_t>(Labels[L]);
+    }
+    Queued = 0;
+  };
+
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    size_t Input = Inputs[I];
+    if (Input % Shards != Shard)
+      continue;
+    assert(Input < Memo.size() && "input out of range");
+    MemoEntry &E = Memo[Input];
+    if (E.Decided[0] < 0) {
+      // A repeat of an input still waiting in the lane: classify the
+      // lane now, then serve the repeat from the fresh decision cache
+      // -- same served order as the scalar loop.
+      bool Waiting = false;
+      for (unsigned L = 0; L != Queued && !Waiting; ++L)
+        Waiting = Lane[L].Input == Input;
+      if (Waiting)
+        flushLane();
+    }
+    if (E.Decided[0] >= 0) {
+      Decision D;
+      D.Landmark = static_cast<unsigned>(E.Decided[0]);
+      D.Config = &Model.System.L1.Landmarks[D.Landmark];
+      D.Memoized = true;
+      Out[I] = D;
+      continue;
+    }
+    const bool MemoComplete = E.HaveCount == NumFlat && NumFlat != 0;
+    if (MemoComplete || ColdEligible) {
+      Lane[Queued].Input = Input;
+      Lane[Queued].Pos = I;
+      if (++Queued == W)
+        flushLane();
+    } else {
+      Out[I] = decideCompiled(Input, /*OneLevelPath=*/false, S);
+    }
+  }
+  flushLane();
+}
+
 std::vector<PredictionService::Decision>
 PredictionService::decideBatch(const std::vector<size_t> &Inputs,
                                support::ThreadPool *Pool) {
   assert(ready() && "decideBatch() before a successful loadFile()+bind()");
   std::vector<Decision> Out(Inputs.size());
   unsigned Shards = Pool ? std::max(1u, Pool->numThreads()) : 1u;
+  // Lane grouping never changes a decision (each lane element replays
+  // the scalar arithmetic independently), so lane serving composes with
+  // any shard count; single-input batches skip straight to scalar.
+  const bool UseLanes = LaneServing && Inputs.size() > 1;
+  // The lane engine never oversubscribes the host: sharding across more
+  // workers than hardware threads only adds wake/contend latency (they
+  // cannot run concurrently anyway). Decisions are shard-count
+  // invariant by design, so the clamp is unobservable except as
+  // throughput. The scalar path keeps its historical sharding -- it is
+  // the frozen baseline `pbt-bench serve` measures the engine against.
+  if (UseLanes && Shards > 1) {
+    // Queried once: hardware_concurrency is a sysconf call, far too
+    // slow for a per-batch hot path.
+    static const unsigned HW = std::thread::hardware_concurrency();
+    if (HW != 0 && HW < Shards)
+      Shards = HW;
+  }
   if (Shards <= 1 || Inputs.size() <= 1) {
-    for (size_t I = 0; I != Inputs.size(); ++I)
-      Out[I] = decideCompiled(Inputs[I], false, MainScratch);
+    if (UseLanes) {
+      decideShard(Inputs, Out, /*Shards=*/1, /*Shard=*/0, MainScratch);
+    } else {
+      for (size_t I = 0; I != Inputs.size(); ++I)
+        Out[I] = decideCompiled(Inputs[I], false, MainScratch);
+    }
   } else {
     // Shard by input id, not by batch position: every occurrence of one
     // input lands in the same shard, so its memo entry (and the order
@@ -165,6 +325,10 @@ PredictionService::decideBatch(const std::vector<size_t> &Inputs,
       Scratches.push_back(Compiled.makeScratch());
     Pool->parallelFor(0, Shards, [&](size_t Shard) {
       CompiledModel::Scratch &S = Scratches[Shard];
+      if (UseLanes) {
+        decideShard(Inputs, Out, Shards, static_cast<unsigned>(Shard), S);
+        return;
+      }
       for (size_t I = 0; I != Inputs.size(); ++I)
         if (Inputs[I] % Shards == Shard)
           Out[I] = decideCompiled(Inputs[I], false, S);

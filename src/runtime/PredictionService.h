@@ -108,8 +108,32 @@ public:
   /// sharded by input id across its workers (lock-free memo, see file
   /// comment); without one (or with a 1-thread pool) the loop runs
   /// inline. Decisions are identical for every thread count.
+  ///
+  /// When lane serving is enabled (the default), each shard gathers
+  /// lane-eligible inputs -- memo-complete ones, plus every input when
+  /// the production classifier is the all-features one-level kind --
+  /// into SIMD lanes of laneWidth() inputs and classifies them through
+  /// the dispatched LaneEngine. Lane decisions are bit-identical (in
+  /// landmark AND per-call cost) to the scalar compiled path: the
+  /// engines replay the scalar arithmetic per lane element, and cold
+  /// lane elements extract exactly the features the scalar path would,
+  /// in the same order.
   std::vector<Decision> decideBatch(const std::vector<size_t> &Inputs,
                                     support::ThreadPool *Pool = nullptr);
+
+  /// Selects the SIMD dispatch tier used by lane serving. Requests
+  /// above the host's detected tier clamp down (never dispatch an ISA
+  /// the host lacks). Fresh services start at support::activeSimdTier()
+  /// -- detection filtered through the PBT_SIMD override.
+  void setSimdTier(support::SimdTier Tier);
+  support::SimdTier simdTier() const { return Lanes->Tier; }
+  unsigned laneWidth() const { return Lanes->Width; }
+
+  /// Turns lane-batched serving off/on; when off, decideBatch runs the
+  /// scalar compiled path for every input. That scalar path is the
+  /// frozen oracle the SIMD parity wall compares against.
+  void setLaneServing(bool Enabled) { LaneServing = Enabled; }
+  bool laneServing() const { return LaneServing; }
 
   /// The pre-compile reference path, frozen as PR 2 shipped it: the
   /// polymorphic classifier chain, a std::function-backed FeatureProbe,
@@ -123,6 +147,19 @@ public:
   /// Drops all memoized features (e.g. when the bound program's inputs
   /// were regenerated).
   void clearMemo();
+
+  /// Drops only the cached decisions, keeping memoized feature values:
+  /// the next decideBatch re-classifies every input (through whichever
+  /// path is enabled) without re-paying extraction. What the parity
+  /// fuzzer and `pbt-bench serve` use to re-run classification proper.
+  void clearDecisions();
+
+  /// Extracts and memoizes every still-missing flat feature of
+  /// \p Input, deciding nothing and touching no lifetime stats: a
+  /// serving-side warm-up so steady-state harnesses can measure
+  /// classification with a feature-complete memo (where every model
+  /// kind is lane-eligible).
+  void warmFeatureMemo(size_t Input);
 
   const serialize::TrainedModel &model() const { return Model; }
   const CompiledModel &compiled() const { return Compiled; }
@@ -140,6 +177,9 @@ private:
   struct MemoEntry {
     std::vector<double> Values;
     std::vector<char> Have;
+    /// How many flat features are memoized; == numFlat() means the
+    /// entry is feature-complete (the O(1) lane-eligibility check).
+    unsigned HaveCount = 0;
     /// Cached landmark per compiled path (-1 = not yet decided);
     /// [0] = production, [1] = one-level baseline.
     int32_t Decided[2] = {-1, -1};
@@ -153,6 +193,13 @@ private:
 
   Decision decideCompiled(size_t Input, bool OneLevelPath,
                           CompiledModel::Scratch &S);
+  /// Lane-batched serving of one shard of a batch: walks the positions
+  /// whose input id lands in \p Shard (of \p Shards) in batch order,
+  /// queueing lane-eligible inputs into SIMD lanes and falling back to
+  /// the scalar compiled path for the rest.
+  void decideShard(const std::vector<size_t> &Inputs,
+                   std::vector<Decision> &Out, unsigned Shards,
+                   unsigned Shard, CompiledModel::Scratch &S);
   Decision decideInterpretedWith(const core::InputClassifier &Classifier,
                                  size_t Input);
   void recordTotals(const Decision &D);
@@ -168,6 +215,10 @@ private:
   std::unordered_map<size_t, InterpMemoEntry> InterpMemo;
   /// Working memory for single-input calls (batch shards make their own).
   CompiledModel::Scratch MainScratch;
+  /// The runtime-dispatched SIMD engine lane serving classifies with;
+  /// always a host-executable tier (setSimdTier clamps).
+  const LaneEngine *Lanes = &laneEngine(support::activeSimdTier());
+  bool LaneServing = true;
   Stats Totals;
 };
 

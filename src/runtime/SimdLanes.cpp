@@ -1,0 +1,38 @@
+//===- runtime/SimdLanes.cpp - Lane engine dispatch table -----------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SimdLanes.h"
+
+using namespace pbt;
+using namespace pbt::runtime;
+
+namespace pbt {
+namespace runtime {
+// Defined one per ISA TU (SimdLanesScalar/Sse42/Avx2.cpp).
+const LaneEngine &laneEngineScalar();
+const LaneEngine &laneEngineSse42();
+const LaneEngine &laneEngineAvx2();
+} // namespace runtime
+} // namespace pbt
+
+const LaneEngine &runtime::laneEngine(support::SimdTier Tier) {
+  switch (Tier) {
+  case support::SimdTier::Scalar:
+    return laneEngineScalar();
+  case support::SimdTier::Sse42:
+    return laneEngineSse42();
+  case support::SimdTier::Avx2:
+    return laneEngineAvx2();
+  }
+  return laneEngineScalar();
+}
+
+std::vector<const LaneEngine *> runtime::availableLaneEngines() {
+  std::vector<const LaneEngine *> Engines;
+  for (support::SimdTier Tier : support::availableSimdTiers())
+    Engines.push_back(&laneEngine(Tier));
+  return Engines;
+}

@@ -1,0 +1,38 @@
+//===- runtime/SimdLanesAvx2.cpp - AVX2 lane engine -----------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The AVX2 lane engine: the shared kernels compiled with -mavx2 (see
+// CMakeLists' per-source COMPILE_OPTIONS), width 8 = one 512-bit row
+// split across two ymm registers per operation. The anonymous namespace
+// around the include keeps this instantiation from ODR-merging with the
+// other tiers' TUs. Must only be executed when
+// support::detectSimdTier() reports Avx2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SimdLanes.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace {
+#define PBT_LANE_WIDTH 8
+#include "runtime/SimdLanesKernels.inc"
+} // namespace
+
+namespace pbt {
+namespace runtime {
+
+const LaneEngine &laneEngineAvx2() {
+  static const LaneEngine Engine{support::SimdTier::Avx2, kW,
+                                 &laneClassifyBlock};
+  return Engine;
+}
+
+} // namespace runtime
+} // namespace pbt

@@ -1,0 +1,36 @@
+//===- runtime/SimdLanesScalar.cpp - Baseline-ISA lane engine -------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The portable baseline lane engine: same kernels as the SSE4.2/AVX2
+// TUs, compiled with no extra -m flags. Width 4 keeps the lane-batched
+// control flow (and its exact per-element semantics) identical to the
+// wider tiers while lowering to whatever the base target offers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SimdLanes.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace {
+#define PBT_LANE_WIDTH 4
+#include "runtime/SimdLanesKernels.inc"
+} // namespace
+
+namespace pbt {
+namespace runtime {
+
+const LaneEngine &laneEngineScalar() {
+  static const LaneEngine Engine{support::SimdTier::Scalar, kW,
+                                 &laneClassifyBlock};
+  return Engine;
+}
+
+} // namespace runtime
+} // namespace pbt

@@ -1,0 +1,38 @@
+//===- runtime/SimdLanesSse42.cpp - SSE4.2 lane engine --------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The SSE4.2 lane engine: the shared kernels compiled with -msse4.2
+// (see CMakeLists' per-source COMPILE_OPTIONS), width 4 = one 128-bit
+// register pair per lane row. The anonymous namespace around the
+// include keeps this instantiation from ODR-merging with the other
+// tiers' TUs. Must only be executed when support::detectSimdTier()
+// reports Sse42 or better.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SimdLanes.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace {
+#define PBT_LANE_WIDTH 4
+#include "runtime/SimdLanesKernels.inc"
+} // namespace
+
+namespace pbt {
+namespace runtime {
+
+const LaneEngine &laneEngineSse42() {
+  static const LaneEngine Engine{support::SimdTier::Sse42, kW,
+                                 &laneClassifyBlock};
+  return Engine;
+}
+
+} // namespace runtime
+} // namespace pbt

@@ -13,11 +13,16 @@
 #include "runtime/CompiledModel.h"
 
 #include "core/Classifiers.h"
+#include "runtime/SimdLanes.h"
 #include "serialize/ModelIO.h"
+#include "support/AlignedAlloc.h"
 #include "support/Random.h"
+#include "support/SimdDispatch.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <numeric>
 #include <vector>
@@ -87,6 +92,42 @@ unsigned compiledDecide(const runtime::CompiledModel &M,
   return L;
 }
 
+/// Asserts that every available SIMD lane engine classifies blocks of
+/// rows decision-identically to the scalar compiled path, for every
+/// partial lane count 1..Width.
+void expectLaneParity(const runtime::CompiledModel &M, const Table &T) {
+  runtime::CompiledModel::Scratch SScalar = M.makeScratch();
+  runtime::CompiledModel::Scratch SLane = M.makeScratch();
+  // The declared read set must be sorted, unique and in range -- lane
+  // staging fills exactly this set and nothing else.
+  const std::vector<uint32_t> &Reads = M.productionReads();
+  for (size_t I = 0; I != Reads.size(); ++I) {
+    EXPECT_LT(Reads[I], kNumFlat);
+    if (I)
+      EXPECT_LT(Reads[I - 1], Reads[I]);
+  }
+  for (const runtime::LaneEngine *E : runtime::availableLaneEngines()) {
+    for (unsigned Count = 1; Count <= E->Width; ++Count) {
+      for (size_t Base = 0; Base + Count <= T.X.rows(); Base += Count) {
+        // Poison the whole block, then stage only the declared read
+        // set: a kernel examining any undeclared feature diverges
+        // loudly instead of passing on stale-but-plausible values.
+        std::fill(SLane.LaneBlock.begin(), SLane.LaneBlock.end(), 1e300);
+        for (unsigned L = 0; L != Count; ++L)
+          for (uint32_t F : Reads)
+            SLane.LaneBlock[static_cast<size_t>(F) * E->Width + L] =
+                T.X.at(Base + L, F);
+        unsigned Out[runtime::kMaxLaneWidth] = {0};
+        M.classifyProductionBlock(*E, SLane, Count, Out);
+        for (unsigned L = 0; L != Count; ++L)
+          EXPECT_EQ(Out[L], compiledDecide(M, SScalar, T.X, Base + L))
+              << support::simdTierName(E->Tier) << " lane " << L << " of "
+              << Count << " diverged on row " << Base + L;
+      }
+    }
+  }
+}
+
 /// Asserts interpreted/compiled parity for \p Classifier over every row,
 /// both compiled directly and compiled from a serialized round trip.
 void expectParity(const core::InputClassifier &Classifier,
@@ -124,6 +165,10 @@ void expectParity(const core::InputClassifier &Classifier,
         << Classifier.describe()
         << " diverged after serialize/load/compile on row " << Row;
   }
+
+  // And the SIMD lane engines must agree with the scalar walk they
+  // replay, on every tier this host can execute and every partial lane.
+  expectLaneParity(Direct, T);
 }
 
 TEST(CompiledModelTest, ConstantClassifierParity) {
@@ -201,6 +246,42 @@ TEST(CompiledModelTest, OneLevelClassifierParity) {
   core::OneLevelClassifier C(std::move(Clusters.Centroids), std::move(Norm),
                              std::move(ClusterLandmark));
   expectParity(C, T);
+}
+
+TEST(CompiledModelTest, ArenaAndLaneScratchAre64ByteAligned) {
+  // The SIMD tiers use full-width aligned loads over the arena and the
+  // lane scratch; both must sit on cache-line boundaries.
+  auto Aligned = [](const void *P) {
+    return reinterpret_cast<uintptr_t>(P) % support::kCacheLineBytes == 0;
+  };
+
+  ml::CompiledArena Arena;
+  const double F[3] = {1.0, 2.0, 3.0};
+  const int32_t I[3] = {4, 5, 6};
+  Arena.appendF64(F, 3);
+  Arena.appendI32(I, 3);
+  EXPECT_TRUE(Aligned(Arena.F64.data()));
+  EXPECT_TRUE(Aligned(Arena.I32.data()));
+
+  Table T = makeTable(19);
+  std::vector<unsigned> Order = {2, 0, 7};
+  ml::IncrementalBayes Model;
+  Model.fit(T.X, T.Y, kNumClasses, Order, ml::IncrementalBayesOptions());
+  core::IncrementalClassifier C(std::move(Model), "incremental{align}");
+  runtime::CompiledModel M = runtime::CompiledModel::compileClassifiers(
+      C, nullptr, kNumFlat, kNumClasses);
+  ASSERT_TRUE(M.ready());
+
+  runtime::CompiledModel::Scratch S = M.makeScratch();
+  EXPECT_TRUE(Aligned(S.LaneBlock.data()));
+  EXPECT_TRUE(Aligned(S.LaneF64.data()));
+  EXPECT_TRUE(Aligned(S.LaneI32.data()));
+  // Every carved lane-view section must stay on a 64-byte boundary.
+  runtime::LaneScratchView V = S.laneView();
+  for (const double *P : {V.LogPost, V.Row, V.V, V.T, V.MaxLog})
+    EXPECT_TRUE(Aligned(P));
+  for (const int32_t *P : {V.Node, V.Lo, V.Hi, V.Best, V.State})
+    EXPECT_TRUE(Aligned(P));
 }
 
 TEST(CompiledModelTest, NotReadyWithoutClassifiers) {
