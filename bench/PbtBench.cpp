@@ -26,6 +26,8 @@
 
 #include "Reports.h"
 
+#include "support/ParseNumber.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -60,6 +62,8 @@ static void printUsage() {
       "  stream               nonstationary-traffic adaptation report\n"
       "  trainbench           training-performance report: fast vs\n"
       "                       pre-optimisation path, byte-identity gated\n"
+      "  loadgen              drive a pbt-serve daemon over N concurrent\n"
+      "                       connections; BENCH_serve_daemon.json report\n"
       "\n"
       "options:\n"
       "  --scale=S            input-count scale (default: PBT_BENCH_SCALE or 1)\n"
@@ -90,6 +94,16 @@ static void printUsage() {
       "  --reservoir=N        stream: retrain reservoir capacity\n"
       "                       (stream --scale overrides the model's\n"
       "                       recorded scale for the traffic universe)\n"
+      "  --socket=PATH        loadgen: Unix socket of a running pbt-serve\n"
+      "  --spawn              loadgen: spawn a private pbt-serve for the\n"
+      "                       run (needs --model; shut down afterwards)\n"
+      "  --server-exe=PATH    loadgen: pbt-serve binary for --spawn\n"
+      "                       (default: pbt-serve beside pbt-bench)\n"
+      "  --connections=N      loadgen: concurrent client connections\n"
+      "  --queue=N            loadgen --spawn: server request-queue bound\n"
+      "  --workers=N          loadgen --spawn: server batch workers\n"
+      "  --batch-max=N        loadgen --spawn: server micro-batch cap\n"
+      "  --adapt              loadgen --spawn: per-tenant drift adaptation\n"
       "\n"
       "`kernels` ignores the other options above; it takes\n"
       "google-benchmark flags (e.g. --benchmark_filter=...) instead.\n");
@@ -111,10 +125,24 @@ static std::vector<std::string> splitCommas(const std::string &Text) {
 
 enum class ParseResult { Ok, Error, Help };
 
+/// Loud rejection of a malformed numeric value: the checked parsers
+/// (support/ParseNumber.h) refuse garbage, half-parses and out-of-range
+/// values outright -- `--threads=abc` or `--seconds=1e` is an error and
+/// a nonzero exit, never a silent zero.
+static ParseResult badValue(const char *Flag, const char *Value,
+                            const char *Expect) {
+  std::fprintf(stderr, "pbt-bench: bad %s value '%s' (expected %s)\n", Flag,
+               Value, Expect);
+  return ParseResult::Error;
+}
+
 /// Consumes the shared --flag=value options from \p Args, leaving any
 /// unrecognised ones (passed through to `kernels`) in place.
 static ParseResult parseSharedOptions(std::vector<std::string> &Args,
                                       DriverOptions &Opts) {
+  using support::parseDouble;
+  using support::parseUint64;
+  using support::parseUnsigned;
   std::vector<std::string> Rest;
   for (const std::string &Arg : Args) {
     auto Value = [&](const char *Flag) -> const char * {
@@ -125,11 +153,9 @@ static ParseResult parseSharedOptions(std::vector<std::string> &Args,
       return nullptr;
     };
     if (const char *V = Value("--scale")) {
-      double S = std::atof(V);
-      if (S <= 0.0) {
-        std::fprintf(stderr, "pbt-bench: bad --scale value '%s'\n", V);
-        return ParseResult::Error;
-      }
+      double S = 0.0;
+      if (!parseDouble(V, S) || S <= 0.0)
+        return badValue("--scale", V, "a positive number");
       Opts.Scale = std::clamp(S, 0.1, 100.0);
       Opts.ScaleExplicit = true;
     } else if (const char *V = Value("--only")) {
@@ -141,18 +167,15 @@ static ParseResult parseSharedOptions(std::vector<std::string> &Args,
         return ParseResult::Error;
       }
     } else if (const char *V = Value("--threads")) {
-      int N = std::atoi(V);
-      if (N < 0 || (N == 0 && std::strcmp(V, "0") != 0)) {
-        std::fprintf(stderr, "pbt-bench: bad --threads value '%s'\n", V);
-        return ParseResult::Error;
-      }
-      Opts.Threads = static_cast<unsigned>(N);
+      if (!parseUnsigned(V, Opts.Threads))
+        return badValue("--threads", V, "a non-negative integer");
     } else if (Arg == "--sequential") {
       Opts.Sequential = true;
     } else if (const char *V = Value("--out-dir")) {
       Opts.OutDir = V;
     } else if (const char *V = Value("--trials")) {
-      Opts.Fig8Trials = std::max(1, std::atoi(V));
+      if (!parseUnsigned(V, Opts.Fig8Trials) || Opts.Fig8Trials < 1)
+        return badValue("--trials", V, "a positive integer");
     } else if (const char *V = Value("--out")) {
       Opts.Out = V;
     } else if (const char *V = Value("--model")) {
@@ -160,72 +183,60 @@ static ParseResult parseSharedOptions(std::vector<std::string> &Args,
     } else if (const char *V = Value("--rows")) {
       Opts.Rows = V;
     } else if (const char *V = Value("--repeat")) {
-      int N = std::atoi(V);
-      if (N < 1) {
-        std::fprintf(stderr, "pbt-bench: bad --repeat value '%s'\n", V);
-        return ParseResult::Error;
-      }
-      Opts.Repeat = static_cast<unsigned>(N);
+      if (!parseUnsigned(V, Opts.Repeat) || Opts.Repeat < 1)
+        return badValue("--repeat", V, "a positive integer");
     } else if (const char *V = Value("--csv")) {
       Opts.Csv = V;
     } else if (const char *V = Value("--batch")) {
-      int N = std::atoi(V);
-      if (N < 1) {
-        std::fprintf(stderr, "pbt-bench: bad --batch value '%s'\n", V);
-        return ParseResult::Error;
-      }
-      Opts.Batch = static_cast<unsigned>(N);
+      if (!parseUnsigned(V, Opts.Batch) || Opts.Batch < 1)
+        return badValue("--batch", V, "a positive integer");
     } else if (const char *V = Value("--seconds")) {
-      double S = std::atof(V);
-      if (S <= 0.0) {
-        std::fprintf(stderr, "pbt-bench: bad --seconds value '%s'\n", V);
-        return ParseResult::Error;
-      }
+      double S = 0.0;
+      if (!parseDouble(V, S) || S <= 0.0)
+        return badValue("--seconds", V, "a positive number");
       Opts.Seconds = S;
     } else if (Arg == "--json") {
       Opts.Json = true;
     } else if (const char *V = Value("--schedule")) {
       Opts.StreamSchedule = V;
     } else if (const char *V = Value("--requests")) {
-      int N = std::atoi(V);
-      if (N < 1) {
-        std::fprintf(stderr, "pbt-bench: bad --requests value '%s'\n", V);
-        return ParseResult::Error;
-      }
-      Opts.StreamRequests = static_cast<unsigned>(N);
+      if (!parseUnsigned(V, Opts.StreamRequests) || Opts.StreamRequests < 1)
+        return badValue("--requests", V, "a positive integer");
     } else if (const char *V = Value("--stream-seed")) {
-      Opts.StreamSeed = std::strtoull(V, nullptr, 10);
+      if (!parseUint64(V, Opts.StreamSeed))
+        return badValue("--stream-seed", V, "an unsigned integer");
     } else if (const char *V = Value("--key")) {
-      int N = std::atoi(V);
-      if (N < 0 || (N == 0 && std::strcmp(V, "0") != 0)) {
-        std::fprintf(stderr, "pbt-bench: bad --key value '%s'\n", V);
-        return ParseResult::Error;
-      }
-      Opts.StreamKey = static_cast<unsigned>(N);
+      if (!parseUnsigned(V, Opts.StreamKey))
+        return badValue("--key", V, "a non-negative integer");
     } else if (const char *V = Value("--period")) {
-      int N = std::atoi(V);
-      if (N < 0) {
-        std::fprintf(stderr, "pbt-bench: bad --period value '%s'\n", V);
-        return ParseResult::Error;
-      }
-      Opts.StreamPeriod = static_cast<unsigned>(N);
+      if (!parseUnsigned(V, Opts.StreamPeriod))
+        return badValue("--period", V, "a non-negative integer");
     } else if (const char *V = Value("--window")) {
-      int N = std::atoi(V);
-      if (N < 8) {
-        std::fprintf(stderr,
-                     "pbt-bench: bad --window value '%s' (minimum 8)\n", V);
-        return ParseResult::Error;
-      }
-      Opts.StreamWindow = static_cast<unsigned>(N);
+      if (!parseUnsigned(V, Opts.StreamWindow) || Opts.StreamWindow < 8)
+        return badValue("--window", V, "an integer >= 8");
     } else if (const char *V = Value("--reservoir")) {
-      int N = std::atoi(V);
-      if (N < 8) {
-        std::fprintf(stderr,
-                     "pbt-bench: bad --reservoir value '%s' (minimum 8)\n",
-                     V);
-        return ParseResult::Error;
-      }
-      Opts.StreamReservoir = static_cast<unsigned>(N);
+      if (!parseUnsigned(V, Opts.StreamReservoir) || Opts.StreamReservoir < 8)
+        return badValue("--reservoir", V, "an integer >= 8");
+    } else if (const char *V = Value("--socket")) {
+      Opts.Socket = V;
+    } else if (const char *V = Value("--server-exe")) {
+      Opts.ServerExe = V;
+    } else if (Arg == "--spawn") {
+      Opts.Spawn = true;
+    } else if (const char *V = Value("--connections")) {
+      if (!parseUnsigned(V, Opts.Connections) || Opts.Connections < 1)
+        return badValue("--connections", V, "a positive integer");
+    } else if (const char *V = Value("--queue")) {
+      if (!parseUnsigned(V, Opts.QueueCapacity) || Opts.QueueCapacity < 1)
+        return badValue("--queue", V, "a positive integer");
+    } else if (const char *V = Value("--workers")) {
+      if (!parseUnsigned(V, Opts.Workers) || Opts.Workers < 1)
+        return badValue("--workers", V, "a positive integer");
+    } else if (const char *V = Value("--batch-max")) {
+      if (!parseUnsigned(V, Opts.BatchMax) || Opts.BatchMax < 1)
+        return badValue("--batch-max", V, "a positive integer");
+    } else if (Arg == "--adapt") {
+      Opts.Adapt = true;
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return ParseResult::Help;
@@ -306,6 +317,8 @@ int main(int argc, char **argv) {
 
     if (Sub == "serve")
       return runServe(Opts);
+    if (Sub == "loadgen")
+      return runLoadgen(Opts, argv[0]);
     if (Sub == "stream")
       return runStream(Opts);
     if (Sub == "train")

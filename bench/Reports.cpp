@@ -675,7 +675,7 @@ static ServePhase measureInterpreted(runtime::PredictionService &Service,
   return P;
 }
 
-static std::string jsonNumber(double V) {
+std::string benchharness::jsonNumber(double V) {
   char Buf[64];
   std::snprintf(Buf, sizeof(Buf), "%.6g", V);
   return Buf;
@@ -683,7 +683,7 @@ static std::string jsonNumber(double V) {
 
 /// Escapes a string for embedding in a JSON literal (paths and names are
 /// user-controlled; a quote or backslash must not corrupt the report).
-static std::string jsonString(const std::string &S) {
+std::string benchharness::jsonString(const std::string &S) {
   std::string Out;
   Out.reserve(S.size() + 2);
   for (char C : S) {
@@ -714,9 +714,15 @@ static std::string jsonString(const std::string &S) {
 }
 
 static std::string jsonPhase(const ServePhase &P) {
+  // A phase that recorded no batches has no latency sample to take a
+  // percentile of: support::quantile on an empty vector returns 0.0,
+  // which would read as an impossible zero-latency measurement. Report
+  // the percentiles as null so downstream consumers see "empty phase",
+  // never a fake sample.
+  bool Empty = P.Batches == 0;
   return "{\"decisions_per_sec\": " + jsonNumber(P.DecisionsPerSec) +
-         ", \"p50_batch_us\": " + jsonNumber(P.P50BatchUs) +
-         ", \"p99_batch_us\": " + jsonNumber(P.P99BatchUs) +
+         ", \"p50_batch_us\": " + (Empty ? "null" : jsonNumber(P.P50BatchUs)) +
+         ", \"p99_batch_us\": " + (Empty ? "null" : jsonNumber(P.P99BatchUs)) +
          ", \"decisions\": " + std::to_string(P.Decisions) +
          ", \"batches\": " + std::to_string(P.Batches) + "}";
 }
@@ -1330,6 +1336,8 @@ int benchharness::runStream(const DriverOptions &Opts) {
       std::to_string(AStats.RejectedCandidates) + ",\n" +
       "  \"skipped_retrains\": " + std::to_string(AStats.SkippedRetrains) +
       ",\n" +
+      "  \"last_skip_reason\": \"" + jsonString(AStats.LastSkipReason) +
+      "\",\n" +
       "  \"final_epoch\": " + std::to_string(Adaptive.epoch()) + ",\n" +
       "  \"adaptive_mean_cost\": " + jsonNumber(MeanCost(Ada)) + ",\n" +
       "  \"frozen_mean_cost\": " + jsonNumber(MeanCost(Frz)) + ",\n" +

@@ -78,9 +78,32 @@ struct DriverOptions {
   unsigned StreamWindow = 64;
   /// `stream` only: retrain reservoir capacity (--reservoir).
   unsigned StreamReservoir = 48;
+  /// `loadgen` only: Unix-domain socket of a running pbt-serve (--socket).
+  std::string Socket;
+  /// `loadgen` only: spawn a private pbt-serve for the run (--spawn).
+  bool Spawn = false;
+  /// `loadgen` only: pbt-serve binary for --spawn (--server-exe; empty =
+  /// the `pbt-serve` sitting beside the running pbt-bench).
+  std::string ServerExe;
+  /// `loadgen` only: concurrent client connections (--connections).
+  unsigned Connections = 4;
+  /// `loadgen --spawn` only: server request-queue bound (--queue).
+  unsigned QueueCapacity = 64;
+  /// `loadgen --spawn` only: server batch workers (--workers).
+  unsigned Workers = 2;
+  /// `loadgen --spawn` only: server micro-batch cap (--batch-max).
+  unsigned BatchMax = 64;
+  /// `loadgen --spawn` only: per-tenant drift adaptation (--adapt).
+  bool Adapt = false;
   /// The pool built from Threads/Sequential; owned by main.
   support::ThreadPool *Pool = nullptr;
 };
+
+/// JSON emission helpers shared by the report subcommands (serve, stream,
+/// trainbench, loadgen): a %.6g number and a string escaped for embedding
+/// in a JSON literal.
+std::string jsonNumber(double V);
+std::string jsonString(const std::string &S);
 
 /// Builds the suite the subcommand operates on (Only or the full suite).
 std::vector<registry::SuiteEntry> suiteFor(const DriverOptions &Opts);
@@ -137,6 +160,18 @@ int runTrainBench(const DriverOptions &Opts);
 /// also OutDir/BENCH_stream.json with --json). --seconds caps the wall
 /// clock of each serving loop; --requests bounds it deterministically.
 int runStream(const DriverOptions &Opts);
+/// `loadgen`: the multi-client daemon harness. Connects --connections
+/// concurrent clients to a pbt-serve daemon (an existing one via
+/// --socket, or a private child via --spawn) and drives each tenant's
+/// WorkloadStream schedule through the framed Unix-socket protocol,
+/// measuring sustained decisions/sec with p50/p99/p999 request latency,
+/// then an oversubscribed saturation phase recording shed behavior at
+/// the admission-control boundary. Every daemon decision is compared
+/// with an in-process PredictionService::decideBatch replay of the same
+/// model and inputs; any divergence is a nonzero exit. JSON to stdout;
+/// also OutDir/BENCH_serve_daemon.json with --json. \p Argv0 locates the
+/// default pbt-serve binary for --spawn.
+int runLoadgen(const DriverOptions &Opts, const char *Argv0);
 
 } // namespace benchharness
 } // namespace pbt

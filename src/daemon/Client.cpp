@@ -1,0 +1,190 @@
+//===- daemon/Client.cpp - pbt-serve client --------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace pbt {
+namespace daemon {
+
+bool DaemonClient::connect(const std::string &SocketPath, std::string &Err) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path empty or too long: '" + SocketPath + "'";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = "connect('" + SocketPath + "'): " + std::strerror(errno);
+    ::close(Fd);
+    Fd = -1;
+    return false;
+  }
+  return true;
+}
+
+bool DaemonClient::connectWithRetry(const std::string &SocketPath,
+                                    double TimeoutSeconds, std::string &Err) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(TimeoutSeconds);
+  for (;;) {
+    if (connect(SocketPath, Err))
+      return true;
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+void DaemonClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool DaemonClient::roundTrip(const std::string &Payload, Message &Reply,
+                             std::string &Err) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  if (writeFrame(Fd, Payload) != FrameStatus::Ok) {
+    Err = "request write failed (server gone?)";
+    return false;
+  }
+  std::string In;
+  FrameStatus FS = readFrame(Fd, In);
+  if (FS != FrameStatus::Ok) {
+    Err = FS == FrameStatus::Closed ? "server closed the connection"
+                                    : "response read failed";
+    return false;
+  }
+  if (!decodeMessage(In, Reply)) {
+    Err = "malformed server reply";
+    return false;
+  }
+  return true;
+}
+
+bool DaemonClient::attach(const std::string &Tenant, AttachInfo &Out,
+                          std::string &Err) {
+  Message Reply;
+  if (!roundTrip(makeHello(Tenant), Reply, Err))
+    return false;
+  if (Reply.Type == MsgType::Error) {
+    Err = Reply.Text;
+    return false;
+  }
+  if (Reply.Type != MsgType::TenantOk) {
+    Err = "unexpected reply to Hello";
+    return false;
+  }
+  Out.Epoch = Reply.Epoch;
+  Out.Landmarks = Reply.Landmarks;
+  Out.NumInputs = Reply.NumInputs;
+  return true;
+}
+
+DaemonClient::PredictOutcome
+DaemonClient::predict(const std::vector<uint64_t> &Inputs,
+                      std::vector<PredictedChoice> &Choices,
+                      std::string &Err) {
+  Message Reply;
+  if (!roundTrip(makePredict(Inputs), Reply, Err))
+    return PredictOutcome::Error;
+  switch (Reply.Type) {
+  case MsgType::Predictions:
+    if (Reply.Choices.size() != Inputs.size()) {
+      Err = "prediction count mismatch";
+      return PredictOutcome::Error;
+    }
+    Choices = std::move(Reply.Choices);
+    return PredictOutcome::Ok;
+  case MsgType::Shed:
+    Err = Reply.Text;
+    return PredictOutcome::Shed;
+  case MsgType::Error:
+    Err = Reply.Text;
+    return PredictOutcome::Error;
+  default:
+    Err = "unexpected reply to Predict";
+    return PredictOutcome::Error;
+  }
+}
+
+bool DaemonClient::stats(std::string &JsonOut, std::string &Err) {
+  Message Reply;
+  if (!roundTrip(makeStats(), Reply, Err))
+    return false;
+  if (Reply.Type != MsgType::StatsReply) {
+    Err = Reply.Type == MsgType::Error ? Reply.Text
+                                       : "unexpected reply to Stats";
+    return false;
+  }
+  JsonOut = std::move(Reply.Text);
+  return true;
+}
+
+bool DaemonClient::listTenants(std::vector<std::string> &Names,
+                               std::string &Err) {
+  Message Reply;
+  if (!roundTrip(makeListTenants(), Reply, Err))
+    return false;
+  if (Reply.Type != MsgType::TenantList) {
+    Err = Reply.Type == MsgType::Error ? Reply.Text
+                                       : "unexpected reply to ListTenants";
+    return false;
+  }
+  Names = std::move(Reply.Names);
+  return true;
+}
+
+bool DaemonClient::shutdownServer(std::string &Err) {
+  Message Reply;
+  if (!roundTrip(makeShutdown(), Reply, Err))
+    return false;
+  if (Reply.Type != MsgType::Bye) {
+    Err = "unexpected reply to Shutdown";
+    return false;
+  }
+  return true;
+}
+
+bool DaemonClient::sendRaw(const void *Data, size_t Size) {
+  if (Fd < 0)
+    return false;
+  const char *P = static_cast<const char *>(Data);
+  size_t Sent = 0;
+  while (Sent < Size) {
+    ssize_t N = ::send(Fd, P + Sent, Size - Sent, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace daemon
+} // namespace pbt

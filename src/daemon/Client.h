@@ -1,0 +1,90 @@
+//===- daemon/Client.h - pbt-serve client ----------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Blocking client for the pbt-serve protocol: one connected session
+/// with attach / predict / stats / shutdown RPCs. Used by the
+/// `pbt-bench loadgen` harness and the daemon tests; the raw fd is
+/// exposed so the protocol fuzz wall can also speak garbage through an
+/// otherwise-wellformed session.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_DAEMON_CLIENT_H
+#define PBT_DAEMON_CLIENT_H
+
+#include "daemon/Protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace daemon {
+
+class DaemonClient {
+public:
+  DaemonClient() = default;
+  ~DaemonClient() { close(); }
+
+  DaemonClient(const DaemonClient &) = delete;
+  DaemonClient &operator=(const DaemonClient &) = delete;
+
+  /// Connects to a listening pbt-serve socket. False with \p Err set on
+  /// failure; retries are the caller's policy (see connectWithRetry).
+  bool connect(const std::string &SocketPath, std::string &Err);
+
+  /// connect() retried for up to \p TimeoutSeconds -- the "server was
+  /// just spawned" path.
+  bool connectWithRetry(const std::string &SocketPath, double TimeoutSeconds,
+                        std::string &Err);
+
+  void close();
+  bool connected() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  struct AttachInfo {
+    uint64_t Epoch = 0;
+    uint32_t Landmarks = 0;
+    uint64_t NumInputs = 0;
+  };
+
+  /// Hello -> TenantOk. False (with Err) on transport failure, unknown
+  /// tenant, or any unexpected reply.
+  bool attach(const std::string &Tenant, AttachInfo &Out, std::string &Err);
+
+  enum class PredictOutcome {
+    Ok,    ///< Choices filled
+    Shed,  ///< admission-control refusal; Err holds the reason
+    Error, ///< server Error reply or transport failure; Err says which
+  };
+
+  /// Predict -> Predictions/Shed/Error.
+  PredictOutcome predict(const std::vector<uint64_t> &Inputs,
+                         std::vector<PredictedChoice> &Choices,
+                         std::string &Err);
+
+  bool stats(std::string &JsonOut, std::string &Err);
+  bool listTenants(std::vector<std::string> &Names, std::string &Err);
+  /// Shutdown -> Bye. The server exits afterwards.
+  bool shutdownServer(std::string &Err);
+
+  /// Sends raw bytes on the socket, bypassing framing entirely (fuzz
+  /// tests only).
+  bool sendRaw(const void *Data, size_t Size);
+
+private:
+  /// One request frame out, one response frame back, decoded.
+  bool roundTrip(const std::string &Payload, Message &Reply,
+                 std::string &Err);
+
+  int Fd = -1;
+};
+
+} // namespace daemon
+} // namespace pbt
+
+#endif // PBT_DAEMON_CLIENT_H

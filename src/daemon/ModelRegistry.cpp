@@ -1,0 +1,90 @@
+//===- daemon/ModelRegistry.cpp - Multi-tenant hot model registry ----------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/ModelRegistry.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pbt {
+namespace daemon {
+
+serialize::LoadStatus ModelRegistry::addTenant(const std::string &Name,
+                                               const std::string &ModelPath) {
+  serialize::TrainedModel Model;
+  serialize::LoadStatus Loaded = serialize::loadModelFile(ModelPath, Model);
+  if (!Loaded)
+    return Loaded;
+
+  const registry::BenchmarkFactory *Factory =
+      registry::BenchmarkRegistry::instance().lookup(Model.Meta.Benchmark);
+  if (!Factory)
+    return serialize::LoadStatus::failure("model benchmark '" +
+                                          Model.Meta.Benchmark +
+                                          "' is not registered");
+
+  auto T = std::make_unique<Tenant>();
+  T->Name = Name.empty() ? Model.Meta.Benchmark : Name;
+  T->ModelPath = ModelPath;
+  T->Benchmark = Model.Meta.Benchmark;
+  T->Program = Factory->makeProgram(Model.Meta.Scale, Model.Meta.ProgramSeed);
+  T->Landmarks = static_cast<unsigned>(Model.System.L1.Landmarks.size());
+
+  runtime::AdaptiveServiceOptions AO;
+  AO.Monitor.Window = std::max(8u, Opts.Window);
+  AO.Monitor.MinSamples = AO.Monitor.Window / 2;
+  AO.Monitor.Cooldown = AO.Monitor.Window;
+  AO.ReservoirSize = std::max(8u, Opts.Reservoir);
+  AO.MinRetrainInputs = std::min<size_t>(16, AO.ReservoirSize);
+  AO.Retrain = registry::reservoirRetrainOptions(
+      *Factory, Model.Meta.Scale, AO.ReservoirSize, Opts.Pool);
+  AO.AutoAdapt = Opts.AutoAdapt;
+  AO.Pool = Opts.Pool;
+
+  T->Service = std::make_unique<runtime::AdaptiveService>(
+      *T->Program, std::move(Model), AO);
+  if (!T->Service->ready())
+    return T->Service->status();
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &Existing : Tenants)
+    if (Existing->Name == T->Name)
+      return serialize::LoadStatus::failure(
+          "duplicate tenant name '" + T->Name +
+          "' (use --model=NAME=FILE to disambiguate)");
+  Tenants.push_back(std::move(T));
+  return serialize::LoadStatus::success();
+}
+
+Tenant *ModelRegistry::find(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &T : Tenants)
+    if (T->Name == Name)
+      return T.get();
+  return nullptr;
+}
+
+Tenant *ModelRegistry::at(size_t Idx) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Idx < Tenants.size() ? Tenants[Idx].get() : nullptr;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Tenants.size();
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<std::string> Out;
+  Out.reserve(Tenants.size());
+  for (const auto &T : Tenants)
+    Out.push_back(T->Name);
+  return Out;
+}
+
+} // namespace daemon
+} // namespace pbt

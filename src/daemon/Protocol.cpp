@@ -1,0 +1,360 @@
+//===- daemon/Protocol.cpp - pbt-serve wire protocol -----------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pbt {
+namespace daemon {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Little-endian append/read helpers
+//===----------------------------------------------------------------------===//
+
+void putU8(std::string &B, uint8_t V) { B.push_back(static_cast<char>(V)); }
+
+void putU16(std::string &B, uint16_t V) {
+  putU8(B, static_cast<uint8_t>(V));
+  putU8(B, static_cast<uint8_t>(V >> 8));
+}
+
+void putU32(std::string &B, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    putU8(B, static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putU64(std::string &B, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    putU8(B, static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putStr(std::string &B, const std::string &S) {
+  // Builders truncate at the wire cap instead of producing an invalid
+  // frame the peer would drop the connection over.
+  size_t N = S.size() < kMaxStringBytes ? S.size() : kMaxStringBytes - 1;
+  putU16(B, static_cast<uint16_t>(N));
+  B.append(S.data(), N);
+}
+
+/// Cursor over a received payload. Every take checks the remaining
+/// length; once a take fails the reader stays failed.
+class WireReader {
+public:
+  WireReader(const uint8_t *Data, size_t Size) : Cur(Data), Left(Size) {}
+
+  bool u8(uint8_t &V) {
+    if (Left < 1)
+      return fail();
+    V = *Cur;
+    Cur += 1;
+    Left -= 1;
+    return true;
+  }
+
+  bool u16(uint16_t &V) {
+    if (Left < 2)
+      return fail();
+    V = static_cast<uint16_t>(Cur[0]) | static_cast<uint16_t>(Cur[1]) << 8;
+    Cur += 2;
+    Left -= 2;
+    return true;
+  }
+
+  bool u32(uint32_t &V) {
+    if (Left < 4)
+      return fail();
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Cur[I]) << (8 * I);
+    Cur += 4;
+    Left -= 4;
+    return true;
+  }
+
+  bool u64(uint64_t &V) {
+    if (Left < 8)
+      return fail();
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Cur[I]) << (8 * I);
+    Cur += 8;
+    Left -= 8;
+    return true;
+  }
+
+  bool str(std::string &S) {
+    uint16_t N = 0;
+    if (!u16(N))
+      return false;
+    if (N >= kMaxStringBytes || Left < N)
+      return fail();
+    S.assign(reinterpret_cast<const char *>(Cur), N);
+    Cur += N;
+    Left -= N;
+    return true;
+  }
+
+  /// A valid payload is consumed exactly: trailing bytes are garbage.
+  bool done() const { return !Failed && Left == 0; }
+
+private:
+  bool fail() {
+    Failed = true;
+    return false;
+  }
+
+  const uint8_t *Cur;
+  size_t Left;
+  bool Failed = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Raw fd helpers
+//===----------------------------------------------------------------------===//
+
+/// Reads exactly \p Len bytes. Returns 1 on success, 0 on clean EOF
+/// before the first byte, -1 on mid-read EOF, -2 on errno failure.
+int readAll(int Fd, void *Buf, size_t Len) {
+  char *P = static_cast<char *>(Buf);
+  size_t Got = 0;
+  while (Got < Len) {
+    ssize_t N = ::recv(Fd, P + Got, Len - Got, 0);
+    if (N == 0)
+      return Got == 0 ? 0 : -1;
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return Got == 0 && (errno == ECONNRESET) ? 0 : -2;
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return 1;
+}
+
+bool writeAll(int Fd, const void *Buf, size_t Len) {
+  const char *P = static_cast<const char *>(Buf);
+  size_t Sent = 0;
+  while (Sent < Len) {
+    ssize_t N = ::send(Fd, P + Sent, Len - Sent, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Payload builders
+//===----------------------------------------------------------------------===//
+
+std::string makeHello(const std::string &Tenant) {
+  std::string B;
+  putU8(B, static_cast<uint8_t>(MsgType::Hello));
+  putStr(B, Tenant);
+  return B;
+}
+
+std::string makePredict(const std::vector<uint64_t> &Inputs) {
+  std::string B;
+  putU8(B, static_cast<uint8_t>(MsgType::Predict));
+  putU32(B, static_cast<uint32_t>(Inputs.size()));
+  for (uint64_t In : Inputs)
+    putU64(B, In);
+  return B;
+}
+
+std::string makeStats() {
+  return std::string(1, static_cast<char>(MsgType::Stats));
+}
+
+std::string makeListTenants() {
+  return std::string(1, static_cast<char>(MsgType::ListTenants));
+}
+
+std::string makeShutdown() {
+  return std::string(1, static_cast<char>(MsgType::Shutdown));
+}
+
+std::string makeTenantOk(uint64_t Epoch, uint32_t Landmarks,
+                         uint64_t NumInputs) {
+  std::string B;
+  putU8(B, static_cast<uint8_t>(MsgType::TenantOk));
+  putU64(B, Epoch);
+  putU32(B, Landmarks);
+  putU64(B, NumInputs);
+  return B;
+}
+
+std::string makePredictions(const std::vector<PredictedChoice> &Choices) {
+  std::string B;
+  putU8(B, static_cast<uint8_t>(MsgType::Predictions));
+  putU32(B, static_cast<uint32_t>(Choices.size()));
+  for (const PredictedChoice &C : Choices) {
+    putU32(B, C.Landmark);
+    putU64(B, C.Epoch);
+  }
+  return B;
+}
+
+std::string makeShed(uint32_t QueueDepth, const std::string &Reason) {
+  std::string B;
+  putU8(B, static_cast<uint8_t>(MsgType::Shed));
+  putU32(B, QueueDepth);
+  putStr(B, Reason);
+  return B;
+}
+
+std::string makeError(const std::string &Message) {
+  std::string B;
+  putU8(B, static_cast<uint8_t>(MsgType::Error));
+  putStr(B, Message);
+  return B;
+}
+
+std::string makeStatsReply(const std::string &Json) {
+  std::string B;
+  putU8(B, static_cast<uint8_t>(MsgType::StatsReply));
+  putStr(B, Json);
+  return B;
+}
+
+std::string makeTenantList(const std::vector<std::string> &Names) {
+  std::string B;
+  putU8(B, static_cast<uint8_t>(MsgType::TenantList));
+  putU32(B, static_cast<uint32_t>(Names.size()));
+  for (const std::string &N : Names)
+    putStr(B, N);
+  return B;
+}
+
+std::string makeBye() {
+  return std::string(1, static_cast<char>(MsgType::Bye));
+}
+
+//===----------------------------------------------------------------------===//
+// Decode
+//===----------------------------------------------------------------------===//
+
+bool decodeMessage(const uint8_t *Data, size_t Size, Message &Out) {
+  WireReader R(Data, Size);
+  uint8_t Tag = 0;
+  if (!R.u8(Tag))
+    return false;
+  Out = Message();
+  Out.Type = static_cast<MsgType>(Tag);
+  switch (Out.Type) {
+  case MsgType::Hello:
+    return R.str(Out.Text) && R.done();
+  case MsgType::Predict: {
+    uint32_t Count = 0;
+    if (!R.u32(Count) || Count == 0 || Count > kMaxBatchInputs)
+      return false;
+    Out.Inputs.reserve(Count);
+    for (uint32_t I = 0; I < Count; ++I) {
+      uint64_t In = 0;
+      if (!R.u64(In))
+        return false;
+      Out.Inputs.push_back(In);
+    }
+    return R.done();
+  }
+  case MsgType::Stats:
+  case MsgType::ListTenants:
+  case MsgType::Shutdown:
+  case MsgType::Bye:
+    return R.done();
+  case MsgType::TenantOk:
+    return R.u64(Out.Epoch) && R.u32(Out.Landmarks) && R.u64(Out.NumInputs) &&
+           R.done();
+  case MsgType::Predictions: {
+    uint32_t Count = 0;
+    if (!R.u32(Count) || Count > kMaxBatchInputs)
+      return false;
+    Out.Choices.reserve(Count);
+    for (uint32_t I = 0; I < Count; ++I) {
+      PredictedChoice C;
+      if (!R.u32(C.Landmark) || !R.u64(C.Epoch))
+        return false;
+      Out.Choices.push_back(C);
+    }
+    return R.done();
+  }
+  case MsgType::Shed:
+    return R.u32(Out.QueueDepth) && R.str(Out.Text) && R.done();
+  case MsgType::Error:
+  case MsgType::StatsReply:
+    return R.str(Out.Text) && R.done();
+  case MsgType::TenantList: {
+    uint32_t Count = 0;
+    // Each name costs >= 2 bytes on the wire, so the payload length
+    // already bounds a sane count; reject anything past the frame cap.
+    if (!R.u32(Count) || Count > kMaxFrameBytes / 2)
+      return false;
+    Out.Names.reserve(Count < 1024 ? Count : 1024);
+    for (uint32_t I = 0; I < Count; ++I) {
+      std::string N;
+      if (!R.str(N))
+        return false;
+      Out.Names.push_back(std::move(N));
+    }
+    return R.done();
+  }
+  }
+  return false; // unknown tag
+}
+
+//===----------------------------------------------------------------------===//
+// Framed IO
+//===----------------------------------------------------------------------===//
+
+FrameStatus readFrame(int Fd, std::string &Payload) {
+  uint8_t Hdr[4];
+  int R = readAll(Fd, Hdr, sizeof(Hdr));
+  if (R == 0)
+    return FrameStatus::Closed;
+  if (R == -1)
+    return FrameStatus::Truncated;
+  if (R < 0)
+    return FrameStatus::IoError;
+  uint32_t Len = 0;
+  for (int I = 0; I < 4; ++I)
+    Len |= static_cast<uint32_t>(Hdr[I]) << (8 * I);
+  if (Len == 0 || Len > kMaxFrameBytes)
+    return FrameStatus::TooLarge;
+  Payload.resize(Len);
+  R = readAll(Fd, &Payload[0], Len);
+  if (R == 1)
+    return FrameStatus::Ok;
+  return R == -2 ? FrameStatus::IoError : FrameStatus::Truncated;
+}
+
+FrameStatus writeFrame(int Fd, const std::string &Payload) {
+  if (Payload.empty() || Payload.size() > kMaxFrameBytes)
+    return FrameStatus::TooLarge;
+  uint8_t Hdr[4];
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  for (int I = 0; I < 4; ++I)
+    Hdr[I] = static_cast<uint8_t>(Len >> (8 * I));
+  if (!writeAll(Fd, Hdr, sizeof(Hdr)) ||
+      !writeAll(Fd, Payload.data(), Payload.size()))
+    return FrameStatus::IoError;
+  return FrameStatus::Ok;
+}
+
+} // namespace daemon
+} // namespace pbt

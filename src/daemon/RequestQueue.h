@@ -1,0 +1,120 @@
+//===- daemon/RequestQueue.h - Bounded MPMC queue --------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The admission-control heart of pbt-serve: a bounded multi-producer
+/// multi-consumer queue between session threads (producers) and batch
+/// workers (consumers). Admission is tryPush -- a full queue refuses the
+/// request immediately so the session can answer Shed, and memory use is
+/// bounded by construction; the queue never grows past its capacity no
+/// matter how many clients pile on. Consumers block on pop() and can
+/// gather micro-batches with timed tryPopFor(). close() wakes everyone;
+/// items still queued at close() drain normally (pop keeps returning
+/// them until empty), so every admitted request is answered even during
+/// shutdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_DAEMON_REQUESTQUEUE_H
+#define PBT_DAEMON_REQUESTQUEUE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace pbt {
+namespace daemon {
+
+template <typename T> class BoundedQueue {
+public:
+  explicit BoundedQueue(size_t Capacity) : Cap(Capacity ? Capacity : 1) {}
+
+  /// Admission: enqueues unless full or closed. Never blocks.
+  bool tryPush(T &&Item) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (Done || Items.size() >= Cap)
+        return false;
+      Items.push_back(std::move(Item));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained. Returns false only in the latter case.
+  bool pop(T &Out) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    NotEmpty.wait(Lock, [&] { return Done || !Items.empty(); });
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop.
+  bool tryPop(T &Out) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    return true;
+  }
+
+  /// Pop with a deadline; the micro-batch gather primitive. Returns
+  /// false on timeout or on closed-and-drained.
+  template <typename Rep, typename Period>
+  bool tryPopFor(T &Out, std::chrono::duration<Rep, Period> Wait) {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (!NotEmpty.wait_for(Lock, Wait,
+                           [&] { return Done || !Items.empty(); }))
+      return false;
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    return true;
+  }
+
+  /// Stops admission and wakes all blocked consumers; queued items
+  /// remain poppable until drained.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Done = true;
+    }
+    NotEmpty.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Done;
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Items.size();
+  }
+
+  size_t capacity() const { return Cap; }
+
+private:
+  const size_t Cap;
+  mutable std::mutex Mutex;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Done = false;
+};
+
+} // namespace daemon
+} // namespace pbt
+
+#endif // PBT_DAEMON_REQUESTQUEUE_H

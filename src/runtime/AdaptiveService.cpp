@@ -287,7 +287,14 @@ bool AdaptiveService::adaptNow() {
       Traffic.distinctCount() < std::max<size_t>(4, Opts.MinRetrainInputs / 2)) {
     // Too little (or too repetitive) evidence to retrain on: accept the
     // live window as the new null hypothesis and move on.
-    SkipCount.fetch_add(1, std::memory_order_relaxed);
+    recordSkip("insufficient reservoir evidence: " +
+               std::to_string(Sample.size()) + " samples, " +
+               std::to_string(Traffic.distinctCount()) +
+               " distinct inputs (need " +
+               std::to_string(Opts.MinRetrainInputs) + " / " +
+               std::to_string(std::max<size_t>(
+                   4, Opts.MinRetrainInputs / 2)) +
+               ")");
     Monitor.rebaseToWindow();
     return false;
   }
@@ -314,11 +321,12 @@ bool AdaptiveService::adaptNow() {
     Candidate->Model.System.Data.reset();
     Candidate->Model.Meta.Epoch = Ep->Model.Meta.Epoch + 1;
     Candidate->Compiled = CompiledModel::compile(Candidate->Model);
-  } catch (const std::exception &) {
+  } catch (const std::exception &E) {
     // A degenerate reservoir (e.g. every sampled input identical in
     // feature space) can defeat the pipeline; serving must not die with
-    // it. Count it and keep the champion.
-    SkipCount.fetch_add(1, std::memory_order_relaxed);
+    // it. Keep the champion -- but keep the cause too: a tenant whose
+    // every retrain dies here must be diagnosable from its stats.
+    recordSkip(std::string("shadow retrain failed: ") + E.what());
     Monitor.rebaseToWindow();
     return false;
   }
@@ -386,6 +394,12 @@ serialize::LoadStatus AdaptiveService::swapModel(serialize::TrainedModel Next) {
   return serialize::LoadStatus::success();
 }
 
+void AdaptiveService::recordSkip(std::string Reason) {
+  SkipCount.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(SwapMutex);
+  LastSkipReason = std::move(Reason);
+}
+
 AdaptiveService::StatsSnapshot AdaptiveService::stats() const {
   StatsSnapshot S;
   S.Decisions = DecisionCount.load(std::memory_order_relaxed);
@@ -398,6 +412,10 @@ AdaptiveService::StatsSnapshot AdaptiveService::stats() const {
   S.Swaps = SwapCount.load(std::memory_order_relaxed);
   S.RejectedCandidates = RejectCount.load(std::memory_order_relaxed);
   S.SkippedRetrains = SkipCount.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(SwapMutex);
+    S.LastSkipReason = LastSkipReason;
+  }
   return S;
 }
 

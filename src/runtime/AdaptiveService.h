@@ -137,6 +137,12 @@ public:
     uint64_t Swaps = 0;
     uint64_t RejectedCandidates = 0;
     uint64_t SkippedRetrains = 0;
+    /// Why the most recent drift response skipped retraining (empty when
+    /// none ever skipped): the caught retrain exception's message, or the
+    /// insufficient-evidence diagnosis. Without this, a tenant whose
+    /// every adaptation silently dies in the catch-all is
+    /// indistinguishable from one that never needed to adapt.
+    std::string LastSkipReason;
   };
 
   /// Binds \p Program and publishes \p Initial as epoch 1. \p Program
@@ -240,10 +246,14 @@ private:
 
   /// The atomically swapped serving state. Readers snapshot with
   /// std::atomic_load; publishers serialize on SwapMutex.
+  /// Bumps SkipCount and records \p Reason as the last skip diagnosis.
+  void recordSkip(std::string Reason);
+
   EpochPtr Current;
   std::atomic<uint64_t> EpochCounter{0};
   mutable std::mutex SwapMutex;
-  std::vector<SwapRecord> Swaps; // guarded by SwapMutex
+  std::vector<SwapRecord> Swaps;   // guarded by SwapMutex
+  std::string LastSkipReason;      // guarded by SwapMutex
 
   std::optional<FeatureIndex> Index;
   std::vector<MemoEntry> Memo;

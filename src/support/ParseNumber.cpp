@@ -1,0 +1,71 @@
+//===- support/ParseNumber.cpp ----------------------------------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ParseNumber.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+using namespace pbt;
+using namespace pbt::support;
+
+bool support::parseInt64(const std::string &Text, int64_t &Out, int64_t Min,
+                         int64_t Max) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Text.c_str(), &End, 10);
+  if (errno == ERANGE || End != Text.c_str() + Text.size())
+    return false;
+  if (V < Min || V > Max)
+    return false;
+  Out = static_cast<int64_t>(V);
+  return true;
+}
+
+bool support::parseUint64(const std::string &Text, uint64_t &Out,
+                          uint64_t Max) {
+  if (Text.empty())
+    return false;
+  // strtoull "helpfully" negates "-3" into a huge unsigned; reject any
+  // sign character before it gets the chance ("+3" stays fine).
+  if (Text[0] == '-')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(Text.c_str(), &End, 10);
+  if (errno == ERANGE || End != Text.c_str() + Text.size())
+    return false;
+  if (V > Max)
+    return false;
+  Out = static_cast<uint64_t>(V);
+  return true;
+}
+
+bool support::parseUnsigned(const std::string &Text, unsigned &Out,
+                            unsigned Max) {
+  uint64_t Wide = 0;
+  if (!parseUint64(Text, Wide, Max))
+    return false;
+  Out = static_cast<unsigned>(Wide);
+  return true;
+}
+
+bool support::parseDouble(const std::string &Text, double &Out) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(Text.c_str(), &End);
+  if (errno == ERANGE || End != Text.c_str() + Text.size())
+    return false;
+  if (!std::isfinite(V))
+    return false;
+  Out = V;
+  return true;
+}

@@ -1,0 +1,51 @@
+//===- support/ParseNumber.h - Checked numeric CLI parsing ----------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strict string-to-number parsing for command-line values. The libc
+/// conveniences the CLIs used before (std::atoi, std::atof, strtoull with
+/// a discarded end pointer) accept garbage silently: "abc" becomes 0,
+/// "1e" half-parses to 1, "-3" wraps to a huge unsigned, and overflow
+/// saturates without a word. Every parser here consumes the ENTIRE
+/// string, checks the range of the destination type, and returns false
+/// on anything else -- so `--threads=abc` is a loud error, never a
+/// silent zero-thread run. Shared by `pbt-bench` and the `pbt-serve`
+/// daemon CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_PARSENUMBER_H
+#define PBT_SUPPORT_PARSENUMBER_H
+
+#include <cstdint>
+#include <string>
+
+namespace pbt {
+namespace support {
+
+/// Parses a whole base-10 signed integer; rejects empty strings, trailing
+/// junk, and values outside [Min, Max]. \p Out is untouched on failure.
+bool parseInt64(const std::string &Text, int64_t &Out,
+                int64_t Min = INT64_MIN, int64_t Max = INT64_MAX);
+
+/// Parses a whole base-10 unsigned integer; rejects empty strings,
+/// trailing junk, any leading '-' (strtoull would silently wrap it), and
+/// values above \p Max. \p Out is untouched on failure.
+bool parseUint64(const std::string &Text, uint64_t &Out,
+                 uint64_t Max = UINT64_MAX);
+
+/// parseUint64 narrowed to unsigned.
+bool parseUnsigned(const std::string &Text, unsigned &Out,
+                   unsigned Max = ~0u);
+
+/// Parses a whole finite double; rejects empty strings, trailing junk
+/// ("1e", "3.5x"), infinities and NaNs. \p Out is untouched on failure.
+bool parseDouble(const std::string &Text, double &Out);
+
+} // namespace support
+} // namespace pbt
+
+#endif // PBT_SUPPORT_PARSENUMBER_H

@@ -1,0 +1,44 @@
+# Regression for the zero-batch percentile bug: `pbt-bench serve` with a
+# time budget far below one batch must still exit 0, and the JSON must
+# never present a 0.0 percentile as if it were a measured latency --
+# a phase with no batches reports its percentiles as null. The old
+# behavior emitted `"p50_batch_us": 0,` which downstream dashboards
+# averaged in as a real (impossibly fast) datapoint.
+#
+# Invoked by ctest (label: integration) with -DPBT_BENCH, -DGOLDEN_DIR
+# and -DWORK_DIR defined.
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+execute_process(
+  COMMAND ${PBT_BENCH} serve --model=${GOLDEN_DIR}/sort1.pbt
+          --seconds=0.01 --batch=16 --threads=2
+          --json --out-dir=${WORK_DIR}
+  RESULT_VARIABLE SERVE_RESULT
+  OUTPUT_VARIABLE SERVE_OUTPUT
+  ERROR_VARIABLE SERVE_OUTPUT
+  TIMEOUT 120)
+if(NOT SERVE_RESULT EQUAL 0)
+  message(FATAL_ERROR "pbt-bench serve failed (${SERVE_RESULT}):\n${SERVE_OUTPUT}")
+endif()
+
+if(NOT EXISTS ${WORK_DIR}/BENCH_serve.json)
+  message(FATAL_ERROR "pbt-bench serve --json wrote no BENCH_serve.json")
+endif()
+
+file(READ ${WORK_DIR}/BENCH_serve.json SERVE_JSON)
+string(FIND "${SERVE_JSON}" "\"p50_batch_us\"" P50_POS)
+if(P50_POS EQUAL -1)
+  message(FATAL_ERROR "BENCH_serve.json carries no p50_batch_us field:\n${SERVE_JSON}")
+endif()
+
+# A literal integer zero percentile is the bug; real measurements are
+# positive and empty phases must be null.
+foreach(bad "\"p50_batch_us\": 0," "\"p50_batch_us\": 0}"
+        "\"p99_batch_us\": 0," "\"p99_batch_us\": 0}")
+  string(FIND "${SERVE_JSON}" "${bad}" BAD_POS)
+  if(NOT BAD_POS EQUAL -1)
+    message(FATAL_ERROR
+      "BENCH_serve.json reports a zero percentile as a measurement (${bad}):\n${SERVE_JSON}")
+  endif()
+endforeach()

@@ -1,0 +1,97 @@
+//===- tests/support/ParseNumberTest.cpp -------------------------------------=//
+//
+// The checked CLI number parsing every pbt binary routes its flags
+// through (bench/PbtBench.cpp, tools/PbtServe.cpp). The predecessor was
+// bare std::atoi/strtoull, which silently turned "--threads=abc" into 0
+// and "--queue=-3" into 2^64-3; these tests pin the strict behavior:
+// full-string consumption, range enforcement, sign rejection for
+// unsigned, finiteness for double, and out-param untouched on failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ParseNumber.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+using namespace pbt::support;
+
+TEST(ParseNumberTest, Int64Valid) {
+  int64_t V = -1;
+  EXPECT_TRUE(parseInt64("0", V, -100, 100));
+  EXPECT_EQ(V, 0);
+  EXPECT_TRUE(parseInt64("-42", V, -100, 100));
+  EXPECT_EQ(V, -42);
+  EXPECT_TRUE(parseInt64("+17", V, -100, 100));
+  EXPECT_EQ(V, 17);
+}
+
+TEST(ParseNumberTest, Int64RejectsGarbageAndRange) {
+  int64_t V = 123;
+  EXPECT_FALSE(parseInt64("", V, -100, 100));
+  EXPECT_FALSE(parseInt64("abc", V, -100, 100));
+  EXPECT_FALSE(parseInt64("12abc", V, -100, 100));  // trailing garbage
+  EXPECT_FALSE(parseInt64("1 2", V, -100, 100));
+  EXPECT_FALSE(parseInt64("101", V, -100, 100));    // above Max
+  EXPECT_FALSE(parseInt64("-101", V, -100, 100));   // below Min
+  EXPECT_FALSE(parseInt64("99999999999999999999999999", V,
+                          std::numeric_limits<int64_t>::min(),
+                          std::numeric_limits<int64_t>::max())); // ERANGE
+  EXPECT_EQ(V, 123) << "out-param must be untouched on failure";
+}
+
+TEST(ParseNumberTest, Uint64RejectsNegativeOutright) {
+  // strtoull accepts "-3" and wraps it to 2^64-3; the helper must not.
+  uint64_t V = 7;
+  EXPECT_FALSE(parseUint64("-3", V, std::numeric_limits<uint64_t>::max()));
+  EXPECT_FALSE(parseUint64("-0", V, std::numeric_limits<uint64_t>::max()));
+  EXPECT_EQ(V, 7u);
+  EXPECT_TRUE(parseUint64("+3", V, 100));
+  EXPECT_EQ(V, 3u);
+}
+
+TEST(ParseNumberTest, Uint64RangeAndGarbage) {
+  uint64_t V = 7;
+  EXPECT_FALSE(parseUint64("", V, 100));
+  EXPECT_FALSE(parseUint64("0x10", V, 100)); // base 10 only
+  EXPECT_FALSE(parseUint64("101", V, 100));
+  EXPECT_FALSE(parseUint64("18446744073709551616", V,
+                           std::numeric_limits<uint64_t>::max())); // 2^64
+  EXPECT_EQ(V, 7u);
+  EXPECT_TRUE(parseUint64("18446744073709551615", V,
+                          std::numeric_limits<uint64_t>::max()));
+  EXPECT_EQ(V, std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ParseNumberTest, UnsignedClampsThroughMax) {
+  unsigned V = 9;
+  EXPECT_TRUE(parseUnsigned("64", V, 1024));
+  EXPECT_EQ(V, 64u);
+  EXPECT_FALSE(parseUnsigned("1025", V, 1024));
+  EXPECT_FALSE(parseUnsigned("4294967296", V, 4294967295u)); // > UINT_MAX
+  EXPECT_FALSE(parseUnsigned("banana", V, 1024));
+  EXPECT_EQ(V, 64u);
+}
+
+TEST(ParseNumberTest, DoubleValid) {
+  double V = -1;
+  EXPECT_TRUE(parseDouble("0.5", V));
+  EXPECT_DOUBLE_EQ(V, 0.5);
+  EXPECT_TRUE(parseDouble("-2e3", V));
+  EXPECT_DOUBLE_EQ(V, -2000.0);
+  EXPECT_TRUE(parseDouble("120", V));
+  EXPECT_DOUBLE_EQ(V, 120.0);
+}
+
+TEST(ParseNumberTest, DoubleRejectsGarbageInfNan) {
+  double V = 0.25;
+  EXPECT_FALSE(parseDouble("", V));
+  EXPECT_FALSE(parseDouble("1.5banana", V));
+  EXPECT_FALSE(parseDouble("banana", V));
+  EXPECT_FALSE(parseDouble("inf", V));  // parses, but not finite
+  EXPECT_FALSE(parseDouble("nan", V));
+  EXPECT_FALSE(parseDouble("1e999", V)); // ERANGE overflow to inf
+  EXPECT_DOUBLE_EQ(V, 0.25);
+}

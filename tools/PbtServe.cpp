@@ -1,0 +1,205 @@
+//===- tools/PbtServe.cpp - pbt-serve daemon entry point -------------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pbt-serve binary: loads one or more trained model files into a
+/// multi-tenant ModelRegistry, binds a Unix-domain socket, and serves
+/// framed prediction requests until a Shutdown frame or SIGINT/SIGTERM.
+/// Lives under tools/ (not src/) because the pbtuner OBJECT library
+/// globs every src/*.cpp into the test binaries, which already have a
+/// main.
+///
+///   pbt-serve --socket=/tmp/pbt.sock --model=sort1.pbt \
+///             --model=fast=other.pbt --workers=4 --queue=128
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/ModelRegistry.h"
+#include "daemon/Server.h"
+#include "support/ParseNumber.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace pbt;
+
+namespace {
+
+std::atomic<bool> GSignalled{false};
+
+void onSignal(int) { GSignalled.store(true); }
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket=PATH --model=[NAME=]FILE[,[NAME=]FILE...] "
+      "[options]\n"
+      "\n"
+      "A multi-tenant prediction daemon over a Unix-domain socket. Each\n"
+      "--model entry becomes one tenant, addressed by NAME on the wire\n"
+      "(default: the model's benchmark key). Clients speak the framed\n"
+      "protocol of src/daemon/Protocol.h; `pbt-bench loadgen` is the\n"
+      "reference client and load driver.\n"
+      "\n"
+      "options:\n"
+      "  --socket=PATH      listening Unix socket path (required; short\n"
+      "                     paths only -- sun_path caps ~107 bytes)\n"
+      "  --model=SPEC       tenant model file(s); NAME=FILE to name one\n"
+      "  --workers=N        batch worker threads (default 2)\n"
+      "  --queue=N          bounded request queue capacity (default 64);\n"
+      "                     a full queue sheds, it never grows\n"
+      "  --batch-max=N      micro-batch cap per worker gather (default 64)\n"
+      "  --adapt            serve through the drift-adaptation loop\n"
+      "                     (per-tenant DriftMonitor + shadow retrain)\n"
+      "  --window=N         drift-monitor window per tenant (default 64)\n"
+      "  --reservoir=N      retrain reservoir per tenant (default 48)\n"
+      "  --threads=N        retrain thread pool size (default 0 = none)\n",
+      Argv0);
+}
+
+int badValue(const char *Flag, const std::string &Value, const char *Expect) {
+  std::fprintf(stderr, "pbt-serve: bad %s value '%s' (expected %s)\n", Flag,
+               Value.c_str(), Expect);
+  return 2;
+}
+
+/// Splits --model=a.pbt,fast=b.pbt into (name, path) pairs; empty name
+/// means "use the model's benchmark key".
+void splitModelSpec(const std::string &Spec,
+                    std::vector<std::pair<std::string, std::string>> &Out) {
+  size_t Start = 0;
+  while (Start <= Spec.size()) {
+    size_t Comma = Spec.find(',', Start);
+    std::string Entry = Spec.substr(
+        Start, Comma == std::string::npos ? std::string::npos : Comma - Start);
+    if (!Entry.empty()) {
+      size_t Eq = Entry.find('=');
+      if (Eq == std::string::npos)
+        Out.emplace_back("", Entry);
+      else
+        Out.emplace_back(Entry.substr(0, Eq), Entry.substr(Eq + 1));
+    }
+    if (Comma == std::string::npos)
+      break;
+    Start = Comma + 1;
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  daemon::ServerOptions SO;
+  daemon::ModelRegistryOptions RO;
+  std::vector<std::pair<std::string, std::string>> Models;
+  unsigned PoolThreads = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return Arg.compare(0, N, Prefix) == 0 ? Arg.c_str() + N : nullptr;
+    };
+    if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (const char *V = Value("--socket=")) {
+      SO.SocketPath = V;
+    } else if (const char *V = Value("--model=")) {
+      splitModelSpec(V, Models);
+    } else if (const char *V = Value("--workers=")) {
+      if (!support::parseUnsigned(V, SO.Workers, 256))
+        return badValue("--workers", V, "an integer in [0, 256]");
+    } else if (const char *V = Value("--queue=")) {
+      unsigned Cap = 0;
+      if (!support::parseUnsigned(V, Cap, 1u << 20))
+        return badValue("--queue", V, "an integer in [0, 2^20]");
+      SO.QueueCapacity = Cap;
+    } else if (const char *V = Value("--batch-max=")) {
+      if (!support::parseUnsigned(V, SO.BatchMax, daemon::kMaxBatchInputs))
+        return badValue("--batch-max", V, "an integer in [0, 65536]");
+    } else if (Arg == "--adapt") {
+      SO.Adapt = true;
+      RO.AutoAdapt = true;
+    } else if (const char *V = Value("--window=")) {
+      if (!support::parseUnsigned(V, RO.Window, 1u << 20))
+        return badValue("--window", V, "an integer in [0, 2^20]");
+    } else if (const char *V = Value("--reservoir=")) {
+      if (!support::parseUnsigned(V, RO.Reservoir, 1u << 20))
+        return badValue("--reservoir", V, "an integer in [0, 2^20]");
+    } else if (const char *V = Value("--threads=")) {
+      if (!support::parseUnsigned(V, PoolThreads, 1024))
+        return badValue("--threads", V, "an integer in [0, 1024]");
+    } else {
+      std::fprintf(stderr, "pbt-serve: unknown argument '%s'\n",
+                   Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (SO.SocketPath.empty() || Models.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (PoolThreads > 0) {
+    Pool = std::make_unique<support::ThreadPool>(PoolThreads);
+    RO.Pool = Pool.get();
+  }
+
+  daemon::ModelRegistry Registry(RO);
+  for (const auto &[Name, Path] : Models) {
+    serialize::LoadStatus St = Registry.addTenant(Name, Path);
+    if (!St) {
+      std::fprintf(stderr, "pbt-serve: cannot load tenant from '%s': %s\n",
+                   Path.c_str(), St.Error.c_str());
+      return 1;
+    }
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  daemon::Server Srv(Registry, SO);
+  std::string Err;
+  if (!Srv.start(Err)) {
+    std::fprintf(stderr, "pbt-serve: %s\n", Err.c_str());
+    return 1;
+  }
+
+  {
+    std::string Names;
+    for (const std::string &N : Registry.names())
+      Names += (Names.empty() ? "" : ", ") + N;
+    std::fprintf(stderr,
+                 "pbt-serve: listening on %s (%zu tenant%s: %s; workers=%u "
+                 "queue=%zu batch-max=%u%s)\n",
+                 SO.SocketPath.c_str(), Registry.size(),
+                 Registry.size() == 1 ? "" : "s", Names.c_str(), SO.Workers,
+                 SO.QueueCapacity, SO.BatchMax, SO.Adapt ? " adapt" : "");
+    std::fflush(stderr);
+  }
+
+  // Park until a client's Shutdown frame flips the server's stop flag or
+  // a signal lands. Polling keeps the signal handler async-signal-safe
+  // (it only stores a flag).
+  while (Srv.running() && !GSignalled.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::string FinalStats = Srv.statsJson();
+  Srv.stop();
+  std::printf("%s\n", FinalStats.c_str());
+  return 0;
+}
