@@ -64,6 +64,10 @@ static void printUsage() {
       "                       pre-optimisation path, byte-identity gated\n"
       "  loadgen              drive a pbt-serve daemon over N concurrent\n"
       "                       connections; BENCH_serve_daemon.json report\n"
+      "  rollout              staged fleet-rollout harness over the crash-\n"
+      "                       safe model store; with --faults, kill-during-\n"
+      "                       publish crash injection + recovery timing;\n"
+      "                       BENCH_rollout.json report\n"
       "\n"
       "options:\n"
       "  --scale=S            input-count scale (default: PBT_BENCH_SCALE or 1)\n"
@@ -104,6 +108,11 @@ static void printUsage() {
       "  --workers=N          loadgen --spawn: server batch workers\n"
       "  --batch-max=N        loadgen --spawn: server micro-batch cap\n"
       "  --adapt              loadgen --spawn: per-tenant drift adaptation\n"
+      "  --replicas=N         rollout: simulated serving replicas (default 3)\n"
+      "  --cycles=N           rollout: staged rollout cycles (default 8)\n"
+      "  --faults             rollout: arm one randomized failpoint per\n"
+      "                       cycle (crash/corruption injection)\n"
+      "  --fault-seed=N       rollout: failpoint-schedule seed\n"
       "\n"
       "`kernels` ignores the other options above; it takes\n"
       "google-benchmark flags (e.g. --benchmark_filter=...) instead.\n");
@@ -237,6 +246,17 @@ static ParseResult parseSharedOptions(std::vector<std::string> &Args,
         return badValue("--batch-max", V, "a positive integer");
     } else if (Arg == "--adapt") {
       Opts.Adapt = true;
+    } else if (const char *V = Value("--replicas")) {
+      if (!parseUnsigned(V, Opts.Replicas) || Opts.Replicas < 1)
+        return badValue("--replicas", V, "a positive integer");
+    } else if (const char *V = Value("--cycles")) {
+      if (!parseUnsigned(V, Opts.Cycles) || Opts.Cycles < 1)
+        return badValue("--cycles", V, "a positive integer");
+    } else if (Arg == "--faults") {
+      Opts.Faults = true;
+    } else if (const char *V = Value("--fault-seed")) {
+      if (!parseUint64(V, Opts.FaultSeed))
+        return badValue("--fault-seed", V, "an unsigned integer");
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return ParseResult::Help;
@@ -319,6 +339,8 @@ int main(int argc, char **argv) {
       return runServe(Opts);
     if (Sub == "loadgen")
       return runLoadgen(Opts, argv[0]);
+    if (Sub == "rollout")
+      return runRollout(Opts);
     if (Sub == "stream")
       return runStream(Opts);
     if (Sub == "train")

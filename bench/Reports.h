@@ -95,6 +95,14 @@ struct DriverOptions {
   unsigned BatchMax = 64;
   /// `loadgen --spawn` only: per-tenant drift adaptation (--adapt).
   bool Adapt = false;
+  /// `rollout` only: serving replicas in the simulated fleet (--replicas).
+  unsigned Replicas = 3;
+  /// `rollout` only: publish/canary/promote cycles to drive (--cycles).
+  unsigned Cycles = 8;
+  /// `rollout` only: inject a randomized failpoint each cycle (--faults).
+  bool Faults = false;
+  /// `rollout` only: failpoint-schedule seed (--fault-seed).
+  uint64_t FaultSeed = 0xFA117;
   /// The pool built from Threads/Sequential; owned by main.
   support::ThreadPool *Pool = nullptr;
 };
@@ -172,6 +180,22 @@ int runStream(const DriverOptions &Opts);
 /// also OutDir/BENCH_serve_daemon.json with --json. \p Argv0 locates the
 /// default pbt-serve binary for --spawn.
 int runLoadgen(const DriverOptions &Opts, const char *Argv0);
+/// `rollout`: the crash-safe fleet-rollout harness. Trains one model,
+/// seeds a model store, then drives --cycles staged rollouts (publish ->
+/// canary -> promote/rollback) through a RolloutController fleet of
+/// --replicas in-process replicas, alternating clone candidates (equal
+/// shadow score: promote) with landmark-rotated degraded candidates
+/// (worse: rollback). With --faults each cycle arms one randomized
+/// failpoint (torn write, crash-before-rename, crash-before-manifest,
+/// crash-between-manifest-and-CURRENT, checksum corruption, failing
+/// fsync); an injected crash kills the fleet mid-protocol, and the
+/// harness restarts it from the store, timing recovery and verifying the
+/// recovered fleet's decisions are golden-identical to the last durable
+/// epoch's. Reports publish/canary/promote latency, recovery time, torn
+/// reads prevented, and the zero-torn-reads-served assertion as JSON
+/// (stdout; also OutDir/BENCH_rollout.json with --json). Any torn read
+/// served, golden divergence, or failed recovery is a nonzero exit.
+int runRollout(const DriverOptions &Opts);
 
 } // namespace benchharness
 } // namespace pbt

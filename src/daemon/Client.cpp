@@ -6,17 +6,36 @@
 
 #include "daemon/Client.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 namespace pbt {
 namespace daemon {
+
+namespace {
+
+timeval toTimeval(double Seconds) {
+  timeval TV{};
+  TV.tv_sec = static_cast<time_t>(Seconds);
+  TV.tv_usec =
+      static_cast<suseconds_t>((Seconds - static_cast<double>(TV.tv_sec)) *
+                               1e6);
+  if (TV.tv_sec == 0 && TV.tv_usec == 0)
+    TV.tv_usec = 1; // 0/0 would mean "no timeout" to setsockopt
+  return TV;
+}
+
+} // namespace
 
 bool DaemonClient::connect(const std::string &SocketPath, std::string &Err) {
   close();
@@ -32,11 +51,53 @@ bool DaemonClient::connect(const std::string &SocketPath, std::string &Err) {
     Err = std::string("socket(): ") + std::strerror(errno);
     return false;
   }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    Err = "connect('" + SocketPath + "'): " + std::strerror(errno);
+
+  auto Abort = [&](const std::string &Msg) {
+    Err = Msg;
     ::close(Fd);
     Fd = -1;
     return false;
+  };
+
+  // Nonblocking connect + poll bounds the connect itself (a listening
+  // socket with a full backlog can otherwise block indefinitely).
+  int Flags = 0;
+  if (Opts.ConnectTimeout > 0) {
+    Flags = ::fcntl(Fd, F_GETFL, 0);
+    if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0)
+      return Abort(std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    if (Opts.ConnectTimeout <= 0 || errno != EINPROGRESS)
+      return Abort("connect('" + SocketPath + "'): " + std::strerror(errno));
+    pollfd PFD{};
+    PFD.fd = Fd;
+    PFD.events = POLLOUT;
+    int Ms = static_cast<int>(Opts.ConnectTimeout * 1000.0);
+    int Ready = ::poll(&PFD, 1, Ms > 0 ? Ms : 1);
+    if (Ready == 0)
+      return Abort("connect('" + SocketPath + "'): timed out after " +
+                   std::to_string(Ms) + "ms");
+    if (Ready < 0)
+      return Abort(std::string("poll(): ") + std::strerror(errno));
+    int SockErr = 0;
+    socklen_t Len = sizeof(SockErr);
+    if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SockErr, &Len) < 0 ||
+        SockErr != 0)
+      return Abort("connect('" + SocketPath +
+                   "'): " + std::strerror(SockErr ? SockErr : errno));
+  }
+  if (Opts.ConnectTimeout > 0 && ::fcntl(Fd, F_SETFL, Flags) < 0)
+    return Abort(std::string("fcntl(restore): ") + std::strerror(errno));
+
+  // Arm the per-operation I/O timeouts: a server that accepts and then
+  // wedges turns into an EAGAIN read error instead of a hung client.
+  if (Opts.IoTimeout > 0) {
+    timeval TV = toTimeval(Opts.IoTimeout);
+    if (::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV)) < 0 ||
+        ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof(TV)) < 0)
+      return Abort(std::string("setsockopt(timeouts): ") +
+                   std::strerror(errno));
   }
   return true;
 }
@@ -45,12 +106,19 @@ bool DaemonClient::connectWithRetry(const std::string &SocketPath,
                                     double TimeoutSeconds, std::string &Err) {
   auto Deadline = std::chrono::steady_clock::now() +
                   std::chrono::duration<double>(TimeoutSeconds);
-  for (;;) {
+  double Backoff = Opts.BackoffSeconds;
+  unsigned MaxAttempts = std::max(1u, Opts.MaxConnectAttempts);
+  for (unsigned Attempt = 1;; ++Attempt) {
     if (connect(SocketPath, Err))
       return true;
+    if (Attempt >= MaxAttempts) {
+      Err += " (gave up after " + std::to_string(Attempt) + " attempts)";
+      return false;
+    }
     if (std::chrono::steady_clock::now() >= Deadline)
       return false;
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(std::chrono::duration<double>(Backoff));
+    Backoff = std::min(Backoff * 2.0, Opts.BackoffCapSeconds);
   }
 }
 

@@ -25,20 +25,45 @@
 namespace pbt {
 namespace daemon {
 
+/// Timeout and retry policy for a DaemonClient. The defaults make a
+/// hung or wedged server a bounded error, never a hung client.
+struct ClientOptions {
+  /// Per-attempt connect timeout in seconds (nonblocking connect +
+  /// poll). 0 = the OS's blocking connect.
+  double ConnectTimeout = 5.0;
+  /// Per-read/-write socket timeout in seconds (SO_RCVTIMEO /
+  /// SO_SNDTIMEO). 0 = block forever (the pre-timeout behavior).
+  double IoTimeout = 10.0;
+  /// Connect attempts connectWithRetry makes before giving up, on top
+  /// of its wall-clock deadline -- whichever trips first ends the loop.
+  unsigned MaxConnectAttempts = 10;
+  /// Sleep before the second connect attempt; doubles per attempt
+  /// (exponential backoff) up to BackoffCapSeconds.
+  double BackoffSeconds = 0.02;
+  double BackoffCapSeconds = 0.5;
+};
+
 class DaemonClient {
 public:
   DaemonClient() = default;
+  explicit DaemonClient(ClientOptions Options) : Opts(Options) {}
   ~DaemonClient() { close(); }
 
   DaemonClient(const DaemonClient &) = delete;
   DaemonClient &operator=(const DaemonClient &) = delete;
 
-  /// Connects to a listening pbt-serve socket. False with \p Err set on
-  /// failure; retries are the caller's policy (see connectWithRetry).
+  const ClientOptions &options() const { return Opts; }
+
+  /// Connects to a listening pbt-serve socket, honoring ConnectTimeout,
+  /// and arms the I/O timeouts on the resulting fd. False with \p Err
+  /// set on failure; retries are the caller's policy (see
+  /// connectWithRetry).
   bool connect(const std::string &SocketPath, std::string &Err);
 
-  /// connect() retried for up to \p TimeoutSeconds -- the "server was
-  /// just spawned" path.
+  /// connect() under the bounded-retry policy: up to MaxConnectAttempts
+  /// attempts within \p TimeoutSeconds of wall clock, sleeping with
+  /// exponential backoff between attempts -- the "server was just
+  /// spawned" path.
   bool connectWithRetry(const std::string &SocketPath, double TimeoutSeconds,
                         std::string &Err);
 
@@ -81,6 +106,7 @@ private:
   bool roundTrip(const std::string &Payload, Message &Reply,
                  std::string &Err);
 
+  ClientOptions Opts;
   int Fd = -1;
 };
 

@@ -50,11 +50,19 @@ struct Tenant {
   /// Serializes serve()/decideBatch()/adaptNow() across batch workers
   /// (AdaptiveService expects a single serving thread).
   std::mutex ServeMutex;
-  unsigned Landmarks = 0;
+  /// Atomic: store hot-swaps update it while Hello handlers read it.
+  std::atomic<unsigned> Landmarks{0};
+  /// Store-backed tenants (addStoreTenant): the watched store directory
+  /// and the store epoch currently serving. Empty/0 for file tenants.
+  /// StoreEpoch is atomic so stats readers race cleanly with the poller.
+  std::string StoreDir;
+  std::atomic<uint64_t> StoreEpoch{0};
   // Daemon-side accounting (the service keeps its own decision totals).
   std::atomic<uint64_t> Requests{0};
   std::atomic<uint64_t> Decisions{0};
   std::atomic<uint64_t> Batches{0};
+  std::atomic<uint64_t> StoreSwaps{0};
+  std::atomic<uint64_t> StoreRejects{0};
 };
 
 struct ModelRegistryOptions {
@@ -80,6 +88,21 @@ public:
   serialize::LoadStatus addTenant(const std::string &Name,
                                   const std::string &ModelPath);
 
+  /// Like addTenant, but the model comes from a crash-safe model store
+  /// directory (store/ModelStore.h): the CURRENT epoch is loaded
+  /// checksum-verified (falling back past torn images), and pollStores()
+  /// hot-swaps the tenant whenever a rollout promotes a new epoch.
+  serialize::LoadStatus addStoreTenant(const std::string &Name,
+                                       const std::string &StoreDir);
+
+  /// Polls every store-backed tenant's CURRENT pointer and hot-swaps
+  /// those whose store promoted a new epoch (verified load; a torn or
+  /// corrupt image is rejected and counted, never served). A swap that
+  /// fails provenance/bind leaves the tenant serving its held epoch.
+  /// Returns the number of tenants swapped. Safe to call from the
+  /// daemon's park loop while workers serve.
+  size_t pollStores();
+
   /// Name lookup (wire path); nullptr when unknown.
   Tenant *find(const std::string &Name);
   Tenant *at(size_t Idx);
@@ -88,6 +111,12 @@ public:
   const ModelRegistryOptions &options() const { return Opts; }
 
 private:
+  serialize::LoadStatus buildTenant(const std::string &Name,
+                                    const std::string &SourceDesc,
+                                    serialize::TrainedModel Model,
+                                    std::unique_ptr<Tenant> &Out);
+  serialize::LoadStatus publishTenant(std::unique_ptr<Tenant> T);
+
   ModelRegistryOptions Opts;
   mutable std::mutex Mutex;
   /// Append-only; unique_ptr keeps Tenant addresses stable across

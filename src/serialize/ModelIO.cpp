@@ -333,8 +333,14 @@ LoadStatus serialize::loadModel(const std::string &Text, TrainedModel &Out) {
   Reader R(Text);
   TrainedModel M;
 
+  // Every failure is tagged with the 1-based line it was detected on:
+  // sticky Reader errors already carry it; semantic checks (shape and
+  // range validation) borrow the reader's current position.
   auto Failure = [&R](const std::string &Fallback) {
-    return LoadStatus::failure(R.ok() ? Fallback : R.error());
+    if (!R.ok())
+      return LoadStatus::failure(R.error());
+    return LoadStatus::failure("line " + std::to_string(R.lineNumber()) +
+                               ": " + Fallback);
   };
 
   // --- Header. ---
@@ -344,7 +350,7 @@ LoadStatus serialize::loadModel(const std::string &Text, TrainedModel &Out) {
   if (!R.endLine())
     return Failure("bad header");
   if (Version != "v" + std::to_string(kFormatVersion))
-    return LoadStatus::failure("unsupported model format version '" + Version +
+    return Failure("unsupported model format version '" + Version +
                                "' (expected v" +
                                std::to_string(kFormatVersion) + ")");
   if (!R.expect("benchmark"))
@@ -373,7 +379,7 @@ LoadStatus serialize::loadModel(const std::string &Text, TrainedModel &Out) {
     if (!R.ok())
       return Failure("bad feature declaration");
     if (Levels == 0)
-      return LoadStatus::failure(
+      return Failure(
           "feature '" + F.Name + "' must have at least one sampling level");
     F.Levels = static_cast<unsigned>(Levels);
     M.Meta.Features.push_back(F);
@@ -403,25 +409,25 @@ LoadStatus serialize::loadModel(const std::string &Text, TrainedModel &Out) {
 
   uint64_t N = S.L1.Features.rows();
   if (S.L1.Features.cols() != NumFlat)
-    return LoadStatus::failure(
+    return Failure(
         "feature table width does not match feature declarations");
   if (!S.L1.ExtractCosts.sameShape(S.L1.Features))
-    return LoadStatus::failure("extract-cost table shape mismatch");
+    return Failure("extract-cost table shape mismatch");
   if (S.L1.Time.rows() != N || S.L1.Acc.rows() != N ||
       S.L1.Time.cols() != S.L1.Acc.cols())
-    return LoadStatus::failure("time/accuracy table shape mismatch");
+    return Failure("time/accuracy table shape mismatch");
   uint64_t K = S.L1.Time.cols();
   if (K == 0)
-    return LoadStatus::failure("model declares no landmarks");
+    return Failure("model declares no landmarks");
 
   for (size_t Row : TrainRows)
     if (Row >= N)
-      return LoadStatus::failure("train row out of range");
+      return Failure("train row out of range");
   for (size_t Row : TestRows)
     if (Row >= N)
-      return LoadStatus::failure("test row out of range");
+      return Failure("test row out of range");
   if (StaticOracle >= K)
-    return LoadStatus::failure("static oracle landmark out of range");
+    return Failure("static oracle landmark out of range");
   S.TrainRows = std::move(TrainRows);
   S.TestRows = std::move(TestRows);
   S.StaticOracleLandmark = static_cast<unsigned>(StaticOracle);
@@ -429,32 +435,32 @@ LoadStatus serialize::loadModel(const std::string &Text, TrainedModel &Out) {
   if (!S.L1.Norm.loadFrom(R))
     return Failure("bad normalizer");
   if (S.L1.Norm.numFeatures() != NumFlat)
-    return LoadStatus::failure("normalizer width mismatch");
+    return Failure("normalizer width mismatch");
   if (!ml::loadKMeansResult(R, S.L1.Clusters))
     return Failure("bad clustering");
   if (S.L1.Clusters.Centroids.rows() != K)
-    return LoadStatus::failure("cluster count does not match landmark count");
+    return Failure("cluster count does not match landmark count");
   if (S.L1.Clusters.Centroids.cols() != NumFlat)
-    return LoadStatus::failure("centroid width mismatch");
+    return Failure("centroid width mismatch");
   if (S.L1.Clusters.Assignment.size() != S.TrainRows.size())
-    return LoadStatus::failure("one cluster assignment per train row required");
+    return Failure("one cluster assignment per train row required");
   if (!loadRows(R, "representatives", N, S.L1.Representatives))
     return Failure("bad representatives");
   if (S.L1.Representatives.size() != K)
-    return LoadStatus::failure("one representative per landmark required");
+    return Failure("one representative per landmark required");
   if (!R.expect("landmarks"))
     return Failure("missing landmarks");
   uint64_t NumLandmarks = R.count(kMaxLandmarks);
   if (!R.endLine())
     return Failure("bad landmark count");
   if (NumLandmarks != K)
-    return LoadStatus::failure("landmark count does not match time table");
+    return Failure("landmark count does not match time table");
   for (uint64_t I = 0; I != NumLandmarks && R.ok(); ++I) {
     runtime::Configuration C;
     if (!loadConfiguration(R, C))
       return Failure("bad landmark configuration");
     if (!S.L1.Landmarks.empty() && C.size() != S.L1.Landmarks.front().size())
-      return LoadStatus::failure("landmark configurations disagree on arity");
+      return Failure("landmark configurations disagree on arity");
     S.L1.Landmarks.push_back(std::move(C));
   }
 
@@ -465,15 +471,15 @@ LoadStatus serialize::loadModel(const std::string &Text, TrainedModel &Out) {
   if (!R.u64s("train-labels", Labels, 1u << 24))
     return Failure("bad train labels");
   if (Labels.size() != S.TrainRows.size())
-    return LoadStatus::failure("one train label per train row required");
+    return Failure("one train label per train row required");
   for (uint64_t L : Labels)
     if (L >= K)
-      return LoadStatus::failure("train label out of range");
+      return Failure("train label out of range");
   S.L2.TrainLabels.assign(Labels.begin(), Labels.end());
   if (!S.L2.Costs.loadFrom(R))
     return Failure("bad cost matrix");
   if (S.L2.Costs.numClasses() != K)
-    return LoadStatus::failure("cost matrix size does not match landmarks");
+    return Failure("cost matrix size does not match landmarks");
   if (!R.expect("refinement-moved"))
     return Failure("missing refinement-moved");
   S.L2.RefinementMoveFraction = R.f();
@@ -494,7 +500,7 @@ LoadStatus serialize::loadModel(const std::string &Text, TrainedModel &Out) {
     if (!R.ok())
       return Failure("bad candidate");
     if (Valid > 1)
-      return LoadStatus::failure("candidate validity must be 0 or 1");
+      return Failure("candidate validity must be 0 or 1");
     C.Valid = Valid == 1;
     S.L2.Candidates.push_back(std::move(C));
   }
@@ -547,7 +553,10 @@ LoadStatus serialize::loadModelFile(const std::string &Path,
   SS << In.rdbuf();
   if (In.bad())
     return LoadStatus::failure("read error on '" + Path + "'");
-  return loadModel(SS.str(), Out);
+  LoadStatus St = loadModel(SS.str(), Out);
+  if (!St)
+    return LoadStatus::failure("'" + Path + "': " + St.Error);
+  return St;
 }
 
 LoadStatus serialize::loadCompiledModelFile(const std::string &Path,

@@ -102,6 +102,10 @@ public:
   bool atEnd() const;
   bool ok() const { return Error.empty(); }
   const std::string &error() const { return Error; }
+  /// 1-based line number of the current line (0 before the first
+  /// advance) -- lets loaders tag their own semantic failures with the
+  /// position the way fail() tags syntactic ones.
+  size_t lineNumber() const { return Line; }
   /// Latches the first error (tagged with the current line number).
   /// Always returns false so loaders can `return R.fail(...)`.
   bool fail(const std::string &Msg);

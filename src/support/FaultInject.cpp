@@ -1,0 +1,157 @@
+//===- support/FaultInject.cpp - Armed failpoints for crash testing --------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pbt {
+namespace support {
+
+const char *faultPointName(FaultPoint P) {
+  switch (P) {
+  case FaultPoint::TornWrite:
+    return "torn-write";
+  case FaultPoint::CrashBeforeRename:
+    return "crash-before-rename";
+  case FaultPoint::CrashBeforeManifest:
+    return "crash-before-manifest";
+  case FaultPoint::CrashBetweenManifestAndCurrent:
+    return "crash-between-manifest-and-current";
+  case FaultPoint::CorruptChecksum:
+    return "corrupt-checksum";
+  case FaultPoint::FsyncFail:
+    return "fsync-fail";
+  case FaultPoint::FsyncSlow:
+    return "fsync-slow";
+  }
+  return "unknown";
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector Inj;
+  return Inj;
+}
+
+void FaultInjector::arm(FaultPoint P, uint64_t HitIndex) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  PointState &S = Points[static_cast<unsigned>(P)];
+  // Armed index is relative to hits from now on: future hit number
+  // Hits + HitIndex triggers. Stored +1 so 0 means disarmed.
+  S.ArmedAt.store(S.Hits.load(std::memory_order_relaxed) + HitIndex + 1,
+                  std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(FaultPoint P) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Points[static_cast<unsigned>(P)].ArmedAt.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (PointState &S : Points) {
+    S.ArmedAt.store(0, std::memory_order_relaxed);
+    S.Hits.store(0, std::memory_order_relaxed);
+    S.Triggers.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::armFromSpec(const std::string &Spec, std::string &Err) {
+  struct Pending {
+    FaultPoint P;
+    uint64_t Hit;
+  };
+  std::vector<Pending> Parsed;
+  size_t Start = 0;
+  while (Start <= Spec.size()) {
+    size_t Comma = Spec.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    std::string Entry = Spec.substr(Start, Comma - Start);
+    if (!Entry.empty()) {
+      size_t At = Entry.find('@');
+      std::string Name = Entry.substr(0, At);
+      uint64_t Hit = 0;
+      if (At != std::string::npos) {
+        std::string HitText = Entry.substr(At + 1);
+        if (HitText.empty()) {
+          Err = "empty hit index in '" + Entry + "'";
+          return false;
+        }
+        for (char C : HitText) {
+          if (C < '0' || C > '9') {
+            Err = "bad hit index in '" + Entry + "'";
+            return false;
+          }
+          Hit = Hit * 10 + static_cast<uint64_t>(C - '0');
+        }
+      }
+      bool Found = false;
+      for (unsigned I = 0; I != kNumFaultPoints; ++I) {
+        if (Name == faultPointName(static_cast<FaultPoint>(I))) {
+          Parsed.push_back({static_cast<FaultPoint>(I), Hit});
+          Found = true;
+          break;
+        }
+      }
+      if (!Found) {
+        Err = "unknown fault point '" + Name + "'";
+        return false;
+      }
+    }
+    if (Comma == Spec.size())
+      break;
+    Start = Comma + 1;
+  }
+  for (const Pending &P : Parsed)
+    arm(P.P, P.Hit);
+  return true;
+}
+
+void FaultInjector::armFromEnv() {
+  const char *Spec = std::getenv("PBT_FAULTS");
+  if (!Spec || !*Spec)
+    return;
+  std::string Err;
+  if (!armFromSpec(Spec, Err))
+    std::fprintf(stderr, "PBT_FAULTS: %s (nothing armed)\n", Err.c_str());
+}
+
+bool FaultInjector::fire(FaultPoint P) {
+  PointState &S = Points[static_cast<unsigned>(P)];
+  uint64_t Hit = S.Hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t Armed = S.ArmedAt.load(std::memory_order_relaxed);
+  if (Armed == 0 || Hit != Armed)
+    return false;
+  // One-shot: disarm before injecting so a recover-and-retry loop does
+  // not re-crash at the same site forever.
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (S.ArmedAt.load(std::memory_order_relaxed) != Armed)
+    return false; // raced with disarm/re-arm
+  S.ArmedAt.store(0, std::memory_order_relaxed);
+  S.Triggers.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+uint64_t FaultInjector::hits(FaultPoint P) const {
+  return Points[static_cast<unsigned>(P)].Hits.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::triggered(FaultPoint P) const {
+  return Points[static_cast<unsigned>(P)].Triggers.load(
+      std::memory_order_relaxed);
+}
+
+bool FaultInjector::anyArmed() const {
+  for (const PointState &S : Points)
+    if (S.ArmedAt.load(std::memory_order_relaxed) != 0)
+      return true;
+  return false;
+}
+
+} // namespace support
+} // namespace pbt

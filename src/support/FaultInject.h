@@ -1,0 +1,153 @@
+//===- support/FaultInject.h - Armed failpoints for crash testing ----------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny failpoint registry the durable-write paths (store/ModelStore.h)
+/// are instrumented with, so the randomized kill-during-publish wall can
+/// drive a crash or a corruption into every interesting point of the
+/// publish protocol without forking processes or patching the kernel.
+///
+/// Each FaultPoint names one instrumented site. A point is disarmed by
+/// default and free: fire() is one relaxed atomic load on the cold path.
+/// Arming attaches a hit index -- the Nth time the point is reached it
+/// triggers, earlier hits pass through -- which is how one armed point
+/// reaches "the second fsync of this publish" without cooperation from
+/// the instrumented code.
+///
+/// A triggered *crash* point throws FaultCrash. The instrumented code
+/// must NOT catch it (beyond cleanup-free propagation): the whole point
+/// is that the process state dies mid-protocol and the on-disk state is
+/// left exactly as a real SIGKILL would leave it. Harnesses catch
+/// FaultCrash at the top, then re-open the store to exercise recovery.
+/// Corruption and slow/failing-fsync points do not throw; they degrade
+/// the operation in place (flip bytes, fail the fsync, sleep).
+///
+/// Arming is programmatic (tests, `pbt-bench rollout --faults`) or via
+/// the PBT_FAULTS environment variable:
+///
+///   PBT_FAULTS="torn-write@0,fsync-slow@2"
+///
+/// meaning "the first torn-write site hit and the third fsync-slow site
+/// hit trigger". The registry is process-global and thread-safe; points
+/// one-shot by default (they disarm when they trigger) so one armed
+/// crash cannot fire twice in a recover-then-retry loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PBT_SUPPORT_FAULTINJECT_H
+#define PBT_SUPPORT_FAULTINJECT_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pbt {
+namespace support {
+
+/// The failpoint catalog. Every enumerator is one instrumented site in
+/// the durable-publish protocol (see store/ModelStore.cpp).
+enum class FaultPoint : unsigned {
+  /// Image write stops after a prefix, then the process "dies": the
+  /// classic torn write a reader must never observe as a model.
+  TornWrite = 0,
+  /// Image fully written and fsynced, crash before the atomic rename
+  /// publishes it (a .tmp orphan is left behind).
+  CrashBeforeRename,
+  /// Image renamed into place, crash before the manifest records it
+  /// (an unreferenced epoch image is left behind).
+  CrashBeforeManifest,
+  /// Manifest updated, crash before the CURRENT pointer moves -- the
+  /// window where roll-forward recovery must finish the promotion.
+  CrashBetweenManifestAndCurrent,
+  /// The image bytes are silently flipped after the checksum was
+  /// recorded: at load the checksum must catch it.
+  CorruptChecksum,
+  /// fsync reports failure (the store must refuse to publish).
+  FsyncFail,
+  /// fsync stalls (armed with a small sleep; exercises slow-disk paths).
+  FsyncSlow,
+};
+
+inline constexpr unsigned kNumFaultPoints = 7;
+
+/// Names matching the enumerators, for PBT_FAULTS and reports.
+const char *faultPointName(FaultPoint P);
+
+/// The simulated process death a triggered crash point throws. Derives
+/// from std::exception only so accidental catch-all handlers in tests
+/// are still detectable by message; production code has no handlers for
+/// it by design.
+class FaultCrash : public std::runtime_error {
+public:
+  explicit FaultCrash(FaultPoint P)
+      : std::runtime_error(std::string("injected crash at ") +
+                           faultPointName(P)),
+        Point(P) {}
+  FaultPoint point() const { return Point; }
+
+private:
+  FaultPoint Point;
+};
+
+/// Process-global failpoint registry. All methods are thread-safe.
+class FaultInjector {
+public:
+  static FaultInjector &instance();
+
+  /// Arms \p P to trigger on its \p HitIndex-th future hit (0 = next).
+  /// One-shot: the point disarms when it triggers.
+  void arm(FaultPoint P, uint64_t HitIndex = 0);
+
+  /// Disarms \p P (pending hit counting is reset).
+  void disarm(FaultPoint P);
+  /// Disarms everything and zeroes all counters.
+  void reset();
+
+  /// Parses a PBT_FAULTS-style spec ("name@hit,name@hit"); returns false
+  /// (and arms nothing) on a malformed spec or unknown name.
+  bool armFromSpec(const std::string &Spec, std::string &Err);
+  /// Reads PBT_FAULTS from the environment; no-op when unset. Malformed
+  /// specs are reported on stderr rather than silently ignored.
+  void armFromEnv();
+
+  /// The instrumented sites call this. Returns true when the point is
+  /// armed and this hit is the armed one (the site then injects its
+  /// fault); crash-class sites throw FaultCrash via fireOrCrash below.
+  bool fire(FaultPoint P);
+
+  /// fire() for crash-class points: throws FaultCrash when triggered.
+  void fireOrCrash(FaultPoint P) {
+    if (fire(P))
+      throw FaultCrash(P);
+  }
+
+  /// Lifetime count of hits (armed or not) per point, for tests.
+  uint64_t hits(FaultPoint P) const;
+  /// Lifetime count of triggers per point.
+  uint64_t triggered(FaultPoint P) const;
+  /// True when any point is currently armed.
+  bool anyArmed() const;
+
+private:
+  FaultInjector() = default;
+
+  struct PointState {
+    /// Armed hit index + 1; 0 = disarmed. Relaxed fast-path gate.
+    std::atomic<uint64_t> ArmedAt{0};
+    std::atomic<uint64_t> Hits{0};
+    std::atomic<uint64_t> Triggers{0};
+  };
+  PointState Points[kNumFaultPoints];
+  std::mutex Mutex; // serializes arm/disarm vs fire bookkeeping
+};
+
+} // namespace support
+} // namespace pbt
+
+#endif // PBT_SUPPORT_FAULTINJECT_H

@@ -1,0 +1,112 @@
+//===- tests/support/FaultInjectTest.cpp -------------------------------------=//
+//
+// The failpoint registry in isolation: arm/fire/one-shot semantics, hit
+// indexing, spec parsing, and the crash-class throw path. The registry
+// is process-global, so every test resets it on entry and exit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInject.h"
+
+#include <gtest/gtest.h>
+
+using namespace pbt;
+using support::FaultInjector;
+using support::FaultPoint;
+
+namespace {
+
+class FaultInjectTest : public ::testing::Test {
+protected:
+  void SetUp() override { FaultInjector::instance().reset(); }
+  void TearDown() override { FaultInjector::instance().reset(); }
+};
+
+TEST_F(FaultInjectTest, DisarmedPointsNeverFire) {
+  FaultInjector &Inj = FaultInjector::instance();
+  for (int I = 0; I != 100; ++I)
+    EXPECT_FALSE(Inj.fire(FaultPoint::TornWrite));
+  EXPECT_EQ(Inj.hits(FaultPoint::TornWrite), 100u);
+  EXPECT_EQ(Inj.triggered(FaultPoint::TornWrite), 0u);
+  EXPECT_FALSE(Inj.anyArmed());
+}
+
+TEST_F(FaultInjectTest, ArmedPointFiresOnceOnNextHit) {
+  FaultInjector &Inj = FaultInjector::instance();
+  Inj.arm(FaultPoint::FsyncFail);
+  EXPECT_TRUE(Inj.anyArmed());
+  EXPECT_TRUE(Inj.fire(FaultPoint::FsyncFail));
+  // One-shot: the trigger disarmed it.
+  EXPECT_FALSE(Inj.anyArmed());
+  EXPECT_FALSE(Inj.fire(FaultPoint::FsyncFail));
+  EXPECT_EQ(Inj.triggered(FaultPoint::FsyncFail), 1u);
+}
+
+TEST_F(FaultInjectTest, HitIndexSkipsEarlierHits) {
+  FaultInjector &Inj = FaultInjector::instance();
+  Inj.arm(FaultPoint::TornWrite, 2); // the third future hit
+  EXPECT_FALSE(Inj.fire(FaultPoint::TornWrite));
+  EXPECT_FALSE(Inj.fire(FaultPoint::TornWrite));
+  EXPECT_TRUE(Inj.fire(FaultPoint::TornWrite));
+  EXPECT_FALSE(Inj.fire(FaultPoint::TornWrite));
+}
+
+TEST_F(FaultInjectTest, ArmIsRelativeToPastHits) {
+  FaultInjector &Inj = FaultInjector::instance();
+  // Burn some hits unarmed, then arm for "the next one".
+  for (int I = 0; I != 5; ++I)
+    EXPECT_FALSE(Inj.fire(FaultPoint::CrashBeforeRename));
+  Inj.arm(FaultPoint::CrashBeforeRename, 0);
+  EXPECT_TRUE(Inj.fire(FaultPoint::CrashBeforeRename));
+}
+
+TEST_F(FaultInjectTest, DisarmCancelsAPendingTrigger) {
+  FaultInjector &Inj = FaultInjector::instance();
+  Inj.arm(FaultPoint::CorruptChecksum);
+  Inj.disarm(FaultPoint::CorruptChecksum);
+  EXPECT_FALSE(Inj.fire(FaultPoint::CorruptChecksum));
+  EXPECT_EQ(Inj.triggered(FaultPoint::CorruptChecksum), 0u);
+}
+
+TEST_F(FaultInjectTest, FireOrCrashThrowsFaultCrashCarryingThePoint) {
+  FaultInjector &Inj = FaultInjector::instance();
+  Inj.arm(FaultPoint::CrashBeforeManifest);
+  try {
+    Inj.fireOrCrash(FaultPoint::CrashBeforeManifest);
+    FAIL() << "expected FaultCrash";
+  } catch (const support::FaultCrash &C) {
+    EXPECT_EQ(C.point(), FaultPoint::CrashBeforeManifest);
+    EXPECT_NE(std::string(C.what()).find("crash-before-manifest"),
+              std::string::npos);
+  }
+}
+
+TEST_F(FaultInjectTest, NamesRoundTripThroughTheCatalog) {
+  for (unsigned I = 0; I != support::kNumFaultPoints; ++I) {
+    const char *Name = support::faultPointName(static_cast<FaultPoint>(I));
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "unknown");
+  }
+}
+
+TEST_F(FaultInjectTest, SpecParsingArmsNamedPoints) {
+  FaultInjector &Inj = FaultInjector::instance();
+  std::string Err;
+  ASSERT_TRUE(Inj.armFromSpec("torn-write@1,fsync-slow", Err)) << Err;
+  EXPECT_FALSE(Inj.fire(FaultPoint::TornWrite)); // hit 0: armed for hit 1
+  EXPECT_TRUE(Inj.fire(FaultPoint::TornWrite));
+  EXPECT_TRUE(Inj.fire(FaultPoint::FsyncSlow)); // no @: hit 0
+}
+
+TEST_F(FaultInjectTest, MalformedSpecsArmNothing) {
+  FaultInjector &Inj = FaultInjector::instance();
+  std::string Err;
+  EXPECT_FALSE(Inj.armFromSpec("no-such-point@0", Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(Inj.armFromSpec("torn-write@", Err));
+  EXPECT_FALSE(Inj.armFromSpec("torn-write@abc", Err));
+  // The bad entries must not have armed the valid-looking prefix.
+  EXPECT_FALSE(Inj.anyArmed());
+}
+
+} // namespace

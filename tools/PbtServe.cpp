@@ -22,6 +22,7 @@
 #include "support/ParseNumber.h"
 #include "support/ThreadPool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -55,6 +56,11 @@ void usage(const char *Argv0) {
       "  --socket=PATH      listening Unix socket path (required; short\n"
       "                     paths only -- sun_path caps ~107 bytes)\n"
       "  --model=SPEC       tenant model file(s); NAME=FILE to name one\n"
+      "  --store=SPEC       tenant model store dir(s); NAME=DIR to name\n"
+      "                     one. The daemon serves the store's CURRENT\n"
+      "                     epoch (checksum-verified) and hot-swaps the\n"
+      "                     tenant whenever a rollout promotes a new one\n"
+      "  --store-poll-ms=N  store promotion poll interval (default 250)\n"
       "  --workers=N        batch worker threads (default 2)\n"
       "  --queue=N          bounded request queue capacity (default 64);\n"
       "                     a full queue sheds, it never grows\n"
@@ -101,7 +107,9 @@ int main(int argc, char **argv) {
   daemon::ServerOptions SO;
   daemon::ModelRegistryOptions RO;
   std::vector<std::pair<std::string, std::string>> Models;
+  std::vector<std::pair<std::string, std::string>> Stores;
   unsigned PoolThreads = 0;
+  unsigned StorePollMs = 250;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -116,6 +124,11 @@ int main(int argc, char **argv) {
       SO.SocketPath = V;
     } else if (const char *V = Value("--model=")) {
       splitModelSpec(V, Models);
+    } else if (const char *V = Value("--store=")) {
+      splitModelSpec(V, Stores);
+    } else if (const char *V = Value("--store-poll-ms=")) {
+      if (!support::parseUnsigned(V, StorePollMs, 60000) || StorePollMs == 0)
+        return badValue("--store-poll-ms", V, "an integer in [1, 60000]");
     } else if (const char *V = Value("--workers=")) {
       if (!support::parseUnsigned(V, SO.Workers, 256))
         return badValue("--workers", V, "an integer in [0, 256]");
@@ -147,7 +160,7 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (SO.SocketPath.empty() || Models.empty()) {
+  if (SO.SocketPath.empty() || (Models.empty() && Stores.empty())) {
     usage(argv[0]);
     return 2;
   }
@@ -164,6 +177,15 @@ int main(int argc, char **argv) {
     if (!St) {
       std::fprintf(stderr, "pbt-serve: cannot load tenant from '%s': %s\n",
                    Path.c_str(), St.Error.c_str());
+      return 1;
+    }
+  }
+  for (const auto &[Name, Dir] : Stores) {
+    serialize::LoadStatus St = Registry.addStoreTenant(Name, Dir);
+    if (!St) {
+      std::fprintf(stderr, "pbt-serve: cannot load tenant from store '%s': "
+                           "%s\n",
+                   Dir.c_str(), St.Error.c_str());
       return 1;
     }
   }
@@ -194,9 +216,22 @@ int main(int argc, char **argv) {
 
   // Park until a client's Shutdown frame flips the server's stop flag or
   // a signal lands. Polling keeps the signal handler async-signal-safe
-  // (it only stores a flag).
-  while (Srv.running() && !GSignalled.load())
+  // (it only stores a flag). Store-backed tenants piggyback on the park
+  // loop: every --store-poll-ms the registry checks each watched store's
+  // CURRENT pointer and hot-swaps promoted epochs.
+  unsigned TicksPerPoll = std::max(1u, StorePollMs / 50);
+  for (uint64_t Tick = 1; Srv.running() && !GSignalled.load(); ++Tick) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (!Stores.empty() && Tick % TicksPerPoll == 0) {
+      size_t Swapped = Registry.pollStores();
+      if (Swapped > 0) {
+        std::fprintf(stderr, "pbt-serve: hot-swapped %zu tenant%s onto newly "
+                             "promoted store epochs\n",
+                     Swapped, Swapped == 1 ? "" : "s");
+        std::fflush(stderr);
+      }
+    }
+  }
 
   std::string FinalStats = Srv.statsJson();
   Srv.stop();
