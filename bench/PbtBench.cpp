@@ -59,7 +59,11 @@ static void printUsage() {
       "  train                train once, persist models for `predict`\n"
       "  predict              serve per-input decisions from a saved model\n"
       "  serve                compiled-path serving throughput/latency report\n"
-      "  stream               nonstationary-traffic adaptation report\n"
+      "  stream               nonstationary-traffic adaptation report;\n"
+      "                       with --mix, a multi-tenant mixed-schedule\n"
+      "                       replay through the daemon model registry\n"
+      "  interact             input-vs-config interaction-strength sweep;\n"
+      "                       BENCH_interact.json report\n"
       "  trainbench           training-performance report: fast vs\n"
       "                       pre-optimisation path, byte-identity gated\n"
       "  loadgen              drive a pbt-serve daemon over N concurrent\n"
@@ -98,6 +102,9 @@ static void printUsage() {
       "  --reservoir=N        stream: retrain reservoir capacity\n"
       "                       (stream --scale overrides the model's\n"
       "                       recorded scale for the traffic universe)\n"
+      "  --mix                stream: serve --model=a.pbt,b.pbt,... as\n"
+      "                       tenants of one interleaved multi-tenant\n"
+      "                       stream (BENCH_stream_mix.json report)\n"
       "  --socket=PATH        loadgen: Unix socket of a running pbt-serve\n"
       "  --spawn              loadgen: spawn a private pbt-serve for the\n"
       "                       run (needs --model; shut down afterwards)\n"
@@ -244,6 +251,8 @@ static ParseResult parseSharedOptions(std::vector<std::string> &Args,
     } else if (const char *V = Value("--batch-max")) {
       if (!parseUnsigned(V, Opts.BatchMax) || Opts.BatchMax < 1)
         return badValue("--batch-max", V, "a positive integer");
+    } else if (Arg == "--mix") {
+      Opts.StreamMix = true;
     } else if (Arg == "--adapt") {
       Opts.Adapt = true;
     } else if (const char *V = Value("--replicas")) {
@@ -342,7 +351,9 @@ int main(int argc, char **argv) {
     if (Sub == "rollout")
       return runRollout(Opts);
     if (Sub == "stream")
-      return runStream(Opts);
+      return Opts.StreamMix ? runStreamMix(Opts) : runStream(Opts);
+    if (Sub == "interact")
+      return runInteract(Opts);
     if (Sub == "train")
       return runTrain(Opts);
     if (Sub == "trainbench")

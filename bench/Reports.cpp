@@ -10,6 +10,7 @@
 #include "benchmarks/SortBenchmark.h"
 #include "core/FeatureProbe.h"
 #include "core/TheoreticalModel.h"
+#include "daemon/ModelRegistry.h"
 #include "runtime/AdaptiveService.h"
 #include "runtime/PredictionService.h"
 #include "runtime/SimdLanes.h"
@@ -1388,6 +1389,301 @@ int benchharness::runStream(const DriverOptions &Opts) {
       if (Out)
         std::fclose(Out);
       std::fprintf(stderr, "pbt-bench stream: cannot write '%s'\n",
+                   Path.c_str());
+      return 1;
+    }
+    std::fclose(Out);
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// stream --mix
+//===----------------------------------------------------------------------===//
+
+int benchharness::runStreamMix(const DriverOptions &Opts) {
+  std::vector<std::string> Models = splitModels(Opts.Model);
+  if (Models.size() < 2) {
+    std::fprintf(stderr,
+                 "pbt-bench stream --mix: --model=a.pbt,b.pbt,... needs at "
+                 "least two models (one tenant each)\n");
+    return 1;
+  }
+
+  // The tenant table is the daemon's own: the same registry type
+  // pbt-serve hands its batch workers, each tenant named by its model's
+  // benchmark key with the program rebuilt from recorded provenance.
+  daemon::ModelRegistryOptions RO;
+  RO.Window = std::max(8u, Opts.StreamWindow);
+  RO.Reservoir = std::max(8u, Opts.StreamReservoir);
+  RO.AutoAdapt = false; // frozen tenants: parity-checkable serving
+  RO.Pool = Opts.Pool;
+  daemon::ModelRegistry Registry(RO);
+  for (const std::string &Path : Models) {
+    serialize::LoadStatus St = Registry.addTenant("", Path);
+    if (!St) {
+      std::fprintf(stderr, "pbt-bench stream --mix: cannot register '%s': %s\n",
+                   Path.c_str(), St.Error.c_str());
+      return 1;
+    }
+  }
+
+  // One WorkloadStream per tenant over its own program: schedules
+  // rotated through the three kinds and seeds decorrelated per tenant,
+  // so every tenant drifts on its own clock inside the shared sequence.
+  const streams::Schedule Rotation[3] = {streams::Schedule::Abrupt,
+                                         streams::Schedule::Ramp,
+                                         streams::Schedule::Periodic};
+  std::vector<std::unique_ptr<streams::WorkloadStream>> Streams;
+  std::vector<streams::MixedTenantSpec> Specs;
+  for (size_t I = 0; I != Registry.size(); ++I) {
+    daemon::Tenant *T = Registry.at(I);
+    streams::WorkloadStreamOptions SO;
+    SO.Kind = Rotation[I % 3];
+    SO.Requests = std::max(1u, Opts.StreamRequests);
+    SO.Seed = Opts.StreamSeed + 0x9E3779B97F4A7C15ull * (I + 1);
+    SO.KeyProperty = Opts.StreamKey;
+    SO.Period = Opts.StreamPeriod;
+    try {
+      Streams.push_back(
+          std::make_unique<streams::WorkloadStream>(*T->Program, SO));
+    } catch (const std::invalid_argument &E) {
+      std::fprintf(stderr, "pbt-bench stream --mix: tenant '%s': %s\n",
+                   T->Name.c_str(), E.what());
+      return 1;
+    }
+    Specs.push_back({T->Name, Streams.back().get(), 1.0});
+  }
+  streams::MixedStreamOptions MO;
+  MO.Requests = std::max(1u, Opts.StreamRequests);
+  MO.Seed = Opts.StreamSeed;
+  std::unique_ptr<streams::MixedStream> Mixed;
+  try {
+    Mixed = std::make_unique<streams::MixedStream>(std::move(Specs), MO);
+  } catch (const std::invalid_argument &E) {
+    std::fprintf(stderr, "pbt-bench stream --mix: %s\n", E.what());
+    return 1;
+  }
+
+  // Replay the global sequence through the registry, holding each
+  // tenant's ServeMutex per decision exactly like the daemon's batch
+  // workers pass the serving-thread role around.
+  struct TenantTrace {
+    std::vector<unsigned> Landmarks;
+    double ServeSeconds = 0.0;
+  };
+  std::vector<TenantTrace> Traces(Registry.size());
+  double SecondsBudget = std::max(0.01, Opts.Seconds);
+  support::WallTimer Budget;
+  size_t Served = 0;
+  for (size_t T = 0; T != Mixed->length(); ++T) {
+    const streams::MixedStream::Tick &K = Mixed->at(T);
+    daemon::Tenant *Ten = Registry.at(K.Tenant);
+    TenantTrace &Trace = Traces[K.Tenant];
+    support::WallTimer Timer;
+    unsigned Landmark;
+    {
+      std::lock_guard<std::mutex> Lock(Ten->ServeMutex);
+      Landmark = Ten->Service->decide(K.Input).Landmark;
+    }
+    Trace.ServeSeconds += Timer.elapsedSeconds();
+    Trace.Landmarks.push_back(Landmark);
+    Ten->Requests.fetch_add(1, std::memory_order_relaxed);
+    Ten->Decisions.fetch_add(1, std::memory_order_relaxed);
+    ++Served;
+    if (Budget.elapsedSeconds() > SecondsBudget)
+      break; // wall-clock cap; --requests is the deterministic bound
+  }
+
+  // The parity wall: an independent PredictionService replay of each
+  // tenant's model file over exactly its subsequence of the mix must
+  // agree decision for decision with what the registry served.
+  size_t Mismatches = 0;
+  for (size_t I = 0; I != Registry.size(); ++I) {
+    daemon::Tenant *T = Registry.at(I);
+    runtime::PredictionService Replay;
+    serialize::LoadStatus St = Replay.loadFile(T->ModelPath);
+    if (!St) {
+      std::fprintf(stderr, "pbt-bench stream --mix: parity reload '%s': %s\n",
+                   T->ModelPath.c_str(), St.Error.c_str());
+      return 1;
+    }
+    const registry::BenchmarkFactory &F =
+        registry::BenchmarkRegistry::instance().get(T->Benchmark);
+    registry::ProgramPtr Program = F.makeProgram(
+        Replay.model().Meta.Scale, Replay.model().Meta.ProgramSeed);
+    serialize::LoadStatus Bound = Replay.bind(*Program);
+    if (!Bound) {
+      std::fprintf(stderr, "pbt-bench stream --mix: parity bind '%s': %s\n",
+                   T->Name.c_str(), Bound.Error.c_str());
+      return 1;
+    }
+    std::vector<size_t> Inputs = Mixed->tenantInputs(static_cast<unsigned>(I));
+    Inputs.resize(Traces[I].Landmarks.size()); // the served prefix
+    std::vector<runtime::PredictionService::Decision> Ref =
+        Replay.decideBatch(Inputs);
+    for (size_t R = 0; R != Ref.size(); ++R)
+      if (Ref[R].Landmark != Traces[I].Landmarks[R]) {
+        ++Mismatches;
+        std::fprintf(stderr,
+                     "pbt-bench stream --mix: tenant '%s' request %zu "
+                     "(input %zu): registry chose %u, replay chose %u\n",
+                     T->Name.c_str(), R, Inputs[R], Traces[I].Landmarks[R],
+                     Ref[R].Landmark);
+      }
+  }
+
+  std::string Json = std::string("{\n") +
+                     "  \"subcommand\": \"stream-mix\",\n" +
+                     "  \"requests\": " + std::to_string(Mixed->length()) +
+                     ",\n" + "  \"served\": " + std::to_string(Served) +
+                     ",\n" + "  \"mix_seed\": " +
+                     std::to_string(MO.Seed) + ",\n" +
+                     "  \"window\": " + std::to_string(RO.Window) + ",\n" +
+                     "  \"reservoir\": " + std::to_string(RO.Reservoir) +
+                     ",\n" + "  \"parity_mismatches\": " +
+                     std::to_string(Mismatches) + ",\n" +
+                     "  \"parity_ok\": " +
+                     (Mismatches == 0 ? "true" : "false") + ",\n";
+  Json += "  \"tenants\": [";
+  for (size_t I = 0; I != Registry.size(); ++I) {
+    daemon::Tenant *T = Registry.at(I);
+    const TenantTrace &Trace = Traces[I];
+    const streams::WorkloadStream &S = *Streams[I];
+    Json += std::string(I ? "," : "") + "\n    {\"name\": \"" +
+            jsonString(T->Name) + "\", \"benchmark\": \"" +
+            jsonString(T->Benchmark) + "\", \"model\": \"" +
+            jsonString(T->ModelPath) + "\", \"schedule\": \"" +
+            streams::scheduleName(S.options().Kind) + "\", \"requests\": " +
+            std::to_string(Trace.Landmarks.size()) +
+            ", \"decisions_per_sec\": " +
+            jsonNumber(Trace.ServeSeconds > 0.0
+                           ? static_cast<double>(Trace.Landmarks.size()) /
+                                 Trace.ServeSeconds
+                           : 0.0) +
+            ", \"first_shift_tick\": " + std::to_string(S.firstShiftTick()) +
+            "}";
+  }
+  Json += Registry.size() ? "\n  ]\n" : "]\n";
+  Json += "}\n";
+
+  std::fputs(Json.c_str(), stdout);
+  if (Opts.Json) {
+    std::string Path = csvPath(Opts, "BENCH_stream_mix.json");
+    FILE *Out = std::fopen(Path.c_str(), "wb");
+    if (!Out || std::fwrite(Json.data(), 1, Json.size(), Out) != Json.size()) {
+      if (Out)
+        std::fclose(Out);
+      std::fprintf(stderr, "pbt-bench stream --mix: cannot write '%s'\n",
+                   Path.c_str());
+      return 1;
+    }
+    std::fclose(Out);
+  }
+  return Mismatches == 0 ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// interact
+//===----------------------------------------------------------------------===//
+
+int benchharness::runInteract(const DriverOptions &Opts) {
+  std::vector<registry::SuiteEntry> Suite = suiteFor(Opts);
+
+  std::string Json = std::string("{\n") + "  \"subcommand\": \"interact\",\n" +
+                     "  \"scale\": " + jsonNumber(Opts.Scale) + ",\n" +
+                     "  \"workloads\": [";
+  support::TextTable Table;
+  Table.setHeader({"Benchmark", "inputs", "landmarks", "interaction",
+                   "oracle/static"});
+
+  for (size_t W = 0; W != Suite.size(); ++W) {
+    registry::SuiteEntry &E = Suite[W];
+    support::WallTimer T;
+    core::TrainedSystem System = core::trainSystem(*E.Program, E.Options);
+    const linalg::Matrix &C = System.L1.Time; // inputs x landmarks
+    size_t N = C.rows(), K = C.cols();
+    if (N == 0 || K == 0)
+      continue;
+
+    // Two-way decomposition of the inputs-by-configs cost surface. The
+    // additive model (grand mean + input effect + config effect) is the
+    // least-squares fit without interaction; the fraction of variance it
+    // cannot explain IS the input-config interaction -- zero would mean
+    // one static choice is as good as an oracle, and the paper's whole
+    // premise (Section 2) is that real workloads leave this large.
+    double Grand = 0.0;
+    std::vector<double> RowMean(N, 0.0), ColMean(K, 0.0);
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = 0; J != K; ++J) {
+        double V = C.at(I, J);
+        Grand += V;
+        RowMean[I] += V;
+        ColMean[J] += V;
+      }
+    Grand /= static_cast<double>(N * K);
+    for (double &M : RowMean)
+      M /= static_cast<double>(K);
+    for (double &M : ColMean)
+      M /= static_cast<double>(N);
+    double SSTotal = 0.0, SSResid = 0.0;
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = 0; J != K; ++J) {
+        double V = C.at(I, J);
+        double Fit = RowMean[I] + ColMean[J] - Grand;
+        SSTotal += (V - Grand) * (V - Grand);
+        SSResid += (V - Fit) * (V - Fit);
+      }
+    double Interaction = SSTotal > 0.0 ? SSResid / SSTotal : 0.0;
+
+    // What that interaction buys: dynamic oracle vs the best single
+    // static landmark, as a mean-cost speedup.
+    double OracleMean = 0.0;
+    for (size_t I = 0; I != N; ++I) {
+      double Best = C.at(I, 0);
+      for (size_t J = 1; J != K; ++J)
+        Best = std::min(Best, C.at(I, J));
+      OracleMean += Best;
+    }
+    OracleMean /= static_cast<double>(N);
+    size_t StaticBest = 0;
+    for (size_t J = 1; J != K; ++J)
+      if (ColMean[J] < ColMean[StaticBest])
+        StaticBest = J;
+    double Speedup =
+        OracleMean > 0.0 ? ColMean[StaticBest] / OracleMean : 1.0;
+
+    std::fprintf(stderr,
+                 "[interact] %-12s interaction %.3f, oracle/static %.2fx "
+                 "(%zux%zu table, %.1fs)\n",
+                 E.Name.c_str(), Interaction, Speedup, N, K,
+                 T.elapsedSeconds());
+    Table.addRow({E.Name, std::to_string(N), std::to_string(K),
+                  jsonNumber(Interaction), support::formatSpeedup(Speedup)});
+
+    Json += std::string(W ? "," : "") + "\n    {\"name\": \"" +
+            jsonString(E.Name) + "\", \"inputs\": " + std::to_string(N) +
+            ", \"landmarks\": " + std::to_string(K) +
+            ", \"interaction_strength\": " + jsonNumber(Interaction) +
+            ", \"oracle_over_static\": " + jsonNumber(Speedup) +
+            ", \"best_static_landmark\": " + std::to_string(StaticBest) +
+            "}";
+  }
+  Json += Suite.empty() ? "]\n" : "\n  ]\n";
+  Json += "}\n";
+
+  std::fprintf(stderr,
+               "\nInteraction strength per workload "
+               "(PBT_BENCH_SCALE=%.2f):\n\n%s\n",
+               Opts.Scale, Table.format().c_str());
+  std::fputs(Json.c_str(), stdout);
+  if (Opts.Json) {
+    std::string Path = csvPath(Opts, "BENCH_interact.json");
+    FILE *Out = std::fopen(Path.c_str(), "wb");
+    if (!Out || std::fwrite(Json.data(), 1, Json.size(), Out) != Json.size()) {
+      if (Out)
+        std::fclose(Out);
+      std::fprintf(stderr, "pbt-bench interact: cannot write '%s'\n",
                    Path.c_str());
       return 1;
     }

@@ -78,6 +78,10 @@ struct DriverOptions {
   unsigned StreamWindow = 64;
   /// `stream` only: retrain reservoir capacity (--reservoir).
   unsigned StreamReservoir = 48;
+  /// `stream` only: --mix. Serve several models as tenants of one
+  /// deterministic multi-tenant MixedStream through the daemon's
+  /// ModelRegistry instead of one model's single-workload stream.
+  bool StreamMix = false;
   /// `loadgen` only: Unix-domain socket of a running pbt-serve (--socket).
   std::string Socket;
   /// `loadgen` only: spawn a private pbt-serve for the run (--spawn).
@@ -168,6 +172,27 @@ int runTrainBench(const DriverOptions &Opts);
 /// also OutDir/BENCH_stream.json with --json). --seconds caps the wall
 /// clock of each serving loop; --requests bounds it deterministically.
 int runStream(const DriverOptions &Opts);
+/// `stream --mix`: the multi-tenant traffic harness. Loads every --model
+/// entry as a tenant of a daemon ModelRegistry (the same tenant table
+/// pbt-serve serves from), builds one per-tenant WorkloadStream over
+/// each tenant's own program -- schedules rotated abrupt/ramp/periodic,
+/// per-tenant seeds -- interleaves them into one deterministic
+/// streams::MixedStream, and replays the global sequence through each
+/// tenant's registered service. Every decision is parity-checked against
+/// an independent in-process PredictionService replay of the same model
+/// file; any divergence is a nonzero exit. Per-tenant decisions/sec and
+/// the interleave census go to JSON (stdout; also
+/// OutDir/BENCH_stream_mix.json with --json).
+int runStreamMix(const DriverOptions &Opts);
+/// `interact`: the input-vs-config interaction sweep (the paper's core
+/// premise, quantified per workload). For each suite entry it trains the
+/// landmark evidence table, then measures how far the inputs-by-configs
+/// cost matrix departs from an additive (input effect + config effect)
+/// model: 1 - R^2 of the additive fit -- the interaction strength that
+/// makes input-adaptive choice worth anything -- plus the oracle-vs-
+/// best-static speedup it buys. JSON to stdout; also
+/// OutDir/BENCH_interact.json with --json.
+int runInteract(const DriverOptions &Opts);
 /// `loadgen`: the multi-client daemon harness. Connects --connections
 /// concurrent clients to a pbt-serve daemon (an existing one via
 /// --socket, or a private child via --spawn) and drives each tenant's

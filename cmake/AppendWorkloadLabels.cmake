@@ -1,0 +1,32 @@
+# Stacks the `workload` ctest label on top of a suite's primary label
+# (-DTESTS_FILE=... -DBASE_LABEL=...) by rewriting the LABELS property
+# of every test in a generated gtest discovery script, so
+# `ctest -L workload -R <family>` isolates one benchmark family's whole
+# pinned surface.
+#
+# Run as a POST_BUILD step immediately after gtest discovery regenerates
+# TESTS_FILE (commands run in registration order, so the file is always
+# fresh here). Patching the generated script is the only route left:
+# gtest_discover_tests cannot forward a two-label list (its property
+# plumbing re-expands the list at every hop and splits it into two
+# arguments), and ctest's testfile interpreter does not implement
+# set_property(TEST), so a later TEST_INCLUDE_FILES script cannot append
+# either -- only a full set_tests_properties LABELS rewrite works, which
+# is why the primary label is passed back in.
+
+if(NOT EXISTS "${TESTS_FILE}")
+  return()
+endif()
+file(READ "${TESTS_FILE}" _wl_content)
+if(_wl_content MATCHES "Appended workload labels")
+  return()
+endif()
+file(STRINGS "${TESTS_FILE}" _wl_lines REGEX "^add_test")
+set(_wl_out "\n# Appended workload labels (cmake/AppendWorkloadLabels.cmake)\n")
+foreach(_wl_line IN LISTS _wl_lines)
+  if(_wl_line MATCHES "add_test\\(\\[=+\\[([^]]+)\\]")
+    string(APPEND _wl_out
+      "set_tests_properties([=[${CMAKE_MATCH_1}]=] PROPERTIES LABELS \"${BASE_LABEL};workload\")\n")
+  endif()
+endforeach()
+file(APPEND "${TESTS_FILE}" "${_wl_out}")

@@ -11,7 +11,11 @@
 /// smoothing, V-vs-W, smoother, relaxation factor) and iteration budgets
 /// for the stationary and Krylov solvers -- the paper's "multigrid, where
 /// cycle shapes are determined by the autotuner, and a number of iterative
-/// and direct solvers".
+/// and direct solvers". The scheme is hierarchical: every sub-tunable is
+/// declared conditional on the solver branch that actually reads it
+/// (ConfigSpace::makeConditional), so dead-branch values are pinned
+/// canonical and the autotuner never wastes measurements mutating a
+/// multigrid cycle shape under a direct solve.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +52,30 @@ public:
                                         MaxStationaryIters, /*LogScale=*/true);
     S.CGItersParam = Space.addInteger(Prefix + ".cg.iterations", 4, MaxCGIters,
                                       /*LogScale=*/true);
+    S.CGTolParam = Space.addReal(Prefix + ".cg.tolerance", 1e-12, 1e-4,
+                                 /*LogScale=*/true);
+
+    // The hierarchy: each tunable exists only under the solver branch that
+    // reads it. The cycle-shape block belongs to multigrid; the iteration
+    // budget to the stationary family; the Krylov cap and convergence
+    // tolerance to CG; omega to the branches with an over-relaxed sweep
+    // (multigrid smoothing and top-level SOR). Everything else is a dead
+    // tunable the autotuner should never spend measurements on.
+    using SK = pde::SolverKind;
+    const unsigned MG = static_cast<unsigned>(SK::Multigrid);
+    const unsigned Jac = static_cast<unsigned>(SK::Jacobi);
+    const unsigned GS = static_cast<unsigned>(SK::GaussSeidel);
+    const unsigned Sor = static_cast<unsigned>(SK::SOR);
+    const unsigned CG = static_cast<unsigned>(SK::ConjugateGradient);
+    Space.makeConditional(S.CyclesParam, S.SolverParam, {MG});
+    Space.makeConditional(S.PreParam, S.SolverParam, {MG});
+    Space.makeConditional(S.PostParam, S.SolverParam, {MG});
+    Space.makeConditional(S.MuParam, S.SolverParam, {MG});
+    Space.makeConditional(S.SmootherParam, S.SolverParam, {MG});
+    Space.makeConditional(S.OmegaParam, S.SolverParam, {MG, Sor});
+    Space.makeConditional(S.StatItersParam, S.SolverParam, {Jac, GS, Sor});
+    Space.makeConditional(S.CGItersParam, S.SolverParam, {CG});
+    Space.makeConditional(S.CGTolParam, S.SolverParam, {CG});
     return S;
   }
 
@@ -76,6 +104,7 @@ public:
   pde::CGOptions cg(const runtime::Configuration &C) const {
     pde::CGOptions O;
     O.MaxIterations = static_cast<unsigned>(C.integer(CGItersParam));
+    O.RelativeTolerance = C.real(CGTolParam);
     return O;
   }
 
@@ -89,6 +118,7 @@ private:
   unsigned OmegaParam = 0;
   unsigned StatItersParam = 0;
   unsigned CGItersParam = 0;
+  unsigned CGTolParam = 0;
 };
 
 } // namespace bench

@@ -78,6 +78,15 @@ CompiledModel CompiledModel::compile(const serialize::TrainedModel &Model) {
     assert(C.size() == M.Arity && "landmark arity mismatch");
     M.Arena.appendF64(C.values().data(), C.values().size());
   }
+  // Precompute each landmark's active-parameter bitmask from the
+  // recorded conditional space: one chain walk per landmark at compile
+  // time, a single load per decision afterwards.
+  const ConfigSpace &Space = Model.Meta.Space;
+  if (Space.size() == M.Arity && M.Arity != 0) {
+    M.LandmarkMasks.reserve(S.L1.Landmarks.size());
+    for (const Configuration &C : S.L1.Landmarks)
+      M.LandmarkMasks.push_back(Space.activeMask(C));
+  }
   return M;
 }
 

@@ -134,6 +134,18 @@ public:
            static_cast<size_t>(Landmark) * Arity;
   }
 
+  /// Which parameters *exist* under landmark \p Landmark (bit P set =
+  /// parameter P is active in the model's conditional config space),
+  /// precomputed once at compile time from the recorded space. Inactive
+  /// positions of landmarkValues hold the canonical pin value; consumers
+  /// applying a decision (or diffing two landmarks) can mask them out
+  /// instead of re-walking parent chains per decision. All-ones over the
+  /// arity when the model carries no space (legacy/synthetic models).
+  uint64_t landmarkActiveMask(unsigned Landmark) const {
+    assert(Landmark < NumLandmarks && "landmark out of range");
+    return LandmarkMasks.empty() ? fullMask(Arity) : LandmarkMasks[Landmark];
+  }
+
   /// Decides through the lowered production classifier. \p Get is
   /// invoked as Get(flatFeature) only for features actually examined.
   template <typename GetFeature>
@@ -311,10 +323,15 @@ private:
     return 0;
   }
 
+  static uint64_t fullMask(unsigned Bits) {
+    return Bits >= 64 ? ~uint64_t(0) : (uint64_t(1) << Bits) - 1;
+  }
+
   ml::CompiledArena Arena;
   ml::CompiledClassifier Production{};
   ml::CompiledClassifier Baseline{};
   std::vector<uint32_t> ProductionReads;
+  std::vector<uint64_t> LandmarkMasks;
   bool Ready = false;
   bool HasOneLevel = false;
   unsigned NumFlat = 0;

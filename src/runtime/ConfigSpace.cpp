@@ -60,6 +60,81 @@ int ConfigSpace::indexOf(const std::string &Name) const {
   return -1;
 }
 
+void ConfigSpace::makeConditional(unsigned Index, unsigned Parent,
+                                  const std::vector<unsigned> &ActivatingValues) {
+  assert(Index < Params.size() && "parameter index out of range");
+  assert(Parent < Index && "parents must precede children (no cycles)");
+  assert(Params[Parent].Kind == ParamKind::Categorical &&
+         "conditional parent must be categorical");
+  assert(Params[Parent].Cardinality <= 64 &&
+         "activation set must fit a 64-bit mask");
+  assert(!ActivatingValues.empty() && "conditional needs >= 1 activating value");
+  uint64_t Mask = 0;
+  for (unsigned V : ActivatingValues) {
+    assert(V < Params[Parent].Cardinality && "activating value out of range");
+    Mask |= uint64_t(1) << V;
+  }
+  Params[Index].Parent = static_cast<int>(Parent);
+  Params[Index].ParentMask = Mask;
+}
+
+bool ConfigSpace::active(const Configuration &Config, unsigned Index) const {
+  assert(Config.size() == Params.size() && "configuration/space mismatch");
+  // Walk the parent chain; makeConditional guarantees Parent < Index, so
+  // the walk strictly descends and terminates.
+  int I = static_cast<int>(Index);
+  while (Params[I].Parent >= 0) {
+    int Parent = Params[I].Parent;
+    unsigned Cat = Config.category(static_cast<unsigned>(Parent));
+    if (!((Params[I].ParentMask >> Cat) & 1))
+      return false;
+    I = Parent;
+  }
+  return true;
+}
+
+uint64_t ConfigSpace::activeMask(const Configuration &Config) const {
+  assert(Params.size() <= 64 && "active mask capped at 64 parameters");
+  uint64_t Mask = 0;
+  for (size_t I = 0; I != Params.size(); ++I)
+    if (active(Config, static_cast<unsigned>(I)))
+      Mask |= uint64_t(1) << I;
+  return Mask;
+}
+
+/// The deterministic defaultConfig value of one parameter.
+static double defaultValue(const ParamSpec &P) {
+  switch (P.Kind) {
+  case ParamKind::Categorical:
+    return 0.0;
+  case ParamKind::Integer: {
+    double Mid = P.LogScale ? std::exp((std::log(P.Min) + std::log(P.Max)) / 2)
+                            : (P.Min + P.Max) / 2;
+    return std::clamp(std::round(Mid), P.Min, P.Max);
+  }
+  case ParamKind::Real:
+    return P.LogScale ? std::exp((std::log(P.Min) + std::log(P.Max)) / 2)
+                      : (P.Min + P.Max) / 2;
+  }
+  assert(false && "unknown parameter kind");
+  return P.Min;
+}
+
+double ConfigSpace::canonicalValue(unsigned Index) const {
+  return defaultValue(param(Index));
+}
+
+void ConfigSpace::canonicalize(Configuration &Config) const {
+  assert(Config.size() == Params.size() && "configuration/space mismatch");
+  // One pass suffices: activity tests the *whole* parent chain, so
+  // pinning an inactive categorical parent to category 0 can never flip a
+  // descendant's activity -- the descendant's chain walk already fails at
+  // the level that deactivated the parent.
+  for (size_t I = 0; I != Params.size(); ++I)
+    if (!active(Config, static_cast<unsigned>(I)))
+      Config.set(static_cast<unsigned>(I), defaultValue(Params[I]));
+}
+
 /// Draws a uniform value for \p P, respecting integrality and log scaling.
 static double sampleParam(const ParamSpec &P, support::Rng &Rng) {
   switch (P.Kind) {
@@ -87,36 +162,29 @@ Configuration ConfigSpace::randomConfig(support::Rng &Rng) const {
   std::vector<double> V(Params.size());
   for (size_t I = 0; I != Params.size(); ++I)
     V[I] = sampleParam(Params[I], Rng);
-  return Configuration(std::move(V));
+  Configuration Config(std::move(V));
+  canonicalize(Config);
+  return Config;
 }
 
 Configuration ConfigSpace::defaultConfig() const {
   std::vector<double> V(Params.size());
-  for (size_t I = 0; I != Params.size(); ++I) {
-    const ParamSpec &P = Params[I];
-    switch (P.Kind) {
-    case ParamKind::Categorical:
-      V[I] = 0.0;
-      break;
-    case ParamKind::Integer: {
-      double Mid = P.LogScale ? std::exp((std::log(P.Min) + std::log(P.Max)) / 2)
-                              : (P.Min + P.Max) / 2;
-      V[I] = std::clamp(std::round(Mid), P.Min, P.Max);
-      break;
-    }
-    case ParamKind::Real:
-      V[I] = P.LogScale ? std::exp((std::log(P.Min) + std::log(P.Max)) / 2)
-                        : (P.Min + P.Max) / 2;
-      break;
-    }
-  }
+  for (size_t I = 0; I != Params.size(); ++I)
+    V[I] = defaultValue(Params[I]);
+  // Already canonical: inactive parameters hold exactly their pin value.
   return Configuration(std::move(V));
 }
 
 void ConfigSpace::mutate(Configuration &Config, support::Rng &Rng, double Rate,
                          double Strength) const {
   assert(Config.size() == Params.size() && "configuration/space mismatch");
+  uint64_t WasActive = activeMask(Config);
   for (size_t I = 0; I != Params.size(); ++I) {
+    // Dead-branch parameters don't exist under this config; spending the
+    // mutation budget on them would only churn values canonicalize pins
+    // right back.
+    if (!((WasActive >> I) & 1))
+      continue;
     if (!Rng.chance(Rate))
       continue;
     const ParamSpec &P = Params[I];
@@ -155,6 +223,15 @@ void ConfigSpace::mutate(Configuration &Config, support::Rng &Rng, double Rate,
     }
     }
   }
+  // A parent flip may have opened a branch: parameters active now but not
+  // before carry only their pinned value, so give each a fresh uniform
+  // sample. Forward order settles nested chains -- resampling a
+  // newly-activated categorical can activate ITS children, and they are
+  // visited after it with their parent's value already final.
+  for (size_t I = 0; I != Params.size(); ++I)
+    if (!((WasActive >> I) & 1) && active(Config, static_cast<unsigned>(I)))
+      Config.set(static_cast<unsigned>(I), sampleParam(Params[I], Rng));
+  canonicalize(Config);
 }
 
 Configuration ConfigSpace::crossover(const Configuration &A,
@@ -166,7 +243,9 @@ Configuration ConfigSpace::crossover(const Configuration &A,
   for (size_t I = 0; I != Params.size(); ++I)
     V[I] = Rng.chance(0.5) ? A.real(static_cast<unsigned>(I))
                            : B.real(static_cast<unsigned>(I));
-  return Configuration(std::move(V));
+  Configuration Child(std::move(V));
+  canonicalize(Child);
+  return Child;
 }
 
 void ConfigSpace::repair(Configuration &Config) const {
@@ -178,6 +257,7 @@ void ConfigSpace::repair(Configuration &Config) const {
       V = std::round(V);
     Config.set(static_cast<unsigned>(I), std::clamp(V, P.Min, P.Max));
   }
+  canonicalize(Config);
 }
 
 double ConfigSpace::searchSpaceLog10(double RealResolution) const {

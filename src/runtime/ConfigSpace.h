@@ -23,6 +23,7 @@
 #include "support/Random.h"
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,15 @@ struct ParamSpec {
   /// classic PetaBricks cutoff tunables are log-scaled because plausible
   /// cutoffs span orders of magnitude.
   bool LogScale = false;
+  /// Conditional (hierarchical) parameters: index of the categorical
+  /// parameter this one depends on, or -1 for an unconditional tunable.
+  /// A conditional parameter only *exists* when its parent takes one of
+  /// the activating categories -- e.g. an iterative-solver tolerance only
+  /// under the solver choice's iterative branch.
+  int Parent = -1;
+  /// Bitmask over the parent's categories: bit c set means this parameter
+  /// is active when the parent holds category c (and is itself active).
+  uint64_t ParentMask = 0;
 };
 
 class Configuration;
@@ -82,32 +92,69 @@ public:
   /// Index of the parameter named \p Name, or -1 if absent.
   int indexOf(const std::string &Name) const;
 
+  /// Makes parameter \p Index conditional on the earlier categorical
+  /// parameter \p Parent: it is active only when the parent holds one of
+  /// \p ActivatingValues. Parents must precede children (no cycles), may
+  /// themselves be conditional (chains nest), and need Cardinality <= 64
+  /// so the activation set fits a bitmask.
+  void makeConditional(unsigned Index, unsigned Parent,
+                       const std::vector<unsigned> &ActivatingValues);
+
+  /// True when parameter \p Index was declared conditional.
+  bool conditional(unsigned Index) const { return param(Index).Parent >= 0; }
+
+  /// True when \p Index exists under \p Config: unconditional, or the
+  /// whole parent chain holds activating categories.
+  bool active(const Configuration &Config, unsigned Index) const;
+
+  /// Bitmask of active parameters under \p Config (bit I = param I).
+  /// Spaces are capped at 64 parameters.
+  uint64_t activeMask(const Configuration &Config) const;
+
+  /// The pinned value an *inactive* parameter holds: its defaultConfig
+  /// value. Canonical configs keep dead branches at this value so two
+  /// configs that differ only in nonexistent tunables compare equal,
+  /// serialize identically, and hit the autotuner's outcome memo.
+  double canonicalValue(unsigned Index) const;
+
+  /// Pins every inactive parameter of \p Config to its canonicalValue.
+  /// Idempotent; parents are processed before children, so one forward
+  /// pass settles nested chains.
+  void canonicalize(Configuration &Config) const;
+
   /// Uniformly random configuration (log-scaled params sample uniformly in
-  /// log space).
+  /// log space). The result is canonical: dead-branch parameters are
+  /// pinned.
   Configuration randomConfig(support::Rng &Rng) const;
 
   /// A deterministic mid-range configuration, useful as a search seed.
+  /// Always canonical (inactive parameters already hold their pin value).
   Configuration defaultConfig() const;
 
-  /// Mutates \p Config in place. Each parameter independently mutates with
-  /// probability \p Rate; categorical params resample, numeric params take
-  /// a (log-space, where marked) Gaussian step scaled by \p Strength of the
-  /// range, occasionally resetting to a fresh uniform sample.
+  /// Mutates \p Config in place. Each *active* parameter independently
+  /// mutates with probability \p Rate; categorical params resample,
+  /// numeric params take a (log-space, where marked) Gaussian step scaled
+  /// by \p Strength of the range, occasionally resetting to a fresh
+  /// uniform sample. Parameters a parent flip newly activates are
+  /// resampled uniformly (their pinned value carries no search history);
+  /// the result is canonical.
   void mutate(Configuration &Config, support::Rng &Rng, double Rate,
               double Strength) const;
 
-  /// Uniform crossover of two parents.
+  /// Uniform crossover of two parents; the child is canonicalized.
   Configuration crossover(const Configuration &A, const Configuration &B,
                           support::Rng &Rng) const;
 
   /// Clamp every value into its declared range, rounding integers and
-  /// categoricals. Mutation keeps configs valid; this is a safety net for
-  /// externally constructed configurations.
+  /// categoricals, then canonicalize. Mutation keeps configs valid; this
+  /// is a safety net for externally constructed configurations.
   void repair(Configuration &Config) const;
 
   /// log10 of the number of distinct configurations, counting real
   /// parameters at \p RealResolution distinguishable values. Reported by
-  /// benchmarks to document search-space sizes as the paper does.
+  /// benchmarks to document search-space sizes as the paper does. For
+  /// conditional spaces this is the unconstrained product -- an upper
+  /// bound on the canonical-config count.
   double searchSpaceLog10(double RealResolution = 1e4) const;
 
 private:

@@ -239,8 +239,158 @@ TrainedModel serialize::makeModel(const std::string &Benchmark, double Scale,
   M.Meta.Scale = Scale;
   M.Meta.ProgramSeed = ProgramSeed;
   M.Meta.Features = Program.features();
+  M.Meta.Space = Program.space();
   M.System = std::move(System);
   return M;
+}
+
+/// The `param` line token for a ParamKind (and back).
+static const char *kindWord(runtime::ParamKind K) {
+  switch (K) {
+  case runtime::ParamKind::Categorical:
+    return "categorical";
+  case runtime::ParamKind::Integer:
+    return "integer";
+  case runtime::ParamKind::Real:
+    return "real";
+  }
+  assert(false && "unknown parameter kind");
+  return "real";
+}
+
+static void saveConfigSpace(Writer &W, const runtime::ConfigSpace &Space) {
+  assert(Space.size() <= kMaxSpaceParams &&
+         "too many parameters to serialize");
+  W.key("config-space").u64(Space.size()).end();
+  for (unsigned I = 0; I != Space.size(); ++I) {
+    const runtime::ParamSpec &P = Space.param(I);
+    // Parent is written +1 so the unconditional sentinel (-1) stays a
+    // plain unsigned token: 0 = no parent.
+    W.key("param")
+        .word(kindWord(P.Kind))
+        .f(P.Min)
+        .f(P.Max)
+        .u64(P.Cardinality)
+        .u64(P.LogScale ? 1 : 0)
+        .u64(static_cast<uint64_t>(P.Parent + 1))
+        .u64(P.ParentMask)
+        .text(P.Name)
+        .end();
+  }
+}
+
+/// Parses saveConfigSpace output, rebuilding the space through its
+/// declaration API so every ConfigSpace invariant (bounds ordering,
+/// positive log-scale ranges, parents preceding children, categorical
+/// parents) is re-established -- a corrupt file fails here, never inside
+/// an assert.
+static bool loadConfigSpace(Reader &R, runtime::ConfigSpace &Out) {
+  if (!R.expect("config-space"))
+    return false;
+  uint64_t N = R.count(kMaxSpaceParams);
+  if (!R.endLine())
+    return false;
+  runtime::ConfigSpace Space;
+  for (uint64_t I = 0; I != N && R.ok(); ++I) {
+    if (!R.expect("param"))
+      return false;
+    std::string Kind = R.word();
+    double Min = R.f();
+    double Max = R.f();
+    uint64_t Cardinality = R.u64();
+    uint64_t LogScale = R.u64();
+    uint64_t ParentP1 = R.u64();
+    uint64_t ParentMask = R.u64();
+    std::string Name = R.rest();
+    if (!R.ok())
+      return false;
+    if (Name.empty())
+      return R.fail("parameter needs a name");
+    if (LogScale > 1)
+      return R.fail("parameter log-scale flag must be 0 or 1");
+    if (Kind == "categorical") {
+      if (Cardinality < 1 || Cardinality > (uint64_t(1) << 20))
+        return R.fail("categorical cardinality out of range");
+      if (LogScale != 0)
+        return R.fail("categorical parameters cannot be log-scaled");
+      if (Min != 0.0 || Max != static_cast<double>(Cardinality - 1))
+        return R.fail("categorical bounds must be [0, cardinality-1]");
+      Space.addCategorical(std::move(Name),
+                           static_cast<unsigned>(Cardinality));
+    } else if (Kind == "integer") {
+      if (Cardinality != 0)
+        return R.fail("only categorical parameters carry a cardinality");
+      if (!(Min <= Max) || Min != std::floor(Min) || Max != std::floor(Max) ||
+          std::abs(Min) > 0x1p62 || std::abs(Max) > 0x1p62)
+        return R.fail("bad integer parameter bounds");
+      if (LogScale && Min <= 0)
+        return R.fail("log-scaled range must be positive");
+      Space.addInteger(std::move(Name), static_cast<int64_t>(Min),
+                       static_cast<int64_t>(Max), LogScale == 1);
+    } else if (Kind == "real") {
+      if (Cardinality != 0)
+        return R.fail("only categorical parameters carry a cardinality");
+      if (!(Min <= Max))
+        return R.fail("bad real parameter bounds");
+      if (LogScale && Min <= 0.0)
+        return R.fail("log-scaled range must be positive");
+      Space.addReal(std::move(Name), Min, Max, LogScale == 1);
+    } else {
+      return R.fail("unknown parameter kind '" + Kind + "'");
+    }
+    if (ParentP1 == 0) {
+      if (ParentMask != 0)
+        return R.fail("unconditional parameter cannot carry a parent mask");
+    } else {
+      uint64_t Parent = ParentP1 - 1;
+      if (Parent >= I)
+        return R.fail("conditional parent must precede its child");
+      const runtime::ParamSpec &PP =
+          Space.param(static_cast<unsigned>(Parent));
+      if (PP.Kind != runtime::ParamKind::Categorical)
+        return R.fail("conditional parent must be categorical");
+      if (PP.Cardinality > 64)
+        return R.fail("conditional parent cardinality exceeds the mask");
+      if (ParentMask == 0)
+        return R.fail("conditional parameter needs an activation mask");
+      if (PP.Cardinality < 64 && (ParentMask >> PP.Cardinality) != 0)
+        return R.fail("activation mask has bits beyond the parent's "
+                      "cardinality");
+      std::vector<unsigned> Values;
+      for (unsigned B = 0; B != PP.Cardinality; ++B)
+        if ((ParentMask >> B) & 1)
+          Values.push_back(B);
+      Space.makeConditional(static_cast<unsigned>(I),
+                            static_cast<unsigned>(Parent), Values);
+    }
+  }
+  if (!R.ok())
+    return false;
+  Out = std::move(Space);
+  return true;
+}
+
+/// Shared by the loader and validateAgainst: \p C must be a legal point
+/// of \p Space -- right arity, every value inside its declared range,
+/// integral where the kind demands it, and canonical (dead-branch
+/// parameters pinned to their canonical value, so byte-compared configs
+/// mean what they say).
+static std::string checkConfigAgainstSpace(const runtime::ConfigSpace &Space,
+                                           const runtime::Configuration &C) {
+  if (C.size() != Space.size())
+    return "configuration arity does not match the configuration space";
+  for (unsigned P = 0; P != Space.size(); ++P) {
+    const runtime::ParamSpec &Spec = Space.param(P);
+    double V = C.real(P);
+    bool IntegralKind = Spec.Kind != runtime::ParamKind::Real;
+    if (V < Spec.Min || V > Spec.Max || (IntegralKind && V != std::floor(V)))
+      return "value for parameter '" + Spec.Name +
+             "' is outside its declared range";
+    if (!Space.active(C, P) && V != Space.canonicalValue(P))
+      return "parameter '" + Spec.Name +
+             "' holds a non-canonical value in a dead branch";
+  }
+  return std::string();
 }
 
 static void saveRows(Writer &W, const std::string &Key,
@@ -285,6 +435,7 @@ std::string serialize::serializeModel(const TrainedModel &Model) {
   W.key("features").u64(Model.Meta.Features.size()).end();
   for (const runtime::FeatureInfo &F : Model.Meta.Features)
     W.key("feature").u64(F.Levels).text(F.Name).end();
+  saveConfigSpace(W, Model.Meta.Space);
 
   saveRows(W, "train-rows", S.TrainRows);
   saveRows(W, "test-rows", S.TestRows);
@@ -385,6 +536,8 @@ LoadStatus serialize::loadModel(const std::string &Text, TrainedModel &Out) {
     M.Meta.Features.push_back(F);
   }
   unsigned NumFlat = M.Meta.numFlatFeatures();
+  if (!loadConfigSpace(R, M.Meta.Space))
+    return Failure("bad configuration space");
 
   // --- Level 1 (read matrices first; they define N and K). ---
   core::TrainedSystem &S = M.System;
@@ -459,8 +612,11 @@ LoadStatus serialize::loadModel(const std::string &Text, TrainedModel &Out) {
     runtime::Configuration C;
     if (!loadConfiguration(R, C))
       return Failure("bad landmark configuration");
-    if (!S.L1.Landmarks.empty() && C.size() != S.L1.Landmarks.front().size())
-      return Failure("landmark configurations disagree on arity");
+    // Landmarks must be legal canonical points of the recorded space:
+    // in-bounds, integral where declared so, dead branches pinned.
+    std::string SpaceError = checkConfigAgainstSpace(M.Meta.Space, C);
+    if (!SpaceError.empty())
+      return Failure("landmark " + SpaceError);
     S.L1.Landmarks.push_back(std::move(C));
   }
 
@@ -592,25 +748,35 @@ LoadStatus serialize::validateAgainst(const TrainedModel &Model,
                                  std::to_string(A.Levels) + ", program '" +
                                  B.Name + "'@" + std::to_string(B.Levels));
   }
+  // The recorded configuration space must be the program's space exactly
+  // -- same parameters, bounds, and conditional structure. A drifted
+  // space means the landmarks were tuned for a different program shape.
+  const runtime::ConfigSpace &Space = Program.space();
+  if (Model.Meta.Space.size() != Space.size())
+    return LoadStatus::failure(
+        "model records " + std::to_string(Model.Meta.Space.size()) +
+        " tunable parameters, program declares " +
+        std::to_string(Space.size()));
+  for (unsigned P = 0; P != Space.size(); ++P) {
+    const runtime::ParamSpec &A = Model.Meta.Space.param(P);
+    const runtime::ParamSpec &B = Space.param(P);
+    if (A.Name != B.Name || A.Kind != B.Kind || A.Min != B.Min ||
+        A.Max != B.Max || A.Cardinality != B.Cardinality ||
+        A.LogScale != B.LogScale || A.Parent != B.Parent ||
+        A.ParentMask != B.ParentMask)
+      return LoadStatus::failure("tunable parameter " + std::to_string(P) +
+                                 " mismatch: model has '" + A.Name +
+                                 "', program '" + B.Name + "'");
+  }
   // Landmark configurations run inputs directly (enum casts and array
   // indexing inside the benchmarks), so every value must sit inside its
-  // declared parameter range -- arity alone is not enough.
-  const runtime::ConfigSpace &Space = Program.space();
+  // declared parameter range and be canonical -- arity alone is not
+  // enough. (The loader already checked against the recorded space; this
+  // re-checks against the live program's for models built in process.)
   for (const runtime::Configuration &C : Model.System.L1.Landmarks) {
-    if (C.size() != Space.size())
-      return LoadStatus::failure(
-          "landmark configuration arity does not match the program's "
-          "configuration space");
-    for (unsigned P = 0; P != Space.size(); ++P) {
-      const runtime::ParamSpec &Spec = Space.param(P);
-      double V = C.real(P);
-      bool IntegralKind = Spec.Kind != runtime::ParamKind::Real;
-      if (V < Spec.Min || V > Spec.Max ||
-          (IntegralKind && V != std::floor(V)))
-        return LoadStatus::failure(
-            "landmark value for parameter '" + Spec.Name +
-            "' is outside its declared range");
-    }
+    std::string SpaceError = checkConfigAgainstSpace(Space, C);
+    if (!SpaceError.empty())
+      return LoadStatus::failure("landmark " + SpaceError);
   }
   size_t NumInputs = Program.numInputs();
   for (size_t Row : Model.System.TestRows)

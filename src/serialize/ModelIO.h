@@ -27,6 +27,7 @@
 #define PBT_SERIALIZE_MODELIO_H
 
 #include "core/Pipeline.h"
+#include "runtime/ConfigSpace.h"
 #include "runtime/Selector.h"
 #include "serialize/TextFormat.h"
 
@@ -44,7 +45,12 @@ namespace serialize {
 /// reject any other version outright (no silent best-effort parsing).
 /// v2: adds the model-epoch tag (the adaptive serving loop's hot-swap
 /// generation counter; 0 for offline-trained models).
-inline constexpr unsigned kFormatVersion = 2;
+/// v3: records the program's configuration space -- parameter kinds,
+/// bounds, and the conditional (parent/activation-mask) structure -- so
+/// landmarks are validated at load time against the exact space they were
+/// tuned in, dead-branch values are checked canonical, and a serving
+/// process can reject a model whose space drifted from the program's.
+inline constexpr unsigned kFormatVersion = 3;
 
 /// Schema caps shared by the writer and the loader, so everything the
 /// writer accepts loads back. The loader uses them to reject corrupt
@@ -54,6 +60,8 @@ inline constexpr uint64_t kMaxProperties = 1u << 10;
 inline constexpr uint64_t kMaxFeatureLevels = 64;
 inline constexpr uint64_t kMaxLandmarks = 1u << 16;
 inline constexpr uint64_t kMaxRows = 1u << 22;
+/// Matches ConfigSpace::activeMask's 64-parameter bitmask cap.
+inline constexpr uint64_t kMaxSpaceParams = 64;
 
 /// Provenance needed to rebuild the program a system was trained on.
 struct ModelMeta {
@@ -69,6 +77,11 @@ struct ModelMeta {
   uint64_t Epoch = 0;
   /// The program's input_feature declarations (names + sampling levels).
   std::vector<runtime::FeatureInfo> Features;
+  /// The program's configuration space, including conditional-parameter
+  /// structure. Landmarks are validated against it on load, and a serving
+  /// process compares it against the live program's space (validateAgainst)
+  /// before trusting the model's configurations.
+  runtime::ConfigSpace Space;
 
   /// Total flat ML feature count (sum of per-property levels).
   unsigned numFlatFeatures() const;

@@ -116,3 +116,61 @@ size_t WorkloadStream::firstShiftTick() const {
       return T;
   return Opts.Requests;
 }
+
+MixedStream::MixedStream(std::vector<MixedTenantSpec> Tenants,
+                         const MixedStreamOptions &Options)
+    : Specs(std::move(Tenants)), Opts(Options) {
+  if (Specs.empty())
+    throw std::invalid_argument("mixed stream needs at least one tenant");
+  if (Opts.Requests == 0)
+    throw std::invalid_argument("mixed stream needs at least one request");
+  double TotalWeight = 0.0;
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    const MixedTenantSpec &S = Specs[I];
+    if (!S.Stream)
+      throw std::invalid_argument("mixed-stream tenant '" + S.Name +
+                                  "' has no workload stream");
+    if (S.Name.empty())
+      throw std::invalid_argument("mixed-stream tenants need names");
+    if (!(S.Weight > 0.0))
+      throw std::invalid_argument("mixed-stream tenant '" + S.Name +
+                                  "' needs a positive weight");
+    for (size_t J = 0; J != I; ++J)
+      if (Specs[J].Name == S.Name)
+        throw std::invalid_argument("duplicate mixed-stream tenant '" +
+                                    S.Name + "'");
+    TotalWeight += S.Weight;
+  }
+
+  // One Rng, one draw per global tick: the interleaving replays
+  // bit-identically, and each tenant's subsequence is its own stream's
+  // prefix (wrapped) regardless of what the other tenants do.
+  support::Rng Rng(Opts.Seed);
+  PerTenant.assign(Specs.size(), 0);
+  Sequence.resize(Opts.Requests);
+  for (size_t T = 0; T != Opts.Requests; ++T) {
+    double Draw = Rng.uniform() * TotalWeight;
+    unsigned Chosen = 0;
+    for (unsigned I = 0; I != Specs.size(); ++I) {
+      Draw -= Specs[I].Weight;
+      if (Draw < 0.0) {
+        Chosen = I;
+        break;
+      }
+    }
+    Tick &K = Sequence[T];
+    K.Tenant = Chosen;
+    K.TenantTick = PerTenant[Chosen]++;
+    const WorkloadStream &S = *Specs[Chosen].Stream;
+    K.Input = S.inputAt(K.TenantTick % S.length());
+  }
+}
+
+std::vector<size_t> MixedStream::tenantInputs(unsigned T) const {
+  std::vector<size_t> Out;
+  Out.reserve(PerTenant[T]);
+  for (const Tick &K : Sequence)
+    if (K.Tenant == T)
+      Out.push_back(K.Input);
+  return Out;
+}

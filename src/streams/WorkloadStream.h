@@ -26,6 +26,10 @@
 /// its frozen-baseline control see exactly the same requests, and reruns
 /// at any thread count agree.
 ///
+/// MixedStream composes several such streams -- one per tenant, each
+/// over its own benchmark -- into one deterministic multi-tenant
+/// schedule, the traffic shape the pbt-serve daemon actually faces.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PBT_STREAMS_WORKLOADSTREAM_H
@@ -67,6 +71,8 @@ struct WorkloadStreamOptions {
   size_t Period = 0;
 };
 
+class MixedStream;
+
 class WorkloadStream {
 public:
   /// Builds the pools and materialises the request sequence. \p Universe
@@ -98,6 +104,69 @@ private:
   WorkloadStreamOptions Opts;
   std::vector<double> Keys;
   std::vector<size_t> Base, Shifted, Sequence;
+};
+
+/// One tenant of a MixedStream: a named single-workload stream plus its
+/// relative share of the global traffic. The WorkloadStream must outlive
+/// the MixedStream.
+struct MixedTenantSpec {
+  std::string Name;
+  const WorkloadStream *Stream = nullptr;
+  double Weight = 1.0;
+};
+
+struct MixedStreamOptions {
+  /// Global ticks in the interleaved sequence.
+  size_t Requests = 6000;
+  /// Seed of the tenant-interleaving draws (independent of each tenant's
+  /// own stream seed).
+  uint64_t Seed = 0x5EED;
+};
+
+/// A deterministic multi-tenant schedule: several benchmarks' request
+/// streams interleaved into one global sequence. Each global tick draws
+/// a tenant with probability proportional to its weight, then serves
+/// that tenant's next request in its own WorkloadStream order -- so each
+/// tenant still experiences exactly its own drift schedule (abrupt shift
+/// at ITS switch point, ITS ramp, ...), merely diluted in time by the
+/// other tenants' traffic. A tenant whose stream runs out wraps around
+/// to its start, keeping any global length well-defined.
+///
+/// Like WorkloadStream, the whole sequence is materialised at
+/// construction from one seed: a daemon run and its in-process parity
+/// replay see bit-identical traffic.
+class MixedStream {
+public:
+  struct Tick {
+    unsigned Tenant = 0;   ///< index into tenants()
+    size_t TenantTick = 0; ///< this tenant's how-many-th request (0-based)
+    size_t Input = 0;      ///< universe input id within the tenant's program
+  };
+
+  /// Throws std::invalid_argument on an empty tenant list, a null or
+  /// empty-named tenant, a duplicate name, a non-positive weight, or
+  /// zero requests.
+  MixedStream(std::vector<MixedTenantSpec> Tenants,
+              const MixedStreamOptions &Options);
+
+  size_t length() const { return Sequence.size(); }
+  const Tick &at(size_t T) const { return Sequence[T]; }
+  const std::vector<Tick> &sequence() const { return Sequence; }
+
+  const std::vector<MixedTenantSpec> &tenants() const { return Specs; }
+  /// Global ticks tenant \p T received.
+  size_t tenantRequests(unsigned T) const { return PerTenant[T]; }
+  /// The per-tenant subsequence of input ids, in global-tick order --
+  /// exactly the tenant's own stream (wrapped), by construction.
+  std::vector<size_t> tenantInputs(unsigned T) const;
+
+  const MixedStreamOptions &options() const { return Opts; }
+
+private:
+  std::vector<MixedTenantSpec> Specs;
+  MixedStreamOptions Opts;
+  std::vector<Tick> Sequence;
+  std::vector<size_t> PerTenant;
 };
 
 } // namespace streams

@@ -1,8 +1,8 @@
 //===- tests/golden/GoldenFileTest.cpp ---------------------------------------=//
 //
 // Golden-file regression suite: serialized models for sort1, binpacking,
-// clustering1 and poisson2d, trained at a fixed seed/scale, are
-// committed under tests/golden/. The suite asserts
+// clustering1, clustering2, svd, poisson2d and helmholtz3d, trained at a
+// fixed seed/scale, are committed under tests/golden/. The suite asserts
 //
 //   (1) the committed bytes still load, and re-serialize byte-identically
 //       (format stability),
@@ -21,9 +21,11 @@
 //
 // Regenerate (deliberate behaviour changes only; see README):
 //
-//   build/pbt-bench train --only=sort1,binpacking,clustering1,poisson2d \
+//   build/pbt-bench train \
+//       --only=sort1,binpacking,clustering1,clustering2,svd,poisson2d,helmholtz3d \
 //       --scale=0.1 --sequential --out-dir=tests/golden
-//   for m in sort1 binpacking clustering1 poisson2d; do \
+//   for m in sort1 binpacking clustering1 clustering2 svd poisson2d \
+//            helmholtz3d; do \
 //     build/pbt-bench predict --model=tests/golden/$m.pbt \
 //         --csv=tests/golden/$m.choices.csv; done
 //
@@ -31,6 +33,7 @@
 
 #include "registry/BenchmarkRegistry.h"
 #include "runtime/PredictionService.h"
+#include "support/Random.h"
 
 #include <gtest/gtest.h>
 
@@ -145,8 +148,54 @@ TEST_P(GoldenFileTest, PredictionServiceReproducesCommittedChoices) {
   }
 }
 
+TEST_P(GoldenFileTest, TruncatedGoldenBytesFailCleanly) {
+  // The real committed artifacts under the deserializer's truncation
+  // property: every sampled strict prefix ending on a line boundary must
+  // be rejected, never crash or half-load.
+  std::string Bytes = readFile(goldenPath(std::string(GetParam()) + ".pbt"));
+  ASSERT_FALSE(Bytes.empty());
+  size_t Pos = 0, Boundary = 0;
+  while ((Pos = Bytes.find('\n', Pos)) != std::string::npos) {
+    ++Pos;
+    if (Pos >= Bytes.size())
+      break; // the full file, which must load
+    if (Boundary++ % 13 != 0)
+      continue;
+    serialize::TrainedModel Out;
+    serialize::LoadStatus Status = serialize::loadModel(
+        Bytes.substr(0, Pos), Out);
+    EXPECT_FALSE(Status.Ok) << GetParam() << " truncated at byte " << Pos;
+    EXPECT_FALSE(Status.Error.empty());
+  }
+  EXPECT_GT(Boundary, 13u);
+}
+
+TEST_P(GoldenFileTest, SingleCharFuzzOverGoldenNeverCrashes) {
+  // One mutated character per trial: the loader either rejects the bytes
+  // or yields a model that still re-serializes -- quantified over the
+  // full-size committed models, not just the hand-built serializer
+  // fixture.
+  std::string Canonical =
+      readFile(goldenPath(std::string(GetParam()) + ".pbt"));
+  ASSERT_FALSE(Canonical.empty());
+  support::Rng Rng(std::hash<std::string>{}(std::string(GetParam())) &
+                   0xFFFF);
+  const char Alphabet[] = "0123456789 .-abcz\n";
+  for (int Trial = 0; Trial != 120; ++Trial) {
+    std::string Text = Canonical;
+    size_t Pos = Rng.index(Text.size());
+    Text[Pos] = Alphabet[Rng.index(sizeof(Alphabet) - 1)];
+    serialize::TrainedModel Out;
+    serialize::LoadStatus Status = serialize::loadModel(Text, Out);
+    if (Status.Ok)
+      EXPECT_FALSE(serialize::serializeModel(Out).empty());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Workloads, GoldenFileTest,
                          ::testing::Values("sort1", "binpacking",
-                                           "clustering1", "poisson2d"));
+                                           "clustering1", "clustering2",
+                                           "svd", "poisson2d",
+                                           "helmholtz3d"));
 
 } // namespace

@@ -182,9 +182,11 @@ TEST_P(ServeParityTest, RepeatDecisionsAreCachedAndIdentical) {
   loadGolden(Name, L);
   std::vector<std::pair<size_t, unsigned>> Expected =
       readChoices(goldenPath(Name + ".choices.csv"));
+  bool ExtractsFeatures = false;
   for (const auto &[Input, Landmark] : Expected) {
     runtime::PredictionService::Decision First = L.Service.decide(Input);
     runtime::PredictionService::Decision Second = L.Service.decide(Input);
+    ExtractsFeatures |= First.FeaturesExtracted > 0;
     EXPECT_EQ(First.Landmark, Landmark);
     EXPECT_EQ(Second.Landmark, Landmark);
     EXPECT_TRUE(Second.Memoized);
@@ -192,12 +194,16 @@ TEST_P(ServeParityTest, RepeatDecisionsAreCachedAndIdentical) {
     EXPECT_EQ(Second.FeaturesExtracted, 0u);
   }
   // clearMemo really drops the decision cache too: the next call pays
-  // extraction again and still answers identically.
+  // extraction again and still answers identically. A model whose
+  // production classifier reads no features (e.g. svd's static-best)
+  // never pays extraction, so its fresh decisions legitimately report
+  // Memoized under the FeaturesExtracted==0 rule.
   L.Service.clearMemo();
   runtime::PredictionService::Decision Fresh =
       L.Service.decide(Expected.front().first);
   EXPECT_EQ(Fresh.Landmark, Expected.front().second);
-  EXPECT_FALSE(Fresh.Memoized);
+  if (ExtractsFeatures)
+    EXPECT_FALSE(Fresh.Memoized);
 }
 
 TEST_P(ServeParityTest, LaneServingMatchesGoldensOnEveryTier) {
@@ -250,6 +256,8 @@ TEST_P(ServeParityTest, LaneServingMatchesGoldensOnEveryTier) {
 
 INSTANTIATE_TEST_SUITE_P(Workloads, ServeParityTest,
                          ::testing::Values("sort1", "binpacking",
-                                           "clustering1", "poisson2d"));
+                                           "clustering1", "clustering2",
+                                           "svd", "poisson2d",
+                                           "helmholtz3d"));
 
 } // namespace

@@ -318,8 +318,38 @@ TEST(CompiledModelTest, CompileInlinesLandmarkConfigurations) {
     const double *V = M.landmarkValues(L);
     for (unsigned P = 0; P != 3; ++P)
       EXPECT_EQ(V[P], Model.System.L1.Landmarks[L].real(P));
+    // No recorded space: every parameter reads as active.
+    EXPECT_EQ(M.landmarkActiveMask(L), uint64_t(0b111));
   }
   EXPECT_GT(M.arenaBytes(), 0u);
+}
+
+TEST(CompiledModelTest, CompilePrecomputesLandmarkActiveMasks) {
+  // With a conditional space recorded in the model's provenance, compile
+  // precomputes which parameters exist under each landmark.
+  Table T = makeTable(18);
+  serialize::TrainedModel Model;
+  Model.Meta.Features = {{"a", 3u}, {"b", 3u}, {"c", 3u}};
+  runtime::ConfigSpace &Space = Model.Meta.Space;
+  Space.addCategorical("solver", 2);
+  Space.addReal("tolerance", 0.0, 1.0);
+  Space.addInteger("sweeps", 1, 8);
+  Space.makeConditional(1, 0, {1}); // tolerance only under solver=1
+  Space.makeConditional(2, 0, {0}); // sweeps only under solver=0
+  Model.System.L1.Landmarks = {
+      runtime::Configuration({0.0, 0.5, 3.0}),
+      runtime::Configuration({1.0, 0.25, 4.0}),
+  };
+  ml::MaxApriori Prior;
+  Prior.fit(T.Y, kNumClasses);
+  Model.System.L2.Production =
+      std::make_unique<core::MaxAprioriClassifier>(std::move(Prior));
+
+  runtime::CompiledModel M = runtime::CompiledModel::compile(Model);
+  ASSERT_TRUE(M.ready());
+  ASSERT_EQ(M.numLandmarks(), 2u);
+  EXPECT_EQ(M.landmarkActiveMask(0), uint64_t(0b101)); // solver + sweeps
+  EXPECT_EQ(M.landmarkActiveMask(1), uint64_t(0b011)); // solver + tolerance
 }
 
 } // namespace

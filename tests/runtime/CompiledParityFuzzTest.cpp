@@ -5,7 +5,8 @@
 // loadable model, decide() must equal decideInterpreted(). This fuzzer
 // generates ~200 random TrainedModels spanning every classifier kind the
 // zoo can select (constant, max-apriori, subset tree, incremental Bayes,
-// one-level nearest-centroid), serves random inputs through a
+// one-level nearest-centroid) over both flat and conditional
+// (hierarchical) configuration spaces, serves random inputs through a
 // PredictionService bound to a matching synthetic program, and asserts
 // landmark, extraction-cost and examined-feature parity between the
 // compiled and interpreted paths -- for the production classifier and
@@ -20,6 +21,7 @@
 
 #include "core/Classifiers.h"
 #include "registry/BenchmarkRegistry.h"
+#include "runtime/CompiledModel.h"
 #include "runtime/SimdLanes.h"
 #include "runtime/TunableProgram.h"
 #include "support/Random.h"
@@ -42,10 +44,9 @@ namespace {
 class TableProgram : public runtime::TunableProgram {
 public:
   TableProgram(linalg::Matrix Table, std::vector<runtime::FeatureInfo> Props,
-               unsigned Arity)
-      : Table(std::move(Table)), Props(std::move(Props)) {
-    for (unsigned P = 0; P != Arity; ++P)
-      Space.addReal("p" + std::to_string(P), 0.0, 1.0);
+               runtime::ConfigSpace SpaceIn)
+      : Table(std::move(Table)), Props(std::move(Props)),
+        Space(std::move(SpaceIn)) {
     Index.emplace(this->Props);
   }
 
@@ -82,6 +83,37 @@ struct FuzzCase {
   serialize::TrainedModel Model;
 };
 
+/// A random configuration space. Every third case is conditional: a
+/// categorical root gating each real tunable on a random activation set,
+/// plus a two-level chain (categorical mode under the root, log-integer
+/// leaf under the mode) so nested dependencies fuzz too.
+runtime::ConfigSpace makeFuzzSpace(support::Rng &Rng, unsigned Arity,
+                                   bool Conditional) {
+  runtime::ConfigSpace S;
+  if (!Conditional) {
+    for (unsigned P = 0; P != Arity; ++P)
+      S.addReal("p" + std::to_string(P), 0.0, 1.0);
+    return S;
+  }
+  unsigned Card = static_cast<unsigned>(Rng.range(2, 4));
+  unsigned Root = S.addCategorical("branch", Card);
+  for (unsigned P = 0; P != Arity; ++P) {
+    unsigned Idx = S.addReal("p" + std::to_string(P), 0.0, 1.0);
+    std::vector<unsigned> Vals;
+    for (unsigned V = 0; V != Card; ++V)
+      if (Rng.chance(0.5))
+        Vals.push_back(V);
+    if (Vals.empty())
+      Vals.push_back(static_cast<unsigned>(Rng.index(Card)));
+    S.makeConditional(Idx, Root, Vals);
+  }
+  unsigned Mode = S.addCategorical("mode", 2);
+  S.makeConditional(Mode, Root, {0});
+  unsigned Leaf = S.addInteger("leaf", 1, 64, /*LogScale=*/true);
+  S.makeConditional(Leaf, Mode, {1});
+  return S;
+}
+
 /// One random model: random feature geometry, random training table,
 /// random labels, the classifier kind cycling with the index.
 FuzzCase makeCase(unsigned CaseIndex) {
@@ -113,19 +145,20 @@ FuzzCase makeCase(unsigned CaseIndex) {
       Y[I] = (Y[I] + 1) % K;
 
   FuzzCase C;
-  C.Program = std::make_unique<TableProgram>(X, Props, Arity);
+  runtime::ConfigSpace Space =
+      makeFuzzSpace(Rng, Arity, /*Conditional=*/CaseIndex % 3 == 0);
+  C.Program = std::make_unique<TableProgram>(X, Props, Space);
 
   serialize::TrainedModel &M = C.Model;
   M.Meta.Benchmark = "fuzz-table";
   M.Meta.Scale = 1.0;
   M.Meta.ProgramSeed = CaseIndex;
   M.Meta.Features = Props;
-  for (unsigned L = 0; L != K; ++L) {
-    std::vector<double> Values;
-    for (unsigned P = 0; P != Arity; ++P)
-      Values.push_back(Rng.uniform());
-    M.System.L1.Landmarks.emplace_back(std::move(Values));
-  }
+  M.Meta.Space = Space;
+  // randomConfig returns canonical points (dead branches pinned), which
+  // is exactly what the loader and validateAgainst demand of landmarks.
+  for (unsigned L = 0; L != K; ++L)
+    M.System.L1.Landmarks.push_back(Space.randomConfig(Rng));
 
   // The production classifier: cycle through every kind the zoo knows.
   std::unique_ptr<core::InputClassifier> Production;
@@ -395,6 +428,25 @@ TEST(CompiledParityFuzzTest, SerializedRoundTripPreservesDecisions) {
     serialize::TrainedModel Loaded;
     ASSERT_TRUE(serialize::loadModel(Bytes, Loaded).Ok) << "case "
                                                         << CaseIndex;
+    // Byte-identity through the round trip: the reloaded model (its
+    // config space -- conditional structure included -- landmarks and
+    // classifiers) must re-serialize to the exact same bytes.
+    ASSERT_EQ(serialize::serializeModel(Loaded), Bytes)
+        << "case " << CaseIndex << ": round trip is not byte-identical";
+
+    // The compiled arenas agree on the conditional structure: identical
+    // per-landmark active-parameter masks on both sides of the trip.
+    runtime::CompiledModel CompiledA = runtime::CompiledModel::compile(C.Model);
+    runtime::CompiledModel CompiledB = runtime::CompiledModel::compile(Loaded);
+    ASSERT_EQ(CompiledA.numLandmarks(), CompiledB.numLandmarks());
+    for (unsigned L = 0; L != CompiledA.numLandmarks(); ++L) {
+      EXPECT_EQ(CompiledA.landmarkActiveMask(L),
+                CompiledB.landmarkActiveMask(L))
+          << "case " << CaseIndex << " landmark " << L;
+      EXPECT_EQ(CompiledA.landmarkActiveMask(L),
+                C.Model.Meta.Space.activeMask(C.Model.System.L1.Landmarks[L]))
+          << "case " << CaseIndex << " landmark " << L;
+    }
 
     runtime::PredictionService Original(std::move(C.Model));
     runtime::PredictionService Reloaded(std::move(Loaded));

@@ -125,6 +125,130 @@ TEST(ConfigSpaceTest, SearchSpaceLog10Composes) {
   EXPECT_NEAR(S.searchSpaceLog10(), 2.0, 1e-12);
 }
 
+/// A nested conditional space: solver picks a family; the iterative
+/// branch owns a tolerance; the multigrid branch owns a smoother whose
+/// SOR choice owns omega (a two-level chain).
+ConfigSpace makeConditionalSpace() {
+  ConfigSpace S;
+  unsigned Solver = S.addCategorical("solver", 3); // 0=direct 1=iter 2=mg
+  unsigned Tol = S.addReal("tolerance", 1e-12, 1e-3, /*LogScale=*/true);
+  unsigned Smoother = S.addCategorical("smoother", 2); // 0=jacobi 1=sor
+  unsigned Omega = S.addReal("omega", 1.0, 1.95);
+  S.makeConditional(Tol, Solver, {1});
+  S.makeConditional(Smoother, Solver, {2});
+  S.makeConditional(Omega, Smoother, {1});
+  return S;
+}
+
+TEST(ConfigSpaceTest, ConditionalActivityWalksParentChain) {
+  ConfigSpace S = makeConditionalSpace();
+  EXPECT_FALSE(S.conditional(0));
+  EXPECT_TRUE(S.conditional(1));
+
+  Configuration C = S.defaultConfig(); // solver=0 (direct)
+  EXPECT_TRUE(S.active(C, 0));
+  EXPECT_FALSE(S.active(C, 1));
+  EXPECT_FALSE(S.active(C, 2));
+  EXPECT_FALSE(S.active(C, 3));
+  EXPECT_EQ(S.activeMask(C), uint64_t(0b0001));
+
+  C.set(0, 1.0); // iterative: tolerance opens
+  EXPECT_TRUE(S.active(C, 1));
+  EXPECT_FALSE(S.active(C, 3));
+  EXPECT_EQ(S.activeMask(C), uint64_t(0b0011));
+
+  C.set(0, 2.0); // multigrid: smoother opens, omega still gated
+  C.set(2, 0.0);
+  EXPECT_FALSE(S.active(C, 1));
+  EXPECT_TRUE(S.active(C, 2));
+  EXPECT_FALSE(S.active(C, 3));
+  C.set(2, 1.0); // SOR: omega opens through the chain
+  EXPECT_TRUE(S.active(C, 3));
+  EXPECT_EQ(S.activeMask(C), uint64_t(0b1101));
+}
+
+TEST(ConfigSpaceTest, CanonicalizePinsDeadBranches) {
+  ConfigSpace S = makeConditionalSpace();
+  Configuration C = S.defaultConfig();
+  C.set(0, 0.0);    // direct: everything conditional is dead
+  C.set(1, 5e-4);   // junk in dead branches...
+  C.set(2, 1.0);
+  C.set(3, 1.5);
+  S.canonicalize(C);
+  // ...is pinned back to the canonical (default) values.
+  EXPECT_DOUBLE_EQ(C.real(1), S.canonicalValue(1));
+  EXPECT_DOUBLE_EQ(C.real(2), S.canonicalValue(2));
+  EXPECT_DOUBLE_EQ(C.real(3), S.canonicalValue(3));
+  // Two configs differing only in nonexistent tunables now compare equal.
+  Configuration D = S.defaultConfig();
+  D.set(1, 1e-5);
+  S.canonicalize(D);
+  EXPECT_EQ(C, D);
+}
+
+TEST(ConfigSpaceTest, RandomConditionalConfigsAreCanonical) {
+  ConfigSpace S = makeConditionalSpace();
+  support::Rng Rng(11);
+  int SawIter = 0, SawMg = 0;
+  for (int I = 0; I != 500; ++I) {
+    Configuration C = S.randomConfig(Rng);
+    Configuration Copy = C;
+    S.canonicalize(Copy);
+    EXPECT_EQ(C, Copy) << "randomConfig must return canonical configs";
+    if (C.category(0) == 1) {
+      ++SawIter;
+      // Active tolerance is a genuine sample, in bounds.
+      EXPECT_GE(C.real(1), 1e-12);
+      EXPECT_LE(C.real(1), 1e-3);
+    }
+    if (C.category(0) == 2)
+      ++SawMg;
+  }
+  EXPECT_GT(SawIter, 50);
+  EXPECT_GT(SawMg, 50);
+}
+
+TEST(ConfigSpaceTest, MutationKeepsConditionalConfigsCanonical) {
+  ConfigSpace S = makeConditionalSpace();
+  support::Rng Rng(12);
+  Configuration C = S.defaultConfig();
+  int ToleranceChanged = 0;
+  for (int I = 0; I != 2000; ++I) {
+    double TolBefore = C.real(1);
+    bool IterBefore = C.category(0) == 1;
+    S.mutate(C, Rng, /*Rate=*/0.6, /*Strength=*/0.3);
+    Configuration Copy = C;
+    S.canonicalize(Copy);
+    ASSERT_EQ(C, Copy) << "mutate must return canonical configs";
+    // Newly-opened branches get fresh samples rather than the pin value.
+    if (!IterBefore && C.category(0) == 1 && C.real(1) != TolBefore)
+      ++ToleranceChanged;
+  }
+  EXPECT_GT(ToleranceChanged, 0)
+      << "a parent flip should resample the activated child";
+}
+
+TEST(ConfigSpaceTest, CrossoverAndRepairCanonicalizeConditionals) {
+  ConfigSpace S = makeConditionalSpace();
+  support::Rng Rng(13);
+  Configuration A(std::vector<double>{1.0, 1e-6, 0.0, 1.0});
+  Configuration B(std::vector<double>{0.0, 1e-9, 1.0, 1.9});
+  S.canonicalize(A);
+  S.canonicalize(B);
+  for (int I = 0; I != 200; ++I) {
+    Configuration C = S.crossover(A, B, Rng);
+    Configuration Copy = C;
+    S.canonicalize(Copy);
+    EXPECT_EQ(C, Copy);
+  }
+  Configuration Bad(std::vector<double>{7.0, 1.0, 9.0, -3.0});
+  S.repair(Bad);
+  Configuration Copy = Bad;
+  S.canonicalize(Copy);
+  EXPECT_EQ(Bad, Copy);
+  EXPECT_LT(Bad.category(0), 3u);
+}
+
 TEST(ConfigurationTest, StringRoundTrip) {
   Configuration C(std::vector<double>{1.5, -2.0, 3.25e-7});
   Configuration D;

@@ -25,6 +25,12 @@ using serialize::TrainedModel;
 
 namespace {
 
+/// `pbt-model v<current>\n` -- the tests below probe errors past the
+/// version check, so they must carry the live format version.
+std::string header() {
+  return "pbt-model v" + std::to_string(serialize::kFormatVersion) + "\n";
+}
+
 TEST(LoadErrorTest, SemanticErrorsCarryTheLineNumber) {
   // Line 1 is well-formed for the Reader but semantically wrong: the
   // version check is the loader's, so the loader must tag the position.
@@ -37,7 +43,7 @@ TEST(LoadErrorTest, SemanticErrorsCarryTheLineNumber) {
 }
 
 TEST(LoadErrorTest, DeepSemanticErrorsPointAtTheirOwnLine) {
-  const std::string Text = "pbt-model v2\n"
+  const std::string Text = header() +
                            "benchmark sort1\n"
                            "scale 0.5\n"
                            "program-seed 7\n"
@@ -53,8 +59,8 @@ TEST(LoadErrorTest, DeepSemanticErrorsPointAtTheirOwnLine) {
 
 TEST(LoadErrorTest, SyntacticErrorsKeepTheReadersLineTag) {
   TrainedModel M;
-  LoadStatus St = serialize::loadModel("pbt-model v2\nbenchmark sort1\n"
-                                       "scale not-a-number\n",
+  LoadStatus St = serialize::loadModel(header() + "benchmark sort1\n"
+                                                  "scale not-a-number\n",
                                        M);
   ASSERT_FALSE(St.Ok);
   EXPECT_NE(St.Error.find("line 3"), std::string::npos) << St.Error;

@@ -33,6 +33,13 @@ TrainedModel tinyModel() {
   M.Meta.Scale = 1.0;
   M.Meta.ProgramSeed = 7;
   M.Meta.Features = {{"alpha", 2}, {"beta", 2}};
+  // A conditional space so the config-space section (parent/mask fields
+  // included) sits under every truncation/fuzz pass below: the cutoff
+  // only exists under mode=1.
+  M.Meta.Space.addCategorical("mode", 2);
+  M.Meta.Space.addInteger("cutoff", 1, 128, /*LogScale=*/true);
+  M.Meta.Space.addReal("blend", 0.0, 1.0);
+  M.Meta.Space.makeConditional(1, 0, {1});
 
   core::TrainedSystem &S = M.System;
   S.L1.Features = linalg::Matrix(N, Flat);
@@ -56,8 +63,15 @@ TrainedModel tinyModel() {
   S.L1.Clusters = ml::kMeans(S.L1.Norm.transform(S.L1.Features), KOpts);
   S.L1.Clusters.Assignment.resize(S.TrainRows.size());
   S.L1.Representatives = {0, 3};
-  S.L1.Landmarks.emplace_back(std::vector<double>{1.0, 8.0, 0.5});
-  S.L1.Landmarks.emplace_back(std::vector<double>{0.0, 64.0, 0.25});
+  // Landmark 0 takes the mode=1 branch (cutoff live); landmark 1 takes
+  // mode=0, so canonicalize pins its dead cutoff -- the loader rejects
+  // non-canonical dead-branch values.
+  runtime::Configuration L0(std::vector<double>{1.0, 8.0, 0.5});
+  runtime::Configuration L1(std::vector<double>{0.0, 64.0, 0.25});
+  M.Meta.Space.canonicalize(L0);
+  M.Meta.Space.canonicalize(L1);
+  S.L1.Landmarks.push_back(std::move(L0));
+  S.L1.Landmarks.push_back(std::move(L1));
 
   S.L2.TrainLabels = {0, 1, 1, 0};
   S.L2.Costs = ml::CostMatrix::zeroOne(K);
@@ -231,6 +245,66 @@ TEST(MalformedInputTest, CorruptTreeStructureIsRejected) {
   size_t End = Text.find('\n', Pos + 1);
   Text.replace(Pos + 1, End - Pos - 1, "leaf 42");
   expectLoadFails(Text, "leaf label");
+}
+
+TEST(MalformedInputTest, ConfigSpaceSectionCorruptionsAreRejected) {
+  struct Case {
+    const char *Replacement;
+    const char *What;
+  };
+  // The canonical text's first `param` line is the categorical root
+  // ("param categorical 0 1 2 0 0 0 mode"); each case rewrites it.
+  const Case ParamCases[] = {
+      {"param banana 0 1 2 0 0 0 mode", "unknown parameter kind"},
+      {"param categorical 0 1 0 0 0 0 mode", "zero cardinality"},
+      {"param categorical 0 5 2 0 0 0 mode", "bounds vs cardinality"},
+      {"param categorical 0 1 2 1 0 0 mode", "log-scaled categorical"},
+      {"param categorical 0 1 2 0 1 1 mode", "self/forward parent"},
+      {"param categorical 0 1 2 0 0 0", "missing name"},
+      {"param real 1 0 0 0 0 0 mode", "inverted real bounds"},
+      {"param integer 0.5 4 0 0 0 0 mode", "non-integral integer bound"},
+  };
+  for (const Case &C : ParamCases) {
+    std::string Text = canonicalText();
+    ASSERT_TRUE(replaceLine(Text, "param", C.Replacement)) << C.What;
+    expectLoadFails(Text, C.What);
+  }
+
+  // Count mismatches and a corrupt section header.
+  std::string Text = canonicalText();
+  ASSERT_TRUE(replaceLine(Text, "config-space", "config-space 99"));
+  expectLoadFails(Text, "config-space count too large");
+  Text = canonicalText();
+  ASSERT_TRUE(replaceLine(Text, "config-space", "config-space 0"));
+  expectLoadFails(Text, "config-space count too small");
+
+  // The conditional child's mask must stay within the parent's
+  // cardinality, point backwards, and be nonzero. The child line is
+  // "param integer 1 128 0 1 1 2 cutoff" (parent+1 = 1, mask 0b10).
+  const Case ChildCases[] = {
+      {"param integer 1 128 0 1 1 4 cutoff", "mask beyond cardinality"},
+      {"param integer 1 128 0 1 1 0 cutoff", "conditional without mask"},
+      {"param integer 1 128 0 1 9 2 cutoff", "parent out of range"},
+      {"param integer 1 128 0 1 3 1 cutoff", "non-categorical parent"},
+      {"param integer 1 128 0 1 0 2 cutoff", "mask without parent"},
+  };
+  for (const Case &C : ChildCases) {
+    Text = canonicalText();
+    size_t Pos = Text.find("\nparam integer");
+    ASSERT_NE(Pos, std::string::npos);
+    size_t End = Text.find('\n', Pos + 1);
+    Text.replace(Pos + 1, End - Pos - 1, C.Replacement);
+    expectLoadFails(Text, C.What);
+  }
+
+  // A landmark carrying a non-canonical value in a dead branch: landmark
+  // 1 sits on mode=0, so its cutoff must hold the canonical pin.
+  Text = canonicalText();
+  size_t Pos = Text.find("config 3 0 ");
+  ASSERT_NE(Pos, std::string::npos) << "landmark 1 line not found";
+  size_t End = Text.find('\n', Pos);
+  Text.replace(Pos, End - Pos, "config 3 0 64 0.25");
+  expectLoadFails(Text, "non-canonical dead-branch landmark");
 }
 
 TEST(MalformedInputTest, HugeCountsDoNotAllocate) {

@@ -4,7 +4,10 @@
 // at the drift-key median, every schedule must emit its documented
 // mixture weights, and the materialised request sequence must be a pure
 // function of (universe, options) -- the reproducibility the adaptive
-// serving tests stand on.
+// serving tests stand on. MixedStream on top: the multi-tenant
+// interleaving must be seed-deterministic, preserve each tenant's own
+// drift schedule as its global-order subsequence, honor draw weights,
+// and reject malformed tenant lists.
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <stdexcept>
 
@@ -136,6 +140,157 @@ TEST(WorkloadStreamTest, RejectsBadOptions) {
   O.Requests = 0;
   EXPECT_THROW(WorkloadStream(*U, O), std::invalid_argument);
 }
+
+//===----------------------------------------------------------------------===//
+// MixedStream: the multi-tenant interleaving
+//===----------------------------------------------------------------------===//
+
+/// Three tenants over two distinct universes with rotated schedules --
+/// the smallest shape exercising per-tenant drift inside one mix.
+struct MixFixture {
+  registry::ProgramPtr SortU, ClusterU;
+  std::unique_ptr<WorkloadStream> A, B, C;
+  std::vector<MixedTenantSpec> Specs;
+
+  MixFixture() {
+    SortU = makeUniverse();
+    const registry::BenchmarkFactory &F =
+        registry::BenchmarkRegistry::instance().get("clustering1");
+    ClusterU = F.makeProgram(0.2, F.defaultProgramSeed());
+    WorkloadStreamOptions O;
+    O.Requests = 300;
+    O.Kind = Schedule::Abrupt;
+    O.Seed = 11;
+    A = std::make_unique<WorkloadStream>(*SortU, O);
+    O.Kind = Schedule::Ramp;
+    O.Seed = 22;
+    B = std::make_unique<WorkloadStream>(*ClusterU, O);
+    O.Kind = Schedule::Periodic;
+    O.Seed = 33;
+    C = std::make_unique<WorkloadStream>(*SortU, O);
+    Specs = {{"sort-a", A.get(), 1.0},
+             {"cluster-b", B.get(), 1.0},
+             {"sort-c", C.get(), 2.0}};
+  }
+};
+
+TEST(MixedStreamTest, InterleavingIsSeedDeterministic) {
+  MixFixture F;
+  MixedStreamOptions O;
+  O.Requests = 900;
+  O.Seed = 7;
+  MixedStream X(F.Specs, O), Y(F.Specs, O);
+  ASSERT_EQ(X.length(), 900u);
+  for (size_t T = 0; T != X.length(); ++T) {
+    EXPECT_EQ(X.at(T).Tenant, Y.at(T).Tenant);
+    EXPECT_EQ(X.at(T).TenantTick, Y.at(T).TenantTick);
+    EXPECT_EQ(X.at(T).Input, Y.at(T).Input);
+  }
+  O.Seed = 8;
+  MixedStream Z(F.Specs, O);
+  bool Differs = false;
+  for (size_t T = 0; T != Z.length() && !Differs; ++T)
+    Differs = Z.at(T).Tenant != X.at(T).Tenant;
+  EXPECT_TRUE(Differs) << "reseeding did not change the interleaving";
+}
+
+TEST(MixedStreamTest, TenantSubsequencesPreserveEachStreamsDrift) {
+  // The property multi-tenant serving stands on: tenant T's requests, in
+  // global order, ARE tenant T's own stream (wrapped) -- the other
+  // tenants only dilute it in time, never reorder or resample it.
+  MixFixture F;
+  MixedStreamOptions O;
+  O.Requests = 1200;
+  MixedStream X(F.Specs, O);
+
+  size_t Total = 0;
+  for (unsigned T = 0; T != 3; ++T) {
+    const WorkloadStream &Own = *F.Specs[T].Stream;
+    std::vector<size_t> Got = X.tenantInputs(T);
+    EXPECT_EQ(Got.size(), X.tenantRequests(T));
+    Total += Got.size();
+    for (size_t R = 0; R != Got.size(); ++R)
+      ASSERT_EQ(Got[R], Own.inputAt(R % Own.length()))
+          << "tenant " << T << " request " << R;
+  }
+  EXPECT_EQ(Total, X.length());
+
+  // TenantTick is each tenant's private clock: consecutive within the
+  // tenant, increasing along the global sequence.
+  std::vector<size_t> Next(3, 0);
+  for (size_t T = 0; T != X.length(); ++T) {
+    const MixedStream::Tick &K = X.at(T);
+    ASSERT_EQ(K.TenantTick, Next[K.Tenant]++);
+  }
+}
+
+TEST(MixedStreamTest, WeightsShapeTheTenantShares) {
+  MixFixture F; // weights 1:1:2
+  MixedStreamOptions O;
+  O.Requests = 4000;
+  MixedStream X(F.Specs, O);
+  double N = static_cast<double>(X.length());
+  EXPECT_NEAR(static_cast<double>(X.tenantRequests(0)) / N, 0.25, 0.05);
+  EXPECT_NEAR(static_cast<double>(X.tenantRequests(1)) / N, 0.25, 0.05);
+  EXPECT_NEAR(static_cast<double>(X.tenantRequests(2)) / N, 0.50, 0.05);
+}
+
+TEST(MixedStreamTest, RejectsBadTenantLists) {
+  MixFixture F;
+  MixedStreamOptions O;
+  EXPECT_THROW(MixedStream({}, O), std::invalid_argument);
+
+  std::vector<MixedTenantSpec> NoStream = {{"a", nullptr, 1.0}};
+  EXPECT_THROW(MixedStream(NoStream, O), std::invalid_argument);
+
+  std::vector<MixedTenantSpec> NoName = {{"", F.A.get(), 1.0}};
+  EXPECT_THROW(MixedStream(NoName, O), std::invalid_argument);
+
+  std::vector<MixedTenantSpec> Dup = {{"a", F.A.get(), 1.0},
+                                      {"a", F.B.get(), 1.0}};
+  EXPECT_THROW(MixedStream(Dup, O), std::invalid_argument);
+
+  std::vector<MixedTenantSpec> BadWeight = {{"a", F.A.get(), 0.0}};
+  EXPECT_THROW(MixedStream(BadWeight, O), std::invalid_argument);
+
+  O.Requests = 0;
+  EXPECT_THROW(MixedStream(F.Specs, O), std::invalid_argument);
+}
+
+//===----------------------------------------------------------------------===//
+// Every registered family under the stream harness
+//===----------------------------------------------------------------------===//
+
+/// The scenario-diversity wall: every workload family must stream under
+/// every schedule -- deterministic replay, a valid median pool split,
+/// in-range inputs, and a real shift -- so the drift/adaptation suites
+/// are never silently sort-only.
+class FamilyStreamTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(FamilyStreamTest, StreamsDeterministicallyUnderEverySchedule) {
+  const registry::BenchmarkFactory &F =
+      registry::BenchmarkRegistry::instance().get(GetParam());
+  registry::ProgramPtr U = F.makeProgram(0.1, F.defaultProgramSeed());
+  for (Schedule K : {Schedule::Abrupt, Schedule::Ramp, Schedule::Periodic}) {
+    WorkloadStreamOptions O;
+    O.Kind = K;
+    O.Requests = 200;
+    O.Seed = 5;
+    WorkloadStream A(*U, O), B(*U, O);
+    EXPECT_EQ(A.sequence(), B.sequence());
+    EXPECT_EQ(A.basePool().size() + A.shiftedPool().size(), U->numInputs());
+    EXPECT_FALSE(A.basePool().empty());
+    EXPECT_FALSE(A.shiftedPool().empty());
+    EXPECT_LT(A.firstShiftTick(), A.length());
+    for (size_t T = 0; T != A.length(); ++T)
+      ASSERT_LT(A.inputAt(T), U->numInputs());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyStreamTest,
+                         ::testing::Values("sort1", "sort2", "binpacking",
+                                           "clustering1", "clustering2", "svd",
+                                           "poisson2d", "helmholtz3d"));
 
 TEST(WorkloadStreamTest, ScheduleNamesRoundTrip) {
   Schedule K;
