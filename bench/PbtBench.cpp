@@ -72,6 +72,11 @@ static void printUsage() {
       "                       safe model store; with --faults, kill-during-\n"
       "                       publish crash injection + recovery timing;\n"
       "                       BENCH_rollout.json report\n"
+      "  fleet                supervised cross-process serving fleet: real\n"
+      "                       pbt-serve replicas under restart/backoff\n"
+      "                       supervision with client failover; with\n"
+      "                       --chaos, the SIGKILL wall (parity + no lost\n"
+      "                       answers + reconvergence); BENCH_fleet.json\n"
       "\n"
       "options:\n"
       "  --scale=S            input-count scale (default: PBT_BENCH_SCALE or 1)\n"
@@ -120,6 +125,10 @@ static void printUsage() {
       "  --faults             rollout: arm one randomized failpoint per\n"
       "                       cycle (crash/corruption injection)\n"
       "  --fault-seed=N       rollout: failpoint-schedule seed\n"
+      "  --chaos              fleet: SIGKILL random replicas mid-load and\n"
+      "                       assert parity/no-loss/reconvergence\n"
+      "  --kills=N            fleet --chaos: randomized kills (default 50)\n"
+      "  --transport=KIND     fleet: unix|tcp replica transport\n"
       "\n"
       "`kernels` ignores the other options above; it takes\n"
       "google-benchmark flags (e.g. --benchmark_filter=...) instead.\n");
@@ -266,6 +275,15 @@ static ParseResult parseSharedOptions(std::vector<std::string> &Args,
     } else if (const char *V = Value("--fault-seed")) {
       if (!parseUint64(V, Opts.FaultSeed))
         return badValue("--fault-seed", V, "an unsigned integer");
+    } else if (Arg == "--chaos") {
+      Opts.Chaos = true;
+    } else if (const char *V = Value("--kills")) {
+      if (!parseUnsigned(V, Opts.Kills) || Opts.Kills < 1)
+        return badValue("--kills", V, "a positive integer");
+    } else if (const char *V = Value("--transport")) {
+      Opts.FleetTransport = V;
+      if (Opts.FleetTransport != "unix" && Opts.FleetTransport != "tcp")
+        return badValue("--transport", V, "unix or tcp");
     } else if (Arg == "--help" || Arg == "-h") {
       printUsage();
       return ParseResult::Help;
@@ -350,6 +368,8 @@ int main(int argc, char **argv) {
       return runLoadgen(Opts, argv[0]);
     if (Sub == "rollout")
       return runRollout(Opts);
+    if (Sub == "fleet")
+      return runFleet(Opts, argv[0]);
     if (Sub == "stream")
       return Opts.StreamMix ? runStreamMix(Opts) : runStream(Opts);
     if (Sub == "interact")

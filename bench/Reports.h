@@ -107,6 +107,13 @@ struct DriverOptions {
   bool Faults = false;
   /// `rollout` only: failpoint-schedule seed (--fault-seed).
   uint64_t FaultSeed = 0xFA117;
+  /// `fleet` only: run the chaos wall (--chaos): SIGKILL random replicas
+  /// mid-load and assert parity / no-lost-answers / reconvergence.
+  bool Chaos = false;
+  /// `fleet --chaos` only: randomized replica kills to deliver (--kills).
+  unsigned Kills = 50;
+  /// `fleet` only: replica transport, "unix" or "tcp" (--transport).
+  std::string FleetTransport = "unix";
   /// The pool built from Threads/Sequential; owned by main.
   support::ThreadPool *Pool = nullptr;
 };
@@ -221,6 +228,22 @@ int runLoadgen(const DriverOptions &Opts, const char *Argv0);
 /// (stdout; also OutDir/BENCH_rollout.json with --json). Any torn read
 /// served, golden divergence, or failed recovery is a nonzero exit.
 int runRollout(const DriverOptions &Opts);
+/// `fleet`: the supervised cross-process serving-fleet harness. Trains
+/// one model, seeds a crash-safe model store, fork/execs --replicas
+/// real pbt-serve processes (Unix sockets by default, --transport=tcp
+/// for the cross-host path) under a fleet::Supervisor, and drives
+/// --connections FailoverClient threads against the fleet while a
+/// publisher promotes clone epochs through the store. With --chaos it
+/// SIGKILLs --kills random replicas mid-load, waits for the supervisor
+/// to restart each one and the fleet to reconverge onto CURRENT, then
+/// crash-loops one replica into quarantine and proves the survivors
+/// keep answering. Every successful prediction is parity-checked
+/// against an in-process PredictionService replay; any mismatch, any
+/// lost admitted request, or a reconvergence failure is a nonzero exit.
+/// Reports availability, failover latency p50/p99, restart/quarantine
+/// counts as JSON (stdout; also OutDir/BENCH_fleet.json with --json).
+/// \p Argv0 locates the default pbt-serve binary (same rule as loadgen).
+int runFleet(const DriverOptions &Opts, const char *Argv0);
 
 } // namespace benchharness
 } // namespace pbt

@@ -6,17 +6,16 @@
 
 #include "daemon/Client.h"
 
+#include "daemon/Transport.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <thread>
 
-#include <fcntl.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 namespace pbt {
@@ -35,81 +34,45 @@ timeval toTimeval(double Seconds) {
   return TV;
 }
 
+double monotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 } // namespace
 
-bool DaemonClient::connect(const std::string &SocketPath, std::string &Err) {
+bool DaemonClient::connect(const std::string &EndpointSpec, std::string &Err) {
   close();
-  sockaddr_un Addr{};
-  Addr.sun_family = AF_UNIX;
-  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
-    Err = "socket path empty or too long: '" + SocketPath + "'";
+  Endpoint E;
+  if (!parseEndpoint(EndpointSpec, E, Err))
     return false;
-  }
-  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
-  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (Fd < 0) {
-    Err = std::string("socket(): ") + std::strerror(errno);
+  Fd = connectEndpoint(E, Opts.ConnectTimeout, Err);
+  if (Fd < 0)
     return false;
-  }
-
-  auto Abort = [&](const std::string &Msg) {
-    Err = Msg;
-    ::close(Fd);
-    Fd = -1;
-    return false;
-  };
-
-  // Nonblocking connect + poll bounds the connect itself (a listening
-  // socket with a full backlog can otherwise block indefinitely).
-  int Flags = 0;
-  if (Opts.ConnectTimeout > 0) {
-    Flags = ::fcntl(Fd, F_GETFL, 0);
-    if (Flags < 0 || ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) < 0)
-      return Abort(std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
-  }
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
-    if (Opts.ConnectTimeout <= 0 || errno != EINPROGRESS)
-      return Abort("connect('" + SocketPath + "'): " + std::strerror(errno));
-    pollfd PFD{};
-    PFD.fd = Fd;
-    PFD.events = POLLOUT;
-    int Ms = static_cast<int>(Opts.ConnectTimeout * 1000.0);
-    int Ready = ::poll(&PFD, 1, Ms > 0 ? Ms : 1);
-    if (Ready == 0)
-      return Abort("connect('" + SocketPath + "'): timed out after " +
-                   std::to_string(Ms) + "ms");
-    if (Ready < 0)
-      return Abort(std::string("poll(): ") + std::strerror(errno));
-    int SockErr = 0;
-    socklen_t Len = sizeof(SockErr);
-    if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SockErr, &Len) < 0 ||
-        SockErr != 0)
-      return Abort("connect('" + SocketPath +
-                   "'): " + std::strerror(SockErr ? SockErr : errno));
-  }
-  if (Opts.ConnectTimeout > 0 && ::fcntl(Fd, F_SETFL, Flags) < 0)
-    return Abort(std::string("fcntl(restore): ") + std::strerror(errno));
 
   // Arm the per-operation I/O timeouts: a server that accepts and then
   // wedges turns into an EAGAIN read error instead of a hung client.
   if (Opts.IoTimeout > 0) {
     timeval TV = toTimeval(Opts.IoTimeout);
     if (::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &TV, sizeof(TV)) < 0 ||
-        ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof(TV)) < 0)
-      return Abort(std::string("setsockopt(timeouts): ") +
-                   std::strerror(errno));
+        ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &TV, sizeof(TV)) < 0) {
+      Err = std::string("setsockopt(timeouts): ") + std::strerror(errno);
+      close();
+      return false;
+    }
   }
   return true;
 }
 
-bool DaemonClient::connectWithRetry(const std::string &SocketPath,
+bool DaemonClient::connectWithRetry(const std::string &EndpointSpec,
                                     double TimeoutSeconds, std::string &Err) {
   auto Deadline = std::chrono::steady_clock::now() +
                   std::chrono::duration<double>(TimeoutSeconds);
   double Backoff = Opts.BackoffSeconds;
   unsigned MaxAttempts = std::max(1u, Opts.MaxConnectAttempts);
   for (unsigned Attempt = 1;; ++Attempt) {
-    if (connect(SocketPath, Err))
+    if (connect(EndpointSpec, Err))
       return true;
     if (Attempt >= MaxAttempts) {
       Err += " (gave up after " + std::to_string(Attempt) + " attempts)";
@@ -117,7 +80,10 @@ bool DaemonClient::connectWithRetry(const std::string &SocketPath,
     }
     if (std::chrono::steady_clock::now() >= Deadline)
       return false;
-    std::this_thread::sleep_for(std::chrono::duration<double>(Backoff));
+    if (Opts.SleepHook)
+      Opts.SleepHook(Backoff);
+    else
+      std::this_thread::sleep_for(std::chrono::duration<double>(Backoff));
     Backoff = std::min(Backoff * 2.0, Opts.BackoffCapSeconds);
   }
 }
@@ -131,6 +97,7 @@ void DaemonClient::close() {
 
 bool DaemonClient::roundTrip(const std::string &Payload, Message &Reply,
                              std::string &Err) {
+  TransportFailed = true;
   if (Fd < 0) {
     Err = "not connected";
     return false;
@@ -150,6 +117,7 @@ bool DaemonClient::roundTrip(const std::string &Payload, Message &Reply,
     Err = "malformed server reply";
     return false;
   }
+  TransportFailed = false;
   return true;
 }
 
@@ -158,7 +126,9 @@ bool DaemonClient::attach(const std::string &Tenant, AttachInfo &Out,
   Message Reply;
   if (!roundTrip(makeHello(Tenant), Reply, Err))
     return false;
-  if (Reply.Type == MsgType::Error) {
+  if (Reply.Type == MsgType::Error || Reply.Type == MsgType::Shed) {
+    // Shed here is the session cap ("session limit reached"), answered
+    // before the server would spawn a session thread.
     Err = Reply.Text;
     return false;
   }
@@ -237,6 +207,21 @@ bool DaemonClient::shutdownServer(std::string &Err) {
   return true;
 }
 
+bool DaemonClient::ping(HealthInfo &Out, std::string &Err) {
+  Message Reply;
+  if (!roundTrip(makePing(), Reply, Err))
+    return false;
+  if (Reply.Type != MsgType::Health) {
+    Err = Reply.Type == MsgType::Error ? Reply.Text
+                                       : "unexpected reply to Ping";
+    return false;
+  }
+  Out.Pid = Reply.Pid;
+  Out.Sessions = Reply.Sessions;
+  Out.Tenants = std::move(Reply.Tenants);
+  return true;
+}
+
 bool DaemonClient::sendRaw(const void *Data, size_t Size) {
   if (Fd < 0)
     return false;
@@ -252,6 +237,119 @@ bool DaemonClient::sendRaw(const void *Data, size_t Size) {
     Sent += static_cast<size_t>(N);
   }
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// FailoverClient
+//===----------------------------------------------------------------------===//
+
+FailoverClient::FailoverClient(std::vector<std::string> Endpoints,
+                               std::string TenantName, FailoverOptions Options)
+    : Tenant(std::move(TenantName)), Opts(Options), Conn(Options.Client) {
+  Replicas.reserve(Endpoints.size());
+  for (std::string &E : Endpoints)
+    Replicas.push_back(Replica{std::move(E), 0, 0});
+}
+
+void FailoverClient::close() {
+  Conn.close();
+  Attached = SIZE_MAX;
+}
+
+void FailoverClient::markDown(size_t I) {
+  double Now = monotonicSeconds();
+  Replicas[I].DownUntil = Now + Opts.CooldownSeconds;
+  Replicas[I].LastFail = Now;
+  ++Counters.MarkDowns;
+  if (Attached == I)
+    close();
+}
+
+bool FailoverClient::ensureAttached(size_t I, std::string &Err) {
+  if (Attached == I && Conn.connected())
+    return true;
+  close();
+  if (!Conn.connect(Replicas[I].Endpoint, Err))
+    return false;
+  DaemonClient::AttachInfo Info;
+  if (!Conn.attach(Tenant, Info, Err)) {
+    Conn.close();
+    return false;
+  }
+  Attached = I;
+  Replicas[I].DownUntil = 0;
+  ++Counters.Reconnects;
+  return true;
+}
+
+DaemonClient::PredictOutcome
+FailoverClient::predict(const std::vector<uint64_t> &Inputs,
+                        std::vector<PredictedChoice> &Choices,
+                        std::string &Err) {
+  LastFailovers = 0;
+  if (Replicas.empty()) {
+    Err = "no endpoints";
+    return DaemonClient::PredictOutcome::Error;
+  }
+  std::string LastErr = "no replica reachable";
+  unsigned Passes = std::max(1u, Opts.PassesPerCall);
+  for (unsigned Pass = 0; Pass < Passes; ++Pass) {
+    // Order candidates: the currently-attached replica first (the common
+    // no-failure path reuses the warm session), then up replicas round-
+    // robin, then cooled-down ones; on the final pass a last-resort probe
+    // of the least-recently-failed endpoint beats refusing outright.
+    std::vector<size_t> Order;
+    Order.reserve(Replicas.size());
+    double Now = monotonicSeconds();
+    if (Attached != SIZE_MAX && Conn.connected())
+      Order.push_back(Attached);
+    for (size_t K = 0; K < Replicas.size(); ++K) {
+      size_t I = (RoundRobin + K) % Replicas.size();
+      if (I != Attached && Replicas[I].DownUntil <= Now)
+        Order.push_back(I);
+    }
+    if (Order.empty() || Pass + 1 == Passes) {
+      size_t Oldest = SIZE_MAX;
+      for (size_t I = 0; I < Replicas.size(); ++I) {
+        bool Listed = false;
+        for (size_t O : Order)
+          Listed |= O == I;
+        if (!Listed && (Oldest == SIZE_MAX ||
+                        Replicas[I].LastFail < Replicas[Oldest].LastFail))
+          Oldest = I;
+      }
+      if (Oldest != SIZE_MAX)
+        Order.push_back(Oldest);
+    }
+    for (size_t I : Order) {
+      std::string E;
+      if (!ensureAttached(I, E)) {
+        LastErr = Replicas[I].Endpoint + ": " + E;
+        markDown(I);
+        ++Counters.Failovers;
+        ++LastFailovers;
+        continue;
+      }
+      auto Outcome = Conn.predict(Inputs, Choices, E);
+      if (Outcome != DaemonClient::PredictOutcome::Error ||
+          !Conn.lastRpcTransportFailed()) {
+        // Ok, Shed, and a server's Error *reply* are all answers from a
+        // live replica; only transport failures fail over.
+        RoundRobin = (I + 1) % Replicas.size();
+        LastEndpoint = Replicas[I].Endpoint;
+        if (Outcome != DaemonClient::PredictOutcome::Ok)
+          Err = E;
+        return Outcome;
+      }
+      LastErr = Replicas[I].Endpoint + ": " + E;
+      markDown(I);
+      ++Counters.Failovers;
+      ++LastFailovers;
+    }
+  }
+  ++Counters.Exhausted;
+  Err = "all replicas failed: " + LastErr;
+  return DaemonClient::PredictOutcome::Error;
 }
 
 } // namespace daemon

@@ -63,6 +63,11 @@ struct Tenant {
   std::atomic<uint64_t> Batches{0};
   std::atomic<uint64_t> StoreSwaps{0};
   std::atomic<uint64_t> StoreRejects{0};
+  /// Per-tenant admission refusals and error replies, so dashboards and
+  /// quarantine decisions can tell tenants apart (the server also keeps
+  /// global totals).
+  std::atomic<uint64_t> Shed{0};
+  std::atomic<uint64_t> Errors{0};
 };
 
 struct ModelRegistryOptions {

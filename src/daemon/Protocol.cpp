@@ -7,8 +7,10 @@
 #include "daemon/Protocol.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -141,6 +143,43 @@ int readAll(int Fd, void *Buf, size_t Len) {
   return 1;
 }
 
+/// readAll with a wall-clock deadline: poll-before-recv so a peer that
+/// stalls mid-frame cannot block forever. Returns 1 on success, -1 on
+/// mid-read EOF, -2 on errno failure, -3 on deadline expiry. EINTR on
+/// either syscall retries with the remaining budget recomputed.
+int readAllDeadline(int Fd, void *Buf, size_t Len,
+                    std::chrono::steady_clock::time_point Deadline) {
+  char *P = static_cast<char *>(Buf);
+  size_t Got = 0;
+  while (Got < Len) {
+    auto Now = std::chrono::steady_clock::now();
+    if (Now >= Deadline)
+      return -3;
+    auto LeftMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(Deadline - Now)
+            .count();
+    struct pollfd Pfd = {Fd, POLLIN, 0};
+    int PR = ::poll(&Pfd, 1, static_cast<int>(LeftMs) + 1);
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      return -2;
+    }
+    if (PR == 0)
+      return -3;
+    ssize_t N = ::recv(Fd, P + Got, Len - Got, 0);
+    if (N == 0)
+      return -1;
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return -2;
+    }
+    Got += static_cast<size_t>(N);
+  }
+  return 1;
+}
+
 bool writeAll(int Fd, const void *Buf, size_t Len) {
   const char *P = static_cast<const char *>(Buf);
   size_t Sent = 0;
@@ -188,6 +227,10 @@ std::string makeListTenants() {
 
 std::string makeShutdown() {
   return std::string(1, static_cast<char>(MsgType::Shutdown));
+}
+
+std::string makePing() {
+  return std::string(1, static_cast<char>(MsgType::Ping));
 }
 
 std::string makeTenantOk(uint64_t Epoch, uint32_t Landmarks,
@@ -246,6 +289,21 @@ std::string makeBye() {
   return std::string(1, static_cast<char>(MsgType::Bye));
 }
 
+std::string makeHealth(uint64_t Pid, uint32_t Sessions,
+                       const std::vector<TenantHealth> &Tenants) {
+  std::string B;
+  putU8(B, static_cast<uint8_t>(MsgType::Health));
+  putU64(B, Pid);
+  putU32(B, Sessions);
+  putU32(B, static_cast<uint32_t>(Tenants.size()));
+  for (const TenantHealth &T : Tenants) {
+    putStr(B, T.Name);
+    putU64(B, T.ServiceEpoch);
+    putU64(B, T.StoreEpoch);
+  }
+  return B;
+}
+
 //===----------------------------------------------------------------------===//
 // Decode
 //===----------------------------------------------------------------------===//
@@ -276,6 +334,7 @@ bool decodeMessage(const uint8_t *Data, size_t Size, Message &Out) {
   case MsgType::Stats:
   case MsgType::ListTenants:
   case MsgType::Shutdown:
+  case MsgType::Ping:
   case MsgType::Bye:
     return R.done();
   case MsgType::TenantOk:
@@ -314,6 +373,23 @@ bool decodeMessage(const uint8_t *Data, size_t Size, Message &Out) {
     }
     return R.done();
   }
+  case MsgType::Health: {
+    if (!R.u64(Out.Pid) || !R.u32(Out.Sessions))
+      return false;
+    uint32_t Count = 0;
+    // Each tenant entry costs >= 18 wire bytes, so the frame cap already
+    // bounds a sane count; reject anything past it before reserving.
+    if (!R.u32(Count) || Count > kMaxFrameBytes / 18)
+      return false;
+    Out.Tenants.reserve(Count < 1024 ? Count : 1024);
+    for (uint32_t I = 0; I < Count; ++I) {
+      TenantHealth T;
+      if (!R.str(T.Name) || !R.u64(T.ServiceEpoch) || !R.u64(T.StoreEpoch))
+        return false;
+      Out.Tenants.push_back(std::move(T));
+    }
+    return R.done();
+  }
   }
   return false; // unknown tag
 }
@@ -341,6 +417,42 @@ FrameStatus readFrame(int Fd, std::string &Payload) {
   if (R == 1)
     return FrameStatus::Ok;
   return R == -2 ? FrameStatus::IoError : FrameStatus::Truncated;
+}
+
+FrameStatus readFrameDeadline(int Fd, std::string &Payload,
+                              double DeadlineSeconds) {
+  if (DeadlineSeconds <= 0)
+    return readFrame(Fd, Payload);
+  // Block without a deadline for the first byte: idle sessions are
+  // legitimate. Once a frame has started, the rest must arrive in time.
+  uint8_t Hdr[4];
+  int R = readAll(Fd, Hdr, 1);
+  if (R == 0)
+    return FrameStatus::Closed;
+  if (R == -1)
+    return FrameStatus::Truncated;
+  if (R < 0)
+    return FrameStatus::IoError;
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(DeadlineSeconds));
+  R = readAllDeadline(Fd, Hdr + 1, 3, Deadline);
+  if (R != 1)
+    return R == -3   ? FrameStatus::TimedOut
+           : R == -1 ? FrameStatus::Truncated
+                     : FrameStatus::IoError;
+  uint32_t Len = 0;
+  for (int I = 0; I < 4; ++I)
+    Len |= static_cast<uint32_t>(Hdr[I]) << (8 * I);
+  if (Len == 0 || Len > kMaxFrameBytes)
+    return FrameStatus::TooLarge;
+  Payload.resize(Len);
+  R = readAllDeadline(Fd, &Payload[0], Len, Deadline);
+  if (R == 1)
+    return FrameStatus::Ok;
+  return R == -3   ? FrameStatus::TimedOut
+         : R == -1 ? FrameStatus::Truncated
+                   : FrameStatus::IoError;
 }
 
 FrameStatus writeFrame(int Fd, const std::string &Payload) {

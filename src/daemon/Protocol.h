@@ -53,6 +53,7 @@ enum class MsgType : uint8_t {
   Stats = 0x03,       ///< no body -- server + per-tenant stats as JSON
   ListTenants = 0x04, ///< no body
   Shutdown = 0x05,    ///< no body -- ask the daemon to exit cleanly
+  Ping = 0x06,        ///< no body -- liveness probe, answered by Health
   // Server -> client.
   TenantOk = 0x81,    ///< u64 epoch, u32 landmarks, u64 inputs
   Predictions = 0x82, ///< u32 count, count x (u32 landmark, u64 epoch)
@@ -61,12 +62,23 @@ enum class MsgType : uint8_t {
   StatsReply = 0x85,  ///< str JSON
   TenantList = 0x86,  ///< u32 count, count x str
   Bye = 0x87,         ///< shutdown acknowledged
+  Health = 0x88,      ///< u64 pid, u32 sessions, u32 count, count x
+                      ///< (str tenant, u64 service epoch, u64 store epoch)
 };
 
 /// One answered input of a Predict batch.
 struct PredictedChoice {
   uint32_t Landmark = 0;
   uint64_t Epoch = 0;
+};
+
+/// One tenant's liveness line in a Health reply. The store epoch lets a
+/// supervisor check that a replica has converged onto the model store's
+/// CURRENT pointer; the service epoch distinguishes in-process hot-swaps.
+struct TenantHealth {
+  std::string Name;
+  uint64_t ServiceEpoch = 0;
+  uint64_t StoreEpoch = 0;
 };
 
 /// A decoded payload: the tag plus whichever fields its type carries.
@@ -86,6 +98,10 @@ struct Message {
   uint64_t NumInputs = 0;
   /// Shed.
   uint32_t QueueDepth = 0;
+  /// Health.
+  uint64_t Pid = 0;
+  uint32_t Sessions = 0;
+  std::vector<TenantHealth> Tenants;
 };
 
 /// Strict payload decode (see file comment). Returns false -- with \p Out
@@ -102,6 +118,7 @@ std::string makePredict(const std::vector<uint64_t> &Inputs);
 std::string makeStats();
 std::string makeListTenants();
 std::string makeShutdown();
+std::string makePing();
 std::string makeTenantOk(uint64_t Epoch, uint32_t Landmarks,
                          uint64_t NumInputs);
 std::string makePredictions(const std::vector<PredictedChoice> &Choices);
@@ -110,6 +127,8 @@ std::string makeError(const std::string &Message);
 std::string makeStatsReply(const std::string &Json);
 std::string makeTenantList(const std::vector<std::string> &Names);
 std::string makeBye();
+std::string makeHealth(uint64_t Pid, uint32_t Sessions,
+                       const std::vector<TenantHealth> &Tenants);
 
 //===----------------------------------------------------------------------===//
 // Framed blocking IO over a connected socket fd
@@ -121,11 +140,20 @@ enum class FrameStatus {
   Truncated,///< peer vanished mid-frame
   TooLarge, ///< length prefix exceeds kMaxFrameBytes (or is zero)
   IoError,  ///< errno-level failure
+  TimedOut, ///< frame started but did not finish within the deadline
 };
 
 /// Reads one length-prefixed frame into \p Payload. Handles partial
 /// reads; never allocates more than kMaxFrameBytes.
 FrameStatus readFrame(int Fd, std::string &Payload);
+
+/// Like readFrame, but once the first byte of a frame has arrived the
+/// rest of it must arrive within \p DeadlineSeconds, or the read fails
+/// with TimedOut. Waiting for a frame to *start* is unbounded -- an idle
+/// session is legitimate; a peer that stalls mid-frame is not allowed to
+/// pin a session thread. DeadlineSeconds <= 0 degrades to readFrame.
+FrameStatus readFrameDeadline(int Fd, std::string &Payload,
+                              double DeadlineSeconds);
 
 /// Writes one length-prefixed frame. Handles partial writes; a peer that
 /// disappeared mid-write is IoError, never SIGPIPE.

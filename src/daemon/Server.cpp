@@ -75,39 +75,33 @@ bool Server::start(std::string &Err) {
     Err = "server already started";
     return false;
   }
-  sockaddr_un Addr{};
-  Addr.sun_family = AF_UNIX;
-  if (Opts.SocketPath.empty() ||
-      Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
-    Err = "socket path empty or longer than sun_path allows (" +
-          std::to_string(sizeof(Addr.sun_path) - 1) + " bytes): '" +
-          Opts.SocketPath + "'";
+  if (Opts.SocketPath.empty() && Opts.Listen.empty()) {
+    Err = "no listen endpoint: set SocketPath and/or Listen";
     return false;
   }
-  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
-              Opts.SocketPath.size() + 1);
-
-  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (ListenFd < 0) {
-    Err = std::string("socket(): ") + std::strerror(errno);
+  Listeners.clear();
+  auto Fail = [&](const std::string &Msg) {
+    Err = Msg;
+    Listeners.clear();
     return false;
+  };
+  if (!Opts.SocketPath.empty()) {
+    Endpoint E;
+    E.K = Endpoint::Kind::Unix;
+    E.Path = Opts.SocketPath;
+    Listeners.emplace_back();
+    if (!Listeners.back().open(E, Err))
+      return Fail(Err);
   }
-  // A previous daemon that died uncleanly leaves the path behind; a
-  // fresh bind is what the operator asked for.
-  ::unlink(Opts.SocketPath.c_str());
-  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-      0) {
-    Err = "bind('" + Opts.SocketPath + "'): " + std::strerror(errno);
-    ::close(ListenFd);
-    ListenFd = -1;
-    return false;
-  }
-  if (::listen(ListenFd, 64) < 0) {
-    Err = std::string("listen(): ") + std::strerror(errno);
-    ::close(ListenFd);
-    ListenFd = -1;
-    ::unlink(Opts.SocketPath.c_str());
-    return false;
+  for (const std::string &Spec : Opts.Listen) {
+    // A bare HOST:PORT here is TCP; "tcp:" prefixed specs also work.
+    std::string Full = Spec.rfind("tcp:", 0) == 0 ? Spec : "tcp:" + Spec;
+    Endpoint E;
+    if (!parseEndpoint(Full, E, Err) || E.K != Endpoint::Kind::Tcp)
+      return Fail("bad --listen endpoint '" + Spec + "': " + Err);
+    Listeners.emplace_back();
+    if (!Listeners.back().open(E, Err))
+      return Fail(Err);
   }
 
   Started = true;
@@ -134,10 +128,7 @@ void Server::stop() {
   requestStop();
   if (Acceptor.joinable())
     Acceptor.join();
-  if (ListenFd >= 0) {
-    ::close(ListenFd);
-    ListenFd = -1;
-  }
+  Listeners.clear(); // closes fds, unlinks Unix paths
 
   // Unblock every session read; their admitted requests are still served
   // because the workers only exit after the queue drains below.
@@ -168,8 +159,16 @@ void Server::stop() {
       W.join();
   Workers.clear();
 
-  ::unlink(Opts.SocketPath.c_str());
   Started = false;
+}
+
+std::vector<std::string> Server::boundEndpoints() const {
+  std::vector<std::string> Out;
+  Out.reserve(Listeners.size());
+  for (const Listener &L : Listeners)
+    if (L.valid())
+      Out.push_back(endpointString(L.bound()));
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//
@@ -177,11 +176,14 @@ void Server::stop() {
 //===----------------------------------------------------------------------===//
 
 void Server::acceptLoop() {
+  std::vector<pollfd> Polls(Listeners.size());
   while (!StopFlag.load()) {
-    pollfd P{};
-    P.fd = ListenFd;
-    P.events = POLLIN;
-    int R = ::poll(&P, 1, 100);
+    for (size_t I = 0; I < Listeners.size(); ++I) {
+      Polls[I].fd = Listeners[I].fd();
+      Polls[I].events = POLLIN;
+      Polls[I].revents = 0;
+    }
+    int R = ::poll(Polls.data(), Polls.size(), 100);
     if (R < 0) {
       if (errno == EINTR)
         continue;
@@ -204,20 +206,42 @@ void Server::acceptLoop() {
       }
     }
 
-    if (R == 0 || !(P.revents & POLLIN))
+    if (R == 0)
       continue;
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
-    if (Fd < 0)
-      continue;
-    ConnCount.fetch_add(1, std::memory_order_relaxed);
-    auto S = std::make_unique<Session>();
-    S->Fd = Fd;
-    Session *Raw = S.get();
-    {
-      std::lock_guard<std::mutex> Lock(SessionsMutex);
-      Sessions.push_back(std::move(S));
+    for (size_t I = 0; I < Listeners.size(); ++I) {
+      if (!(Polls[I].revents & POLLIN))
+        continue;
+      int Fd = Listeners[I].acceptConnection();
+      if (Fd < 0)
+        continue;
+      ConnCount.fetch_add(1, std::memory_order_relaxed);
+
+      // Session cap: over the limit, answer one Shed frame and close
+      // rather than spawning a thread -- a connection storm degrades to
+      // refusals the client can see, not to unbounded thread growth.
+      size_t Live;
+      {
+        std::lock_guard<std::mutex> Lock(SessionsMutex);
+        Live = Sessions.size();
+      }
+      size_t Cap = Opts.MaxSessions > 0 ? Opts.MaxSessions : 1;
+      if (Live >= Cap) {
+        ShedSessionCount.fetch_add(1, std::memory_order_relaxed);
+        writeFrame(Fd, makeShed(static_cast<uint32_t>(Live),
+                                "session limit reached"));
+        ::close(Fd);
+        continue;
+      }
+
+      auto S = std::make_unique<Session>();
+      S->Fd = Fd;
+      Session *Raw = S.get();
+      {
+        std::lock_guard<std::mutex> Lock(SessionsMutex);
+        Sessions.push_back(std::move(S));
+      }
+      Raw->Thread = std::thread([this, Raw] { sessionLoop(Raw); });
     }
-    Raw->Thread = std::thread([this, Raw] { sessionLoop(Raw); });
   }
 }
 
@@ -225,9 +249,16 @@ void Server::sessionLoop(Session *S) {
   Tenant *Attached = nullptr;
   std::string Payload;
   while (!StopFlag.load()) {
-    FrameStatus FS = readFrame(S->Fd, Payload);
+    FrameStatus FS = readFrameDeadline(S->Fd, Payload, Opts.ReadDeadline);
     if (FS == FrameStatus::Closed)
       break;
+    if (FS == FrameStatus::TimedOut) {
+      // The peer started a frame and stalled: drop it so it cannot pin
+      // this session thread. One Error frame explains why, best-effort.
+      StalledCount.fetch_add(1, std::memory_order_relaxed);
+      writeFrame(S->Fd, makeError("read deadline exceeded mid-frame"));
+      break;
+    }
     if (FS == FrameStatus::TooLarge) {
       // The one malformed case we can still answer: the length prefix
       // itself was bad, so the stream position is lost -- reply, drop.
@@ -274,12 +305,14 @@ bool Server::handleMessage(Session *S, const Message &M, Tenant *&Attached) {
              FrameStatus::Ok;
     const size_t Universe = Attached->Program->numInputs();
     for (uint64_t In : M.Inputs)
-      if (In >= Universe)
+      if (In >= Universe) {
+        Attached->Errors.fetch_add(1, std::memory_order_relaxed);
         return writeFrame(S->Fd,
                           makeError("input id " + std::to_string(In) +
                                     " out of range (tenant has " +
                                     std::to_string(Universe) + " inputs)")) ==
                FrameStatus::Ok;
+      }
 
     auto R = std::make_unique<Request>();
     R->T = Attached;
@@ -290,6 +323,7 @@ bool Server::handleMessage(Session *S, const Message &M, Tenant *&Attached) {
       // Admission control: the bounded queue is full (or shutting
       // down); refuse now rather than queue without limit.
       ShedCount.fetch_add(1, std::memory_order_relaxed);
+      Attached->Shed.fetch_add(1, std::memory_order_relaxed);
       return writeFrame(S->Fd, makeShed(static_cast<uint32_t>(Queue.depth()),
                                         "request queue full")) ==
              FrameStatus::Ok;
@@ -303,6 +337,7 @@ bool Server::handleMessage(Session *S, const Message &M, Tenant *&Attached) {
       std::vector<PredictedChoice> Choices = Reply.get();
       return writeFrame(S->Fd, makePredictions(Choices)) == FrameStatus::Ok;
     } catch (const std::exception &E) {
+      Attached->Errors.fetch_add(1, std::memory_order_relaxed);
       return writeFrame(S->Fd, makeError(std::string("serving failed: ") +
                                          E.what())) == FrameStatus::Ok;
     }
@@ -310,6 +345,30 @@ bool Server::handleMessage(Session *S, const Message &M, Tenant *&Attached) {
 
   case MsgType::Stats:
     return writeFrame(S->Fd, makeStatsReply(statsJson())) == FrameStatus::Ok;
+
+  case MsgType::Ping: {
+    // Liveness + convergence probe: which process is this, how loaded,
+    // and which store epoch each tenant is actually serving.
+    std::vector<TenantHealth> Tenants;
+    for (size_t I = 0;; ++I) {
+      Tenant *T = Registry.at(I);
+      if (!T)
+        break;
+      TenantHealth H;
+      H.Name = T->Name;
+      H.ServiceEpoch = T->Service->epoch();
+      H.StoreEpoch = T->StoreEpoch.load(std::memory_order_relaxed);
+      Tenants.push_back(std::move(H));
+    }
+    uint32_t Live;
+    {
+      std::lock_guard<std::mutex> Lock(SessionsMutex);
+      Live = static_cast<uint32_t>(Sessions.size());
+    }
+    return writeFrame(S->Fd,
+                      makeHealth(static_cast<uint64_t>(::getpid()), Live,
+                                 Tenants)) == FrameStatus::Ok;
+  }
 
   case MsgType::ListTenants:
     return writeFrame(S->Fd, makeTenantList(Registry.names())) ==
@@ -448,6 +507,8 @@ ServerStats Server::stats() const {
   S.Batches = BatchCount.load(std::memory_order_relaxed);
   S.BatchedRequests = BatchedRequestCount.load(std::memory_order_relaxed);
   S.MaxQueueDepth = MaxDepth.load(std::memory_order_relaxed);
+  S.ShedSessions = ShedSessionCount.load(std::memory_order_relaxed);
+  S.Stalled = StalledCount.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -462,6 +523,9 @@ std::string Server::statsJson() const {
   J += ", \"batches\": " + std::to_string(S.Batches);
   J += ", \"batched_requests\": " + std::to_string(S.BatchedRequests);
   J += ", \"max_queue_depth\": " + std::to_string(S.MaxQueueDepth);
+  J += ", \"shed_sessions\": " + std::to_string(S.ShedSessions);
+  J += ", \"stalled\": " + std::to_string(S.Stalled);
+  J += ", \"max_sessions\": " + std::to_string(Opts.MaxSessions);
   J += ", \"queue_capacity\": " + std::to_string(Queue.capacity());
   J += ", \"workers\": " + std::to_string(Opts.Workers);
   J += ", \"batch_max\": " + std::to_string(Opts.BatchMax);
@@ -486,6 +550,10 @@ std::string Server::statsJson() const {
          std::to_string(T->Decisions.load(std::memory_order_relaxed));
     J += ", \"batches\": " +
          std::to_string(T->Batches.load(std::memory_order_relaxed));
+    J += ", \"shed\": " +
+         std::to_string(T->Shed.load(std::memory_order_relaxed));
+    J += ", \"errors\": " +
+         std::to_string(T->Errors.load(std::memory_order_relaxed));
     J += ", \"service_decisions\": " + std::to_string(A.Decisions);
     J += ", \"memoized\": " + std::to_string(A.MemoizedDecisions);
     J += ", \"drift_detections\": " + std::to_string(A.DriftDetections);

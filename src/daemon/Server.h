@@ -5,9 +5,9 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The pbt-serve daemon: a Unix-domain-socket server answering framed
-/// prediction requests (daemon/Protocol.h) for the tenants of a
-/// ModelRegistry.
+/// The pbt-serve daemon: a stream-socket server (Unix-domain and/or TCP,
+/// see daemon/Transport.h) answering framed prediction requests
+/// (daemon/Protocol.h) for the tenants of a ModelRegistry.
 ///
 /// Thread shape: one accept thread (poll-based, so it can stop), one
 /// session thread per connection, and a fixed pool of batch workers
@@ -39,6 +39,7 @@
 #include "daemon/ModelRegistry.h"
 #include "daemon/Protocol.h"
 #include "daemon/RequestQueue.h"
+#include "daemon/Transport.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -54,9 +55,26 @@ namespace pbt {
 namespace daemon {
 
 struct ServerOptions {
-  /// Filesystem path of the listening socket (sun_path caps it at ~107
-  /// bytes; keep it short). Unlinked on stop.
+  /// Filesystem path of the listening Unix socket (sun_path caps it at
+  /// ~107 bytes; keep it short). Unlinked on stop. May be empty when
+  /// Listen supplies a TCP endpoint instead; at least one of the two
+  /// must be present.
   std::string SocketPath;
+  /// Additional TCP listen endpoints, each "HOST:PORT" (port 0 binds an
+  /// ephemeral port -- read it back via boundEndpoints()). The same
+  /// framed protocol is spoken on every transport.
+  std::vector<std::string> Listen;
+  /// Cap on concurrent session threads. A connection over the cap is
+  /// answered with one Shed frame and closed instead of getting a
+  /// thread -- a connection storm degrades to refusals, not to
+  /// unbounded thread growth. 0 = 1.
+  unsigned MaxSessions = 256;
+  /// Once a frame has started arriving on a session, the rest of it
+  /// must land within this many seconds or the connection is dropped
+  /// (FrameStatus::TimedOut): a stalled or malicious peer cannot pin a
+  /// session thread mid-frame. Idle sessions are unaffected. 0 = no
+  /// deadline (the pre-TCP behavior).
+  double ReadDeadline = 30.0;
   /// Batch worker threads.
   unsigned Workers = 2;
   /// Request-queue bound: the admission-control knob.
@@ -81,6 +99,10 @@ struct ServerStats {
   uint64_t Batches = 0;
   uint64_t BatchedRequests = 0;
   uint64_t MaxQueueDepth = 0;
+  /// Connections refused with Shed because MaxSessions was reached.
+  uint64_t ShedSessions = 0;
+  /// Sessions dropped for stalling mid-frame past ReadDeadline.
+  uint64_t Stalled = 0;
 };
 
 class Server {
@@ -109,6 +131,10 @@ public:
 
   bool running() const { return Started && !StopFlag.load(); }
   const ServerOptions &options() const { return Opts; }
+  /// The endpoints actually listening, as specs a DaemonClient can
+  /// connect to ("unix:/path", "tcp:host:port" with ephemeral ports
+  /// resolved). Valid after start().
+  std::vector<std::string> boundEndpoints() const;
   ServerStats stats() const;
   /// The StatsReply body: server counters plus per-tenant serving and
   /// adaptation stats as one JSON object.
@@ -141,7 +167,7 @@ private:
   ServerOptions Opts;
   BoundedQueue<RequestPtr> Queue;
 
-  int ListenFd = -1;
+  std::vector<Listener> Listeners;
   bool Started = false;
   std::atomic<bool> StopFlag{false};
   std::mutex StopMutex;
@@ -154,7 +180,7 @@ private:
 
   std::atomic<uint64_t> ConnCount{0}, RequestCount{0}, DecisionCount{0},
       ShedCount{0}, MalformedCount{0}, BatchCount{0}, BatchedRequestCount{0},
-      MaxDepth{0};
+      MaxDepth{0}, ShedSessionCount{0}, StalledCount{0};
 };
 
 } // namespace daemon

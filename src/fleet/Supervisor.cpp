@@ -1,0 +1,462 @@
+//===- fleet/Supervisor.cpp - cross-process replica supervision ------------==//
+//
+// Part of the pbtuner project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Supervisor.h"
+
+#include "daemon/Client.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace pbt {
+namespace fleet {
+
+namespace {
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void sleepSeconds(double S) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(S));
+}
+
+/// waitpid with EINTR retried -- the supervisor itself fields signals.
+pid_t waitPid(pid_t Pid, int *Status, int Flags) {
+  for (;;) {
+    pid_t R = ::waitpid(Pid, Status, Flags);
+    if (R < 0 && errno == EINTR)
+      continue;
+    return R;
+  }
+}
+
+} // namespace
+
+const char *replicaStateName(ReplicaState S) {
+  switch (S) {
+  case ReplicaState::Stopped:
+    return "stopped";
+  case ReplicaState::Starting:
+    return "starting";
+  case ReplicaState::Healthy:
+    return "healthy";
+  case ReplicaState::Degraded:
+    return "degraded";
+  case ReplicaState::Backoff:
+    return "backoff";
+  case ReplicaState::Quarantined:
+    return "quarantined";
+  }
+  return "?";
+}
+
+Supervisor::Supervisor(SupervisorOptions Options) : Opts(std::move(Options)) {
+  if (Opts.Replicas == 0)
+    Opts.Replicas = 1;
+  if (Opts.QuarantineRestarts == 0)
+    Opts.QuarantineRestarts = 1;
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+bool Supervisor::start(std::string &Err) {
+  if (Started) {
+    Err = "supervisor already started";
+    return false;
+  }
+  std::error_code EC;
+  std::filesystem::create_directories(Opts.RuntimeDir, EC);
+  if (EC) {
+    Err = "create_directories('" + Opts.RuntimeDir + "'): " + EC.message();
+    return false;
+  }
+  Fleet.assign(Opts.Replicas, Replica());
+  for (size_t I = 0; I < Fleet.size(); ++I) {
+    Replica &R = Fleet[I];
+    std::string Base =
+        Opts.RuntimeDir + "/r" + std::to_string(I);
+    if (Opts.Tcp) {
+      R.PortFile = Base + ".port";
+    } else {
+      R.SocketPath = Base + ".sock";
+      R.Endpoint = "unix:" + R.SocketPath;
+    }
+    if (!spawn(I, Err))
+      return false;
+  }
+  Started = true;
+  StopFlag.store(false);
+  Monitor = std::thread([this] { monitorLoop(); });
+  return true;
+}
+
+bool Supervisor::spawn(size_t I, std::string &Err) {
+  Replica &R = Fleet[I];
+  std::vector<std::string> Args;
+  Args.push_back(Opts.ServerExe);
+  if (Opts.Tcp) {
+    // First spawn binds an ephemeral port and reports it through the
+    // port file; respawns pin that port so the endpoint stays stable
+    // for clients holding a fixed failover list.
+    ::unlink(R.PortFile.c_str());
+    Args.push_back("--listen=" + Opts.Host + ":" +
+                   std::to_string(R.PinnedPort));
+    Args.push_back("--port-file=" + R.PortFile);
+  } else {
+    Args.push_back("--socket=" + R.SocketPath);
+  }
+  for (const std::string &A : Opts.ServerArgs)
+    Args.push_back(A);
+
+  std::vector<char *> Argv;
+  Argv.reserve(Args.size() + 1);
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  Argv.push_back(nullptr);
+
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    Err = std::string("fork(): ") + std::strerror(errno);
+    return false;
+  }
+  if (Pid == 0) {
+    // Child. Every supervisor-held fd is CLOEXEC (daemon/Transport.h),
+    // so the replica starts clean.
+    ::execv(Argv[0], Argv.data());
+    _exit(127);
+  }
+  R.Pid = Pid;
+  R.State = ReplicaState::Starting;
+  R.FailedProbes = 0;
+  R.SpawnedAt = nowSeconds();
+  R.HealthySince = 0;
+  R.NextProbeAt = R.SpawnedAt;
+  return true;
+}
+
+void Supervisor::stop() {
+  if (!Started)
+    return;
+  StopFlag.store(true);
+  if (Monitor.joinable())
+    Monitor.join();
+
+  for (Replica &R : Fleet)
+    if (R.Pid > 0)
+      ::kill(R.Pid, SIGTERM);
+  // Bounded grace, then the hammer; every child is reaped either way.
+  double Deadline = nowSeconds() + 3.0;
+  for (Replica &R : Fleet) {
+    while (R.Pid > 0) {
+      int Status = 0;
+      pid_t W = waitPid(R.Pid, &Status, WNOHANG);
+      if (W == R.Pid || (W < 0 && errno == ECHILD)) {
+        R.Pid = -1;
+        break;
+      }
+      if (nowSeconds() >= Deadline) {
+        ::kill(R.Pid, SIGKILL);
+        waitPid(R.Pid, &Status, 0);
+        R.Pid = -1;
+        break;
+      }
+      sleepSeconds(0.01);
+    }
+    R.State = ReplicaState::Stopped;
+    if (!R.SocketPath.empty())
+      ::unlink(R.SocketPath.c_str());
+    if (!R.PortFile.empty())
+      ::unlink(R.PortFile.c_str());
+  }
+  Started = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Monitor thread
+//===----------------------------------------------------------------------===//
+
+void Supervisor::reapAndRestart(size_t I) {
+  bool Respawn = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Replica &R = Fleet[I];
+    if (R.Pid > 0) {
+      int Status = 0;
+      pid_t W = waitPid(R.Pid, &Status, WNOHANG);
+      if (W == 0)
+        return; // still running
+      double Now = nowSeconds();
+      R.LastExitStatus = W == R.Pid ? Status : 0;
+      R.Pid = -1;
+      R.StoreEpoch = 0;
+      R.ServiceEpoch = 0;
+
+      // Quarantine check before scheduling another restart: M restarts
+      // inside the sliding window means crash loop.
+      while (!R.RestartTimes.empty() &&
+             R.RestartTimes.front() < Now - Opts.QuarantineWindowSeconds)
+        R.RestartTimes.pop_front();
+      if (R.RestartTimes.size() >= Opts.QuarantineRestarts) {
+        R.State = ReplicaState::Quarantined;
+        return;
+      }
+      if (R.Backoff <= 0)
+        R.Backoff = Opts.BackoffSeconds;
+      R.State = ReplicaState::Backoff;
+      R.NextRestartAt = Now + R.Backoff;
+      R.Backoff = std::min(R.Backoff * 2.0, Opts.BackoffCapSeconds);
+      return;
+    }
+    if (R.State == ReplicaState::Backoff && nowSeconds() >= R.NextRestartAt)
+      Respawn = true;
+  }
+  if (!Respawn)
+    return;
+  // Off-lock: the hook may take its own locks (RolloutController) and
+  // the respawn itself forks.
+  if (Opts.OnRestart)
+    Opts.OnRestart(I);
+  std::lock_guard<std::mutex> Lock(Mu);
+  Replica &R = Fleet[I];
+  if (R.State != ReplicaState::Backoff)
+    return;
+  std::string Err;
+  if (spawn(I, Err)) {
+    ++R.Restarts;
+    R.RestartTimes.push_back(nowSeconds());
+  } else {
+    // fork failed -- try again after another backoff step.
+    R.NextRestartAt = nowSeconds() + R.Backoff;
+  }
+}
+
+void Supervisor::probe(size_t I) {
+  std::string Endpoint;
+  pid_t ExpectPid = -1;
+  uint64_t Gen = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Replica &R = Fleet[I];
+    if (R.Pid <= 0 || nowSeconds() < R.NextProbeAt)
+      return;
+    Gen = R.ProbeGen;
+    if (Opts.Tcp && R.Endpoint.empty()) {
+      // The replica writes its bound port (atomically, rename) once
+      // listening; until then it is simply still starting.
+      std::ifstream In(R.PortFile);
+      std::string Line;
+      if (In && std::getline(In, Line) && !Line.empty()) {
+        R.Endpoint = Line;
+        size_t Colon = Line.rfind(':');
+        if (Colon != std::string::npos)
+          R.PinnedPort = static_cast<uint16_t>(
+              std::strtoul(Line.c_str() + Colon + 1, nullptr, 10));
+      }
+    }
+    Endpoint = R.Endpoint;
+    ExpectPid = R.Pid;
+  }
+
+  bool Ok = false;
+  daemon::DaemonClient::HealthInfo Health;
+  if (!Endpoint.empty()) {
+    daemon::ClientOptions CO;
+    CO.ConnectTimeout = Opts.HealthTimeoutSeconds;
+    CO.IoTimeout = Opts.HealthTimeoutSeconds;
+    CO.MaxConnectAttempts = 1;
+    daemon::DaemonClient C(CO);
+    std::string Err;
+    // A Health from a different pid is a stale socket, not our child.
+    Ok = C.connect(Endpoint, Err) && C.ping(Health, Err) &&
+         Health.Pid == static_cast<uint64_t>(ExpectPid);
+  }
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  Replica &R = Fleet[I];
+  if (R.Pid != ExpectPid || R.ProbeGen != Gen)
+    return; // died, respawned, or killed while we probed
+  double Now = nowSeconds();
+  R.NextProbeAt = Now + Opts.HealthIntervalSeconds;
+  if (Ok) {
+    R.FailedProbes = 0;
+    if (R.State != ReplicaState::Healthy) {
+      R.State = ReplicaState::Healthy;
+      R.HealthySince = Now;
+    } else if (R.HealthySince > 0 &&
+               Now - R.HealthySince >= Opts.BackoffResetSeconds) {
+      R.Backoff = Opts.BackoffSeconds; // earned its backoff reset
+    }
+    uint64_t MinStore = 0, MinService = 0;
+    for (const daemon::TenantHealth &T : Health.Tenants) {
+      MinStore = MinStore == 0 ? T.StoreEpoch : std::min(MinStore, T.StoreEpoch);
+      MinService =
+          MinService == 0 ? T.ServiceEpoch : std::min(MinService, T.ServiceEpoch);
+    }
+    R.StoreEpoch = MinStore;
+    R.ServiceEpoch = MinService;
+    return;
+  }
+  // Failed probe: free pass during startup grace, then count toward a
+  // kill -- a wedged-but-alive replica goes through the crash path.
+  if (Now - R.SpawnedAt < Opts.StartupGraceSeconds)
+    return;
+  ++R.FailedProbes;
+  if (R.State == ReplicaState::Healthy)
+    R.State = ReplicaState::Degraded;
+  if (R.FailedProbes >= Opts.ProbesBeforeKill) {
+    ::kill(R.Pid, SIGKILL);
+    R.FailedProbes = 0;
+  }
+}
+
+void Supervisor::monitorLoop() {
+  while (!StopFlag.load()) {
+    for (size_t I = 0; I < Fleet.size(); ++I) {
+      reapAndRestart(I);
+      probe(I);
+    }
+    sleepSeconds(std::min(0.02, Opts.HealthIntervalSeconds));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+std::vector<ReplicaStatus> Supervisor::statuses() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<ReplicaStatus> Out;
+  Out.reserve(Fleet.size());
+  for (size_t I = 0; I < Fleet.size(); ++I) {
+    const Replica &R = Fleet[I];
+    ReplicaStatus S;
+    S.Index = I;
+    S.State = R.State;
+    S.Pid = R.Pid;
+    S.Endpoint = R.Endpoint;
+    S.Restarts = R.Restarts;
+    S.StoreEpoch = R.StoreEpoch;
+    S.ServiceEpoch = R.ServiceEpoch;
+    S.LastExitStatus = R.LastExitStatus;
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+std::vector<std::string> Supervisor::endpoints(bool HealthyOnly) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Out;
+  for (const Replica &R : Fleet)
+    if (!R.Endpoint.empty() &&
+        (!HealthyOnly || R.State == ReplicaState::Healthy))
+      Out.push_back(R.Endpoint);
+  return Out;
+}
+
+pid_t Supervisor::pid(size_t I) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return I < Fleet.size() ? Fleet[I].Pid : -1;
+}
+
+uint64_t Supervisor::totalRestarts() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t N = 0;
+  for (const Replica &R : Fleet)
+    N += R.Restarts;
+  return N;
+}
+
+size_t Supervisor::quarantinedCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = 0;
+  for (const Replica &R : Fleet)
+    N += R.State == ReplicaState::Quarantined ? 1 : 0;
+  return N;
+}
+
+size_t Supervisor::healthyCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = 0;
+  for (const Replica &R : Fleet)
+    N += R.State == ReplicaState::Healthy ? 1 : 0;
+  return N;
+}
+
+bool Supervisor::killReplica(size_t I, int Sig) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (I >= Fleet.size() || Fleet[I].Pid <= 0)
+    return false;
+  Replica &R = Fleet[I];
+  if (::kill(R.Pid, Sig) != 0)
+    return false;
+  // Reflect the kill immediately: a waitAllHealthy()/waitConverged()
+  // issued right after this call must not succeed off the stale Healthy
+  // state before the monitor has reaped the death. The generation bump
+  // also invalidates any probe already in flight, so a ping answered
+  // just before the signal landed cannot resurrect the Healthy mark.
+  ++R.ProbeGen;
+  if (R.State == ReplicaState::Healthy || R.State == ReplicaState::Starting)
+    R.State = ReplicaState::Degraded;
+  R.HealthySince = 0;
+  R.NextProbeAt = nowSeconds();
+  return true;
+}
+
+bool Supervisor::waitAllHealthy(double TimeoutSeconds) {
+  double Deadline = nowSeconds() + TimeoutSeconds;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      bool All = true, Any = false;
+      for (const Replica &R : Fleet) {
+        if (R.State == ReplicaState::Quarantined)
+          continue;
+        Any = true;
+        All &= R.State == ReplicaState::Healthy;
+      }
+      if (Any && All)
+        return true;
+    }
+    if (nowSeconds() >= Deadline)
+      return false;
+    sleepSeconds(0.01);
+  }
+}
+
+bool Supervisor::waitConverged(uint64_t Epoch, double TimeoutSeconds) {
+  double Deadline = nowSeconds() + TimeoutSeconds;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      bool All = true, Any = false;
+      for (const Replica &R : Fleet) {
+        if (R.State == ReplicaState::Quarantined)
+          continue;
+        Any = true;
+        All &= R.State == ReplicaState::Healthy && R.StoreEpoch == Epoch;
+      }
+      if (Any && All)
+        return true;
+    }
+    if (nowSeconds() >= Deadline)
+      return false;
+    sleepSeconds(0.01);
+  }
+}
+
+} // namespace fleet
+} // namespace pbt

@@ -104,6 +104,12 @@ RolloutController::RolloutController(const runtime::TunableProgram &Program,
 }
 
 double RolloutController::shadowScore(runtime::PredictionService &Service) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return shadowScoreLocked(Service);
+}
+
+double
+RolloutController::shadowScoreLocked(runtime::PredictionService &Service) {
   double Total = 0.0;
   for (size_t Input : Sample) {
     runtime::PredictionService::Decision D = Service.decide(Input);
@@ -113,6 +119,11 @@ double RolloutController::shadowScore(runtime::PredictionService &Service) {
 }
 
 LoadStatus RolloutController::syncReplicas() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return syncReplicasLocked();
+}
+
+LoadStatus RolloutController::syncReplicasLocked() {
   for (auto &R : Fleet) {
     LoadStatus St = R->sync();
     if (!St)
@@ -122,6 +133,7 @@ LoadStatus RolloutController::syncReplicas() {
 }
 
 LoadStatus RolloutController::start(const serialize::TrainedModel &Initial) {
+  std::lock_guard<std::mutex> Lock(Mu);
   LoadStatus St = Store.open();
   if (!St)
     return St;
@@ -148,10 +160,15 @@ LoadStatus RolloutController::start(const serialize::TrainedModel &Initial) {
     if (!St)
       return St;
   }
-  return syncReplicas();
+  return syncReplicasLocked();
 }
 
 LoadStatus RolloutController::resume() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Re-running open() is deliberate: recovery is idempotent, and a
+  // supervisor resuming after a replica crash wants any interrupted
+  // promotion rolled forward before the replacement process loads
+  // CURRENT.
   LoadStatus St = Store.open();
   if (!St)
     return St;
@@ -159,11 +176,12 @@ LoadStatus RolloutController::resume() {
     return LoadStatus::failure(
         "store '" + Store.dir() +
         "' has no promoted epoch to resume from (was it ever started?)");
-  return syncReplicas();
+  return syncReplicasLocked();
 }
 
 LoadStatus RolloutController::rollout(serialize::TrainedModel Candidate,
                                       CycleReport &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
   CycleReport Report;
   LoadStatus St = serialize::validateAgainst(Candidate, Program);
   if (!St)
@@ -189,7 +207,7 @@ LoadStatus RolloutController::rollout(serialize::TrainedModel Candidate,
   if (!St)
     return St;
   Replica &Canary = *Fleet[0];
-  Report.ChampionScore = shadowScore(Canary.service());
+  Report.ChampionScore = shadowScoreLocked(Canary.service());
   St = Canary.adopt(Landed);
   if (!St) {
     // The candidate image failed verification or parse at the canary:
@@ -197,7 +215,7 @@ LoadStatus RolloutController::rollout(serialize::TrainedModel Candidate,
     Store.rollback(Landed);
     return St;
   }
-  Report.CandidateScore = shadowScore(Canary.service());
+  Report.CandidateScore = shadowScoreLocked(Canary.service());
   bool Promote =
       Report.CandidateScore <=
       Report.ChampionScore * (1.0 + Opts.CanaryMargin);
@@ -209,7 +227,7 @@ LoadStatus RolloutController::rollout(serialize::TrainedModel Candidate,
     St = Store.promote(Landed);
     if (!St)
       return St;
-    St = syncReplicas();
+    St = syncReplicasLocked();
     if (!St)
       return St;
     Report.Promoted = true;

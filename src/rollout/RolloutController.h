@@ -48,6 +48,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -132,6 +133,11 @@ public:
 
   /// The restart path: like start() but never seeds -- a store left
   /// behind by a killed fleet must already contain the durable truth.
+  /// Safe to drive from a fleet::Supervisor's monitor thread while the
+  /// publisher is mid-rollout on another: every public transition locks
+  /// one internal mutex, so a supervisor-triggered resume (re-running
+  /// store recovery and re-syncing the canary before a crashed replica
+  /// respawns) serializes cleanly against publish/canary/promote.
   serialize::LoadStatus resume();
 
   /// One full staged rollout of \p Candidate.
@@ -160,18 +166,27 @@ public:
   size_t replicaCount() const { return Fleet.size(); }
   Replica &replica(size_t I) { return *Fleet[I]; }
   store::ModelStore &modelStore() { return Store; }
-  uint64_t currentEpoch() const { return Store.currentEpoch(); }
+  uint64_t currentEpoch() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Store.currentEpoch();
+  }
 
   /// Mean run cost of serving the shadow sample with \p Service's
   /// decisions -- the canary comparison metric. Exposed for tests.
   double shadowScore(runtime::PredictionService &Service);
 
 private:
+  serialize::LoadStatus syncReplicasLocked();
+  double shadowScoreLocked(runtime::PredictionService &Service);
+
   const runtime::TunableProgram &Program;
   store::ModelStore Store;
   RolloutOptions Opts;
   std::vector<std::unique_ptr<Replica>> Fleet;
   std::vector<size_t> Sample; // seeded shadow-sample inputs
+  /// Serializes start/resume/rollout/syncReplicas across threads: the
+  /// publisher and a supervising monitor may both drive transitions.
+  mutable std::mutex Mu;
 };
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,97 @@
+//===- tests/daemon/ClientRetryTest.cpp --------------------------------------=//
+//
+// The DaemonClient retry/backoff policy, pinned deterministically via
+// ClientOptions::SleepHook: exact attempt counts, the exact bounded
+// exponential sleep sequence, deadline-respecting early exit, and a
+// mid-retry server arrival being caught on the next attempt -- all in
+// zero wall-clock sleep time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+#include "daemon/Transport.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace pbt::daemon;
+
+namespace {
+
+std::string missingSocket() {
+  static std::atomic<int> Counter{0};
+  return "/tmp/pbt-crt-none-" + std::to_string(::getpid()) + "-" +
+         std::to_string(Counter.fetch_add(1)) + ".sock";
+}
+
+} // namespace
+
+TEST(ClientRetryTest, BoundedExponentialBackoffSchedule) {
+  ClientOptions CO;
+  CO.ConnectTimeout = 0.1;
+  CO.MaxConnectAttempts = 5;
+  CO.BackoffSeconds = 0.01;
+  CO.BackoffCapSeconds = 0.04;
+  std::vector<double> Sleeps;
+  CO.SleepHook = [&](double S) { Sleeps.push_back(S); };
+
+  DaemonClient C(CO);
+  std::string Err;
+  EXPECT_FALSE(C.connectWithRetry(missingSocket(), 3600.0, Err));
+  // 5 attempts, 4 inter-attempt sleeps: base, doubled, capped, capped.
+  ASSERT_EQ(Sleeps.size(), 4u);
+  EXPECT_DOUBLE_EQ(Sleeps[0], 0.01);
+  EXPECT_DOUBLE_EQ(Sleeps[1], 0.02);
+  EXPECT_DOUBLE_EQ(Sleeps[2], 0.04);
+  EXPECT_DOUBLE_EQ(Sleeps[3], 0.04);
+  EXPECT_NE(Err.find("5 attempts"), std::string::npos) << Err;
+}
+
+TEST(ClientRetryTest, ZeroDeadlineMeansSingleAttempt) {
+  ClientOptions CO;
+  CO.ConnectTimeout = 0.1;
+  CO.MaxConnectAttempts = 10;
+  std::vector<double> Sleeps;
+  CO.SleepHook = [&](double S) { Sleeps.push_back(S); };
+
+  DaemonClient C(CO);
+  std::string Err;
+  EXPECT_FALSE(C.connectWithRetry(missingSocket(), 0.0, Err));
+  // The wall-clock deadline trips before any backoff sleep happens.
+  EXPECT_TRUE(Sleeps.empty());
+}
+
+TEST(ClientRetryTest, ServerArrivingMidRetryIsCaughtNextAttempt) {
+  std::string Path = missingSocket();
+  Listener L; // not yet open: first attempts must fail
+
+  ClientOptions CO;
+  CO.ConnectTimeout = 0.5;
+  CO.MaxConnectAttempts = 10;
+  CO.BackoffSeconds = 0.01;
+  std::vector<double> Sleeps;
+  CO.SleepHook = [&](double S) {
+    Sleeps.push_back(S);
+    // "The server comes up" after the second failed attempt; a plain
+    // listening socket is enough for connect() to succeed.
+    if (Sleeps.size() == 2) {
+      Endpoint E;
+      std::string Err;
+      ASSERT_TRUE(parseEndpoint(Path, E, Err)) << Err;
+      ASSERT_TRUE(L.open(E, Err)) << Err;
+    }
+  };
+
+  DaemonClient C(CO);
+  std::string Err;
+  EXPECT_TRUE(C.connectWithRetry(Path, 3600.0, Err)) << Err;
+  EXPECT_TRUE(C.connected());
+  EXPECT_EQ(Sleeps.size(), 2u) << "third attempt should have connected";
+  C.close();
+}

@@ -109,10 +109,41 @@ TEST(ProtocolTest, ShedErrorStatsListRoundTrips) {
 TEST(ProtocolTest, EmptyAndUnknownTagRejected) {
   Message M;
   EXPECT_FALSE(decodeMessage(std::string(), M));
-  for (uint8_t Tag : {0x00, 0x06, 0x42, 0x80, 0x88, 0xFF}) {
+  // 0x88 is Health's tag, but a bare Health without its body is still
+  // malformed (0x06 left this list when it became Ping).
+  for (uint8_t Tag : {0x00, 0x07, 0x42, 0x80, 0x88, 0xFF}) {
     std::string P(1, static_cast<char>(Tag));
     EXPECT_FALSE(decodeMessage(P, M)) << "tag " << int(Tag);
   }
+}
+
+TEST(ProtocolTest, PingRoundTrip) {
+  Message M;
+  ASSERT_TRUE(decodeMessage(makePing(), M));
+  EXPECT_EQ(M.Type, MsgType::Ping);
+}
+
+TEST(ProtocolTest, HealthRoundTrip) {
+  std::vector<TenantHealth> T = {{"sort1", 3, 5}, {"helmholtz3d", 1, 1}};
+  std::string P = makeHealth(4242, 7, T);
+  Message M;
+  ASSERT_TRUE(decodeMessage(P, M));
+  EXPECT_EQ(M.Type, MsgType::Health);
+  EXPECT_EQ(M.Pid, 4242u);
+  EXPECT_EQ(M.Sessions, 7u);
+  ASSERT_EQ(M.Tenants.size(), T.size());
+  for (size_t I = 0; I < T.size(); ++I) {
+    EXPECT_EQ(M.Tenants[I].Name, T[I].Name);
+    EXPECT_EQ(M.Tenants[I].ServiceEpoch, T[I].ServiceEpoch);
+    EXPECT_EQ(M.Tenants[I].StoreEpoch, T[I].StoreEpoch);
+  }
+}
+
+TEST(ProtocolTest, HealthWithNoTenantsRoundTrips) {
+  Message M;
+  ASSERT_TRUE(decodeMessage(makeHealth(1, 0, {}), M));
+  EXPECT_EQ(M.Type, MsgType::Health);
+  EXPECT_TRUE(M.Tenants.empty());
 }
 
 TEST(ProtocolTest, TruncationAtEveryBoundaryRejected) {
@@ -122,7 +153,8 @@ TEST(ProtocolTest, TruncationAtEveryBoundaryRejected) {
        {makeHello("tenant"), makePredict({1, 2, 3}), makeTenantOk(1, 2, 3),
         makePredictions({{1, 1}, {2, 1}}), makeShed(4, "full"),
         makeError("message"), makeStatsReply("{}"),
-        makeTenantList({"x", "yz"})}) {
+        makeTenantList({"x", "yz"}),
+        makeHealth(99, 2, {{"t", 1, 2}, {"u", 3, 4}})}) {
     for (size_t Cut = 1; Cut < P.size(); ++Cut) {
       Message M;
       EXPECT_FALSE(decodeMessage(P.substr(0, Cut), M))
@@ -132,8 +164,8 @@ TEST(ProtocolTest, TruncationAtEveryBoundaryRejected) {
 }
 
 TEST(ProtocolTest, TrailingGarbageRejected) {
-  for (std::string P :
-       {makeHello("tenant"), makePredict({1}), makeStats(), makeBye()}) {
+  for (std::string P : {makeHello("tenant"), makePredict({1}), makeStats(),
+                        makeBye(), makePing(), makeHealth(1, 0, {})}) {
     P.push_back('\0');
     Message M;
     EXPECT_FALSE(decodeMessage(P, M));

@@ -43,18 +43,33 @@ void onSignal(int) { GSignalled.store(true); }
 void usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --socket=PATH --model=[NAME=]FILE[,[NAME=]FILE...] "
-      "[options]\n"
+      "usage: %s (--socket=PATH | --listen=HOST:PORT) "
+      "--model=[NAME=]FILE[,[NAME=]FILE...] [options]\n"
       "\n"
-      "A multi-tenant prediction daemon over a Unix-domain socket. Each\n"
-      "--model entry becomes one tenant, addressed by NAME on the wire\n"
-      "(default: the model's benchmark key). Clients speak the framed\n"
-      "protocol of src/daemon/Protocol.h; `pbt-bench loadgen` is the\n"
-      "reference client and load driver.\n"
+      "A multi-tenant prediction daemon over Unix-domain and/or TCP\n"
+      "stream sockets. Each --model entry becomes one tenant, addressed\n"
+      "by NAME on the wire (default: the model's benchmark key). Clients\n"
+      "speak the framed protocol of src/daemon/Protocol.h; `pbt-bench\n"
+      "loadgen` is the reference client and load driver.\n"
       "\n"
       "options:\n"
-      "  --socket=PATH      listening Unix socket path (required; short\n"
-      "                     paths only -- sun_path caps ~107 bytes)\n"
+      "  --socket=PATH      listening Unix socket path (short paths only\n"
+      "                     -- sun_path caps ~107 bytes). At least one of\n"
+      "                     --socket / --listen is required\n"
+      "  --listen=HOST:PORT additional TCP listen endpoint (repeatable;\n"
+      "                     port 0 binds an ephemeral port -- pair with\n"
+      "                     --port-file so a supervisor can find it)\n"
+      "  --port-file=PATH   after binding, atomically write the bound\n"
+      "                     endpoint specs (one per line, TCP first) to\n"
+      "                     PATH; a fleet supervisor reads the real port\n"
+      "                     back from here\n"
+      "  --read-deadline=S  once a frame starts arriving, the rest must\n"
+      "                     land within S seconds or the session is\n"
+      "                     dropped (default 30; 0 disables). Idle\n"
+      "                     sessions are never timed out\n"
+      "  --max-sessions=N   concurrent session-thread cap (default 256);\n"
+      "                     connections over the cap get one Shed frame\n"
+      "                     and are closed\n"
       "  --model=SPEC       tenant model file(s); NAME=FILE to name one\n"
       "  --store=SPEC       tenant model store dir(s); NAME=DIR to name\n"
       "                     one. The daemon serves the store's CURRENT\n"
@@ -108,6 +123,7 @@ int main(int argc, char **argv) {
   daemon::ModelRegistryOptions RO;
   std::vector<std::pair<std::string, std::string>> Models;
   std::vector<std::pair<std::string, std::string>> Stores;
+  std::string PortFile;
   unsigned PoolThreads = 0;
   unsigned StorePollMs = 250;
 
@@ -122,6 +138,17 @@ int main(int argc, char **argv) {
       return 0;
     } else if (const char *V = Value("--socket=")) {
       SO.SocketPath = V;
+    } else if (const char *V = Value("--listen=")) {
+      SO.Listen.emplace_back(V);
+    } else if (const char *V = Value("--port-file=")) {
+      PortFile = V;
+    } else if (const char *V = Value("--read-deadline=")) {
+      if (!support::parseDouble(V, SO.ReadDeadline) || SO.ReadDeadline < 0)
+        return badValue("--read-deadline", V, "a non-negative number");
+    } else if (const char *V = Value("--max-sessions=")) {
+      if (!support::parseUnsigned(V, SO.MaxSessions, 1u << 16) ||
+          SO.MaxSessions == 0)
+        return badValue("--max-sessions", V, "an integer in [1, 65536]");
     } else if (const char *V = Value("--model=")) {
       splitModelSpec(V, Models);
     } else if (const char *V = Value("--store=")) {
@@ -160,7 +187,8 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (SO.SocketPath.empty() || (Models.empty() && Stores.empty())) {
+  if ((SO.SocketPath.empty() && SO.Listen.empty()) ||
+      (Models.empty() && Stores.empty())) {
     usage(argv[0]);
     return 2;
   }
@@ -201,16 +229,47 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  std::vector<std::string> Bound = Srv.boundEndpoints();
+  // TCP endpoints first: a supervisor reading the port file wants the
+  // cross-host endpoint on line 1.
+  std::stable_sort(Bound.begin(), Bound.end(),
+                   [](const std::string &A, const std::string &B) {
+                     return (A.compare(0, 4, "tcp:") == 0) >
+                            (B.compare(0, 4, "tcp:") == 0);
+                   });
+
+  if (!PortFile.empty()) {
+    // Write-to-temp + rename so a supervisor polling the path never
+    // observes a partial file.
+    std::string Tmp = PortFile + ".tmp";
+    std::FILE *F = std::fopen(Tmp.c_str(), "w");
+    bool Ok = F != nullptr;
+    if (F) {
+      for (const std::string &E : Bound)
+        Ok = Ok && std::fprintf(F, "%s\n", E.c_str()) >= 0;
+      Ok = std::fclose(F) == 0 && Ok;
+    }
+    if (!Ok || std::rename(Tmp.c_str(), PortFile.c_str()) != 0) {
+      std::fprintf(stderr, "pbt-serve: cannot write port file '%s'\n",
+                   PortFile.c_str());
+      Srv.stop();
+      return 1;
+    }
+  }
+
   {
-    std::string Names;
+    std::string Names, Where;
     for (const std::string &N : Registry.names())
       Names += (Names.empty() ? "" : ", ") + N;
+    for (const std::string &E : Bound)
+      Where += (Where.empty() ? "" : ", ") + E;
     std::fprintf(stderr,
                  "pbt-serve: listening on %s (%zu tenant%s: %s; workers=%u "
-                 "queue=%zu batch-max=%u%s)\n",
-                 SO.SocketPath.c_str(), Registry.size(),
+                 "queue=%zu batch-max=%u max-sessions=%u%s)\n",
+                 Where.c_str(), Registry.size(),
                  Registry.size() == 1 ? "" : "s", Names.c_str(), SO.Workers,
-                 SO.QueueCapacity, SO.BatchMax, SO.Adapt ? " adapt" : "");
+                 SO.QueueCapacity, SO.BatchMax, SO.MaxSessions,
+                 SO.Adapt ? " adapt" : "");
     std::fflush(stderr);
   }
 
